@@ -1,0 +1,199 @@
+// Repository-level benchmarks: one per table/figure of the paper's
+// evaluation (each wraps the corresponding experiment in
+// internal/experiments at a bench-friendly scale — run cmd/experiments
+// for full-scale reports with the printed rows), plus the ablation
+// benchmarks DESIGN.md calls out. Throughput benchmarks for individual
+// subsystems live in their packages (internal/swap, internal/edgeskip,
+// internal/hashtable, internal/permute, internal/rng, internal/chunglu).
+package nullgraph
+
+import (
+	"io"
+	"testing"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/experiments"
+	"nullgraph/internal/probgen"
+)
+
+func benchCfg(b *testing.B) experiments.Config {
+	b.Helper()
+	return experiments.Config{
+		Workers:        0,
+		Seed:           1,
+		MaxVertices:    10_000,
+		Trials:         1,
+		SwapIterations: 8,
+		SkewedOnly:     true,
+	}
+}
+
+// BenchmarkTable1Datasets regenerates the Table I analog statistics.
+func BenchmarkTable1Datasets(b *testing.B) {
+	cfg := benchCfg(b)
+	cfg.SkewedOnly = false
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig1AttachmentProbabilities regenerates the Figure 1 series:
+// Chung-Lu vs empirical uniform-random hub attachment probabilities.
+func BenchmarkFig1AttachmentProbabilities(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig2ErasedError regenerates the Figure 2 series: erased-model
+// degree distribution error.
+func BenchmarkFig2ErasedError(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig3QualityComparison regenerates the Figure 3 panels:
+// % error in #edges / d_max / Gini per generator.
+func BenchmarkFig3QualityComparison(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig4MixingConvergence regenerates the Figure 4 curves: L1
+// attachment error vs swap iterations.
+func BenchmarkFig4MixingConvergence(b *testing.B) {
+	cfg := benchCfg(b)
+	cfg.Datasets = []string{"Meso", "as20"}
+	cfg.SwapIterations = 8
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig5EndToEnd regenerates the Figure 5 table: end-to-end
+// generation times per method.
+func BenchmarkFig5EndToEnd(b *testing.B) {
+	cfg := benchCfg(b)
+	cfg.SkewedOnly = false
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig6PerPhase regenerates the Figure 6 per-phase breakdown of
+// the paper's method.
+func BenchmarkFig6PerPhase(b *testing.B) {
+	cfg := benchCfg(b)
+	cfg.SkewedOnly = false
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkSwapScaling regenerates the §VIII-C swap-throughput worker
+// sweep on the LiveJournal analog.
+func BenchmarkSwapScaling(b *testing.B) {
+	cfg := benchCfg(b)
+	cfg.MaxVertices = 30_000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSwapScale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// --- Ablations ---
+
+func ablationDist(b *testing.B) *degseq.Distribution {
+	b.Helper()
+	d, err := degseq.SamplePowerLaw(degseq.PowerLawConfig{
+		NumVertices: 50_000, MinDegree: 1, MaxDegree: 2_000, Gamma: 2.1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkProbgenVsNaiveHeuristic times the paper's O(|D|²) probability
+// heuristic (compare against BenchmarkProbgenVsNaiveChungLu; the
+// heuristic buys its accuracy with a constant-factor slowdown).
+func BenchmarkProbgenVsNaiveHeuristic(b *testing.B) {
+	d := ablationDist(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probgen.Generate(d, 0)
+	}
+}
+
+// BenchmarkProbgenVsNaiveChungLu times the closed-form Chung-Lu matrix.
+func BenchmarkProbgenVsNaiveChungLu(b *testing.B) {
+	d := ablationDist(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probgen.ChungLu(d)
+	}
+}
+
+// BenchmarkGenerateEndToEnd times the full public pipeline at a
+// realistic size (the number most users care about).
+func BenchmarkGenerateEndToEnd(b *testing.B) {
+	d := ablationDist(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Generate(d, Options{Seed: uint64(i), SwapIterations: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(res.Graph.NumEdges()) * 8)
+	}
+}
+
+// BenchmarkShuffle times one full mixing pass over an existing graph.
+func BenchmarkShuffle(b *testing.B) {
+	d := ablationDist(b)
+	res, err := Generate(d, Options{Seed: 9, SwapIterations: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := res.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shuffle(g, Options{Seed: uint64(i), SwapIterations: 1})
+		b.SetBytes(int64(g.NumEdges()) * 8)
+	}
+}

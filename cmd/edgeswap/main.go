@@ -1,0 +1,116 @@
+// Command edgeswap uniformly mixes an existing edge list with parallel
+// double-edge swaps (the paper's Algorithm III.1), preserving every
+// vertex's degree while randomizing the topology. Non-simple inputs
+// (self-loops, multi-edges) are progressively simplified by the chain.
+// With -directed the input is treated as an arc list and mixed with
+// double-arc swaps plus triangle reversals, preserving in- AND
+// out-degrees.
+//
+// Usage:
+//
+//	edgeswap -in graph.txt -swaps 10 -o shuffled.txt
+//	edgeswap -in graph.txt -mix -o shuffled.txt     # swap until mixed
+//	edgeswap -in digraph.txt -directed -o shuffled.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nullgraph"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input edge list (\"u v\" lines; - = stdin)")
+		swaps    = flag.Int("swaps", 10, "double-edge swap iterations")
+		mix      = flag.Bool("mix", false, "swap until every edge swapped at least once (overrides -swaps)")
+		directed = flag.Bool("directed", false, "treat the input as a directed arc list")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "-", "output path (- = stdout)")
+		quiet    = flag.Bool("q", false, "suppress the summary line on stderr")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	opt := nullgraph.Options{
+		Workers:         *workers,
+		Seed:            *seed,
+		SwapIterations:  *swaps,
+		MixUntilSwapped: *mix,
+	}
+
+	if *directed {
+		g, err := nullgraph.ReadDigraph(r)
+		if err != nil {
+			fatal(err)
+		}
+		before := g.CheckSimplicity()
+		res := nullgraph.ShuffleDirected(g, opt)
+		if err := nullgraph.WriteDigraph(w, g); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			after := g.CheckSimplicity()
+			var total, success int64
+			for _, s := range res.SwapIterations {
+				total += s.Attempts
+				success += s.Successes
+			}
+			fmt.Fprintf(os.Stderr,
+				"edgeswap: arcs=%d | input loops=%d dup=%d -> output loops=%d dup=%d | %d/%d proposals committed over %d iterations\n",
+				g.NumArcs(), before.SelfLoops, before.DuplicateArcs, after.SelfLoops, after.DuplicateArcs,
+				success, total, len(res.SwapIterations))
+		}
+		return
+	}
+
+	g, err := nullgraph.ReadGraph(r)
+	if err != nil {
+		fatal(err)
+	}
+	before := g.CheckSimplicity()
+	res := nullgraph.Shuffle(g, opt)
+	if err := nullgraph.WriteGraph(w, g); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		after := g.CheckSimplicity()
+		var total, success int64
+		for _, s := range res.SwapIterations {
+			total += s.Attempts
+			success += s.Successes
+		}
+		fmt.Fprintf(os.Stderr,
+			"edgeswap: m=%d | input loops=%d multi=%d -> output loops=%d multi=%d | %d/%d proposals committed over %d iterations\n",
+			g.NumEdges(), before.SelfLoops, before.MultiEdges, after.SelfLoops, after.MultiEdges,
+			success, total, len(res.SwapIterations))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edgeswap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic Table I analogs and prints the rows/series each one plots.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig4 -trials 5 -iters 24
+//	experiments -exp table1 -max-vertices 500000
+//
+// Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, swapscale,
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nullgraph/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|fig5|fig6|swapscale|uniformity|ablation|mixingtime|all")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		maxVerts = flag.Int64("max-vertices", 0, "dataset analog size cap (0 = package default of 150k)")
+		trials   = flag.Int("trials", 0, "trials per stochastic measurement (0 = default 3)")
+		iters    = flag.Int("iters", 0, "swap-iteration axis length for fig4 (0 = default 16)")
+		skewed   = flag.Bool("skewed-only", false, "restrict dataset sweeps to the four skewed instances")
+		datasets = flag.String("datasets", "", "comma-separated Table I names to restrict sweeps to")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Workers:        *workers,
+		Seed:           *seed,
+		MaxVertices:    *maxVerts,
+		Trials:         *trials,
+		SwapIterations: *iters,
+		SkewedOnly:     *skewed,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	w := os.Stdout
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "swapscale", "uniformity", "ablation", "mixingtime"}
+	}
+	for _, name := range names {
+		if err := run(name, cfg, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, cfg experiments.Config, w io.Writer) error {
+	type renderer interface{ Render(io.Writer) }
+	var (
+		res renderer
+		err error
+	)
+	switch name {
+	case "table1":
+		res, err = experiments.RunTable1(cfg)
+	case "fig1":
+		res, err = experiments.RunFig1(cfg)
+	case "fig2":
+		res, err = experiments.RunFig2(cfg)
+	case "fig3":
+		res, err = experiments.RunFig3(cfg)
+	case "fig4":
+		res, err = experiments.RunFig4(cfg)
+	case "fig5":
+		res, err = experiments.RunFig5(cfg)
+	case "fig6":
+		res, err = experiments.RunFig6(cfg)
+	case "swapscale":
+		res, err = experiments.RunSwapScale(cfg)
+	case "uniformity":
+		res, err = experiments.RunUniformity(cfg)
+	case "ablation":
+		res, err = experiments.RunAblation(cfg)
+	case "mixingtime":
+		res, err = experiments.RunMixingTime(cfg)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	res.Render(w)
+	return nil
+}

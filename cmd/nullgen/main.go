@@ -1,0 +1,151 @@
+// Command nullgen generates a uniformly random simple graph from a
+// degree distribution (the paper's Algorithm IV.1) and writes it as a
+// text edge list.
+//
+// The distribution comes from one of three sources:
+//
+//	-dist FILE      "degree count" lines
+//	-powerlaw N     synthetic power law (see -gamma, -dmin, -dmax)
+//	-dataset NAME   a Table I analog (Meso, as20, WikiTalk, ...)
+//
+// Usage examples:
+//
+//	nullgen -powerlaw 100000 -gamma 2.1 -dmax 1000 -swaps 10 -o graph.txt
+//	nullgen -dataset as20 -swaps 10 -o as20-null.txt
+//	nullgen -dist degrees.txt -mix -o graph.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nullgraph"
+	"nullgraph/internal/datasets"
+)
+
+func main() {
+	var (
+		distFile = flag.String("dist", "", "read the degree distribution from this file (\"degree count\" lines)")
+		jointF   = flag.String("joint", "", "generate a DIGRAPH from this joint distribution file (\"out in count\" lines)")
+		powerlaw = flag.Int64("powerlaw", 0, "sample a power-law distribution over this many vertices")
+		gamma    = flag.Float64("gamma", 2.1, "power-law exponent (with -powerlaw)")
+		dmin     = flag.Int64("dmin", 1, "minimum degree (with -powerlaw)")
+		dmax     = flag.Int64("dmax", 1000, "maximum degree (with -powerlaw)")
+		dataset  = flag.String("dataset", "", "use a Table I analog distribution (Meso, as20, WikiTalk, DBPedia, LiveJournal, Friendster, Twitter, uk-2005)")
+		maxVerts = flag.Int64("max-vertices", 0, "cap for dataset analog sizes (0 = package default)")
+		swaps    = flag.Int("swaps", 10, "double-edge swap iterations for mixing")
+		mix      = flag.Bool("mix", false, "swap until every edge has swapped at least once (overrides -swaps)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "-", "output edge list path (- = stdout)")
+		quiet    = flag.Bool("q", false, "suppress the summary line on stderr")
+	)
+	flag.Parse()
+
+	if *jointF != "" {
+		generateDirected(*jointF, *swaps, *mix, *workers, *seed, *out, *quiet)
+		return
+	}
+
+	dist, err := loadDistribution(*distFile, *powerlaw, *gamma, *dmin, *dmax, *dataset, *maxVerts, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := nullgraph.Validate(dist); err != nil {
+		fatal(err)
+	}
+	res, err := nullgraph.Generate(dist, nullgraph.Options{
+		Workers:         *workers,
+		Seed:            *seed,
+		SwapIterations:  *swaps,
+		MixUntilSwapped: *mix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := nullgraph.WriteGraph(w, res.Graph); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		stats := nullgraph.ComputeStats(res.Graph, *workers)
+		q := nullgraph.Quality(res.Graph, dist, *workers)
+		fmt.Fprintf(os.Stderr, "nullgen: n=%d m=%d d_max=%d |D|=%d | edge err %+.2f%% d_max err %+.2f%% | %d swap iterations\n",
+			stats.NumVertices, stats.NumEdges, stats.MaxDegree, stats.UniqueDegrees,
+			q.Edges*100, q.MaxDegree*100, len(res.SwapIterations))
+	}
+}
+
+func loadDistribution(distFile string, powerlaw int64, gamma float64, dmin, dmax int64, dataset string, maxVerts int64, seed uint64) (*nullgraph.DegreeDistribution, error) {
+	switch {
+	case distFile != "":
+		f, err := os.Open(distFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return nullgraph.ReadDistribution(f)
+	case dataset != "":
+		spec, err := datasets.ByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return datasets.Load(spec, datasets.LoadOptions{MaxVertices: maxVerts, Seed: seed})
+	case powerlaw > 0:
+		return nullgraph.PowerLawDistribution(powerlaw, dmin, dmax, gamma, seed)
+	default:
+		return nil, fmt.Errorf("one of -dist, -dataset or -powerlaw is required")
+	}
+}
+
+func generateDirected(jointFile string, swaps int, mix bool, workers int, seed uint64, out string, quiet bool) {
+	f, err := os.Open(jointFile)
+	if err != nil {
+		fatal(err)
+	}
+	dist, err := nullgraph.ReadJointDistribution(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := nullgraph.GenerateDirected(dist, nullgraph.Options{
+		Workers:         workers,
+		Seed:            seed,
+		SwapIterations:  swaps,
+		MixUntilSwapped: mix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if out != "-" {
+		of, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := nullgraph.WriteDigraph(w, res.Graph); err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "nullgen: digraph n=%d arcs=%d (target %d) | %d swap iterations\n",
+			res.Graph.NumVertices, res.Graph.NumArcs(), dist.NumArcs(), len(res.SwapIterations))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nullgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+package nullgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func digraphCycle(n int) *Digraph {
+	arcs := make([]Arc, n)
+	for i := 0; i < n; i++ {
+		arcs[i] = Arc{From: int32(i), To: int32((i + 1) % n)}
+	}
+	return NewDigraph(arcs, n)
+}
+
+func TestGenerateDirectedEndToEnd(t *testing.T) {
+	// Joint distribution from a synthetic digraph: draw out/in degrees
+	// from mirrored skewed sequences.
+	out := make([]int64, 3000)
+	in := make([]int64, 3000)
+	for i := range out {
+		out[i] = int64(i%7) + 1
+		in[len(in)-1-i] = int64(i%7) + 1
+	}
+	dist := JointFromDegrees(out, in)
+	res, err := GenerateDirected(dist, Options{Seed: 3, SwapIterations: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := res.Graph.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("not simple: %+v", rep)
+	}
+	got := float64(res.Graph.NumArcs())
+	want := float64(dist.NumArcs())
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("arcs %v, want ~%v", got, want)
+	}
+	if len(res.SwapIterations) != 5 {
+		t.Errorf("swap stats = %d", len(res.SwapIterations))
+	}
+}
+
+func TestShuffleDirectedFacade(t *testing.T) {
+	g := digraphCycle(300)
+	outBefore, inBefore := g.Degrees(1)
+	res := ShuffleDirected(g, Options{Seed: 5, MixUntilSwapped: true})
+	if !res.Mixed {
+		t.Error("cycle did not mix")
+	}
+	outAfter, inAfter := g.Degrees(1)
+	for v := range outBefore {
+		if outBefore[v] != outAfter[v] || inBefore[v] != inAfter[v] {
+			t.Fatalf("degrees changed at %d", v)
+		}
+	}
+}
+
+func TestKleitmanWangFacade(t *testing.T) {
+	dist := JointFromDegrees([]int64{1, 1, 1}, []int64{1, 1, 1})
+	g, err := KleitmanWang(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 3 {
+		t.Errorf("arcs = %d", g.NumArcs())
+	}
+	back := JointOf(g, 1)
+	if len(back.Classes) != len(dist.Classes) {
+		t.Error("realization changed joint distribution")
+	}
+	// Non-realizable input errors.
+	if _, err := KleitmanWang(JointFromDegrees([]int64{2, 0}, []int64{0, 2})); err == nil {
+		t.Error("non-realizable accepted")
+	}
+}
+
+func TestAnalyticsFacade(t *testing.T) {
+	tri := NewGraph([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 4}}, 5)
+	if got := CountTriangles(tri, 1); got != 1 {
+		t.Errorf("triangles = %d", got)
+	}
+	_, count := ConnectedComponents(tri, 1)
+	if count != 2 {
+		t.Errorf("components = %d", count)
+	}
+	if got := GlobalClusteringCoefficient(tri, 1); got <= 0 {
+		t.Errorf("transitivity = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Directed null models: is a network's reciprocity significant?
+//
+// Reciprocity (the fraction of arcs whose reverse also exists) is the
+// classic digraph statistic that must be judged against a null model
+// preserving every vertex's in- AND out-degree (Durak et al., the
+// directed extrapolation the paper cites). This example builds a
+// digraph with planted reciprocity, then scores it against
+//
+//  1. degree-preserving directed shuffles (double-arc swaps + triangle
+//     reversals), and
+//  2. fresh draws from its joint (out, in) degree distribution,
+//
+// reporting the z-score of the observed reciprocity.
+//
+// Run with: go run ./examples/directednull
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nullgraph"
+	"nullgraph/internal/rng"
+)
+
+func main() {
+	observed := plantedReciprocityDigraph(6000, 4, 0.4, 99)
+	obsRecip := observed.Reciprocity()
+	fmt.Printf("observed digraph: n=%d arcs=%d reciprocity=%.4f\n",
+		observed.NumVertices, observed.NumArcs(), obsRecip)
+
+	const ensemble = 15
+
+	// Null 1: shuffle the observed arcs (exact joint degrees).
+	var shuffled []float64
+	for i := 0; i < ensemble; i++ {
+		g := observed.Clone()
+		nullgraph.ShuffleDirected(g, nullgraph.Options{Seed: uint64(100 + i), SwapIterations: 15})
+		shuffled = append(shuffled, g.Reciprocity())
+	}
+	report("shuffle null", obsRecip, shuffled)
+
+	// Null 2: regenerate from the joint distribution.
+	dist := nullgraph.JointOf(observed, 0)
+	var generated []float64
+	for i := 0; i < ensemble; i++ {
+		res, err := nullgraph.GenerateDirected(dist, nullgraph.Options{Seed: uint64(200 + i), SwapIterations: 15})
+		if err != nil {
+			log.Fatal(err)
+		}
+		generated = append(generated, res.Graph.Reciprocity())
+	}
+	report("generated null", obsRecip, generated)
+}
+
+// plantedReciprocityDigraph wires a random digraph where a fraction of
+// arcs is deliberately reciprocated.
+func plantedReciprocityDigraph(n, avgOut int, recipFraction float64, seed uint64) *nullgraph.Digraph {
+	src := rng.New(seed)
+	seen := map[uint64]struct{}{}
+	var arcs []nullgraph.Arc
+	add := func(a nullgraph.Arc) bool {
+		if a.IsLoop() {
+			return false
+		}
+		if _, dup := seen[a.Key()]; dup {
+			return false
+		}
+		seen[a.Key()] = struct{}{}
+		arcs = append(arcs, a)
+		return true
+	}
+	target := n * avgOut
+	for len(arcs) < target {
+		a := nullgraph.Arc{From: int32(src.Intn(n)), To: int32(src.Intn(n))}
+		if !add(a) {
+			continue
+		}
+		if src.Float64() < recipFraction {
+			add(nullgraph.Arc{From: a.To, To: a.From})
+		}
+	}
+	return nullgraph.NewDigraph(arcs, n)
+}
+
+func report(name string, observed float64, nulls []float64) {
+	var mean, varsum float64
+	for _, v := range nulls {
+		mean += v
+	}
+	mean /= float64(len(nulls))
+	for _, v := range nulls {
+		varsum += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(nulls)-1))
+	z := math.Inf(1)
+	if std > 0 {
+		z = (observed - mean) / std
+	}
+	verdict := "(not significant)"
+	if z > 3 {
+		verdict = "(reciprocity is SIGNIFICANT vs degree-preserving null)"
+	}
+	fmt.Printf("%-16s mean=%.4f std=%.5f  =>  z=%.1f %s\n", name+":", mean, std, z, verdict)
+}

@@ -1,0 +1,102 @@
+// Motif finding with null models — the paper's motivating application
+// (Milo et al.): a subgraph is a *motif* when it appears significantly
+// more often in a real network than in uniformly random graphs with the
+// same degree distribution.
+//
+// This example plants a clustered "observed" network (an LFR benchmark
+// graph, whose communities create excess triangles), then scores its
+// triangle count against an ensemble of null models generated two ways:
+//
+//  1. degree-preserving shuffles of the observed graph (Problem 1),
+//  2. fresh draws from its degree distribution (Problem 2),
+//
+// and reports the z-score. Communities => triangles; the null models
+// destroy them; a large z-score flags the triangle as a motif.
+//
+// Run with: go run ./examples/motifnull
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nullgraph"
+	"nullgraph/internal/graph"
+)
+
+func main() {
+	// The "observed" network: clustered by construction.
+	obs, err := nullgraph.LFR(nullgraph.LFRConfig{
+		NumVertices:    8000,
+		DegreeGamma:    2.3,
+		MinDegree:      4,
+		MaxDegree:      120,
+		CommunityGamma: 1.8,
+		MinCommunity:   40,
+		MaxCommunity:   400,
+		Mu:             0.15, // strong communities
+		SwapIterations: 3,
+		Seed:           11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	observed := obs.Graph
+	obsTriangles := countTriangles(observed)
+	fmt.Printf("observed graph: n=%d m=%d triangles=%d\n",
+		observed.NumVertices, observed.NumEdges(), obsTriangles)
+
+	const ensemble = 20
+
+	// Null ensemble 1: shuffle the observed edges (exact same degree
+	// sequence, uniformly random topology).
+	var shuffleCounts []float64
+	for i := 0; i < ensemble; i++ {
+		g := observed.Clone()
+		nullgraph.Shuffle(g, nullgraph.Options{Seed: uint64(1000 + i), SwapIterations: 12})
+		shuffleCounts = append(shuffleCounts, float64(countTriangles(g)))
+	}
+	reportZ("shuffle null (Problem 1)", float64(obsTriangles), shuffleCounts)
+
+	// Null ensemble 2: regenerate from the degree distribution.
+	dist := nullgraph.DistributionOf(observed, 0)
+	var genCounts []float64
+	for i := 0; i < ensemble; i++ {
+		res, err := nullgraph.Generate(dist, nullgraph.Options{Seed: uint64(2000 + i), SwapIterations: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		genCounts = append(genCounts, float64(countTriangles(res.Graph)))
+	}
+	reportZ("generated null (Problem 2)", float64(obsTriangles), genCounts)
+}
+
+func countTriangles(g *nullgraph.Graph) int64 {
+	return graph.BuildCSR(g, 0).CountTriangles(0)
+}
+
+func reportZ(name string, observed float64, nulls []float64) {
+	var mean, varsum float64
+	for _, c := range nulls {
+		mean += c
+	}
+	mean /= float64(len(nulls))
+	for _, c := range nulls {
+		varsum += (c - mean) * (c - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(nulls)-1))
+	z := math.Inf(1)
+	if std > 0 {
+		z = (observed - mean) / std
+	}
+	fmt.Printf("%-28s null mean=%.1f std=%.1f  =>  z-score %.1f %s\n",
+		name+":", mean, std, z, verdict(z))
+}
+
+func verdict(z float64) string {
+	if z > 3 {
+		return "(triangle is a MOTIF: enriched vs null)"
+	}
+	return "(not significant)"
+}

@@ -1,0 +1,3 @@
+module nullgraph
+
+go 1.22

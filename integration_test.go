@@ -1,0 +1,181 @@
+package nullgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPipelineInvariantMatrix drives the full public pipeline across a
+// grid of distribution shapes and checks every hard invariant: output
+// simplicity, vertex count, graphicality of the realized sequence, and
+// degree preservation through shuffling.
+func TestPipelineInvariantMatrix(t *testing.T) {
+	shapes := map[string]func(t *testing.T) *DegreeDistribution{
+		"regular": func(t *testing.T) *DegreeDistribution {
+			d, err := DistributionFromCounts(map[int64]int64{6: 2000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"bimodal": func(t *testing.T) *DegreeDistribution {
+			d, err := DistributionFromCounts(map[int64]int64{2: 1800, 40: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"star-heavy": func(t *testing.T) *DegreeDistribution {
+			d, err := DistributionFromCounts(map[int64]int64{1: 1000, 250: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"powerlaw": func(t *testing.T) *DegreeDistribution {
+			d, err := PowerLawDistribution(4000, 1, 300, 2.0, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"with-isolated": func(t *testing.T) *DegreeDistribution {
+			d, err := DistributionFromCounts(map[int64]int64{0: 500, 3: 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+	for name, build := range shapes {
+		t.Run(name, func(t *testing.T) {
+			dist := build(t)
+			res, err := Generate(dist, Options{Seed: 99, SwapIterations: 6, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := res.Graph
+			if rep := g.CheckSimplicity(); !rep.IsSimple() {
+				t.Fatalf("not simple: %+v", rep)
+			}
+			if g.NumVertices != int(dist.NumVertices()) {
+				t.Fatalf("vertices %d, want %d", g.NumVertices, dist.NumVertices())
+			}
+			// The realized degree sequence is itself graphical (it is
+			// realized!) and close to the target in total mass.
+			realized := DistributionOf(g, 2)
+			if !realized.IsGraphical() {
+				t.Error("realized sequence fails Erdős–Gallai (impossible)")
+			}
+			gotEdges := float64(g.NumEdges())
+			wantEdges := float64(dist.NumEdges())
+			if wantEdges > 0 && math.Abs(gotEdges-wantEdges) > 0.10*wantEdges+5 {
+				t.Errorf("edges %v, want ~%v", gotEdges, wantEdges)
+			}
+			// Shuffling preserves the realized degrees exactly.
+			before := g.Degrees(1)
+			Shuffle(g, Options{Seed: 5, SwapIterations: 4, Workers: 4})
+			after := g.Degrees(1)
+			for v := range before {
+				if before[v] != after[v] {
+					t.Fatalf("shuffle changed degree of %d", v)
+				}
+			}
+			if rep := g.CheckSimplicity(); !rep.IsSimple() {
+				t.Fatalf("shuffle broke simplicity: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestGenerateQuickProperty fuzzes small random distributions through
+// the full pipeline.
+func TestGenerateQuickProperty(t *testing.T) {
+	f := func(seed uint16, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		counts := map[int64]int64{}
+		var vertices int64
+		for i, v := range raw {
+			deg := int64(v%9) + 1
+			cnt := int64(i%5)*7 + 3
+			counts[deg] += cnt
+			vertices += cnt
+		}
+		dist, err := DistributionFromCounts(counts)
+		if err != nil {
+			return false
+		}
+		res, err := Generate(dist, Options{Seed: uint64(seed), SwapIterations: 2, Workers: 2})
+		if err != nil {
+			return false
+		}
+		if !res.Graph.CheckSimplicity().IsSimple() {
+			return false
+		}
+		return res.Graph.NumVertices == int(vertices)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShuffleIsNullModelForClustering verifies the library does its
+// actual job: shuffling a clustered graph destroys clustering while
+// keeping degrees, which is precisely what makes it a null model.
+func TestShuffleIsNullModelForClustering(t *testing.T) {
+	lfrRes, err := LFR(LFRConfig{
+		NumVertices: 3000, DegreeGamma: 2.3, MinDegree: 4, MaxDegree: 60,
+		CommunityGamma: 1.8, MinCommunity: 40, MaxCommunity: 300,
+		Mu: 0.1, SwapIterations: 2, Seed: 13, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered := lfrRes.Graph
+	ccBefore := GlobalClusteringCoefficient(clustered, 2)
+	Shuffle(clustered, Options{Seed: 3, SwapIterations: 15, Workers: 4})
+	ccAfter := GlobalClusteringCoefficient(clustered, 2)
+	if ccAfter >= ccBefore/2 {
+		t.Errorf("shuffle kept clustering: %v -> %v", ccBefore, ccAfter)
+	}
+}
+
+// TestGenerateMatchesShuffledHavelHakimiStatistically compares this
+// library's generator against the paper's uniform reference on a
+// summary statistic (assortativity): both samplers must agree on the
+// null ensemble's mean within noise.
+func TestGenerateMatchesShuffledHavelHakimiStatistically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	dist, err := PowerLawDistribution(2000, 1, 150, 2.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 12
+	var genSum, refSum float64
+	for i := 0; i < trials; i++ {
+		res, err := Generate(dist, Options{Seed: uint64(3000 + i), SwapIterations: 12, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		genSum += Assortativity(res.Graph, 2)
+
+		ref, err := HavelHakimi(dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Shuffle(ref, Options{Seed: uint64(4000 + i), SwapIterations: 24, Workers: 2})
+		refSum += Assortativity(ref, 2)
+	}
+	gen, ref := genSum/trials, refSum/trials
+	if math.Abs(gen-ref) > 0.05 {
+		t.Errorf("null-ensemble assortativity: generated %v vs uniform reference %v", gen, ref)
+	}
+}

@@ -1,0 +1,109 @@
+// Package chunglu implements the three Chung-Lu baselines the paper
+// evaluates against:
+//
+//   - the O(m) model: 2m biased draws with replacement from the
+//     degree-weighted vertex list, paired into m edges — a loopy
+//     multigraph whose degrees match the target in expectation;
+//   - the erased model ("O(m) simple"): the O(m) model with self-loops
+//     and duplicate edges discarded, which biases the output degree
+//     distribution downward (the error of Figure 2);
+//   - the Bernoulli model ("O(n²) edgeskip"): edge-skipping generation
+//     with the naive pairwise probabilities min(1, w_i·w_j/2m) —
+//     guaranteed simple, biased for skewed distributions.
+//
+// Per the paper's timing analysis, the O(m) models sample from "a
+// weighted list, requiring O(log(n)) time for a binary search for each
+// sampled vertex"; that CDF sampler is the default here, with Walker's
+// O(1) alias method available as an ablation.
+package chunglu
+
+import (
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/edgeskip"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/par"
+	"nullgraph/internal/probgen"
+	"nullgraph/internal/rng"
+)
+
+// SamplerKind selects how the O(m) model draws weighted vertices.
+type SamplerKind int
+
+const (
+	// CDF uses binary search over prefix sums — O(log n) per draw, the
+	// structure the paper's baselines use.
+	CDF SamplerKind = iota
+	// Alias uses Walker's alias method — O(1) per draw.
+	Alias
+)
+
+// Options configures the baseline generators.
+type Options struct {
+	// Workers is the parallel width; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed fixes the output for a given worker count.
+	Seed uint64
+	// Sampler selects the weighted sampling structure for the O(m)
+	// model (ignored by the Bernoulli model).
+	Sampler SamplerKind
+}
+
+// vertexWeights expands the class layout into per-vertex degree weights,
+// ordered the same way every generator orders vertex IDs.
+func vertexWeights(dist *degseq.Distribution) []float64 {
+	w := make([]float64, 0, dist.NumVertices())
+	for _, c := range dist.Classes {
+		for i := int64(0); i < c.Count; i++ {
+			w = append(w, float64(c.Degree))
+		}
+	}
+	return w
+}
+
+func newSampler(kind SamplerKind, weights []float64) rng.WeightedSampler {
+	if kind == Alias {
+		return rng.NewAliasSampler(weights)
+	}
+	return rng.NewCDFSampler(weights)
+}
+
+// GenerateOM draws the O(m) Chung-Lu multigraph: m = ⌊Σd_i·n_i / 2⌋
+// edges, each endpoint an independent degree-biased draw. The result
+// generally contains self-loops and multi-edges. Embarrassingly
+// parallel; deterministic per (seed, workers).
+func GenerateOM(dist *degseq.Distribution, opt Options) *graph.EdgeList {
+	p := par.Workers(opt.Workers)
+	n := dist.NumVertices()
+	m := dist.NumEdges()
+	edges := make([]graph.Edge, m)
+	if m == 0 {
+		return graph.NewEdgeList(edges, int(n))
+	}
+	sampler := newSampler(opt.Sampler, vertexWeights(dist))
+	par.ForRange(int(m), p, func(w int, r par.Range) {
+		src := rng.New(rng.Mix64(opt.Seed) ^ rng.Mix64(uint64(w)+0xc0ffee))
+		for i := r.Begin; i < r.End; i++ {
+			edges[i] = graph.Edge{
+				U: int32(sampler.Sample(src)),
+				V: int32(sampler.Sample(src)),
+			}
+		}
+	})
+	return graph.NewEdgeList(edges, int(n))
+}
+
+// GenerateErased draws the O(m) model and erases self-loops and
+// duplicate edges, returning the simple graph and the report of what
+// was removed.
+func GenerateErased(dist *degseq.Distribution, opt Options) (*graph.EdgeList, graph.Simplicity) {
+	return GenerateOM(dist, opt).Simplify()
+}
+
+// GenerateBernoulli draws the Bernoulli ("O(n²) edgeskip") Chung-Lu
+// model: every vertex pair is an edge independently with probability
+// min(1, w_u·w_v/2m), realized in O(m) work via edge-skipping over
+// degree-class spaces. Output is simple by construction.
+func GenerateBernoulli(dist *degseq.Distribution, opt Options) (*graph.EdgeList, error) {
+	m := probgen.ChungLu(dist)
+	return edgeskip.Generate(dist, m, edgeskip.Options{Workers: opt.Workers, Seed: opt.Seed})
+}

@@ -1,0 +1,181 @@
+package chunglu
+
+import (
+	"math"
+	"testing"
+
+	"nullgraph/internal/degseq"
+)
+
+func mustDist(t testing.TB, counts map[int64]int64) *degseq.Distribution {
+	t.Helper()
+	d, err := degseq.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateOMEdgeCount(t *testing.T) {
+	d := mustDist(t, map[int64]int64{2: 1000, 5: 100})
+	el := GenerateOM(d, Options{Workers: 4, Seed: 1})
+	if int64(el.NumEdges()) != d.NumEdges() {
+		t.Errorf("edges = %d, want %d", el.NumEdges(), d.NumEdges())
+	}
+	if el.NumVertices != int(d.NumVertices()) {
+		t.Errorf("vertices = %d, want %d", el.NumVertices, d.NumVertices())
+	}
+}
+
+func TestGenerateOMDegreesMatchExpectation(t *testing.T) {
+	// The O(m) model matches the distribution in expectation exactly —
+	// check class-average realized degrees across trials.
+	d := mustDist(t, map[int64]int64{2: 2000, 10: 200, 50: 10})
+	offsets := d.VertexOffsets(1)
+	classSum := make([]float64, d.NumClasses())
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		el := GenerateOM(d, Options{Workers: 4, Seed: uint64(trial)})
+		deg := el.Degrees(2)
+		for c := 0; c < d.NumClasses(); c++ {
+			var s int64
+			for v := offsets[c]; v < offsets[c+1]; v++ {
+				s += deg[v]
+			}
+			classSum[c] += float64(s) / float64(d.Classes[c].Count)
+		}
+	}
+	for c := 0; c < d.NumClasses(); c++ {
+		got := classSum[c] / trials
+		want := float64(d.Classes[c].Degree)
+		if math.Abs(got-want) > 0.05*want+0.1 {
+			t.Errorf("class %d: realized avg degree %v, want ~%v", c, got, want)
+		}
+	}
+}
+
+func TestGenerateOMSamplersAgree(t *testing.T) {
+	// CDF and alias draws differ per seed but must agree in
+	// distribution: compare class-average degrees.
+	d := mustDist(t, map[int64]int64{1: 3000, 20: 100})
+	offsets := d.VertexOffsets(1)
+	avgTop := func(kind SamplerKind) float64 {
+		var sum float64
+		const trials = 15
+		for trial := 0; trial < trials; trial++ {
+			el := GenerateOM(d, Options{Workers: 2, Seed: uint64(trial), Sampler: kind})
+			deg := el.Degrees(2)
+			var s int64
+			for v := offsets[1]; v < offsets[2]; v++ {
+				s += deg[v]
+			}
+			sum += float64(s) / float64(d.Classes[1].Count)
+		}
+		return sum / trials
+	}
+	cdf, alias := avgTop(CDF), avgTop(Alias)
+	if math.Abs(cdf-alias) > 0.08*cdf {
+		t.Errorf("samplers disagree on top-class degree: CDF %v vs alias %v", cdf, alias)
+	}
+}
+
+func TestGenerateOMDeterministic(t *testing.T) {
+	d := mustDist(t, map[int64]int64{3: 500})
+	a := GenerateOM(d, Options{Workers: 3, Seed: 5})
+	b := GenerateOM(d, Options{Workers: 3, Seed: 5})
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("same (seed,workers) diverged at %d", i)
+		}
+	}
+}
+
+func TestGenerateOMProducesMultiEdgesOnSkew(t *testing.T) {
+	// The motivating failure: skewed weights make multi-edges/loops
+	// likely. A 2-vertex hub pair with large degree must collide.
+	d := mustDist(t, map[int64]int64{1: 100, 80: 2})
+	el := GenerateOM(d, Options{Workers: 2, Seed: 3})
+	rep := el.CheckSimplicity()
+	if rep.IsSimple() {
+		t.Error("O(m) model on extreme skew produced a simple graph (statistically near-impossible)")
+	}
+}
+
+func TestGenerateErased(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 100, 80: 2})
+	el, rep := GenerateErased(d, Options{Workers: 2, Seed: 3})
+	if rep.IsSimple() {
+		t.Error("erasure report claims nothing was erased on extreme skew")
+	}
+	if got := el.CheckSimplicity(); !got.IsSimple() {
+		t.Errorf("erased output not simple: %+v", got)
+	}
+	// Erasure strictly reduces edges below m.
+	if int64(el.NumEdges()) >= d.NumEdges() {
+		t.Errorf("erased edges %d, want < %d", el.NumEdges(), d.NumEdges())
+	}
+}
+
+func TestGenerateBernoulliSimpleAndSized(t *testing.T) {
+	d := mustDist(t, map[int64]int64{3: 2000, 15: 100})
+	el, err := GenerateBernoulli(d, Options{Workers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := el.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("Bernoulli output not simple: %+v", rep)
+	}
+	// Edge count should be within a few percent of m for a mild
+	// distribution (Chung-Lu bias is small when w_i w_j << 2m).
+	m := float64(d.NumEdges())
+	got := float64(el.NumEdges())
+	if math.Abs(got-m) > 0.1*m {
+		t.Errorf("Bernoulli edges %v, want within 10%% of %v", got, m)
+	}
+}
+
+func TestGenerateBernoulliUnderestimatesSkewedHubs(t *testing.T) {
+	// The documented bias: with P clamped at 1, hub degrees fall short.
+	d := mustDist(t, map[int64]int64{1: 200, 150: 2})
+	offsets := d.VertexOffsets(1)
+	var hubSum float64
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		el, err := GenerateBernoulli(d, Options{Workers: 2, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg := el.Degrees(1)
+		for v := offsets[1]; v < offsets[2]; v++ {
+			hubSum += float64(deg[v])
+		}
+	}
+	hubAvg := hubSum / (2 * trials)
+	if hubAvg >= 150 {
+		t.Errorf("hub average degree %v, expected shortfall below 150", hubAvg)
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	d := &degseq.Distribution{}
+	el := GenerateOM(d, Options{Seed: 1})
+	if el.NumEdges() != 0 || el.NumVertices != 0 {
+		t.Errorf("empty OM: %+v", el)
+	}
+}
+
+func BenchmarkGenerateOMCDF(b *testing.B)   { benchOM(b, CDF) }
+func BenchmarkGenerateOMAlias(b *testing.B) { benchOM(b, Alias) }
+
+func benchOM(b *testing.B, kind SamplerKind) {
+	d, err := degseq.SamplePowerLaw(degseq.PowerLawConfig{
+		NumVertices: 500000, MinDegree: 2, MaxDegree: 5000, Gamma: 2.2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el := GenerateOM(d, Options{Seed: uint64(i), Sampler: kind})
+		b.SetBytes(int64(el.NumEdges()) * 8)
+	}
+}

@@ -1,0 +1,139 @@
+// Package core wires the paper's Algorithm IV.1 end to end: probability
+// generation (Section IV-A) → parallel edge-skipping (Section IV-B) →
+// parallel double-edge swaps (Section III-A). It also exposes the
+// edge-list entry point (Problem 1: mix an existing graph) and records
+// per-phase wall times, which the Figure 6 experiment reports.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/edgeskip"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/hashtable"
+	"nullgraph/internal/probgen"
+	"nullgraph/internal/swap"
+)
+
+// Options configures the full pipeline.
+type Options struct {
+	// Workers is the parallel width for every phase; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Seed fixes all randomness for a given worker count.
+	Seed uint64
+	// SwapIterations is the number of double-edge swap iterations to
+	// mix the generated edge list. The paper observes ~10 iterations
+	// reach steady-state attachment probabilities on simple inputs.
+	// Zero disables mixing (the output is then biased).
+	SwapIterations int
+	// MixUntilSwapped, when true, ignores SwapIterations and runs until
+	// every edge has been in a successful swap (bounded by
+	// MaxSwapIterations), the paper's empirical mixing signal.
+	MixUntilSwapped bool
+	// MaxSwapIterations bounds MixUntilSwapped; <= 0 means 128.
+	MaxSwapIterations int
+	// Probing selects the hash-table probing strategy for swaps.
+	Probing hashtable.Probing
+	// TrackSwapStats retains per-iteration swap statistics in the
+	// result (forced on by MixUntilSwapped).
+	TrackSwapStats bool
+	// RefinePasses, when > 0, post-processes the heuristic probability
+	// matrix with that many iterative-proportional-fitting passes
+	// (probgen.Refine), trading O(passes·|D|²) extra work for tighter
+	// expected-degree residuals on extreme distributions.
+	RefinePasses int
+}
+
+func (o Options) maxSwapIterations() int {
+	if o.MaxSwapIterations <= 0 {
+		return 128
+	}
+	return o.MaxSwapIterations
+}
+
+// PhaseTimes records the wall time of each pipeline phase (Figure 6).
+type PhaseTimes struct {
+	Probabilities  time.Duration
+	EdgeGeneration time.Duration
+	Swapping       time.Duration
+}
+
+// Total returns the end-to-end time.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Probabilities + p.EdgeGeneration + p.Swapping
+}
+
+// Result is the pipeline output.
+type Result struct {
+	// Graph is the generated (or mixed) simple edge list.
+	Graph *graph.EdgeList
+	// Probabilities is the class matrix used for edge-skipping (nil for
+	// the edge-list entry point).
+	Probabilities *probgen.Matrix
+	// Phases records per-phase wall time.
+	Phases PhaseTimes
+	// Swaps summarizes the mixing phase.
+	Swaps swap.Result
+	// Mixed reports whether every edge swapped at least once (only
+	// meaningful with MixUntilSwapped).
+	Mixed bool
+}
+
+// FromDistribution generates a uniformly random simple graph matching
+// dist in expectation (Problem 2, Algorithm IV.1).
+func FromDistribution(dist *degseq.Distribution, opt Options) (*Result, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	start := time.Now()
+	res.Probabilities = probgen.Generate(dist, opt.Workers)
+	if opt.RefinePasses > 0 {
+		res.Probabilities = probgen.Refine(dist, res.Probabilities, opt.RefinePasses)
+	}
+	res.Phases.Probabilities = time.Since(start)
+
+	start = time.Now()
+	el, err := edgeskip.Generate(dist, res.Probabilities, edgeskip.Options{
+		Workers: opt.Workers,
+		Seed:    opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: edge generation: %w", err)
+	}
+	res.Phases.EdgeGeneration = time.Since(start)
+	res.Graph = el
+
+	start = time.Now()
+	res.Swaps, res.Mixed = runSwaps(el, opt)
+	res.Phases.Swapping = time.Since(start)
+	return res, nil
+}
+
+// FromEdgeList mixes an existing edge list in place (Problem 1). The
+// input may be non-simple; swapping progressively simplifies it.
+func FromEdgeList(el *graph.EdgeList, opt Options) *Result {
+	res := &Result{Graph: el}
+	start := time.Now()
+	res.Swaps, res.Mixed = runSwaps(el, opt)
+	res.Phases.Swapping = time.Since(start)
+	return res
+}
+
+func runSwaps(el *graph.EdgeList, opt Options) (swap.Result, bool) {
+	sopt := swap.Options{
+		Workers:      opt.Workers,
+		Seed:         opt.Seed + 0x5eed,
+		Probing:      opt.Probing,
+		TrackSwapped: opt.TrackSwapStats || opt.MixUntilSwapped,
+	}
+	if opt.MixUntilSwapped {
+		return swap.RunUntilMixed(el, sopt, opt.maxSwapIterations())
+	}
+	sopt.Iterations = opt.SwapIterations
+	return swap.Run(el, sopt), false
+}

@@ -1,0 +1,187 @@
+// Package datasets provides deterministic synthetic stand-ins for the
+// paper's Table I test graphs. The originals are SNAP / WebGraph /
+// DBPedia corpora that are not redistributable here; every experiment in
+// the paper consumes only a graph's *degree distribution*, so each
+// stand-in is a truncated discrete power law calibrated to the
+// original's published shape: vertex count, average degree and maximum
+// degree (the quantities Table I reports), with the exponent solved
+// numerically to hit the average degree. A scale factor shrinks vertex
+// counts (and proportionally the degree cutoff) so the largest instances
+// fit on a development machine; the skew — the property all the
+// phenomena under study depend on — is preserved. See DESIGN.md §4.
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"nullgraph/internal/degseq"
+)
+
+// Spec describes one Table I graph: the published full-size statistics
+// and the shape parameters of its synthetic analog.
+type Spec struct {
+	// Name as in Table I.
+	Name string
+	// FullN, FullM, FullDMax are the published statistics of the real
+	// dataset (vertices, edges, max degree).
+	FullN    int64
+	FullM    int64
+	FullDMax int64
+	// MinDegree of the synthetic power law (raised for dense graphs so
+	// the average is reachable at a sane exponent).
+	MinDegree int64
+	// Skewed marks the four instances the paper calls "extremely
+	// skewed" (the quality-comparison set); the other four are the
+	// scalability set.
+	Skewed bool
+}
+
+// AvgDegree returns the published average degree 2m/n.
+func (s Spec) AvgDegree() float64 { return 2 * float64(s.FullM) / float64(s.FullN) }
+
+// Table1 lists the eight test graphs in the paper's order.
+func Table1() []Spec {
+	return []Spec{
+		{Name: "Meso", FullN: 1800, FullM: 3100, FullDMax: 401, MinDegree: 1, Skewed: true},
+		{Name: "as20", FullN: 6500, FullM: 12500, FullDMax: 1500, MinDegree: 1, Skewed: true},
+		{Name: "WikiTalk", FullN: 2_400_000, FullM: 4_700_000, FullDMax: 100_000, MinDegree: 1, Skewed: true},
+		{Name: "DBPedia", FullN: 6_700_000, FullM: 193_000_000, FullDMax: 1_000_000, MinDegree: 4, Skewed: true},
+		{Name: "LiveJournal", FullN: 4_100_000, FullM: 27_000_000, FullDMax: 15_000, MinDegree: 1, Skewed: false},
+		{Name: "Friendster", FullN: 40_000_000, FullM: 1_800_000_000, FullDMax: 5_200, MinDegree: 8, Skewed: false},
+		{Name: "Twitter", FullN: 39_000_000, FullM: 1_400_000_000, FullDMax: 3_000_000, MinDegree: 6, Skewed: false},
+		{Name: "uk-2005", FullN: 30_000_000, FullM: 728_000_000, FullDMax: 1_700_000, MinDegree: 4, Skewed: false},
+	}
+}
+
+// ByName returns the spec with the given Table I name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// LoadOptions controls analog construction.
+type LoadOptions struct {
+	// MaxVertices caps the analog's vertex count; full-size specs are
+	// scaled down to it proportionally (degree cutoff shrinks with the
+	// same factor, floored at 64). <= 0 means 150_000, which keeps the
+	// largest analog's edge count in the low millions.
+	MaxVertices int64
+	// Seed drives the degree draw.
+	Seed uint64
+}
+
+func (o LoadOptions) maxVertices() int64 {
+	if o.MaxVertices <= 0 {
+		return 150_000
+	}
+	return o.MaxVertices
+}
+
+// Load builds the scaled synthetic degree distribution for a spec.
+func Load(s Spec, opt LoadOptions) (*degseq.Distribution, error) {
+	n := s.FullN
+	dmax := s.FullDMax
+	if limit := opt.maxVertices(); n > limit {
+		scale := float64(limit) / float64(n)
+		n = limit
+		dmax = int64(float64(dmax) * scale)
+		// The cutoff must stay well above the average degree or the
+		// truncated power law cannot reproduce the graph's density.
+		floor := int64(8 * s.AvgDegree())
+		if floor < 64 {
+			floor = 64
+		}
+		if dmax < floor {
+			dmax = floor
+		}
+	}
+	if dmax >= n {
+		dmax = n - 1
+	}
+	minDeg := s.MinDegree
+	if minDeg >= dmax {
+		minDeg = 1
+	}
+	gamma, err := calibrateGamma(minDeg, dmax, s.AvgDegree())
+	for err != nil && minDeg < dmax/4 {
+		// Density unreachable even at the flattest exponent: thicken the
+		// bottom of the distribution and retry.
+		minDeg *= 2
+		gamma, err = calibrateGamma(minDeg, dmax, s.AvgDegree())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %s: %w", s.Name, err)
+	}
+	return degseq.SamplePowerLaw(degseq.PowerLawConfig{
+		NumVertices: n,
+		MinDegree:   minDeg,
+		MaxDegree:   dmax,
+		Gamma:       gamma,
+		Seed:        opt.Seed ^ hashName(s.Name),
+	})
+}
+
+// LoadAll builds every Table I analog with shared options.
+func LoadAll(opt LoadOptions) (map[string]*degseq.Distribution, error) {
+	out := make(map[string]*degseq.Distribution, 8)
+	for _, s := range Table1() {
+		d, err := Load(s, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Name] = d
+	}
+	return out, nil
+}
+
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// truncatedPowerLawMean returns E[d] for P(d) ∝ d^-gamma on [lo, hi].
+func truncatedPowerLawMean(lo, hi int64, gamma float64) float64 {
+	var num, den float64
+	for d := lo; d <= hi; d++ {
+		w := math.Pow(float64(d), -gamma)
+		num += float64(d) * w
+		den += w
+	}
+	return num / den
+}
+
+// calibrateGamma solves truncatedPowerLawMean(lo, hi, gamma) = target by
+// bisection (the mean is strictly decreasing in gamma).
+func calibrateGamma(lo, hi int64, target float64) (float64, error) {
+	const gLo, gHi = 1.01, 6.0
+	meanAtLo := truncatedPowerLawMean(lo, hi, gLo)
+	meanAtHi := truncatedPowerLawMean(lo, hi, gHi)
+	if target > meanAtLo {
+		return 0, fmt.Errorf("average degree %.1f unreachable: max %.1f at gamma=%.2f (raise MinDegree)", target, meanAtLo, gLo)
+	}
+	if target < meanAtHi {
+		// Lighter than the lightest representable tail; use the
+		// steepest exponent rather than failing — the analog just ends
+		// slightly denser than the original.
+		return gHi, nil
+	}
+	a, b := gLo, gHi
+	for iter := 0; iter < 80; iter++ {
+		mid := (a + b) / 2
+		if truncatedPowerLawMean(lo, hi, mid) > target {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return (a + b) / 2, nil
+}

@@ -1,0 +1,203 @@
+package degseq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustDist(t *testing.T, counts map[int64]int64) *Distribution {
+	t.Helper()
+	d, err := FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	good := &Distribution{Classes: []Class{{1, 3}, {2, 1}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid distribution rejected: %v", err)
+	}
+	bad := []*Distribution{
+		{Classes: []Class{{-1, 2}}},
+		{Classes: []Class{{1, 0}}},
+		{Classes: []Class{{2, 1}, {1, 1}}},
+		{Classes: []Class{{1, 1}, {1, 1}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad distribution %d accepted", i)
+		}
+	}
+}
+
+func TestCountsAndAggregates(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 4, 3: 2, 5: 1})
+	if got := d.NumClasses(); got != 3 {
+		t.Errorf("NumClasses = %d", got)
+	}
+	if got := d.NumVertices(); got != 7 {
+		t.Errorf("NumVertices = %d", got)
+	}
+	if got := d.NumStubs(); got != 4+6+5 {
+		t.Errorf("NumStubs = %d", got)
+	}
+	if got := d.NumEdges(); got != 7 {
+		t.Errorf("NumEdges = %d", got)
+	}
+	if got := d.MaxDegree(); got != 5 {
+		t.Errorf("MaxDegree = %d", got)
+	}
+	empty := &Distribution{}
+	if empty.MaxDegree() != 0 || empty.NumVertices() != 0 {
+		t.Error("empty distribution aggregates nonzero")
+	}
+}
+
+func TestFromDegreesRoundTrip(t *testing.T) {
+	deg := []int64{3, 1, 1, 4, 3, 1}
+	d := FromDegrees(deg)
+	back := d.ToDegrees()
+	sort.Slice(deg, func(i, j int) bool { return deg[i] < deg[j] })
+	if len(back) != len(deg) {
+		t.Fatalf("ToDegrees length %d, want %d", len(back), len(deg))
+	}
+	for i := range deg {
+		if back[i] != deg[i] {
+			t.Errorf("degree %d: %d vs %d", i, back[i], deg[i])
+		}
+	}
+}
+
+func TestFromDegreesProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		deg := make([]int64, len(raw))
+		for i, v := range raw {
+			deg[i] = int64(v % 16)
+		}
+		d := FromDegrees(deg)
+		if d.Validate() != nil {
+			return false
+		}
+		return d.NumVertices() == int64(len(deg))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVertexOffsetsAndClassLookup(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 4, 3: 2, 5: 1})
+	off := d.VertexOffsets(2)
+	want := []int64{0, 4, 6, 7}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", off, want)
+		}
+	}
+	wantClass := []int{0, 0, 0, 0, 1, 1, 2}
+	for v, wc := range wantClass {
+		if got := ClassOfVertex(off, int64(v)); got != wc {
+			t.Errorf("ClassOfVertex(%d) = %d, want %d", v, got, wc)
+		}
+		wd := d.Classes[wc].Degree
+		if got := d.DegreeOfVertex(off, int64(v)); got != wd {
+			t.Errorf("DegreeOfVertex(%d) = %d, want %d", v, got, wd)
+		}
+	}
+}
+
+// bruteForceGraphical checks Erdős–Gallai on the expanded sequence.
+func bruteForceGraphical(deg []int64) bool {
+	var sum int64
+	for _, d := range deg {
+		sum += d
+	}
+	if sum%2 != 0 {
+		return false
+	}
+	s := make([]int64, len(deg))
+	copy(s, deg)
+	sort.Slice(s, func(i, j int) bool { return s[i] > s[j] })
+	n := int64(len(s))
+	for k := int64(1); k <= n; k++ {
+		var left int64
+		for i := int64(0); i < k; i++ {
+			left += s[i]
+		}
+		right := k * (k - 1)
+		for i := k; i < n; i++ {
+			m := s[i]
+			if m > k {
+				m = k
+			}
+			right += m
+		}
+		if left > right {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsGraphicalKnownCases(t *testing.T) {
+	cases := []struct {
+		deg  []int64
+		want bool
+	}{
+		{[]int64{1, 1}, true},                // single edge
+		{[]int64{1, 1, 1}, false},            // odd stub count
+		{[]int64{2, 2, 2}, true},             // triangle
+		{[]int64{3, 3, 3, 3}, true},          // K4
+		{[]int64{4, 4, 4, 4}, false},         // d_max >= n
+		{[]int64{3, 1, 1, 1}, true},          // star
+		{[]int64{3, 3, 1, 1}, false},         // fails E-G at k=2: 6 > 4
+		{[]int64{4, 1, 1, 1, 1}, true},       // star K1,4
+		{[]int64{5, 5, 4, 3, 2, 1}, false},   // classic non-graphical
+		{[]int64{0, 0, 0}, true},             // empty graph
+		{[]int64{2, 2, 2, 2, 2, 2, 2}, true}, // cycle
+	}
+	for _, c := range cases {
+		d := FromDegrees(c.deg)
+		if got := d.IsGraphical(); got != c.want {
+			t.Errorf("IsGraphical(%v) = %v, want %v", c.deg, got, c.want)
+		}
+		if got := bruteForceGraphical(c.deg); got != c.want {
+			t.Errorf("brute force disagrees on %v (test case wrong?)", c.deg)
+		}
+	}
+}
+
+func TestIsGraphicalMatchesBruteForce(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		deg := make([]int64, len(raw))
+		for i, v := range raw {
+			deg[i] = int64(v % uint8(len(raw)+1)) // keep degrees < n+1
+			if deg[i] >= int64(len(raw)) {
+				deg[i] = int64(len(raw)) - 1
+			}
+		}
+		d := FromDegrees(deg)
+		return d.IsGraphical() == bruteForceGraphical(deg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 2, 2: 2})
+	c := d.Clone()
+	c.Classes[0].Count = 99
+	if d.Classes[0].Count == 99 {
+		t.Error("Clone shares storage")
+	}
+}

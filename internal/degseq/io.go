@@ -1,0 +1,55 @@
+package degseq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write emits the distribution as "degree count" lines, ascending.
+func Write(w io.Writer, d *Distribution) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range d.Classes {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", c.Degree, c.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses "degree count" lines. Blank lines and '#' comments are
+// skipped; classes may appear in any order but degrees must be unique.
+func Read(r io.Reader) (*Distribution, error) {
+	sc := bufio.NewScanner(r)
+	counts := map[int64]int64{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("degseq: line %d: want \"degree count\", got %q", line, text)
+		}
+		d, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("degseq: line %d: bad degree %q", line, fields[0])
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("degseq: line %d: bad count %q", line, fields[1])
+		}
+		if _, dup := counts[d]; dup {
+			return nil, fmt.Errorf("degseq: line %d: duplicate degree %d", line, d)
+		}
+		counts[d] = n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("degseq: reading distribution: %w", err)
+	}
+	return FromCounts(counts)
+}

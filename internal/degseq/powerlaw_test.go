@@ -1,0 +1,182 @@
+package degseq
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPowerLawConfigValidate(t *testing.T) {
+	good := PowerLawConfig{NumVertices: 100, MinDegree: 1, MaxDegree: 20, Gamma: 2.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []PowerLawConfig{
+		{NumVertices: 0, MinDegree: 1, MaxDegree: 5, Gamma: 2},
+		{NumVertices: 10, MinDegree: 0, MaxDegree: 5, Gamma: 2},
+		{NumVertices: 10, MinDegree: 6, MaxDegree: 5, Gamma: 2},
+		{NumVertices: 10, MinDegree: 1, MaxDegree: 10, Gamma: 2},
+		{NumVertices: 10, MinDegree: 1, MaxDegree: 5, Gamma: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSamplePowerLawBasicInvariants(t *testing.T) {
+	cfg := PowerLawConfig{NumVertices: 5000, MinDegree: 2, MaxDegree: 200, Gamma: 2.3, Seed: 42}
+	d, err := SamplePowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumVertices(); got != cfg.NumVertices {
+		t.Errorf("NumVertices = %d, want %d", got, cfg.NumVertices)
+	}
+	if d.NumStubs()%2 != 0 {
+		t.Error("odd stub count")
+	}
+	if !d.IsGraphical() {
+		t.Error("sampled distribution not graphical")
+	}
+	if d.MaxDegree() > cfg.MaxDegree+1 {
+		t.Errorf("MaxDegree = %d exceeds configured %d (+1 parity slack)", d.MaxDegree(), cfg.MaxDegree)
+	}
+	if d.Classes[0].Degree < cfg.MinDegree {
+		t.Errorf("min degree %d below configured %d", d.Classes[0].Degree, cfg.MinDegree)
+	}
+}
+
+func TestSamplePowerLawDeterministic(t *testing.T) {
+	cfg := PowerLawConfig{NumVertices: 2000, MinDegree: 1, MaxDegree: 100, Gamma: 2.0, Seed: 7}
+	a, err := SamplePowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SamplePowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatal("same seed, different class counts")
+	}
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] {
+			t.Fatalf("same seed diverged at class %d", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := SamplePowerLaw(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Classes) == len(c.Classes)
+	if same {
+		for i := range a.Classes {
+			if a.Classes[i] != c.Classes[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical distributions")
+	}
+}
+
+func TestSamplePowerLawSkew(t *testing.T) {
+	// Larger gamma → lighter tail → smaller mean degree.
+	heavy, err := SamplePowerLaw(PowerLawConfig{NumVertices: 20000, MinDegree: 1, MaxDegree: 500, Gamma: 1.8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := SamplePowerLaw(PowerLawConfig{NumVertices: 20000, MinDegree: 1, MaxDegree: 500, Gamma: 3.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanHeavy := float64(heavy.NumStubs()) / float64(heavy.NumVertices())
+	meanLight := float64(light.NumStubs()) / float64(light.NumVertices())
+	if meanHeavy <= meanLight {
+		t.Errorf("gamma=1.8 mean %v should exceed gamma=3.0 mean %v", meanHeavy, meanLight)
+	}
+	// Tail frequencies should roughly follow the exponent: check that
+	// P(d=2)/P(d=4) is near 2^gamma for the light case.
+	counts := map[int64]int64{}
+	for _, c := range light.Classes {
+		counts[c.Degree] = c.Count
+	}
+	if counts[2] > 0 && counts[4] > 0 {
+		ratio := float64(counts[2]) / float64(counts[4])
+		want := math.Pow(2, 3.0)
+		if ratio < want/2 || ratio > want*2 {
+			t.Errorf("count ratio P(2)/P(4) = %v, want within 2x of %v", ratio, want)
+		}
+	}
+}
+
+func TestSamplePowerLawMaxDegreePresent(t *testing.T) {
+	d, err := SamplePowerLaw(PowerLawConfig{NumVertices: 500, MinDegree: 1, MaxDegree: 400, Gamma: 3.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With gamma 3.5 a natural draw almost surely misses d=400; the
+	// generator forces the advertised max degree (±1 for parity repair).
+	if d.MaxDegree() < 399 {
+		t.Errorf("MaxDegree = %d, want ~400", d.MaxDegree())
+	}
+	if !d.IsGraphical() {
+		t.Error("not graphical after forcing max degree")
+	}
+}
+
+func TestDistributionIO(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 10, 7: 3, 2: 5})
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Classes) != len(d.Classes) {
+		t.Fatalf("round trip class count %d, want %d", len(got.Classes), len(d.Classes))
+	}
+	for i := range d.Classes {
+		if got.Classes[i] != d.Classes[i] {
+			t.Errorf("class %d: %+v vs %+v", i, got.Classes[i], d.Classes[i])
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	in := "# header\n\n3 2\n1 5\n"
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses() != 2 || d.Classes[0].Degree != 1 {
+		t.Errorf("parsed %+v", d)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1\n",
+		"x 2\n",
+		"1 x\n",
+		"-1 2\n",
+		"1 0\n",
+		"1 2\n1 3\n", // duplicate degree
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package directed
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArcKeyRoundTrip(t *testing.T) {
+	f := func(u, v int32) bool {
+		if u < 0 {
+			u = -u
+		}
+		if v < 0 {
+			v = -v
+		}
+		a := Arc{From: u, To: v}
+		return ArcFromKey(a.Key()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArcKeyOrderSensitive(t *testing.T) {
+	a := Arc{From: 1, To: 2}
+	b := Arc{From: 2, To: 1}
+	if a.Key() == b.Key() {
+		t.Error("directed keys must distinguish orientation")
+	}
+}
+
+func TestArcString(t *testing.T) {
+	if got := (Arc{From: 3, To: 7}).String(); got != "(3->7)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewArcListValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range arc accepted")
+		}
+	}()
+	NewArcList([]Arc{{From: 0, To: 9}}, 3)
+}
+
+func TestDegrees(t *testing.T) {
+	al := NewArcList([]Arc{{0, 1}, {0, 2}, {1, 2}, {2, 2}}, 3)
+	for _, p := range []int{1, 4} {
+		out, in := al.Degrees(p)
+		wantOut := []int64{2, 1, 1}
+		wantIn := []int64{0, 1, 3}
+		for v := range wantOut {
+			if out[v] != wantOut[v] || in[v] != wantIn[v] {
+				t.Errorf("p=%d v=%d: (out,in) = (%d,%d), want (%d,%d)",
+					p, v, out[v], in[v], wantOut[v], wantIn[v])
+			}
+		}
+	}
+}
+
+func TestCheckSimplicityDirected(t *testing.T) {
+	cases := []struct {
+		arcs []Arc
+		want Simplicity
+	}{
+		{[]Arc{{0, 1}, {1, 0}}, Simplicity{0, 0}}, // antiparallel pair is simple
+		{[]Arc{{0, 1}, {0, 1}}, Simplicity{0, 1}},
+		{[]Arc{{1, 1}}, Simplicity{1, 0}},
+		{nil, Simplicity{0, 0}},
+	}
+	for i, c := range cases {
+		al := NewArcList(c.arcs, 2)
+		if got := al.CheckSimplicity(); got != c.want {
+			t.Errorf("case %d: %+v, want %+v", i, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyDirected(t *testing.T) {
+	al := NewArcList([]Arc{{0, 1}, {0, 1}, {1, 1}, {1, 0}}, 2)
+	simple, rep := al.Simplify()
+	if rep.DuplicateArcs != 1 || rep.SelfLoops != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if simple.NumArcs() != 2 {
+		t.Errorf("kept %d arcs, want 2", simple.NumArcs())
+	}
+	if !simple.CheckSimplicity().IsSimple() {
+		t.Error("simplify output not simple")
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	// (0,1)+(1,0) reciprocated; (0,2) not.
+	al := NewArcList([]Arc{{0, 1}, {1, 0}, {0, 2}}, 3)
+	if got := al.Reciprocity(); got < 0.66 || got > 0.67 {
+		t.Errorf("Reciprocity = %v, want 2/3", got)
+	}
+	if got := NewArcList(nil, 0).Reciprocity(); got != 0 {
+		t.Errorf("empty reciprocity = %v", got)
+	}
+}
+
+func TestEqualAsSetsDirected(t *testing.T) {
+	a := NewArcList([]Arc{{0, 1}, {2, 3}}, 4)
+	b := NewArcList([]Arc{{2, 3}, {0, 1}}, 4)
+	if !a.EqualAsSets(b) {
+		t.Error("order must not matter")
+	}
+	c := NewArcList([]Arc{{1, 0}, {2, 3}}, 4)
+	if a.EqualAsSets(c) {
+		t.Error("orientation must matter")
+	}
+}
+
+func TestJointDistributionBasics(t *testing.T) {
+	out := []int64{2, 1, 1, 0}
+	in := []int64{0, 1, 1, 2}
+	d := FromJointDegrees(out, in)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d", d.NumVertices())
+	}
+	if d.OutStubs() != 4 || d.InStubs() != 4 {
+		t.Errorf("stubs = %d/%d", d.OutStubs(), d.InStubs())
+	}
+	if d.NumArcs() != 4 {
+		t.Errorf("NumArcs = %d", d.NumArcs())
+	}
+	if d.MaxOut() != 2 || d.MaxIn() != 2 {
+		t.Errorf("max degrees = %d/%d", d.MaxOut(), d.MaxIn())
+	}
+	// Round trip through ToJointDegrees preserves the multiset.
+	o2, i2 := d.ToJointDegrees()
+	d2 := FromJointDegrees(o2, i2)
+	if len(d2.Classes) != len(d.Classes) {
+		t.Fatal("round trip changed classes")
+	}
+	for i := range d.Classes {
+		if d2.Classes[i] != d.Classes[i] {
+			t.Errorf("class %d: %+v vs %+v", i, d2.Classes[i], d.Classes[i])
+		}
+	}
+}
+
+func TestJointValidateRejects(t *testing.T) {
+	bad := []*JointDistribution{
+		{Classes: []JointClass{{Out: -1, In: 0, Count: 1}}},
+		{Classes: []JointClass{{Out: 1, In: 1, Count: 0}}},
+		{Classes: []JointClass{{Out: 2, In: 0, Count: 1}, {Out: 1, In: 0, Count: 1}}},
+		{Classes: []JointClass{{Out: 1, In: 1, Count: 1}, {Out: 1, In: 1, Count: 2}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad distribution %d accepted", i)
+		}
+	}
+}
+
+func TestIsRealizableKnownCases(t *testing.T) {
+	cases := []struct {
+		out, in []int64
+		want    bool
+	}{
+		{[]int64{1, 0}, []int64{0, 1}, true},        // single arc
+		{[]int64{1, 1}, []int64{1, 1}, true},        // 2-cycle
+		{[]int64{2, 0}, []int64{0, 2}, false},       // duplicate arc needed
+		{[]int64{1, 1, 1}, []int64{1, 1, 1}, true},  // 3-cycle
+		{[]int64{2, 2, 2}, []int64{2, 2, 2}, true},  // complete digraph K3
+		{[]int64{3, 0, 0}, []int64{0, 2, 1}, false}, // out 3 but only 2 other vertices
+		{[]int64{1, 0}, []int64{1, 0}, false},       // would need a loop
+		{[]int64{0, 0}, []int64{0, 0}, true},        // empty
+		{[]int64{2, 1, 0}, []int64{0, 1, 2}, true},  // DAG
+		{[]int64{1, 1}, []int64{2, 0}, false},       // v0's arc has no legal target
+		{[]int64{0, 1, 1}, []int64{2, 0, 0}, true},  // both others point at vertex 0
+	}
+	for i, c := range cases {
+		d := FromJointDegrees(c.out, c.in)
+		if got := d.IsRealizable(); got != c.want {
+			t.Errorf("case %d (%v/%v): IsRealizable = %v, want %v", i, c.out, c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsRealizableUnbalanced(t *testing.T) {
+	d := FromJointDegrees([]int64{2, 0}, []int64{0, 1})
+	if d.IsRealizable() {
+		t.Error("unbalanced stub totals reported realizable")
+	}
+}
+
+func TestClassOfVertexDirected(t *testing.T) {
+	d := FromJointDegrees([]int64{1, 1, 2}, []int64{2, 1, 1})
+	off := d.VertexOffsets(1)
+	for v := int64(0); v < d.NumVertices(); v++ {
+		c := ClassOfVertex(off, v)
+		if c < 0 || c >= d.NumClasses() {
+			t.Fatalf("vertex %d class %d out of range", v, c)
+		}
+		if v < off[c] || v >= off[c+1] {
+			t.Fatalf("vertex %d not within class %d bounds", v, c)
+		}
+	}
+}

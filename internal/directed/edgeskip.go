@@ -1,0 +1,143 @@
+package directed
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"nullgraph/internal/par"
+	"nullgraph/internal/rng"
+)
+
+// SkipOptions configures directed edge-skipping generation.
+type SkipOptions struct {
+	Workers   int
+	Seed      uint64
+	ChunkSpan int64
+}
+
+const defaultChunkSpan = 1 << 22
+
+type diChunk struct {
+	ci, cj     int
+	begin, end int64
+	prob       float64
+}
+
+// GenerateArcs draws a simple digraph whose class-pair arc probabilities
+// are given by m over the vertex layout of d — the directed Algorithm
+// IV.2. Every ordered class pair (i, j) is one sample space of
+// n_i·n_j indices (n_i·(n_i−1) on the diagonal, with the self-pairs
+// excised from the indexing so loops are unrepresentable). Geometric
+// skip lengths compress the Bernoulli scan to O(arcs) expected work;
+// large spaces are split into chunks for intra-space parallelism, and
+// every chunk draws from a deterministic stream keyed by its index so
+// output is identical for any worker count.
+func GenerateArcs(d *JointDistribution, m *ProbMatrix, opt SkipOptions) (*ArcList, error) {
+	k := d.NumClasses()
+	if m.Dim() != k {
+		return nil, fmt.Errorf("directed: matrix dim %d != |D| %d", m.Dim(), k)
+	}
+	n := d.NumVertices()
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("directed: %d vertices exceed int32 IDs", n)
+	}
+	span := opt.ChunkSpan
+	if span <= 0 {
+		span = defaultChunkSpan
+	}
+	offsets := d.VertexOffsets(opt.Workers)
+
+	var chunks []diChunk
+	for i := 0; i < k; i++ {
+		ni := d.Classes[i].Count
+		for j := 0; j < k; j++ {
+			prob := m.At(i, j)
+			if prob <= 0 {
+				continue
+			}
+			var end int64
+			if i == j {
+				end = ni * (ni - 1)
+			} else {
+				end = ni * d.Classes[j].Count
+			}
+			for b := int64(0); b < end; b += span {
+				e := b + span
+				if e > end {
+					e = end
+				}
+				chunks = append(chunks, diChunk{ci: i, cj: j, begin: b, end: e, prob: prob})
+			}
+		}
+	}
+
+	buffers := make([][]Arc, len(chunks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := par.Workers(opt.Workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
+					return
+				}
+				buffers[c] = runDiChunk(d, offsets, chunks[c],
+					rng.New(rng.Mix64(opt.Seed)^rng.Mix64(uint64(c)+0x7654321)))
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total int
+	for _, b := range buffers {
+		total += len(b)
+	}
+	arcs := make([]Arc, 0, total)
+	for _, b := range buffers {
+		arcs = append(arcs, b...)
+	}
+	return NewArcList(arcs, int(n)), nil
+}
+
+func runDiChunk(d *JointDistribution, offsets []int64, c diChunk, src *rng.Source) []Arc {
+	expected := float64(c.end-c.begin) * c.prob
+	out := make([]Arc, 0, int(expected*1.15)+8)
+	baseI := offsets[c.ci]
+	baseJ := offsets[c.cj]
+	nj := d.Classes[c.cj].Count
+	diagonal := c.ci == c.cj
+	emit := func(x int64) {
+		var from, to int64
+		if diagonal {
+			// Index space of ordered pairs without the diagonal: row u
+			// has nj−1 columns; column r maps to v = r, skipping v == u.
+			u := x / (nj - 1)
+			r := x % (nj - 1)
+			v := r
+			if v >= u {
+				v++
+			}
+			from, to = baseI+u, baseI+v
+		} else {
+			from, to = baseI+x/nj, baseJ+x%nj
+		}
+		out = append(out, Arc{From: int32(from), To: int32(to)})
+	}
+	if c.prob >= 1 {
+		for x := c.begin; x < c.end; x++ {
+			emit(x)
+		}
+		return out
+	}
+	x := c.begin + src.Geometric(c.prob)
+	for x < c.end {
+		emit(x)
+		x += 1 + src.Geometric(c.prob)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package directed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteArcListText writes one "from to" pair per line, preserving list
+// order and orientation.
+func WriteArcListText(w io.Writer, al *ArcList) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range al.Arcs {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", a.From, a.To); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadArcListText parses "from to" pairs, one per line; '#' and '%'
+// comment lines and blanks are skipped.
+func ReadArcListText(r io.Reader) (*ArcList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var arcs []Arc
+	var maxID int32 = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("directed: line %d: want two vertex IDs, got %q", line, text)
+		}
+		from, err := parseVertexID(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("directed: line %d: %v", line, err)
+		}
+		to, err := parseVertexID(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("directed: line %d: %v", line, err)
+		}
+		arcs = append(arcs, Arc{From: from, To: to})
+		if from > maxID {
+			maxID = from
+		}
+		if to > maxID {
+			maxID = to
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("directed: reading arc list: %w", err)
+	}
+	return &ArcList{Arcs: arcs, NumVertices: int(maxID + 1)}, nil
+}
+
+func parseVertexID(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex ID %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative vertex ID %d", v)
+	}
+	return int32(v), nil
+}
+
+// WriteJoint emits the joint distribution as "out in count" lines.
+func WriteJoint(w io.Writer, d *JointDistribution) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range d.Classes {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", c.Out, c.In, c.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJoint parses "out in count" lines; blanks and '#' comments are
+// skipped; (out, in) pairs must be unique.
+func ReadJoint(r io.Reader) (*JointDistribution, error) {
+	sc := bufio.NewScanner(r)
+	type pair struct{ o, i int64 }
+	counts := map[pair]int64{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("directed: line %d: want \"out in count\", got %q", line, text)
+		}
+		vals := make([]int64, 3)
+		for k, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("directed: line %d: bad value %q", line, f)
+			}
+			vals[k] = v
+		}
+		if vals[2] == 0 {
+			return nil, fmt.Errorf("directed: line %d: zero count", line)
+		}
+		p := pair{vals[0], vals[1]}
+		if _, dup := counts[p]; dup {
+			return nil, fmt.Errorf("directed: line %d: duplicate class (%d,%d)", line, p.o, p.i)
+		}
+		counts[p] = vals[2]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("directed: reading joint distribution: %w", err)
+	}
+	classes := make([]JointClass, 0, len(counts))
+	for p, n := range counts {
+		classes = append(classes, JointClass{Out: p.o, In: p.i, Count: n})
+	}
+	sort.Slice(classes, func(a, b int) bool {
+		if classes[a].Out != classes[b].Out {
+			return classes[a].Out < classes[b].Out
+		}
+		return classes[a].In < classes[b].In
+	})
+	d := &JointDistribution{Classes: classes}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

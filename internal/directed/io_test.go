@@ -1,0 +1,89 @@
+package directed
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestArcListTextRoundTrip(t *testing.T) {
+	al := NewArcList([]Arc{{0, 1}, {5, 2}, {3, 3}, {2, 5}}, 6)
+	var buf bytes.Buffer
+	if err := WriteArcListText(&buf, al); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArcListText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Arcs) != len(al.Arcs) {
+		t.Fatalf("arcs = %d, want %d", len(got.Arcs), len(al.Arcs))
+	}
+	for i := range al.Arcs {
+		if got.Arcs[i] != al.Arcs[i] {
+			t.Errorf("arc %d: %v vs %v", i, got.Arcs[i], al.Arcs[i])
+		}
+	}
+}
+
+func TestReadArcListSkipsComments(t *testing.T) {
+	in := "# directed\n\n% also comment\n0 1\n1 0\n"
+	al, err := ReadArcListText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.NumArcs() != 2 || al.NumVertices != 2 {
+		t.Errorf("parsed %+v", al)
+	}
+}
+
+func TestReadArcListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "-1 2\n", "0 99999999999\n"} {
+		if _, err := ReadArcListText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestJointIORoundTrip(t *testing.T) {
+	d := FromJointDegrees([]int64{2, 1, 1, 0}, []int64{0, 1, 1, 2})
+	var buf bytes.Buffer
+	if err := WriteJoint(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Classes) != len(d.Classes) {
+		t.Fatalf("classes = %d, want %d", len(got.Classes), len(d.Classes))
+	}
+	for i := range d.Classes {
+		if got.Classes[i] != d.Classes[i] {
+			t.Errorf("class %d: %+v vs %+v", i, got.Classes[i], d.Classes[i])
+		}
+	}
+}
+
+func TestReadJointSkipsCommentsAndValidates(t *testing.T) {
+	in := "# joint\n\n1 1 5\n2 0 3\n"
+	d, err := ReadJoint(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses() != 2 || d.NumVertices() != 8 {
+		t.Errorf("parsed %+v", d)
+	}
+	bad := []string{
+		"1 1\n",
+		"x 1 1\n",
+		"1 -1 2\n",
+		"1 1 0\n",
+		"1 1 2\n1 1 3\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadJoint(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package directed
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// inNode tracks a vertex in the realization heap. The Kleitman-Wang
+// target order is lexicographic on (remaining in-degree, remaining
+// out-degree) descending; outRem is the remaining out-degree at push
+// time and is lazily refreshed on pop (a vertex's out budget drops to
+// zero exactly once, when it is processed as a source).
+type inNode struct {
+	id     int32
+	remain int64
+	outRem int64
+}
+
+type inHeap []inNode
+
+func (h inHeap) Len() int { return len(h) }
+func (h inHeap) Less(i, j int) bool {
+	if h[i].remain != h[j].remain {
+		return h[i].remain > h[j].remain
+	}
+	if h[i].outRem != h[j].outRem {
+		return h[i].outRem > h[j].outRem
+	}
+	return h[i].id < h[j].id
+}
+func (h inHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *inHeap) Push(x interface{}) { *h = append(*h, x.(inNode)) }
+func (h *inHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KleitmanWang deterministically realizes a joint degree distribution
+// as a simple digraph (the directed Havel-Hakimi of Erdős, Miklós and
+// Toroczkai [15] / Kleitman-Wang): vertices are processed in descending
+// out-degree order, each connecting to the lexicographically largest
+// (remaining-in, remaining-out) vertices, never itself. The secondary
+// out-degree tie-break is load-bearing: among targets with equal
+// remaining in-degree, the ones that still have out-stubs to spend must
+// absorb arcs first, or their later source steps can strand stubs
+// (e.g. the 3-cycle {1,1,1}/{1,1,1} fails without it). An error reports
+// a non-realizable sequence.
+func KleitmanWang(d *JointDistribution) (*ArcList, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.OutStubs() != d.InStubs() {
+		return nil, fmt.Errorf("directed: out stubs %d != in stubs %d", d.OutStubs(), d.InStubs())
+	}
+	out, in := d.ToJointDegrees()
+	n := len(out)
+
+	// Vertices by out-degree descending; out-degrees never change, so a
+	// static order is exactly "always pick the max remaining out".
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sortByOutDesc(order, out, in)
+
+	outRem := make([]int64, n)
+	copy(outRem, out)
+
+	h := make(inHeap, 0, n)
+	for v := 0; v < n; v++ {
+		if in[v] > 0 {
+			h = append(h, inNode{id: int32(v), remain: in[v], outRem: outRem[v]})
+		}
+	}
+	heap.Init(&h)
+
+	arcs := make([]Arc, 0, d.NumArcs())
+	scratch := make([]inNode, 0, 64)
+	var self *inNode
+	for _, v := range order {
+		need := out[v]
+		if need == 0 {
+			continue
+		}
+		scratch = scratch[:0]
+		self = nil
+		for k := int64(0); k < need; k++ {
+			for {
+				if h.Len() == 0 {
+					return nil, fmt.Errorf("directed: sequence not realizable (ran out of in-stubs at vertex %d)", v)
+				}
+				u := heap.Pop(&h).(inNode)
+				if u.outRem != outRem[u.id] {
+					// Stale secondary key (u was processed as a source
+					// since this entry was pushed): re-key and retry.
+					u.outRem = outRem[u.id]
+					heap.Push(&h, u)
+					continue
+				}
+				if u.id == v {
+					// Can't self-connect; set aside and retry.
+					uu := u
+					self = &uu
+					continue
+				}
+				if u.remain <= 0 {
+					return nil, fmt.Errorf("directed: internal inconsistency (zero in-degree in heap)")
+				}
+				arcs = append(arcs, Arc{From: v, To: u.id})
+				u.remain--
+				scratch = append(scratch, u)
+				break
+			}
+		}
+		outRem[v] = 0
+		for _, u := range scratch {
+			if u.remain > 0 {
+				u.outRem = outRem[u.id]
+				heap.Push(&h, u)
+			}
+		}
+		if self != nil {
+			s := *self
+			s.outRem = outRem[s.id]
+			heap.Push(&h, s)
+		}
+	}
+	return NewArcList(arcs, n), nil
+}
+
+func sortByOutDesc(order []int32, out, in []int64) {
+	sort.Slice(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		if out[a] != out[b] {
+			return out[a] > out[b]
+		}
+		if in[a] != in[b] {
+			return in[a] > in[b]
+		}
+		return a < b
+	})
+}

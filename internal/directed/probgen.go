@@ -1,0 +1,231 @@
+package directed
+
+import (
+	"sort"
+
+	"nullgraph/internal/par"
+)
+
+// ProbMatrix is the directed pairwise class probability matrix:
+// P(i, j) is the probability of an arc from a specific class-i vertex
+// to a specific class-j vertex. Unlike the undirected matrix it is NOT
+// symmetric.
+type ProbMatrix struct {
+	k    int
+	vals []float64
+}
+
+// NewProbMatrix allocates a zero k×k matrix.
+func NewProbMatrix(k int) *ProbMatrix {
+	return &ProbMatrix{k: k, vals: make([]float64, k*k)}
+}
+
+// Dim returns the class count.
+func (m *ProbMatrix) Dim() int { return m.k }
+
+// At returns P(i→j).
+func (m *ProbMatrix) At(i, j int) float64 { return m.vals[i*m.k+j] }
+
+// Set assigns P(i→j).
+func (m *ProbMatrix) Set(i, j int, v float64) { m.vals[i*m.k+j] = v }
+
+// Clamp bounds entries to [0,1].
+func (m *ProbMatrix) Clamp() {
+	for i, v := range m.vals {
+		if v < 0 {
+			m.vals[i] = 0
+		} else if v > 1 {
+			m.vals[i] = 1
+		}
+	}
+}
+
+// GenerateProbabilities is the directed version of the paper's Section
+// IV-A heuristic. Out-stubs attach to in-stubs: visiting source classes
+// in descending out-degree order, class i sends to every class j
+//
+//	e_ij = min( FEout(i)·FEin(j)/ΣFEin,  pairs(i,j)·headroom,  FEin(j) )
+//
+// arcs, where pairs(i,j) = n_i·n_j ordered pairs (n_i·(n_i−1) on the
+// diagonal — self-arcs are excluded), headroom is the remaining
+// probability mass before P reaches 1, and the row is scaled so class i
+// never spends more than FEout(i). Refinement sweeps redistribute
+// leftovers. Because each ordered class pair is visited exactly once
+// (by its source class), there is no halving/doubling bookkeeping: the
+// full estimate converts directly via P(i→j) += e_ij / pairs(i,j).
+//
+// The target system (directed analog of Section IV-A's):
+//
+//	out_i = Σ_j n_j·P(i,j) − P(i,i)     for every class i
+//	in_i  = Σ_j n_j·P(j,i) − P(i,i)
+func GenerateProbabilities(d *JointDistribution, p int) *ProbMatrix {
+	k := d.NumClasses()
+	m := NewProbMatrix(k)
+	if k == 0 {
+		return m
+	}
+	feOut := make([]float64, k)
+	feIn := make([]float64, k)
+	var totalIn float64
+	for c, cl := range d.Classes {
+		feOut[c] = float64(cl.Out) * float64(cl.Count)
+		feIn[c] = float64(cl.In) * float64(cl.Count)
+		totalIn += feIn[c]
+	}
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return d.Classes[order[a]].Out > d.Classes[order[b]].Out
+	})
+
+	initialIn := totalIn
+	const maxSweeps = 5
+	for sweep := 0; sweep < maxSweeps && totalIn > 1e-9*initialIn+1e-9; sweep++ {
+		before := totalIn
+		totalIn = attachSweepDirected(d, m, feOut, feIn, order, totalIn, p)
+		if totalIn >= before-1e-9 {
+			break
+		}
+	}
+	m.Clamp()
+	return m
+}
+
+func attachSweepDirected(d *JointDistribution, m *ProbMatrix, feOut, feIn []float64, order []int, totalIn float64, p int) float64 {
+	k := d.NumClasses()
+	eRow := make([]float64, k)
+	for _, i := range order {
+		if feOut[i] <= 0 || totalIn <= 0 {
+			continue
+		}
+		ni := float64(d.Classes[i].Count)
+		fo := feOut[i]
+		par.For(k, p, func(j int) {
+			eRow[j] = 0
+			if feIn[j] <= 0 {
+				return
+			}
+			nj := float64(d.Classes[j].Count)
+			var pairs float64
+			if i == j {
+				pairs = ni * (ni - 1)
+			} else {
+				pairs = ni * nj
+			}
+			if pairs <= 0 {
+				return
+			}
+			naive := fo * feIn[j] / totalIn
+			capacity := pairs * (1 - m.At(i, j))
+			e := naive
+			if capacity < e {
+				e = capacity
+			}
+			if feIn[j] < e {
+				e = feIn[j]
+			}
+			if e <= 0 {
+				return
+			}
+			eRow[j] = e
+		})
+		var rowSpend float64
+		for j := 0; j < k; j++ {
+			rowSpend += eRow[j]
+		}
+		scale := 1.0
+		if rowSpend > fo && rowSpend > 0 {
+			scale = fo / rowSpend
+		}
+		var consumed float64
+		for j := 0; j < k; j++ {
+			e := eRow[j] * scale
+			if e == 0 {
+				continue
+			}
+			var pairs float64
+			if i == j {
+				pairs = ni * (ni - 1)
+			} else {
+				pairs = ni * float64(d.Classes[j].Count)
+			}
+			m.Set(i, j, m.At(i, j)+e/pairs)
+			feIn[j] -= e
+			if feIn[j] < 0 {
+				feIn[j] = 0
+			}
+			consumed += e
+		}
+		feOut[i] -= consumed
+		if feOut[i] < 0 {
+			feOut[i] = 0
+		}
+		totalIn = 0
+		for _, v := range feIn {
+			totalIn += v
+		}
+	}
+	return totalIn
+}
+
+// RowResiduals returns per-class (outResid, inResid): the expected
+// degree errors of the matrix under Bernoulli arc generation.
+func RowResiduals(d *JointDistribution, m *ProbMatrix) (outResid, inResid []float64) {
+	k := d.NumClasses()
+	outResid = make([]float64, k)
+	inResid = make([]float64, k)
+	for i := 0; i < k; i++ {
+		var sumOut, sumIn float64
+		for j := 0; j < k; j++ {
+			sumOut += float64(d.Classes[j].Count) * m.At(i, j)
+			sumIn += float64(d.Classes[j].Count) * m.At(j, i)
+		}
+		sumOut -= m.At(i, i)
+		sumIn -= m.At(i, i)
+		outResid[i] = sumOut - float64(d.Classes[i].Out)
+		inResid[i] = sumIn - float64(d.Classes[i].In)
+	}
+	return outResid, inResid
+}
+
+// ExpectedArcs returns the Bernoulli process's expected arc count.
+func ExpectedArcs(d *JointDistribution, m *ProbMatrix) float64 {
+	k := d.NumClasses()
+	var sum float64
+	for i := 0; i < k; i++ {
+		ni := float64(d.Classes[i].Count)
+		for j := 0; j < k; j++ {
+			var pairs float64
+			if i == j {
+				pairs = ni * (ni - 1)
+			} else {
+				pairs = ni * float64(d.Classes[j].Count)
+			}
+			sum += pairs * m.At(i, j)
+		}
+	}
+	return sum
+}
+
+// ChungLuProbabilities returns the naive directed Chung-Lu matrix
+// P(i→j) = min(1, out_i·in_j/m).
+func ChungLuProbabilities(d *JointDistribution) *ProbMatrix {
+	k := d.NumClasses()
+	m := NewProbMatrix(k)
+	arcs := float64(d.NumArcs())
+	if arcs == 0 {
+		return m
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			p := float64(d.Classes[i].Out) * float64(d.Classes[j].In) / arcs
+			if p > 1 {
+				p = 1
+			}
+			m.Set(i, j, p)
+		}
+	}
+	return m
+}

@@ -1,0 +1,222 @@
+package directed
+
+import (
+	"nullgraph/internal/hashtable"
+	"nullgraph/internal/par"
+	"nullgraph/internal/permute"
+	"nullgraph/internal/rng"
+)
+
+// SwapOptions configures a directed swap run; fields mirror the
+// undirected swap.Options.
+type SwapOptions struct {
+	Iterations   int
+	Workers      int
+	Seed         uint64
+	Probing      hashtable.Probing
+	TrackSwapped bool
+	OnIteration  func(iteration int, stats SwapIterStats)
+}
+
+// SwapIterStats reports one directed swap iteration.
+type SwapIterStats struct {
+	Attempts    int64
+	Successes   int64
+	EverSwapped float64
+}
+
+// SwapResult summarizes a run.
+type SwapResult struct {
+	PerIteration   []SwapIterStats
+	TotalSuccesses int64
+}
+
+// SwapEngine is the directed analog of Algorithm III.1, with the two
+// "certain considerations" the paper defers to [14], [15]:
+//
+//   - a pair of arcs (u→v), (x→y) has exactly ONE legal exchange,
+//     (u→y), (x→v) — the undirected algorithm's second pairing would
+//     turn arc heads into tails and change in/out degrees — so there is
+//     no coin flip, and the hash table stores ordered pairs;
+//   - pair exchanges alone do NOT connect the simple-digraph space (the
+//     two orientations of a directed 3-cycle have no legal pair move
+//     between them), so each iteration also sweeps disjoint arc
+//     *triples* and reverses any that form a directed triangle
+//     (u→v→w→u ⇒ u←v←w←u), the classic second move type of directed
+//     switch chains (Rao et al.; Erdős–Miklós–Toroczkai).
+type SwapEngine struct {
+	al        *ArcList
+	opt       SwapOptions
+	p         int
+	table     *hashtable.EdgeSet
+	swapped   []uint8
+	iteration int
+}
+
+// NewSwapEngine prepares an engine that mutates al in place.
+func NewSwapEngine(al *ArcList, opt SwapOptions) *SwapEngine {
+	p := par.Workers(opt.Workers)
+	m := len(al.Arcs)
+	eng := &SwapEngine{al: al, opt: opt, p: p}
+	if m >= 2 {
+		// Worst case insertions per iteration: m registrations + 2 per
+		// pair proposal + 3 per triple proposal = 3m.
+		eng.table = hashtable.New(3*m, opt.Probing)
+	}
+	if opt.TrackSwapped {
+		eng.swapped = make([]uint8, m)
+	}
+	return eng
+}
+
+// EverSwappedFraction reports the mixing tracker.
+func (eng *SwapEngine) EverSwappedFraction() float64 {
+	if len(eng.swapped) == 0 {
+		return 0
+	}
+	count := par.SumInt64(len(eng.swapped), eng.p, func(i int) int64 { return int64(eng.swapped[i]) })
+	return float64(count) / float64(len(eng.swapped))
+}
+
+// Step runs one full iteration: register all arcs, permute, propose the
+// single legal exchange per adjacent pair, clear.
+func (eng *SwapEngine) Step() SwapIterStats {
+	arcs := eng.al.Arcs
+	m := len(arcs)
+	it := eng.iteration
+	eng.iteration++
+	if m < 2 {
+		return SwapIterStats{}
+	}
+	p := eng.p
+	table := eng.table
+
+	par.ForRange(m, p, func(_ int, r par.Range) {
+		for i := r.Begin; i < r.End; i++ {
+			table.TestAndSet(arcs[i].Key())
+		}
+	})
+
+	permSeed := rng.Mix64(eng.opt.Seed) + 0x9e3779b97f4a7c15*uint64(it+1)
+	h := permute.Targets(permSeed, m, p)
+	permute.Apply(arcs, h, p)
+	if eng.swapped != nil {
+		permute.Apply(eng.swapped, h, p)
+	}
+
+	pairs := m / 2
+	stats := SwapIterStats{Attempts: int64(pairs)}
+	successes := make([]int64, p)
+	par.ForRange(pairs, p, func(w int, r par.Range) {
+		var local int64
+		for k := r.Begin; k < r.End; k++ {
+			i, j := 2*k, 2*k+1
+			a, b := arcs[i], arcs[j]
+			g := Arc{From: a.From, To: b.To}
+			hh := Arc{From: b.From, To: a.To}
+			if g.IsLoop() || hh.IsLoop() {
+				continue
+			}
+			if table.TestAndSet(g.Key()) {
+				continue
+			}
+			if table.TestAndSet(hh.Key()) {
+				continue
+			}
+			arcs[i], arcs[j] = g, hh
+			if eng.swapped != nil {
+				eng.swapped[i], eng.swapped[j] = 1, 1
+			}
+			local++
+		}
+		successes[w] = local
+	})
+	for _, s := range successes {
+		stats.Successes += s
+	}
+
+	// Triple sweep: reverse disjoint directed triangles. The pair sweep
+	// above already updated `arcs`; reversal proposals test against the
+	// same table, which still holds every arc that existed this
+	// iteration plus the pair-swap insertions — a conservative filter
+	// that can only reject, never corrupt.
+	triples := m / 3
+	tripleSuccesses := make([]int64, p)
+	par.ForRange(triples, p, func(w int, r par.Range) {
+		var local int64
+		for k := r.Begin; k < r.End; k++ {
+			i, j, l := 3*k, 3*k+1, 3*k+2
+			a, b, c := arcs[i], arcs[j], arcs[l]
+			if a.To != b.From || b.To != c.From || c.To != a.From {
+				continue // not a directed triangle in this order
+			}
+			if a.From == b.From || b.From == c.From || a.From == c.From {
+				continue // degenerate (repeated vertex)
+			}
+			ra := Arc{From: a.To, To: a.From}
+			rb := Arc{From: b.To, To: b.From}
+			rc := Arc{From: c.To, To: c.From}
+			if table.TestAndSet(ra.Key()) {
+				continue
+			}
+			if table.TestAndSet(rb.Key()) {
+				continue
+			}
+			if table.TestAndSet(rc.Key()) {
+				continue
+			}
+			arcs[i], arcs[j], arcs[l] = ra, rb, rc
+			if eng.swapped != nil {
+				eng.swapped[i], eng.swapped[j], eng.swapped[l] = 1, 1, 1
+			}
+			local++
+		}
+		tripleSuccesses[w] = local
+	})
+	for _, s := range tripleSuccesses {
+		stats.Successes += s
+	}
+	stats.Attempts += int64(triples)
+
+	if eng.swapped != nil {
+		stats.EverSwapped = eng.EverSwappedFraction()
+	}
+	table.Clear(p)
+	return stats
+}
+
+// SwapArcs performs opt.Iterations directed double-arc swap iterations
+// on al in place.
+func SwapArcs(al *ArcList, opt SwapOptions) SwapResult {
+	eng := NewSwapEngine(al, opt)
+	result := SwapResult{PerIteration: make([]SwapIterStats, 0, opt.Iterations)}
+	for it := 0; it < opt.Iterations; it++ {
+		stats := eng.Step()
+		result.PerIteration = append(result.PerIteration, stats)
+		result.TotalSuccesses += stats.Successes
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, stats)
+		}
+	}
+	return result
+}
+
+// SwapArcsUntilMixed swaps until every arc has swapped at least once or
+// maxIterations is reached.
+func SwapArcsUntilMixed(al *ArcList, opt SwapOptions, maxIterations int) (SwapResult, bool) {
+	opt.TrackSwapped = true
+	eng := NewSwapEngine(al, opt)
+	var result SwapResult
+	for it := 0; it < maxIterations; it++ {
+		stats := eng.Step()
+		result.PerIteration = append(result.PerIteration, stats)
+		result.TotalSuccesses += stats.Successes
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, stats)
+		}
+		if stats.EverSwapped >= 1.0 {
+			return result, true
+		}
+	}
+	return result, false
+}

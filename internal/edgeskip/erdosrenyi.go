@@ -1,0 +1,90 @@
+package edgeskip
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"nullgraph/internal/graph"
+	"nullgraph/internal/par"
+	"nullgraph/internal/rng"
+)
+
+// GenerateER draws a G(n, p) Erdős–Rényi graph with the same
+// edge-skipping machinery — the single-space base case the paper uses
+// to introduce the technique ("with a graph having equal edge
+// probabilities between all vertex pairs ... we only need to consider
+// one single space for the entire graph"). Simple by construction;
+// O(p·n²) expected work, i.e. O(m).
+func GenerateER(n int64, p float64, opt Options) (*graph.EdgeList, error) {
+	if n < 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("edgeskip: vertex count %d out of range", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("edgeskip: probability %v out of [0,1]", p)
+	}
+	space := n * (n - 1) / 2
+	if space == 0 || p == 0 {
+		return graph.NewEdgeList(nil, int(n)), nil
+	}
+	span := opt.ChunkSpan
+	if span <= 0 {
+		span = defaultChunkSpan
+	}
+	nChunks := int((space + span - 1) / span)
+	buffers := make([][]graph.Edge, nChunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := par.Workers(opt.Workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				begin := int64(c) * span
+				end := begin + span
+				if end > space {
+					end = space
+				}
+				buffers[c] = runERChunk(begin, end, p,
+					rng.New(rng.Mix64(opt.Seed)^rng.Mix64(uint64(c)+0xe2d05)))
+			}
+		}()
+	}
+	wg.Wait()
+	var total int
+	for _, b := range buffers {
+		total += len(b)
+	}
+	edges := make([]graph.Edge, 0, total)
+	for _, b := range buffers {
+		edges = append(edges, b...)
+	}
+	return graph.NewEdgeList(edges, int(n)), nil
+}
+
+func runERChunk(begin, end int64, p float64, src *rng.Source) []graph.Edge {
+	expected := float64(end-begin) * p
+	out := make([]graph.Edge, 0, int(expected*1.15)+8)
+	emit := func(x int64) {
+		u, v := triangular(x)
+		out = append(out, graph.Edge{U: int32(u), V: int32(v)})
+	}
+	if p >= 1 {
+		for x := begin; x < end; x++ {
+			emit(x)
+		}
+		return out
+	}
+	x := begin + src.Geometric(p)
+	for x < end {
+		emit(x)
+		x += 1 + src.Geometric(p)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package edgeskip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateERCountNearExpectation(t *testing.T) {
+	const n = 1000
+	const p = 0.01
+	want := p * float64(n*(n-1)/2)
+	var total float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		el, err := GenerateER(n, p, Options{Workers: 4, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := el.CheckSimplicity(); !rep.IsSimple() {
+			t.Fatalf("ER output not simple: %+v", rep)
+		}
+		total += float64(el.NumEdges())
+	}
+	mean := total / trials
+	tol := 5 * math.Sqrt(want*(1-p)) / math.Sqrt(trials)
+	if math.Abs(mean-want) > tol {
+		t.Errorf("mean edges %v, want %v ± %v", mean, want, tol)
+	}
+}
+
+func TestGenerateERExtremes(t *testing.T) {
+	// p = 1: complete graph.
+	el, err := GenerateER(30, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.NumEdges() != 30*29/2 {
+		t.Errorf("complete graph edges = %d, want %d", el.NumEdges(), 30*29/2)
+	}
+	// p = 0: empty graph.
+	el, err = GenerateER(30, 0, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.NumEdges() != 0 {
+		t.Errorf("p=0 edges = %d", el.NumEdges())
+	}
+	// n = 0 and n = 1: no pairs.
+	for _, n := range []int64{0, 1} {
+		el, err = GenerateER(n, 0.5, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if el.NumEdges() != 0 {
+			t.Errorf("n=%d edges = %d", n, el.NumEdges())
+		}
+	}
+}
+
+func TestGenerateERValidation(t *testing.T) {
+	if _, err := GenerateER(10, -0.5, Options{}); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := GenerateER(10, 1.5, Options{}); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := GenerateER(-1, 0.5, Options{}); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestGenerateERDeterministicAcrossWorkers(t *testing.T) {
+	a, err := GenerateER(2000, 0.005, Options{Workers: 1, Seed: 9, ChunkSpan: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateER(2000, 0.005, Options{Workers: 8, Seed: 9, ChunkSpan: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestGenerateERDegreeDistributionBinomial(t *testing.T) {
+	// Degrees of G(n,p) are Binomial(n-1, p): check mean and variance.
+	const n = 4000
+	const p = 0.01
+	el, err := GenerateER(n, p, Options{Workers: 4, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := el.Degrees(2)
+	var mean float64
+	for _, d := range deg {
+		mean += float64(d)
+	}
+	mean /= n
+	want := p * (n - 1)
+	if math.Abs(mean-want) > 0.05*want {
+		t.Errorf("mean degree %v, want ~%v", mean, want)
+	}
+	var variance float64
+	for _, d := range deg {
+		variance += (float64(d) - mean) * (float64(d) - mean)
+	}
+	variance /= n
+	wantVar := (n - 1) * p * (1 - p)
+	if math.Abs(variance-wantVar) > 0.15*wantVar {
+		t.Errorf("degree variance %v, want ~%v", variance, wantVar)
+	}
+}
+
+func BenchmarkGenerateER(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		el, err := GenerateER(1_000_000, 4e-6, Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(el.NumEdges()) * 8)
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/edgeskip"
+	"nullgraph/internal/metrics"
+	"nullgraph/internal/probgen"
+	"nullgraph/internal/rng"
+)
+
+// AblationVariant names one probability-matrix source feeding the same
+// edge-skipping generator.
+type AblationVariant string
+
+const (
+	// VariantHeuristic is the paper's Section IV-A method.
+	VariantHeuristic AblationVariant = "heuristic"
+	// VariantRefined adds iterative-proportional-fitting passes.
+	VariantRefined AblationVariant = "heuristic+IPF"
+	// VariantChungLu is the naive clamped min(1, w_i·w_j/2m) matrix.
+	VariantChungLu AblationVariant = "naive Chung-Lu"
+)
+
+// AblationCell is one (dataset, variant) measurement.
+type AblationCell struct {
+	// ResidualL1 is Σ|expected degree − target| over classes, per the
+	// matrix itself (no sampling noise).
+	ResidualL1 float64
+	// EdgesPct / MaxDegreePct are realized output errors (mean absolute
+	// % over trials).
+	EdgesPct     float64
+	MaxDegreePct float64
+}
+
+// AblationResult isolates the probability-generation design choice: the
+// same edge-skipping generator fed by three different matrices.
+type AblationResult struct {
+	Datasets []string
+	Variants []AblationVariant
+	Cells    map[string]map[AblationVariant]AblationCell
+	Trials   int
+}
+
+// RunAblation measures each variant on the quality datasets.
+func RunAblation(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{
+		Variants: []AblationVariant{VariantHeuristic, VariantRefined, VariantChungLu},
+		Cells:    map[string]map[AblationVariant]AblationCell{},
+		Trials:   cfg.trials(),
+	}
+	for _, spec := range cfg.specs() {
+		dist, err := cfg.load(spec)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Cells[spec.Name] = map[AblationVariant]AblationCell{}
+		for _, variant := range res.Variants {
+			matrix := variantMatrix(variant, dist, cfg.Workers)
+			cell := AblationCell{ResidualL1: residualL1(dist, matrix)}
+			for t := 0; t < res.Trials; t++ {
+				el, err := edgeskip.Generate(dist, matrix, edgeskip.Options{
+					Workers: cfg.Workers,
+					Seed:    rng.Mix64(cfg.Seed) ^ rng.Mix64(uint64(t)*53+uint64(len(variant))),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", variant, spec.Name, err)
+				}
+				q := metrics.Quality(el, dist, cfg.Workers)
+				cell.EdgesPct += math.Abs(q.Edges) * 100
+				cell.MaxDegreePct += math.Abs(q.MaxDegree) * 100
+			}
+			cell.EdgesPct /= float64(res.Trials)
+			cell.MaxDegreePct /= float64(res.Trials)
+			res.Cells[spec.Name][variant] = cell
+		}
+	}
+	return res, nil
+}
+
+func variantMatrix(v AblationVariant, dist *degseq.Distribution, workers int) *probgen.Matrix {
+	switch v {
+	case VariantRefined:
+		return probgen.Refine(dist, probgen.Generate(dist, workers), 12)
+	case VariantChungLu:
+		return probgen.ChungLu(dist)
+	default:
+		return probgen.Generate(dist, workers)
+	}
+}
+
+func residualL1(dist *degseq.Distribution, m *probgen.Matrix) float64 {
+	var s float64
+	for _, r := range probgen.RowResiduals(dist, m) {
+		s += math.Abs(r)
+	}
+	return s
+}
+
+// Render prints the comparison.
+func (r *AblationResult) Render(w io.Writer) {
+	header(w, fmt.Sprintf("Ablation — probability generation variants through identical edge-skipping (%d trials)", r.Trials))
+	fmt.Fprintf(w, "%-12s %-16s %14s %12s %12s\n", "dataset", "variant", "residual L1", "edges %err", "d_max %err")
+	for _, d := range r.Datasets {
+		for _, v := range r.Variants {
+			c := r.Cells[d][v]
+			fmt.Fprintf(w, "%-12s %-16s %14.2f %12.3f %12.3f\n", d, v, c.ResidualL1, c.EdgesPct, c.MaxDegreePct)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nullgraph/internal/chunglu"
+	"nullgraph/internal/datasets"
+	"nullgraph/internal/rng"
+)
+
+// Fig2Point is one degree of the Figure 2 series: the erased
+// configuration model's output vertex count at that degree versus the
+// target, averaged over trials.
+type Fig2Point struct {
+	Degree   int64
+	Target   int64
+	GotMean  float64
+	RelError float64 // (got-target)/target when target > 0
+}
+
+// Fig2Result reproduces Figure 2: erased-model degree distribution
+// error versus degree on the as20 analog.
+type Fig2Result struct {
+	Dataset string
+	Trials  int
+	Points  []Fig2Point
+	// MeanAbsRelError summarizes the curve (target degrees only).
+	MeanAbsRelError float64
+}
+
+// RunFig2 generates erased Chung-Lu graphs and tabulates the per-degree
+// output error.
+func RunFig2(cfg Config) (*Fig2Result, error) {
+	spec, err := datasets.ByName("as20")
+	if err != nil {
+		return nil, err
+	}
+	dist, err := cfg.load(spec)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.trials() * 3
+	res := &Fig2Result{Dataset: spec.Name, Trials: trials}
+
+	gotSum := map[int64]float64{}
+	for t := 0; t < trials; t++ {
+		el, _ := chunglu.GenerateErased(dist, chunglu.Options{
+			Workers: cfg.Workers,
+			Seed:    rng.Mix64(cfg.Seed) + uint64(t)*2654435761,
+		})
+		for _, d := range el.Degrees(cfg.Workers) {
+			gotSum[d]++
+		}
+	}
+	target := map[int64]int64{}
+	for _, c := range dist.Classes {
+		target[c.Degree] = c.Count
+	}
+	degrees := map[int64]struct{}{}
+	for d := range gotSum {
+		degrees[d] = struct{}{}
+	}
+	for d := range target {
+		degrees[d] = struct{}{}
+	}
+	var absSum float64
+	var withTarget int
+	for d := range degrees {
+		p := Fig2Point{Degree: d, Target: target[d], GotMean: gotSum[d] / float64(trials)}
+		if p.Target > 0 {
+			p.RelError = (p.GotMean - float64(p.Target)) / float64(p.Target)
+			absSum += math.Abs(p.RelError)
+			withTarget++
+		}
+		res.Points = append(res.Points, p)
+	}
+	sortFig2(res.Points)
+	if withTarget > 0 {
+		res.MeanAbsRelError = absSum / float64(withTarget)
+	}
+	return res, nil
+}
+
+func sortFig2(points []Fig2Point) {
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j-1].Degree > points[j].Degree; j-- {
+			points[j-1], points[j] = points[j], points[j-1]
+		}
+	}
+}
+
+// Render prints the error series.
+func (r *Fig2Result) Render(w io.Writer) {
+	header(w, fmt.Sprintf("Figure 2 — erased-model output degree distribution error (%s, %d trials)", r.Dataset, r.Trials))
+	fmt.Fprintf(w, "%10s %10s %12s %12s\n", "degree", "target", "mean output", "rel. error")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%10d %10d %12.2f %+12.4f\n", p.Degree, p.Target, p.GotMean, p.RelError)
+	}
+	fmt.Fprintf(w, "mean |relative error| over target degrees: %.4f\n", r.MeanAbsRelError)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nullgraph/internal/metrics"
+	"nullgraph/internal/rng"
+)
+
+// Fig3Cell is one (dataset, method) measurement: mean absolute
+// percentage errors over trials.
+type Fig3Cell struct {
+	EdgesPct     float64
+	MaxDegreePct float64
+	GiniPct      float64
+}
+
+// Fig3Result reproduces Figure 3: output quality per generator, as
+// percentage error in edge count (top panel), maximum degree (middle)
+// and Gini coefficient (bottom).
+type Fig3Result struct {
+	Datasets []string
+	Methods  []Method
+	Cells    map[string]map[Method]Fig3Cell
+	Trials   int
+}
+
+// RunFig3 measures every method's raw output against the target
+// distribution on the quality datasets.
+func RunFig3(cfg Config) (*Fig3Result, error) {
+	res := &Fig3Result{Methods: AllMethods(), Cells: map[string]map[Method]Fig3Cell{}, Trials: cfg.trials()}
+	for _, spec := range cfg.specs() {
+		dist, err := cfg.load(spec)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Cells[spec.Name] = map[Method]Fig3Cell{}
+		for _, method := range res.Methods {
+			var cell Fig3Cell
+			for t := 0; t < res.Trials; t++ {
+				el, err := generate(method, dist, cfg.Workers, rng.Mix64(cfg.Seed)^rng.Mix64(uint64(t)*31+uint64(len(method))))
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", method, spec.Name, err)
+				}
+				q := metrics.Quality(el, dist, cfg.Workers)
+				cell.EdgesPct += math.Abs(q.Edges) * 100
+				cell.MaxDegreePct += math.Abs(q.MaxDegree) * 100
+				cell.GiniPct += math.Abs(q.Gini) * 100
+			}
+			cell.EdgesPct /= float64(res.Trials)
+			cell.MaxDegreePct /= float64(res.Trials)
+			cell.GiniPct /= float64(res.Trials)
+			res.Cells[spec.Name][method] = cell
+		}
+	}
+	return res, nil
+}
+
+// Average returns the mean cell across datasets for one method (the
+// paper plots averaged error bars).
+func (r *Fig3Result) Average(m Method) Fig3Cell {
+	var avg Fig3Cell
+	if len(r.Datasets) == 0 {
+		return avg
+	}
+	for _, d := range r.Datasets {
+		c := r.Cells[d][m]
+		avg.EdgesPct += c.EdgesPct
+		avg.MaxDegreePct += c.MaxDegreePct
+		avg.GiniPct += c.GiniPct
+	}
+	n := float64(len(r.Datasets))
+	avg.EdgesPct /= n
+	avg.MaxDegreePct /= n
+	avg.GiniPct /= n
+	return avg
+}
+
+// Render prints the three panels.
+func (r *Fig3Result) Render(w io.Writer) {
+	header(w, fmt.Sprintf("Figure 3 — %% error in #edges / d_max / Gini (%d trials)", r.Trials))
+	for _, panel := range []struct {
+		name string
+		pick func(Fig3Cell) float64
+	}{
+		{"#edges", func(c Fig3Cell) float64 { return c.EdgesPct }},
+		{"d_max", func(c Fig3Cell) float64 { return c.MaxDegreePct }},
+		{"Gini", func(c Fig3Cell) float64 { return c.GiniPct }},
+	} {
+		fmt.Fprintf(w, "\n%% error in %s:\n%-12s", panel.name, "dataset")
+		for _, m := range r.Methods {
+			fmt.Fprintf(w, " %16s", m)
+		}
+		fmt.Fprintln(w)
+		for _, d := range r.Datasets {
+			fmt.Fprintf(w, "%-12s", d)
+			for _, m := range r.Methods {
+				fmt.Fprintf(w, " %16.3f", panel.pick(r.Cells[d][m]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-12s", "average")
+		for _, m := range r.Methods {
+			fmt.Fprintf(w, " %16.3f", panel.pick(r.Average(m)))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/metrics"
+	"nullgraph/internal/probgen"
+	"nullgraph/internal/rng"
+	"nullgraph/internal/swap"
+)
+
+// Fig4Series is one method's L1 error curve versus swap iterations on
+// one dataset.
+type Fig4Series struct {
+	Dataset string
+	Method  Method
+	// L1 holds the error at 0, 1, ..., Iterations swap iterations: the
+	// pair-count-weighted L1 distance between the method's empirical
+	// attachment matrix (averaged over trials) and the uniform-random
+	// reference, in expected-edge units.
+	L1 []float64
+}
+
+// Converged reports the first iteration at which the error drops within
+// factor of its final value (a simple mixing-time readout).
+func (s Fig4Series) Converged(factor float64) int {
+	if len(s.L1) == 0 {
+		return 0
+	}
+	final := s.L1[len(s.L1)-1]
+	for it, v := range s.L1 {
+		if v <= final*factor {
+			return it
+		}
+	}
+	return len(s.L1) - 1
+}
+
+// Fig4Result reproduces Figure 4: convergence of pairwise attachment
+// probabilities toward the uniform-random reference as swap iterations
+// accumulate.
+type Fig4Result struct {
+	Iterations int
+	Trials     int
+	Series     []Fig4Series
+}
+
+// RunFig4 runs every method's swap chain on the configured datasets,
+// snapshotting the attachment matrix at every iteration.
+func RunFig4(cfg Config) (*Fig4Result, error) {
+	iterations := cfg.swapIterations()
+	trials := cfg.trials()
+	res := &Fig4Result{Iterations: iterations, Trials: trials}
+	for _, spec := range cfg.specs() {
+		dist, err := cfg.load(spec)
+		if err != nil {
+			return nil, err
+		}
+		// The reference needs less variance than the curves it anchors;
+		// use a few times more samples than the per-method trials.
+		baseSamples := 3 * trials
+		if baseSamples < 6 {
+			baseSamples = 6
+		}
+		base, err := baseAttachment(dist, cfg.Workers, cfg.Seed^0xba5e, baseSamples, 48)
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range AllMethods() {
+			series, err := mixingCurve(dist, method, base, cfg, iterations, trials)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", method, spec.Name, err)
+			}
+			series.Dataset = spec.Name
+			res.Series = append(res.Series, series)
+		}
+	}
+	return res, nil
+}
+
+// mixingCurve measures one method's L1 trajectory: attachment matrices
+// are accumulated across trials at each iteration count, then compared
+// to the base.
+func mixingCurve(dist *degseq.Distribution, method Method, base *probgen.Matrix, cfg Config, iterations, trials int) (Fig4Series, error) {
+	accs := make([]*metrics.AttachmentAccumulator, iterations+1)
+	for i := range accs {
+		accs[i] = metrics.NewAttachmentAccumulator(dist)
+	}
+	for t := 0; t < trials; t++ {
+		el, err := generate(method, dist, cfg.Workers, rng.Mix64(cfg.Seed)^rng.Mix64(uint64(t)+uint64(len(method))*977))
+		if err != nil {
+			return Fig4Series{}, err
+		}
+		accs[0].Add(el)
+		eng := swap.NewEngine(el, swap.Options{
+			Workers: cfg.Workers,
+			Seed:    rng.Mix64(cfg.Seed) + uint64(t)*13,
+		})
+		for it := 1; it <= iterations; it++ {
+			eng.Step()
+			accs[it].Add(el)
+		}
+	}
+	counts := make([]int64, dist.NumClasses())
+	for i, c := range dist.Classes {
+		counts[i] = c.Count
+	}
+	series := Fig4Series{Method: method, L1: make([]float64, iterations+1)}
+	for it := 0; it <= iterations; it++ {
+		series.L1[it] = probgen.WeightedL1Distance(counts, accs[it].Matrix(), base)
+	}
+	return series, nil
+}
+
+// Render prints one row per (dataset, method) with the L1 trajectory.
+func (r *Fig4Result) Render(w io.Writer) {
+	header(w, fmt.Sprintf("Figure 4 — L1 error of pairwise attachment probabilities vs swap iterations (%d trials)", r.Trials))
+	fmt.Fprintf(w, "%-12s %-16s", "dataset", "method")
+	for it := 0; it <= r.Iterations; it++ {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("it%d", it))
+	}
+	fmt.Fprintln(w)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%-12s %-16s", s.Dataset, s.Method)
+		for _, v := range s.L1 {
+			fmt.Fprintf(w, " %7.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

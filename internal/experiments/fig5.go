@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nullgraph/internal/rng"
+	"nullgraph/internal/swap"
+)
+
+// Fig5Cell is one (dataset, method) end-to-end wall time.
+type Fig5Cell struct {
+	Generation time.Duration
+	Swap       time.Duration
+}
+
+// Total returns generation + one swap iteration.
+func (c Fig5Cell) Total() time.Duration { return c.Generation + c.Swap }
+
+// Fig5Result reproduces Figure 5: shared-memory end-to-end times for the
+// various generators with a single double-edge swap iteration (the
+// paper fixes one iteration "for consistency, as mixing time is
+// graph-dependent").
+type Fig5Result struct {
+	Datasets []string
+	Methods  []Method
+	Cells    map[string]map[Method]Fig5Cell
+}
+
+// RunFig5 times each generator end to end (generation + 1 swap
+// iteration), taking the best of cfg.trials() runs to damp scheduler
+// noise.
+func RunFig5(cfg Config) (*Fig5Result, error) {
+	res := &Fig5Result{Methods: AllMethods(), Cells: map[string]map[Method]Fig5Cell{}}
+	for _, spec := range cfg.specs() {
+		dist, err := cfg.load(spec)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Cells[spec.Name] = map[Method]Fig5Cell{}
+		for _, method := range res.Methods {
+			best := Fig5Cell{Generation: time.Hour, Swap: time.Hour}
+			for t := 0; t < cfg.trials(); t++ {
+				seed := rng.Mix64(cfg.Seed) + uint64(t)*librarySalt(method)
+				start := time.Now()
+				el, err := generate(method, dist, cfg.Workers, seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", method, spec.Name, err)
+				}
+				genTime := time.Since(start)
+				start = time.Now()
+				swap.Run(el, swap.Options{Iterations: 1, Workers: cfg.Workers, Seed: seed})
+				swapTime := time.Since(start)
+				if genTime+swapTime < best.Total() {
+					best = Fig5Cell{Generation: genTime, Swap: swapTime}
+				}
+			}
+			res.Cells[spec.Name][method] = best
+		}
+	}
+	return res, nil
+}
+
+func librarySalt(m Method) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(m); i++ {
+		h = (h ^ uint64(m[i])) * 1099511628211
+	}
+	return h | 1
+}
+
+// Render prints total milliseconds per (dataset, method).
+func (r *Fig5Result) Render(w io.Writer) {
+	header(w, "Figure 5 — end-to-end generation time, 1 swap iteration (ms)")
+	fmt.Fprintf(w, "%-12s", "dataset")
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, " %16s", m)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, "%-12s", d)
+		for _, m := range r.Methods {
+			fmt.Fprintf(w, " %16s", ms(r.Cells[d][m].Total()))
+		}
+		fmt.Fprintln(w)
+	}
+}

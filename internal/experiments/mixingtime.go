@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nullgraph/internal/havelhakimi"
+	"nullgraph/internal/mixing"
+	"nullgraph/internal/rng"
+)
+
+// MixingTimeRow is one dataset's empirical mixing diagnostics.
+type MixingTimeRow struct {
+	Dataset string
+	// RelaxationIters is the burn-in estimate of the triangle-count
+	// trajectory from a Havel-Hakimi (maximally structured) start.
+	RelaxationIters int
+	// Tau is the integrated autocorrelation time of the statistic after
+	// burn-in (samples one iteration apart).
+	Tau float64
+	// SuccessRate is the steady-state fraction of proposals committed.
+	SuccessRate float64
+	// SwappedAfterOne is the fraction of edges swapped in the first
+	// iteration.
+	SwappedAfterOne float64
+}
+
+// MixingTimeResult addresses the paper's discussion-section question —
+// how many iterations suffice, and how does it relate to the chance of
+// an unsuccessful swap — with empirical diagnostics per dataset.
+type MixingTimeResult struct {
+	Iterations int
+	Rows       []MixingTimeRow
+}
+
+// RunMixingTime records one trajectory per (skewed-by-default) dataset.
+func RunMixingTime(cfg Config) (*MixingTimeResult, error) {
+	iterations := cfg.swapIterations() * 2
+	if iterations < 24 {
+		iterations = 24
+	}
+	res := &MixingTimeResult{Iterations: iterations}
+	for _, spec := range cfg.specs() {
+		dist, err := cfg.load(spec)
+		if err != nil {
+			return nil, err
+		}
+		el, err := havelhakimi.Generate(dist)
+		if err != nil {
+			return nil, err
+		}
+		tr := mixing.Record(el, mixing.Options{
+			Iterations: iterations,
+			Workers:    cfg.Workers,
+			Seed:       rng.Mix64(cfg.Seed) ^ 0x317,
+			Statistic:  mixing.Triangles,
+		})
+		row := MixingTimeRow{Dataset: spec.Name}
+		row.RelaxationIters = mixing.RelaxationIterations(tr.Values, 0.05)
+		row.Tau = mixing.IntegratedTime(tr.Values[row.RelaxationIters:])
+		if len(tr.SwapStats) > 0 {
+			first := tr.SwapStats[0]
+			row.SwappedAfterOne = first.EverSwapped
+			last := tr.SwapStats[len(tr.SwapStats)-1]
+			if last.Attempts > 0 {
+				row.SuccessRate = float64(last.Successes) / float64(last.Attempts)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the diagnostics table.
+func (r *MixingTimeResult) Render(w io.Writer) {
+	header(w, fmt.Sprintf("Mixing-time diagnostics — triangle trajectory from a Havel-Hakimi start (%d iterations)", r.Iterations))
+	fmt.Fprintf(w, "%-12s %12s %8s %14s %16s\n", "dataset", "relaxation", "tau", "success rate", "swapped after 1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %12d %8.2f %13.1f%% %15.1f%%\n",
+			row.Dataset, row.RelaxationIters, row.Tau, row.SuccessRate*100, row.SwappedAfterOne*100)
+	}
+	fmt.Fprintln(w, "relaxation ≈ the paper's empirical 'steady state after ~10 iterations';")
+	fmt.Fprintln(w, "success rate relates mixing speed to graph density/skew, per the paper's discussion.")
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"nullgraph/internal/par"
+)
+
+// ConnectedComponents labels every vertex with a component ID in
+// [0, count) and returns the labels plus the component count. Isolated
+// vertices form singleton components.
+//
+// The algorithm is parallel label propagation with pointer-jumping
+// (a simplified Shiloach–Vishkin): repeatedly hook each edge's larger
+// label to the smaller via atomic min, then compress, until no label
+// changes. Deterministic: labels converge to the minimum vertex ID of
+// each component before renumbering.
+func ConnectedComponents(el *EdgeList, p int) (labels []int32, count int) {
+	p = par.Workers(p)
+	n := el.NumVertices
+	parent := make([]int32, n)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	if n == 0 {
+		return parent, 0
+	}
+
+	writeMin := func(slot *int32, val int32) bool {
+		for {
+			cur := atomic.LoadInt32(slot)
+			if cur <= val {
+				return false
+			}
+			if atomic.CompareAndSwapInt32(slot, cur, val) {
+				return true
+			}
+		}
+	}
+
+	for {
+		var changed atomic.Bool
+		// Hook: every edge pulls both endpoint roots toward the minimum.
+		par.ForRange(len(el.Edges), p, func(_ int, r par.Range) {
+			for i := r.Begin; i < r.End; i++ {
+				e := el.Edges[i]
+				pu := atomic.LoadInt32(&parent[e.U])
+				pv := atomic.LoadInt32(&parent[e.V])
+				if pu == pv {
+					continue
+				}
+				if pu < pv {
+					if writeMin(&parent[pv], pu) {
+						changed.Store(true)
+					}
+				} else {
+					if writeMin(&parent[pu], pv) {
+						changed.Store(true)
+					}
+				}
+			}
+		})
+		// Compress: pointer-jump every vertex to its root.
+		par.For(n, p, func(v int) {
+			root := atomic.LoadInt32(&parent[v])
+			for root != atomic.LoadInt32(&parent[root]) {
+				root = atomic.LoadInt32(&parent[root])
+			}
+			atomic.StoreInt32(&parent[v], root)
+		})
+		if !changed.Load() {
+			break
+		}
+	}
+
+	// Renumber roots densely, in ascending root order for determinism.
+	ids := map[int32]int32{}
+	for v := 0; v < n; v++ {
+		if parent[v] == int32(v) {
+			ids[int32(v)] = int32(len(ids))
+		}
+	}
+	par.For(n, p, func(v int) {
+		parent[v] = ids[parent[v]]
+	})
+	return parent, len(ids)
+}
+
+// LargestComponentSize returns the vertex count of the biggest
+// connected component (0 for an empty graph).
+func LargestComponentSize(el *EdgeList, p int) int {
+	labels, count := ConnectedComponents(el, p)
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// GlobalClusteringCoefficient returns 3·triangles / wedges (the
+// transitivity ratio) of a simple graph, 0 when the graph has no wedge.
+func GlobalClusteringCoefficient(el *EdgeList, p int) float64 {
+	deg := el.Degrees(p)
+	wedges := par.SumInt64(len(deg), p, func(v int) int64 {
+		return deg[v] * (deg[v] - 1) / 2
+	})
+	if wedges == 0 {
+		return 0
+	}
+	triangles := BuildCSR(el, p).CountTriangles(p)
+	return 3 * float64(triangles) / float64(wedges)
+}

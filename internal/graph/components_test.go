@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"nullgraph/internal/rng"
+)
+
+func TestConnectedComponentsBasic(t *testing.T) {
+	// Two triangles and an isolated vertex: 3 components.
+	el := NewEdgeList([]Edge{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+	}, 7)
+	for _, p := range []int{1, 4} {
+		labels, count := ConnectedComponents(el, p)
+		if count != 3 {
+			t.Fatalf("p=%d: count = %d, want 3", p, count)
+		}
+		if labels[0] != labels[1] || labels[1] != labels[2] {
+			t.Error("triangle 1 split")
+		}
+		if labels[3] != labels[4] || labels[4] != labels[5] {
+			t.Error("triangle 2 split")
+		}
+		if labels[0] == labels[3] || labels[0] == labels[6] || labels[3] == labels[6] {
+			t.Error("distinct components merged")
+		}
+	}
+}
+
+func TestConnectedComponentsDeterministicLabels(t *testing.T) {
+	el := pathGraph(1000)
+	a, ca := ConnectedComponents(el, 4)
+	b, cb := ConnectedComponents(el, 2)
+	if ca != cb {
+		t.Fatalf("counts differ: %d vs %d", ca, cb)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("labels differ at %d", v)
+		}
+	}
+}
+
+func TestConnectedComponentsPath(t *testing.T) {
+	el := pathGraph(5000)
+	labels, count := ConnectedComponents(el, 8)
+	if count != 1 {
+		t.Fatalf("path has %d components", count)
+	}
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("vertex %d label %d", v, l)
+		}
+	}
+}
+
+func TestConnectedComponentsEmptyAndIsolated(t *testing.T) {
+	labels, count := ConnectedComponents(NewEdgeList(nil, 0), 2)
+	if count != 0 || len(labels) != 0 {
+		t.Error("empty graph mishandled")
+	}
+	labels, count = ConnectedComponents(NewEdgeList(nil, 4), 2)
+	if count != 4 {
+		t.Fatalf("4 isolated vertices => %d components", count)
+	}
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Error("isolated vertices share a component")
+		}
+		seen[l] = true
+	}
+}
+
+func TestConnectedComponentsRandomAgainstUnionFind(t *testing.T) {
+	src := rng.New(5)
+	const n = 2000
+	var edges []Edge
+	for i := 0; i < 3000; i++ {
+		edges = append(edges, Edge{U: int32(src.Intn(n)), V: int32(src.Intn(n))})
+	}
+	el := NewEdgeList(edges, n)
+	labels, count := ConnectedComponents(el, 4)
+
+	// Serial union-find reference.
+	uf := make([]int32, n)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			uf[ru] = rv
+		}
+	}
+	refCount := 0
+	for v := int32(0); v < n; v++ {
+		if find(v) == v {
+			refCount++
+		}
+	}
+	if count != refCount {
+		t.Fatalf("count = %d, union-find says %d", count, refCount)
+	}
+	// Same-component relation must match.
+	for i := 0; i < 5000; i++ {
+		u, v := int32(src.Intn(n)), int32(src.Intn(n))
+		if (labels[u] == labels[v]) != (find(u) == find(v)) {
+			t.Fatalf("relation mismatch for (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestLargestComponentSize(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}, {3, 4}}, 6)
+	if got := LargestComponentSize(el, 2); got != 3 {
+		t.Errorf("LargestComponentSize = %d, want 3", got)
+	}
+	if got := LargestComponentSize(NewEdgeList(nil, 0), 2); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	// Triangle: transitivity 1.
+	tri := NewEdgeList([]Edge{{0, 1}, {1, 2}, {2, 0}}, 3)
+	if got := GlobalClusteringCoefficient(tri, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("triangle transitivity = %v", got)
+	}
+	// Path: no triangles.
+	path := pathGraph(10)
+	if got := GlobalClusteringCoefficient(path, 2); got != 0 {
+		t.Errorf("path transitivity = %v", got)
+	}
+	// Star: wedges but no triangles.
+	star := NewEdgeList([]Edge{{0, 1}, {0, 2}, {0, 3}}, 4)
+	if got := GlobalClusteringCoefficient(star, 1); got != 0 {
+		t.Errorf("star transitivity = %v", got)
+	}
+	// K4: 4 triangles, 12 wedges: 3*4/12 = 1.
+	k4 := NewEdgeList([]Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4)
+	if got := GlobalClusteringCoefficient(k4, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K4 transitivity = %v", got)
+	}
+	// Empty.
+	if got := GlobalClusteringCoefficient(NewEdgeList(nil, 0), 1); got != 0 {
+		t.Errorf("empty transitivity = %v", got)
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+import "testing"
+
+func TestBuildCSRBasic(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 attached to 0.
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}, {2, 0}, {0, 3}}, 4)
+	for _, p := range []int{1, 4} {
+		c := BuildCSR(el, p)
+		if c.NumVertices() != 4 {
+			t.Fatalf("p=%d: NumVertices = %d", p, c.NumVertices())
+		}
+		wantDeg := []int64{3, 2, 2, 1}
+		for v, w := range wantDeg {
+			if c.Degree(int32(v)) != w {
+				t.Errorf("p=%d: Degree(%d) = %d, want %d", p, v, c.Degree(int32(v)), w)
+			}
+		}
+		wantNbr := [][]int32{{1, 2, 3}, {0, 2}, {0, 1}, {0}}
+		for v, w := range wantNbr {
+			got := c.Neighbors(int32(v))
+			if len(got) != len(w) {
+				t.Fatalf("p=%d: Neighbors(%d) = %v, want %v", p, v, got, w)
+			}
+			for i := range w {
+				if got[i] != w[i] {
+					t.Fatalf("p=%d: Neighbors(%d) = %v, want %v", p, v, got, w)
+				}
+			}
+		}
+	}
+}
+
+func TestCSRHasEdge(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}, {2, 0}, {0, 3}}, 4)
+	c := BuildCSR(el, 2)
+	for _, e := range el.Edges {
+		if !c.HasEdge(e.U, e.V) || !c.HasEdge(e.V, e.U) {
+			t.Errorf("HasEdge missing %v", e)
+		}
+	}
+	for _, miss := range []Edge{{1, 3}, {2, 3}, {3, 3}} {
+		if c.HasEdge(miss.U, miss.V) {
+			t.Errorf("HasEdge falsely reports %v", miss)
+		}
+	}
+}
+
+func TestCSRSelfLoop(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 0}, {0, 1}}, 2)
+	c := BuildCSR(el, 1)
+	if c.Degree(0) != 3 {
+		t.Errorf("Degree(0) = %d, want 3 (loop counts twice)", c.Degree(0))
+	}
+}
+
+func TestCountTriangles(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []Edge
+		n     int
+		want  int64
+	}{
+		{"triangle", []Edge{{0, 1}, {1, 2}, {2, 0}}, 3, 1},
+		{"path", []Edge{{0, 1}, {1, 2}, {2, 3}}, 4, 0},
+		{"k4", []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4, 4},
+		{"two-triangles", []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}, 6, 2},
+		{"empty", nil, 0, 0},
+	}
+	for _, c := range cases {
+		el := NewEdgeList(c.edges, c.n)
+		csr := BuildCSR(el, 2)
+		for _, p := range []int{1, 3} {
+			if got := csr.CountTriangles(p); got != c.want {
+				t.Errorf("%s p=%d: CountTriangles = %d, want %d", c.name, p, got, c.want)
+			}
+		}
+	}
+}
+
+func TestCSRMatchesEdgeListDegrees(t *testing.T) {
+	el := pathGraph(257)
+	c := BuildCSR(el, 3)
+	deg := el.Degrees(3)
+	for v := 0; v < el.NumVertices; v++ {
+		if c.Degree(int32(v)) != deg[v] {
+			t.Fatalf("degree mismatch at %d: CSR %d vs list %d", v, c.Degree(int32(v)), deg[v])
+		}
+	}
+}

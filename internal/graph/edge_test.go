@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want Edge }{
+		{Edge{1, 2}, Edge{1, 2}},
+		{Edge{2, 1}, Edge{1, 2}},
+		{Edge{5, 5}, Edge{5, 5}},
+		{Edge{0, 0}, Edge{0, 0}},
+	}
+	for _, c := range cases {
+		if got := c.in.Canonical(); got != c.want {
+			t.Errorf("%v.Canonical() = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsLoop(t *testing.T) {
+	if !(Edge{3, 3}).IsLoop() {
+		t.Error("(3,3) not reported as loop")
+	}
+	if (Edge{3, 4}).IsLoop() {
+		t.Error("(3,4) reported as loop")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(u, v int32) bool {
+		if u < 0 {
+			u = -u
+		}
+		if v < 0 {
+			v = -v
+		}
+		e := Edge{U: u, V: v}
+		got := EdgeFromKey(e.Key())
+		return got == e.Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyUndirectedIdentity(t *testing.T) {
+	f := func(u, v int32) bool {
+		if u < 0 {
+			u = -u
+		}
+		if v < 0 {
+			v = -v
+		}
+		return (Edge{u, v}).Key() == (Edge{v, u}).Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Distinct canonical edges must have distinct keys.
+	seen := map[uint64]Edge{}
+	for u := int32(0); u < 40; u++ {
+		for v := u; v < 40; v++ {
+			e := Edge{u, v}
+			k := e.Key()
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("edges %v and %v share key %#x", prev, e, k)
+			}
+			seen[k] = e
+		}
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	if got := (Edge{7, 9}).String(); got != "(7,9)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"sort"
+
+	"nullgraph/internal/par"
+)
+
+// EdgeList is the mutable edge-centric graph representation the swap
+// engine operates on. Order is significant only as MCMC state: the swap
+// procedure permutes it every iteration.
+type EdgeList struct {
+	Edges []Edge
+	// NumVertices is the vertex-ID upper bound (IDs are in [0, NumVertices)).
+	NumVertices int
+}
+
+// NewEdgeList wraps edges with an explicit vertex count. It panics if an
+// endpoint is out of [0, numVertices).
+func NewEdgeList(edges []Edge, numVertices int) *EdgeList {
+	for _, e := range edges {
+		if e.U < 0 || e.V < 0 || int(e.U) >= numVertices || int(e.V) >= numVertices {
+			panic("graph: edge endpoint out of range")
+		}
+	}
+	return &EdgeList{Edges: edges, NumVertices: numVertices}
+}
+
+// FromEdges builds an EdgeList inferring the vertex count as maxID+1.
+func FromEdges(edges []Edge) *EdgeList {
+	var max int32 = -1
+	for _, e := range edges {
+		if e.U > max {
+			max = e.U
+		}
+		if e.V > max {
+			max = e.V
+		}
+	}
+	return &EdgeList{Edges: edges, NumVertices: int(max + 1)}
+}
+
+// NumEdges returns m.
+func (el *EdgeList) NumEdges() int { return len(el.Edges) }
+
+// Clone deep-copies the edge list.
+func (el *EdgeList) Clone() *EdgeList {
+	edges := make([]Edge, len(el.Edges))
+	copy(edges, el.Edges)
+	return &EdgeList{Edges: edges, NumVertices: el.NumVertices}
+}
+
+// Degrees computes the degree of every vertex in parallel with p
+// workers. Self-loops contribute 2 to their vertex's degree, the
+// standard convention (each loop occupies two edge stubs).
+func (el *EdgeList) Degrees(p int) []int64 {
+	p = par.Workers(p)
+	deg := make([]int64, el.NumVertices)
+	// Per-worker private accumulation avoids atomics on the hot path;
+	// degree arrays are small next to edge lists.
+	ranges := par.Split(len(el.Edges), p)
+	if len(ranges) <= 1 {
+		for _, e := range el.Edges {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		return deg
+	}
+	partials := make([][]int64, len(ranges))
+	par.ForRange(len(el.Edges), p, func(w int, r par.Range) {
+		local := make([]int64, el.NumVertices)
+		for i := r.Begin; i < r.End; i++ {
+			e := el.Edges[i]
+			local[e.U]++
+			local[e.V]++
+		}
+		partials[w] = local
+	})
+	par.For(el.NumVertices, p, func(v int) {
+		var s int64
+		for _, local := range partials {
+			s += local[v]
+		}
+		deg[v] = s
+	})
+	return deg
+}
+
+// Simplicity describes the self-loop / multi-edge content of a list.
+type Simplicity struct {
+	SelfLoops  int
+	MultiEdges int // number of edge instances beyond the first per vertex pair
+}
+
+// IsSimple reports no loops and no multi-edges.
+func (s Simplicity) IsSimple() bool { return s.SelfLoops == 0 && s.MultiEdges == 0 }
+
+// CheckSimplicity counts self-loops and duplicate undirected edges.
+// Runs in O(m log m) via key sorting; used in validation paths, not in
+// the generation hot loop (the swap engine uses the concurrent hash
+// table instead).
+func (el *EdgeList) CheckSimplicity() Simplicity {
+	var s Simplicity
+	keys := make([]uint64, 0, len(el.Edges))
+	for _, e := range el.Edges {
+		if e.IsLoop() {
+			s.SelfLoops++
+			continue
+		}
+		keys = append(keys, e.Key())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			s.MultiEdges++
+		}
+	}
+	return s
+}
+
+// Simplify returns a copy with self-loops and duplicate edges removed
+// (the "erased" operation) plus the simplicity report of the input.
+func (el *EdgeList) Simplify() (*EdgeList, Simplicity) {
+	rep := el.CheckSimplicity()
+	seen := make(map[uint64]struct{}, len(el.Edges))
+	out := make([]Edge, 0, len(el.Edges))
+	for _, e := range el.Edges {
+		if e.IsLoop() {
+			continue
+		}
+		k := e.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, e)
+	}
+	return &EdgeList{Edges: out, NumVertices: el.NumVertices}, rep
+}
+
+// SortCanonical sorts edges by canonical key; useful for deterministic
+// comparison of edge sets in tests.
+func (el *EdgeList) SortCanonical() {
+	sort.Slice(el.Edges, func(i, j int) bool { return el.Edges[i].Key() < el.Edges[j].Key() })
+}
+
+// EqualAsSets reports whether two lists contain the same multiset of
+// undirected edges.
+func (el *EdgeList) EqualAsSets(other *EdgeList) bool {
+	if len(el.Edges) != len(other.Edges) {
+		return false
+	}
+	a := make([]uint64, len(el.Edges))
+	b := make([]uint64, len(other.Edges))
+	for i := range el.Edges {
+		a[i] = el.Edges[i].Key()
+		b[i] = other.Edges[i].Key()
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

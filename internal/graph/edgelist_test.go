@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"testing"
+)
+
+func pathGraph(n int) *EdgeList {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{int32(i), int32(i + 1)})
+	}
+	return NewEdgeList(edges, n)
+}
+
+func TestNewEdgeListValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range endpoint did not panic")
+		}
+	}()
+	NewEdgeList([]Edge{{0, 5}}, 3)
+}
+
+func TestFromEdgesInfersVertexCount(t *testing.T) {
+	el := FromEdges([]Edge{{0, 7}, {2, 3}})
+	if el.NumVertices != 8 {
+		t.Errorf("NumVertices = %d, want 8", el.NumVertices)
+	}
+	empty := FromEdges(nil)
+	if empty.NumVertices != 0 {
+		t.Errorf("empty NumVertices = %d, want 0", empty.NumVertices)
+	}
+}
+
+func TestDegreesSerialAndParallelAgree(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}, {2, 2}, {0, 2}, {3, 0}}, 5)
+	want := []int64{3, 2, 4, 1, 0} // loop at 2 counts twice: 1+2+1
+	for _, p := range []int{1, 2, 4, 8} {
+		got := el.Degrees(p)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Errorf("p=%d: deg[%d] = %d, want %d", p, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDegreesSumIs2M(t *testing.T) {
+	el := pathGraph(100)
+	deg := el.Degrees(4)
+	var sum int64
+	for _, d := range deg {
+		sum += d
+	}
+	if sum != int64(2*el.NumEdges()) {
+		t.Errorf("degree sum = %d, want %d", sum, 2*el.NumEdges())
+	}
+}
+
+func TestCheckSimplicity(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []Edge
+		want  Simplicity
+	}{
+		{"simple", []Edge{{0, 1}, {1, 2}}, Simplicity{0, 0}},
+		{"loop", []Edge{{0, 0}, {1, 2}}, Simplicity{1, 0}},
+		{"multi", []Edge{{0, 1}, {1, 0}, {1, 2}}, Simplicity{0, 1}},
+		{"triple", []Edge{{0, 1}, {1, 0}, {0, 1}}, Simplicity{0, 2}},
+		{"both", []Edge{{0, 0}, {0, 0}, {0, 1}, {1, 0}}, Simplicity{2, 1}},
+		{"empty", nil, Simplicity{0, 0}},
+	}
+	for _, c := range cases {
+		el := FromEdges(c.edges)
+		got := el.CheckSimplicity()
+		if got != c.want {
+			t.Errorf("%s: CheckSimplicity = %+v, want %+v", c.name, got, c.want)
+		}
+		if got.IsSimple() != (c.want.SelfLoops == 0 && c.want.MultiEdges == 0) {
+			t.Errorf("%s: IsSimple inconsistent", c.name)
+		}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 0}, {0, 1}, {1, 0}, {1, 2}, {2, 2}}, 3)
+	simple, rep := el.Simplify()
+	if rep.SelfLoops != 2 || rep.MultiEdges != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if got := simple.CheckSimplicity(); !got.IsSimple() {
+		t.Errorf("Simplify output not simple: %+v", got)
+	}
+	if simple.NumEdges() != 2 {
+		t.Errorf("Simplify kept %d edges, want 2", simple.NumEdges())
+	}
+	if simple.NumVertices != el.NumVertices {
+		t.Errorf("Simplify changed NumVertices to %d", simple.NumVertices)
+	}
+	// Original untouched.
+	if el.NumEdges() != 5 {
+		t.Errorf("Simplify mutated input")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	el := pathGraph(4)
+	cl := el.Clone()
+	cl.Edges[0] = Edge{3, 3}
+	if el.Edges[0] == (Edge{3, 3}) {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestEqualAsSets(t *testing.T) {
+	a := FromEdges([]Edge{{0, 1}, {2, 3}})
+	b := FromEdges([]Edge{{3, 2}, {1, 0}})
+	if !a.EqualAsSets(b) {
+		t.Error("orientation/order should not affect set equality")
+	}
+	c := FromEdges([]Edge{{0, 1}, {2, 4}})
+	if a.EqualAsSets(c) {
+		t.Error("different edges reported equal")
+	}
+	d := FromEdges([]Edge{{0, 1}})
+	if a.EqualAsSets(d) {
+		t.Error("different sizes reported equal")
+	}
+	// Multisets: duplicate counts matter.
+	e1 := FromEdges([]Edge{{0, 1}, {0, 1}, {2, 3}})
+	e2 := FromEdges([]Edge{{0, 1}, {2, 3}, {2, 3}})
+	if e1.EqualAsSets(e2) {
+		t.Error("different multiplicities reported equal")
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	el := FromEdges([]Edge{{5, 1}, {0, 3}, {2, 2}})
+	el.SortCanonical()
+	for i := 1; i < len(el.Edges); i++ {
+		if el.Edges[i-1].Key() > el.Edges[i].Key() {
+			t.Errorf("not sorted at %d: %v", i, el.Edges)
+		}
+	}
+}

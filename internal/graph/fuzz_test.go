@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeListText checks the text parser never panics and that
+// anything it accepts round-trips through the writer.
+func FuzzReadEdgeListText(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n5 5\n")
+	f.Add("bad input")
+	f.Add("-1 0\n")
+	f.Add("1 99999999999999\n")
+	f.Add("0 1 extra tokens ok? no\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		el, err := ReadEdgeListText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeListText(&buf, el); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadEdgeListText(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if len(back.Edges) != len(el.Edges) {
+			t.Fatalf("round trip changed edge count: %d vs %d", len(back.Edges), len(el.Edges))
+		}
+		for i := range el.Edges {
+			if back.Edges[i] != el.Edges[i] {
+				t.Fatalf("round trip changed edge %d", i)
+			}
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip checks the binary reader is robust against
+// arbitrary bytes and exact on its own output.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}}, 3)
+	if err := WriteEdgeListBinary(&seed, el); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadEdgeListBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeListBinary(&buf, got); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadEdgeListBinary(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if len(back.Edges) != len(got.Edges) || back.NumVertices != got.NumVertices {
+			t.Fatal("binary round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeListText writes one "u v" pair per line, the format shared by
+// SNAP-style datasets. Lines are written in list order.
+func WriteEdgeListText(w io.Writer, el *EdgeList) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range el.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeListText parses "u v" pairs, one per line. Blank lines and
+// lines starting with '#' or '%' (SNAP/Matrix-Market comments) are
+// skipped. Vertex IDs must be non-negative and fit in int32.
+func ReadEdgeListText(r io.Reader) (*EdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two vertex IDs, got %q", line, text)
+		}
+		u, err := parseVertex(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := parseVertex(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return FromEdges(edges), nil
+}
+
+func parseVertex(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex ID %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative vertex ID %d", v)
+	}
+	return int32(v), nil
+}
+
+// binaryMagic identifies the library's binary edge-list format.
+const binaryMagic = uint64(0x4e554c4c47524632) // "NULLGRF2"
+
+// WriteEdgeListBinary writes a compact little-endian binary encoding:
+// magic, n, m, then m packed 64-bit edges in list order. Roughly 8 bytes
+// per edge versus ~14 for text, and parse-free to reload.
+func WriteEdgeListBinary(w io.Writer, el *EdgeList) error {
+	bw := bufio.NewWriter(w)
+	header := []uint64{binaryMagic, uint64(el.NumVertices), uint64(len(el.Edges))}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, e := range el.Edges {
+		// Preserve orientation (not canonicalized): list order and edge
+		// orientation are MCMC state.
+		binary.LittleEndian.PutUint64(buf, uint64(uint32(e.U))<<32|uint64(uint32(e.V)))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeListBinary reads the format written by WriteEdgeListBinary.
+func ReadEdgeListBinary(r io.Reader) (*EdgeList, error) {
+	br := bufio.NewReader(r)
+	var magic, n, m uint64
+	for _, dst := range []*uint64{&magic, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("graph: reading binary header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds int32 range", n)
+	}
+	edges := make([]Edge, m)
+	buf := make([]byte, 8)
+	for i := range edges {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		k := binary.LittleEndian.Uint64(buf)
+		e := Edge{U: int32(uint32(k >> 32)), V: int32(uint32(k))}
+		if int(e.U) >= int(n) || int(e.V) >= int(n) {
+			return nil, fmt.Errorf("graph: edge %d endpoint out of range", i)
+		}
+		edges[i] = e
+	}
+	return &EdgeList{Edges: edges, NumVertices: int(n)}, nil
+}

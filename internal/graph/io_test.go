@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {5, 2}, {3, 3}}, 6)
+	var buf bytes.Buffer
+	if err := WriteEdgeListText(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeListText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Edges) != len(el.Edges) {
+		t.Fatalf("round trip lost edges: %d vs %d", len(got.Edges), len(el.Edges))
+	}
+	for i := range el.Edges {
+		if got.Edges[i] != el.Edges[i] {
+			t.Errorf("edge %d: %v vs %v", i, got.Edges[i], el.Edges[i])
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n% other comment\n0 1\n  2 3  \n"
+	el, err := ReadEdgeListText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.NumEdges() != 2 {
+		t.Fatalf("parsed %d edges, want 2", el.NumEdges())
+	}
+	if el.Edges[1] != (Edge{2, 3}) {
+		t.Errorf("edge[1] = %v", el.Edges[1])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"0\n",             // one field
+		"a b\n",           // non-numeric
+		"-1 2\n",          // negative
+		"0 99999999999\n", // overflow int32
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeListText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {5, 2}, {3, 3}, {2, 5}}, 6)
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeListBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != el.NumVertices {
+		t.Errorf("NumVertices = %d, want %d", got.NumVertices, el.NumVertices)
+	}
+	if len(got.Edges) != len(el.Edges) {
+		t.Fatalf("edge count = %d, want %d", len(got.Edges), len(el.Edges))
+	}
+	for i := range el.Edges {
+		if got.Edges[i] != el.Edges[i] {
+			t.Errorf("edge %d: %v vs %v (orientation must be preserved)", i, got.Edges[i], el.Edges[i])
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	buf := bytes.Repeat([]byte{0xAB}, 24)
+	if _, err := ReadEdgeListBinary(bytes.NewReader(buf)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}}, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadEdgeListBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	el := NewEdgeList(nil, 0)
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeListBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 0 || got.NumVertices != 0 {
+		t.Errorf("empty round trip: %+v", got)
+	}
+}
+
+func TestStatsFromDegrees(t *testing.T) {
+	deg := []int64{3, 1, 1, 1, 0}
+	s := StatsFromDegrees(deg, 3)
+	if s.NumVertices != 5 || s.NumEdges != 3 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.MaxDegree != 3 {
+		t.Errorf("MaxDegree = %d", s.MaxDegree)
+	}
+	if s.UniqueDegrees != 3 {
+		t.Errorf("UniqueDegrees = %d, want 3", s.UniqueDegrees)
+	}
+	if s.AvgDegree != 6.0/5.0 {
+		t.Errorf("AvgDegree = %v", s.AvgDegree)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	el := pathGraph(5) // degrees 1,2,2,2,1
+	s := ComputeStats(el, 2)
+	if s.NumEdges != 4 || s.MaxDegree != 2 || s.UniqueDegrees != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := StatsFromDegrees(nil, 0)
+	if s.MaxDegree != 0 || s.UniqueDegrees != 0 || s.AvgDegree != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestMaxDegreeParallel(t *testing.T) {
+	deg := []int64{1, 9, 4, 9, 2}
+	if got := MaxDegree(deg, 3); got != 9 {
+		t.Errorf("MaxDegree = %d", got)
+	}
+}

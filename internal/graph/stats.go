@@ -1,0 +1,43 @@
+package graph
+
+import "nullgraph/internal/par"
+
+// Stats summarizes a graph the way the paper's Table I does.
+type Stats struct {
+	NumVertices   int
+	NumEdges      int
+	AvgDegree     float64
+	MaxDegree     int64
+	UniqueDegrees int // |D|
+}
+
+// ComputeStats derives Table I-style statistics from an edge list.
+func ComputeStats(el *EdgeList, p int) Stats {
+	deg := el.Degrees(p)
+	return StatsFromDegrees(deg, len(el.Edges))
+}
+
+// StatsFromDegrees derives statistics from a degree array and edge count.
+func StatsFromDegrees(deg []int64, m int) Stats {
+	s := Stats{NumVertices: len(deg), NumEdges: m}
+	if len(deg) == 0 {
+		return s
+	}
+	seen := make(map[int64]struct{})
+	var sum int64
+	for _, d := range deg {
+		sum += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		seen[d] = struct{}{}
+	}
+	s.AvgDegree = float64(sum) / float64(len(deg))
+	s.UniqueDegrees = len(seen)
+	return s
+}
+
+// MaxDegree returns the largest degree in parallel.
+func MaxDegree(deg []int64, p int) int64 {
+	return par.MaxInt64(len(deg), p, func(i int) int64 { return deg[i] })
+}

@@ -1,0 +1,136 @@
+// Package hashtable implements the concurrent open-addressing edge set
+// from the paper (adapted from Slota et al. [33]): packed 64-bit edge
+// keys, one atomic compare-and-swap per insertion in the common case,
+// and linear or quadratic probing on collision.
+//
+// The table supports only TestAndSet (insert-if-absent), Contains, and
+// Clear — exactly the operations double-edge swapping needs. There is no
+// deletion: the swap loop rebuilds/clears the table every iteration.
+package hashtable
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nullgraph/internal/par"
+	"nullgraph/internal/rng"
+)
+
+// Probing selects the collision-resolution sequence.
+type Probing int
+
+const (
+	// Linear probing: slot, slot+1, slot+2, ...
+	Linear Probing = iota
+	// Quadratic probing: slot, slot+1, slot+3, slot+6, ... (triangular
+	// increments, which visit every slot of a power-of-two table).
+	Quadratic
+)
+
+// EdgeSet is a fixed-capacity concurrent set of uint64 keys. Safe for
+// concurrent TestAndSet/Contains; Clear must not race with writers.
+//
+// Slot encoding: 0 = empty, otherwise key+1 (vertex IDs are int32, so
+// key+1 never wraps).
+type EdgeSet struct {
+	slots   []uint64
+	mask    uint64
+	probing Probing
+	size    atomic.Int64
+}
+
+// New creates a set able to hold capacity keys at ~50% max load.
+// The slot count is the next power of two >= 2*capacity.
+func New(capacity int, probing Probing) *EdgeSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := uint64(1)
+	for n < 2*uint64(capacity) {
+		n <<= 1
+	}
+	return &EdgeSet{slots: make([]uint64, n), mask: n - 1, probing: probing}
+}
+
+// Capacity returns the maximum number of keys the set accepts.
+func (s *EdgeSet) Capacity() int { return len(s.slots) / 2 }
+
+// Len returns the current number of stored keys.
+func (s *EdgeSet) Len() int { return int(s.size.Load()) }
+
+// TestAndSet inserts key if absent. It returns true if the key was
+// already present ("test" hit) and false if this call inserted it —
+// matching the paper's TestAndSet return convention in Algorithm III.1.
+//
+// It panics if the table is past its load limit; callers size the table
+// for the worst-case insertion count of one swap iteration (2m).
+func (s *EdgeSet) TestAndSet(key uint64) bool {
+	stored := key + 1
+	slot := rng.Mix64(key) & s.mask
+	for step := uint64(1); ; step++ {
+		cur := atomic.LoadUint64(&s.slots[slot])
+		if cur == stored {
+			return true
+		}
+		if cur == 0 {
+			if atomic.CompareAndSwapUint64(&s.slots[slot], 0, stored) {
+				if s.size.Add(1) > int64(len(s.slots))-1 {
+					panic("hashtable: EdgeSet overfull")
+				}
+				return false
+			}
+			// Collision: another thread claimed this slot between the
+			// load and the CAS. Re-examine the same slot — it may now
+			// hold our key.
+			cur = atomic.LoadUint64(&s.slots[slot])
+			if cur == stored {
+				return true
+			}
+		}
+		if step > uint64(len(s.slots)) {
+			panic("hashtable: probe sequence exhausted (table full)")
+		}
+		slot = s.next(slot, step)
+	}
+}
+
+// Contains reports whether key is present, without inserting.
+func (s *EdgeSet) Contains(key uint64) bool {
+	stored := key + 1
+	slot := rng.Mix64(key) & s.mask
+	for step := uint64(1); ; step++ {
+		cur := atomic.LoadUint64(&s.slots[slot])
+		if cur == stored {
+			return true
+		}
+		if cur == 0 {
+			return false
+		}
+		if step > uint64(len(s.slots)) {
+			return false
+		}
+		slot = s.next(slot, step)
+	}
+}
+
+// next advances the probe sequence. step counts completed probes.
+func (s *EdgeSet) next(slot, step uint64) uint64 {
+	if s.probing == Quadratic {
+		return (slot + step) & s.mask // triangular: cumulative +1,+2,+3...
+	}
+	return (slot + 1) & s.mask
+}
+
+// Clear empties the set in parallel with p workers. Not safe to run
+// concurrently with TestAndSet/Contains.
+func (s *EdgeSet) Clear(p int) {
+	par.ForRange(len(s.slots), p, func(_ int, r par.Range) {
+		clear(s.slots[r.Begin:r.End])
+	})
+	s.size.Store(0)
+}
+
+// String describes the table occupancy; used in debug logs.
+func (s *EdgeSet) String() string {
+	return fmt.Sprintf("EdgeSet{slots=%d, size=%d}", len(s.slots), s.Len())
+}

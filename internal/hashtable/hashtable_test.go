@@ -1,0 +1,260 @@
+package hashtable
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"nullgraph/internal/rng"
+)
+
+func TestTestAndSetBasic(t *testing.T) {
+	for _, probing := range []Probing{Linear, Quadratic} {
+		s := New(16, probing)
+		if s.TestAndSet(42) {
+			t.Error("fresh key reported present")
+		}
+		if !s.TestAndSet(42) {
+			t.Error("inserted key reported absent")
+		}
+		if s.Len() != 1 {
+			t.Errorf("Len = %d, want 1", s.Len())
+		}
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	// Key 0 is the packed (0,0) edge; it must be storable despite the
+	// empty-slot sentinel.
+	s := New(4, Linear)
+	if s.Contains(0) {
+		t.Error("empty table contains key 0")
+	}
+	if s.TestAndSet(0) {
+		t.Error("fresh key 0 reported present")
+	}
+	if !s.Contains(0) || !s.TestAndSet(0) {
+		t.Error("key 0 lost after insertion")
+	}
+}
+
+func TestContainsDoesNotInsert(t *testing.T) {
+	s := New(8, Linear)
+	if s.Contains(7) {
+		t.Error("phantom key")
+	}
+	if s.Len() != 0 {
+		t.Error("Contains inserted")
+	}
+}
+
+func TestSetSemanticsMatchMap(t *testing.T) {
+	for _, probing := range []Probing{Linear, Quadratic} {
+		s := New(512, probing)
+		ref := map[uint64]bool{}
+		r := rng.New(99)
+		for i := 0; i < 500; i++ {
+			// Small key space forces repeats.
+			key := r.Uint64n(200)
+			wantPresent := ref[key]
+			if got := s.TestAndSet(key); got != wantPresent {
+				t.Fatalf("probing=%v: TestAndSet(%d) = %v, want %v", probing, key, got, wantPresent)
+			}
+			ref[key] = true
+		}
+		if s.Len() != len(ref) {
+			t.Errorf("probing=%v: Len = %d, want %d", probing, s.Len(), len(ref))
+		}
+		for key := range ref {
+			if !s.Contains(key) {
+				t.Errorf("probing=%v: lost key %d", probing, key)
+			}
+		}
+	}
+}
+
+func TestSetSemanticsProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		s := New(len(keys)+1, Quadratic)
+		ref := map[uint64]bool{}
+		for _, k16 := range keys {
+			k := uint64(k16)
+			if s.TestAndSet(k) != ref[k] {
+				return false
+			}
+			ref[k] = true
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentInsertExactlyOneWinner(t *testing.T) {
+	// Many goroutines race to insert the same keys; for each key exactly
+	// one TestAndSet must return false (the insert).
+	for _, probing := range []Probing{Linear, Quadratic} {
+		const keys = 2000
+		const workers = 8
+		s := New(keys, probing)
+		inserts := make([]int64, keys)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := rng.New(uint64(w))
+				order := make([]int, keys)
+				r.Perm(order)
+				for _, k := range order {
+					if !s.TestAndSet(uint64(k)) {
+						atomic.AddInt64(&inserts[k], 1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for k, c := range inserts {
+			if c != 1 {
+				t.Fatalf("probing=%v: key %d inserted %d times, want exactly 1", probing, k, c)
+			}
+		}
+		if s.Len() != keys {
+			t.Errorf("probing=%v: Len = %d, want %d", probing, s.Len(), keys)
+		}
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	const perWorker = 5000
+	const workers = 8
+	s := New(perWorker*workers, Linear)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := uint64(w*perWorker + i)
+				if s.TestAndSet(key) {
+					t.Errorf("fresh disjoint key %d reported present", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != perWorker*workers {
+		t.Errorf("Len = %d, want %d", s.Len(), perWorker*workers)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(100, Quadratic)
+	for k := uint64(0); k < 100; k++ {
+		s.TestAndSet(k)
+	}
+	s.Clear(4)
+	if s.Len() != 0 {
+		t.Errorf("Len after Clear = %d", s.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		if s.Contains(k) {
+			t.Fatalf("key %d survived Clear", k)
+		}
+	}
+	// Table is reusable after Clear.
+	if s.TestAndSet(5) {
+		t.Error("reinsert after Clear reported present")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s := New(100, Linear)
+	if s.Capacity() < 100 {
+		t.Errorf("Capacity = %d, want >= 100", s.Capacity())
+	}
+	// Load stays sane right up to capacity.
+	for k := 0; k < s.Capacity(); k++ {
+		s.TestAndSet(uint64(k) * 1000003)
+	}
+	if s.Len() != s.Capacity() {
+		t.Errorf("Len = %d, want %d", s.Len(), s.Capacity())
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	s := New(0, Linear) // clamps to 1
+	if s.TestAndSet(9) {
+		t.Error("fresh key present in tiny table")
+	}
+	if !s.Contains(9) {
+		t.Error("tiny table lost its key")
+	}
+}
+
+func TestAdversarialSameBucketKeys(t *testing.T) {
+	// Dense sequential keys hash arbitrarily, but with a near-full table
+	// every probe sequence gets exercised. Fill to max load and verify
+	// membership for both probing strategies.
+	for _, probing := range []Probing{Linear, Quadratic} {
+		s := New(64, probing)
+		n := s.Capacity()
+		for k := 0; k < n; k++ {
+			if s.TestAndSet(uint64(k)) {
+				t.Fatalf("probing=%v: duplicate on fresh key %d", probing, k)
+			}
+		}
+		for k := 0; k < n; k++ {
+			if !s.Contains(uint64(k)) {
+				t.Fatalf("probing=%v: key %d missing at full load", probing, k)
+			}
+		}
+		for k := n; k < 2*n; k++ {
+			if s.Contains(uint64(k)) {
+				t.Fatalf("probing=%v: phantom key %d", probing, k)
+			}
+		}
+	}
+}
+
+func TestOverfullPanics(t *testing.T) {
+	// New(1) has 2 slots; the size guard fires once Len exceeds
+	// slots-1, i.e. on the second distinct insertion.
+	s := New(1, Linear)
+	s.TestAndSet(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("overfull table did not panic")
+		}
+	}()
+	s.TestAndSet(20)
+}
+
+func TestStringDescribesOccupancy(t *testing.T) {
+	s := New(4, Linear)
+	s.TestAndSet(1)
+	s.TestAndSet(2)
+	got := s.String()
+	if got == "" || s.Len() != 2 {
+		t.Errorf("String() = %q, Len = %d", got, s.Len())
+	}
+}
+
+func BenchmarkTestAndSetLinear(b *testing.B)    { benchInsert(b, Linear) }
+func BenchmarkTestAndSetQuadratic(b *testing.B) { benchInsert(b, Quadratic) }
+
+func benchInsert(b *testing.B, probing Probing) {
+	s := New(b.N+1, probing)
+	r := rng.New(1)
+	keys := make([]uint64, b.N)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TestAndSet(keys[i])
+	}
+}

@@ -1,0 +1,93 @@
+// Package havelhakimi deterministically realizes a graphical degree
+// sequence as a simple graph via the Havel–Hakimi construction:
+// repeatedly connect the highest-remaining-degree vertex to the next
+// highest ones. The paper uses Havel-Hakimi + many double-edge swap
+// iterations as the "uniformly random" reference sample (P_Base in
+// Figure 4).
+//
+// The construction runs in O(m log n) using a max-heap keyed by
+// remaining degree (ties broken by vertex ID for determinism).
+package havelhakimi
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+)
+
+type node struct {
+	id     int32
+	remain int64
+}
+
+type maxHeap []node
+
+func (h maxHeap) Len() int { return len(h) }
+func (h maxHeap) Less(i, j int) bool {
+	if h[i].remain != h[j].remain {
+		return h[i].remain > h[j].remain
+	}
+	return h[i].id < h[j].id
+}
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(node)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Generate builds a simple graph realizing dist exactly. Vertex IDs
+// follow the standard class layout (ascending degree classes). It
+// returns an error if the sequence is not graphical.
+func Generate(dist *degseq.Distribution) (*graph.EdgeList, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	if !dist.IsGraphical() {
+		return nil, fmt.Errorf("havelhakimi: degree sequence is not graphical")
+	}
+	n := dist.NumVertices()
+	h := make(maxHeap, 0, n)
+	var id int32
+	for _, c := range dist.Classes {
+		for i := int64(0); i < c.Count; i++ {
+			if c.Degree > 0 {
+				h = append(h, node{id: id, remain: c.Degree})
+			}
+			id++
+		}
+	}
+	heap.Init(&h)
+	edges := make([]graph.Edge, 0, dist.NumEdges())
+	scratch := make([]node, 0, 64)
+	for h.Len() > 0 {
+		v := heap.Pop(&h).(node)
+		if v.remain == 0 {
+			continue
+		}
+		if int64(h.Len()) < v.remain {
+			return nil, fmt.Errorf("havelhakimi: ran out of partners for vertex %d (internal inconsistency)", v.id)
+		}
+		scratch = scratch[:0]
+		for k := int64(0); k < v.remain; k++ {
+			u := heap.Pop(&h).(node)
+			if u.remain <= 0 {
+				return nil, fmt.Errorf("havelhakimi: partner with zero remaining degree (internal inconsistency)")
+			}
+			edges = append(edges, graph.Edge{U: v.id, V: u.id})
+			u.remain--
+			scratch = append(scratch, u)
+		}
+		for _, u := range scratch {
+			if u.remain > 0 {
+				heap.Push(&h, u)
+			}
+		}
+	}
+	return graph.NewEdgeList(edges, int(n)), nil
+}

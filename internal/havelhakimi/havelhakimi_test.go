@@ -1,0 +1,159 @@
+package havelhakimi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/rng"
+)
+
+func mustDist(t testing.TB, counts map[int64]int64) *degseq.Distribution {
+	t.Helper()
+	d, err := degseq.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func checkRealizes(t *testing.T, d *degseq.Distribution) {
+	t.Helper()
+	el, err := Generate(d)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if rep := el.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("not simple: %+v", rep)
+	}
+	got := degseq.FromDegrees(el.Degrees(1))
+	if len(got.Classes) != len(d.Classes) {
+		t.Fatalf("degree distribution mismatch: got %+v, want %+v", got.Classes, d.Classes)
+	}
+	for i := range d.Classes {
+		if got.Classes[i] != d.Classes[i] {
+			t.Fatalf("class %d: got %+v, want %+v", i, got.Classes[i], d.Classes[i])
+		}
+	}
+}
+
+func TestGenerateExactRealizations(t *testing.T) {
+	cases := []map[int64]int64{
+		{1: 2},             // single edge
+		{2: 3},             // triangle
+		{3: 4},             // K4
+		{1: 4, 4: 1},       // star (isolated? no: 4 leaves + hub)
+		{2: 5},             // 5-cycle
+		{1: 2, 2: 3},       // path of 5
+		{0: 3, 1: 2},       // isolated vertices + an edge
+		{3: 4, 2: 2, 1: 2}, // mixed
+		{7: 8},             // K8
+	}
+	for _, counts := range cases {
+		checkRealizes(t, mustDist(t, counts))
+	}
+}
+
+func TestGeneratePowerLaw(t *testing.T) {
+	d, err := degseq.SamplePowerLaw(degseq.PowerLawConfig{
+		NumVertices: 10000, MinDegree: 1, MaxDegree: 500, Gamma: 2.1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRealizes(t, d)
+}
+
+func TestGenerateRejectsNonGraphical(t *testing.T) {
+	bad := []map[int64]int64{
+		{1: 3},       // odd stubs
+		{4: 4},       // d_max >= n
+		{3: 2, 1: 2}, // 3,3,1,1
+	}
+	for _, counts := range bad {
+		if _, err := Generate(mustDist(t, counts)); err == nil {
+			t.Errorf("non-graphical %v accepted", counts)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 10, 3: 4, 5: 2})
+	a, err := Generate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("Havel-Hakimi not deterministic")
+		}
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	el, err := Generate(&degseq.Distribution{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.NumEdges() != 0 {
+		t.Errorf("empty distribution produced edges")
+	}
+}
+
+func TestGenerateQuickProperty(t *testing.T) {
+	// Any graphical random sequence must be realized exactly.
+	r := rng.New(8)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 30 {
+			return true
+		}
+		deg := make([]int64, len(raw))
+		for i, v := range raw {
+			deg[i] = int64(v) % int64(len(raw))
+		}
+		d := degseq.FromDegrees(deg)
+		if !d.IsGraphical() {
+			_, err := Generate(d)
+			return err != nil
+		}
+		el, err := Generate(d)
+		if err != nil {
+			return false
+		}
+		if rep := el.CheckSimplicity(); !rep.IsSimple() {
+			return false
+		}
+		got := el.Degrees(1)
+		back := degseq.FromDegrees(got)
+		if len(back.Classes) != len(d.Classes) {
+			return false
+		}
+		for i := range d.Classes {
+			if back.Classes[i] != d.Classes[i] {
+				return false
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	d, err := degseq.SamplePowerLaw(degseq.PowerLawConfig{
+		NumVertices: 100000, MinDegree: 2, MaxDegree: 2000, Gamma: 2.2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package lfr
+
+import (
+	"math"
+	"testing"
+
+	"nullgraph/internal/core"
+)
+
+// overlapFixture: 900 vertices, three communities of 400 with 100-vertex
+// overlaps (0-399, 300-699, 600-999 clipped to n).
+func overlapFixture(n int) (degrees []int64, memberships [][]int32) {
+	degrees = make([]int64, n)
+	for i := range degrees {
+		degrees[i] = 8
+	}
+	mk := func(lo, hi int) []int32 {
+		var out []int32
+		for v := lo; v < hi && v < n; v++ {
+			out = append(out, int32(v))
+		}
+		return out
+	}
+	memberships = [][]int32{mk(0, 400), mk(300, 700), mk(600, 1000)}
+	return degrees, memberships
+}
+
+func TestGenerateOverlappingBasics(t *testing.T) {
+	degrees, memberships := overlapFixture(900)
+	res, err := GenerateOverlapping(degrees, memberships, 0.2,
+		core.Options{Workers: 4, Seed: 3, SwapIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := res.Graph.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("not simple: %+v", rep)
+	}
+	if res.Graph.NumVertices != 900 {
+		t.Errorf("vertices = %d", res.Graph.NumVertices)
+	}
+	// Total degree near target.
+	deg := res.Graph.Degrees(2)
+	var got, want float64
+	for v := range deg {
+		got += float64(deg[v])
+		want += float64(degrees[v])
+	}
+	if got < 0.85*want || got > 1.02*want {
+		t.Errorf("total degree %v vs target %v", got, want)
+	}
+	// Observed mixing near mu.
+	if math.Abs(res.ObservedMu-0.2) > 0.12 {
+		t.Errorf("observed mu %v, want ~0.2", res.ObservedMu)
+	}
+}
+
+func TestGenerateOverlappingSharedVerticesBridge(t *testing.T) {
+	// Overlap vertices (300-399 etc.) must have edges into BOTH their
+	// communities.
+	degrees, memberships := overlapFixture(900)
+	res, err := GenerateOverlapping(degrees, memberships, 0.0,
+		core.Options{Workers: 2, Seed: 7, SwapIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With mu=0, every edge endpoint pair shares a community.
+	if res.ObservedMu > 0.02 {
+		t.Errorf("mu=0: observed %v", res.ObservedMu)
+	}
+	// Count overlap vertices with neighbors on both exclusive sides.
+	into := map[int32][2]int{}
+	for _, e := range res.Graph.Edges {
+		for _, pair := range [][2]int32{{e.U, e.V}, {e.V, e.U}} {
+			v, u := pair[0], pair[1]
+			if v >= 300 && v < 400 { // in communities 0 and 1
+				c := into[v]
+				if u < 300 {
+					c[0]++
+				}
+				if u >= 400 && u < 700 {
+					c[1]++
+				}
+				into[v] = c
+			}
+		}
+	}
+	both := 0
+	for _, c := range into {
+		if c[0] > 0 && c[1] > 0 {
+			both++
+		}
+	}
+	if both < 50 {
+		t.Errorf("only %d of ~100 overlap vertices bridge both communities", both)
+	}
+}
+
+func TestGenerateOverlappingNoMembership(t *testing.T) {
+	// Vertices in no community spend everything externally.
+	degrees := []int64{4, 4, 4, 4, 4, 4, 4, 4}
+	res, err := GenerateOverlapping(degrees, [][]int32{{0, 1, 2}}, 0.5,
+		core.Options{Workers: 1, Seed: 5, SwapIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumVertices != 8 {
+		t.Errorf("vertices = %d", res.Graph.NumVertices)
+	}
+}
+
+func TestGenerateOverlappingValidation(t *testing.T) {
+	if _, err := GenerateOverlapping(nil, nil, 0.5, core.Options{}); err == nil {
+		t.Error("empty degrees accepted")
+	}
+	if _, err := GenerateOverlapping([]int64{2}, nil, 1.5, core.Options{}); err == nil {
+		t.Error("bad mu accepted")
+	}
+	if _, err := GenerateOverlapping([]int64{2}, [][]int32{{5}}, 0.5, core.Options{}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+func TestGenerateOverlappingSplitConservation(t *testing.T) {
+	// Internal + external budgets must sum to each vertex's degree.
+	degrees := []int64{7, 13, 1, 0, 20}
+	memberships := [][]int32{{0, 1, 4}, {1, 2, 4}, {1}}
+	// Probe with mu = 0.3 by re-deriving the split arithmetic.
+	mu := 0.3
+	memberCount := make([]int64, len(degrees))
+	for _, ms := range memberships {
+		for _, v := range ms {
+			memberCount[v]++
+		}
+	}
+	for v, d := range degrees {
+		if memberCount[v] == 0 {
+			continue
+		}
+		internal := int64(float64(d) * (1 - mu))
+		external := d - internal
+		if internal+external != d || internal < 0 || external < 0 {
+			t.Errorf("vertex %d: split %d+%d != %d", v, internal, external, d)
+		}
+	}
+	// And the generator must accept it.
+	if _, err := GenerateOverlapping(degrees, memberships, mu,
+		core.Options{Workers: 1, Seed: 1, SwapIterations: 0}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package metrics computes the quality measures the paper evaluates
+// generators with: error in edge count, maximum degree and Gini
+// coefficient (Figure 3), per-degree output distribution error
+// (Figure 2), empirical pairwise degree-degree attachment probabilities
+// and their L1 distance to a reference (Figures 1 and 4), plus degree
+// assortativity as a general-purpose diagnostic.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/probgen"
+)
+
+// Gini returns the Gini coefficient of a degree sequence: 0 for a
+// regular graph, approaching 1 as degree mass concentrates. Empty and
+// zero-sum sequences return 0.
+func Gini(deg []int64) float64 {
+	n := len(deg)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int64, n)
+	copy(sorted, deg)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum, weighted float64
+	for i, d := range sorted {
+		sum += float64(d)
+		weighted += float64(i+1) * float64(d)
+	}
+	if sum == 0 {
+		return 0
+	}
+	nf := float64(n)
+	return (2*weighted)/(nf*sum) - (nf+1)/nf
+}
+
+// GiniOfDistribution computes Gini directly from {D,N} without
+// expanding (classes are already sorted ascending).
+func GiniOfDistribution(dist *degseq.Distribution) float64 {
+	n := dist.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	var sum, weighted float64
+	var rank int64 // vertices placed so far
+	for _, c := range dist.Classes {
+		d := float64(c.Degree)
+		cnt := float64(c.Count)
+		sum += d * cnt
+		// Ranks rank+1 .. rank+count each carry weight d: the rank sum
+		// is count*rank + count(count+1)/2.
+		weighted += d * (cnt*float64(rank) + cnt*(cnt+1)/2)
+		rank += c.Count
+	}
+	if sum == 0 {
+		return 0
+	}
+	nf := float64(n)
+	return (2*weighted)/(nf*sum) - (nf+1)/nf
+}
+
+// QualityError is the Figure 3 triple: relative errors of a generated
+// graph against its target distribution. Values are signed fractions
+// (e.g. -0.05 = 5% under target).
+type QualityError struct {
+	Edges     float64
+	MaxDegree float64
+	Gini      float64
+}
+
+// Quality compares a generated edge list to the target distribution.
+func Quality(el *graph.EdgeList, dist *degseq.Distribution, p int) QualityError {
+	deg := el.Degrees(p)
+	var q QualityError
+	targetM := float64(dist.NumEdges())
+	if targetM > 0 {
+		q.Edges = (float64(el.NumEdges()) - targetM) / targetM
+	}
+	targetMax := float64(dist.MaxDegree())
+	if targetMax > 0 {
+		q.MaxDegree = (float64(graph.MaxDegree(deg, p)) - targetMax) / targetMax
+	}
+	targetGini := GiniOfDistribution(dist)
+	if targetGini > 0 {
+		q.Gini = (Gini(deg) - targetGini) / targetGini
+	}
+	return q
+}
+
+// DegreeError reports the output vertex count at one degree versus the
+// target — the series of Figure 2.
+type DegreeError struct {
+	Degree int64
+	Target int64
+	Got    int64
+}
+
+// RelativeError returns (got-target)/target, or 0 when the degree is
+// absent from the target.
+func (e DegreeError) RelativeError() float64 {
+	if e.Target == 0 {
+		return 0
+	}
+	return float64(e.Got-e.Target) / float64(e.Target)
+}
+
+// DegreeDistributionError tabulates output-vs-target counts for every
+// degree present in either side, ascending.
+func DegreeDistributionError(el *graph.EdgeList, dist *degseq.Distribution, p int) []DegreeError {
+	got := map[int64]int64{}
+	for _, d := range el.Degrees(p) {
+		got[d]++
+	}
+	target := map[int64]int64{}
+	for _, c := range dist.Classes {
+		target[c.Degree] = c.Count
+	}
+	degrees := map[int64]struct{}{}
+	for d := range got {
+		degrees[d] = struct{}{}
+	}
+	for d := range target {
+		degrees[d] = struct{}{}
+	}
+	out := make([]DegreeError, 0, len(degrees))
+	for d := range degrees {
+		out = append(out, DegreeError{Degree: d, Target: target[d], Got: got[d]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
+}
+
+// AttachmentAccumulator estimates the pairwise degree-class attachment
+// probability matrix empirically by averaging edge frequencies over
+// sample graphs. Vertices are classed by the target distribution's
+// layout (class k owns IDs [I(k), I(k+1))), which matches every
+// generator in this library and stays meaningful after swaps.
+type AttachmentAccumulator struct {
+	dist    *degseq.Distribution
+	offsets []int64
+	counts  []float64 // |D|×|D| symmetric accumulation of edge counts
+	samples int
+}
+
+// NewAttachmentAccumulator prepares an accumulator for dist's layout.
+func NewAttachmentAccumulator(dist *degseq.Distribution) *AttachmentAccumulator {
+	k := dist.NumClasses()
+	return &AttachmentAccumulator{
+		dist:    dist,
+		offsets: dist.VertexOffsets(1),
+		counts:  make([]float64, k*k),
+	}
+}
+
+// Add accumulates one sample graph. Multi-edges accumulate multiply and
+// self-loops are ignored (no class pair space contains them).
+func (a *AttachmentAccumulator) Add(el *graph.EdgeList) {
+	k := a.dist.NumClasses()
+	for _, e := range el.Edges {
+		if e.IsLoop() {
+			continue
+		}
+		ci := degseq.ClassOfVertex(a.offsets, int64(e.U))
+		cj := degseq.ClassOfVertex(a.offsets, int64(e.V))
+		a.counts[ci*k+cj]++
+		if ci != cj {
+			a.counts[cj*k+ci]++
+		}
+	}
+	a.samples++
+}
+
+// Samples returns how many graphs have been accumulated.
+func (a *AttachmentAccumulator) Samples() int { return a.samples }
+
+// Matrix converts accumulated counts to per-pair probabilities:
+// count / (samples · pairs(i,j)).
+func (a *AttachmentAccumulator) Matrix() *probgen.Matrix {
+	k := a.dist.NumClasses()
+	m := probgen.NewMatrix(k)
+	if a.samples == 0 {
+		return m
+	}
+	for i := 0; i < k; i++ {
+		ni := float64(a.dist.Classes[i].Count)
+		for j := i; j < k; j++ {
+			var pairs float64
+			if i == j {
+				pairs = ni * (ni - 1) / 2
+			} else {
+				pairs = ni * float64(a.dist.Classes[j].Count)
+			}
+			if pairs == 0 {
+				continue
+			}
+			m.Set(i, j, a.counts[i*k+j]/(float64(a.samples)*pairs))
+		}
+	}
+	return m
+}
+
+// Assortativity returns the degree assortativity coefficient (Newman):
+// the Pearson correlation of the degrees at either end of each edge.
+// Returns 0 for degenerate inputs (no edges, or zero variance).
+func Assortativity(el *graph.EdgeList, p int) float64 {
+	deg := el.Degrees(p)
+	m := float64(el.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	var sumProd, sumSum, sumSq float64
+	for _, e := range el.Edges {
+		du, dv := float64(deg[e.U]), float64(deg[e.V])
+		sumProd += du * dv
+		sumSum += (du + dv) / 2
+		sumSq += (du*du + dv*dv) / 2
+	}
+	num := sumProd/m - (sumSum/m)*(sumSum/m)
+	den := sumSq/m - (sumSum/m)*(sumSum/m)
+	if den == 0 {
+		return 0
+	}
+	r := num / den
+	if math.IsNaN(r) {
+		return 0
+	}
+	return r
+}

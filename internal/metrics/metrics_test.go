@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+)
+
+func mustDist(t testing.TB, counts map[int64]int64) *degseq.Distribution {
+	t.Helper()
+	d, err := degseq.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGiniKnownValues(t *testing.T) {
+	cases := []struct {
+		deg  []int64
+		want float64
+	}{
+		{[]int64{5, 5, 5, 5}, 0},             // perfect equality
+		{[]int64{0, 0, 0, 8}, 0.75},          // all mass on one of 4
+		{[]int64{1, 1, 1, 1, 1, 5}, 1.0 / 3}, // computed by hand
+		{nil, 0},
+		{[]int64{0, 0}, 0},
+		{[]int64{7}, 0},
+	}
+	for _, c := range cases {
+		if got := Gini(c.deg); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Gini(%v) = %v, want %v", c.deg, got, c.want)
+		}
+	}
+}
+
+func TestGiniBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		deg := make([]int64, len(raw))
+		for i, v := range raw {
+			deg[i] = int64(v)
+		}
+		g := Gini(deg)
+		return g >= -1e-12 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGiniOfDistributionMatchesExpanded(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 100, 3: 40, 7: 10, 50: 2})
+	want := Gini(d.ToDegrees())
+	if got := GiniOfDistribution(d); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GiniOfDistribution = %v, expanded = %v", got, want)
+	}
+	if got := GiniOfDistribution(&degseq.Distribution{}); got != 0 {
+		t.Errorf("empty distribution Gini = %v", got)
+	}
+}
+
+func TestQualityExactMatch(t *testing.T) {
+	// Triangle matches the {2:3} distribution exactly.
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, 3)
+	d := mustDist(t, map[int64]int64{2: 3})
+	q := Quality(el, d, 2)
+	if q.Edges != 0 || q.MaxDegree != 0 {
+		t.Errorf("exact realization has errors: %+v", q)
+	}
+	// Gini of a regular target is 0, so the relative error is defined 0.
+	if q.Gini != 0 {
+		t.Errorf("Gini error = %v, want 0", q.Gini)
+	}
+}
+
+func TestQualitySignedErrors(t *testing.T) {
+	// Target says 4 edges / d_max 2, give it 3 edges / d_max 3.
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}, 5)
+	d := mustDist(t, map[int64]int64{2: 4}) // 4 edges, d_max 2
+	q := Quality(el, d, 1)
+	if math.Abs(q.Edges-(-0.25)) > 1e-12 {
+		t.Errorf("Edges error = %v, want -0.25", q.Edges)
+	}
+	if math.Abs(q.MaxDegree-0.5) > 1e-12 {
+		t.Errorf("MaxDegree error = %v, want +0.5", q.MaxDegree)
+	}
+}
+
+func TestDegreeDistributionError(t *testing.T) {
+	// Star on 4 vertices: degrees 3,1,1,1. Target: 2,2,1,1.
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}, 4)
+	d := mustDist(t, map[int64]int64{2: 2, 1: 2})
+	errs := DegreeDistributionError(el, d, 1)
+	byDegree := map[int64]DegreeError{}
+	for _, e := range errs {
+		byDegree[e.Degree] = e
+	}
+	if e := byDegree[1]; e.Target != 2 || e.Got != 3 {
+		t.Errorf("degree 1: %+v", e)
+	}
+	if e := byDegree[2]; e.Target != 2 || e.Got != 0 {
+		t.Errorf("degree 2: %+v", e)
+	}
+	if e := byDegree[3]; e.Target != 0 || e.Got != 1 {
+		t.Errorf("degree 3: %+v", e)
+	}
+	if byDegree[1].RelativeError() != 0.5 {
+		t.Errorf("relative error at degree 1 = %v", byDegree[1].RelativeError())
+	}
+	if byDegree[3].RelativeError() != 0 {
+		t.Errorf("missing-target relative error = %v, want 0", byDegree[3].RelativeError())
+	}
+	// Sorted ascending.
+	for i := 1; i < len(errs); i++ {
+		if errs[i-1].Degree >= errs[i].Degree {
+			t.Error("errors not sorted by degree")
+		}
+	}
+}
+
+func TestAttachmentAccumulatorSingleGraph(t *testing.T) {
+	// Layout: class 0 = {0,1} (degree 1), class 1 = {2,3} (degree 2).
+	d := mustDist(t, map[int64]int64{1: 2, 2: 2})
+	acc := NewAttachmentAccumulator(d)
+	// Edges: (0,2), (1,3), (2,3): cross pairs 2 of 4, within class-1
+	// pair 1 of 1.
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}}, 4)
+	acc.Add(el)
+	m := acc.Matrix()
+	if got := m.At(0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(0,1) = %v, want 0.5", got)
+	}
+	if got := m.At(1, 1); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("P(1,1) = %v, want 1", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("P(0,0) = %v, want 0", got)
+	}
+	if acc.Samples() != 1 {
+		t.Errorf("Samples = %d", acc.Samples())
+	}
+}
+
+func TestAttachmentAccumulatorAveraging(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 2, 2: 2})
+	acc := NewAttachmentAccumulator(d)
+	with := graph.NewEdgeList([]graph.Edge{{U: 2, V: 3}}, 4)
+	without := graph.NewEdgeList([]graph.Edge{{U: 0, V: 2}}, 4)
+	acc.Add(with)
+	acc.Add(without)
+	m := acc.Matrix()
+	if got := m.At(1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("averaged P(1,1) = %v, want 0.5", got)
+	}
+}
+
+func TestAttachmentAccumulatorIgnoresLoops(t *testing.T) {
+	d := mustDist(t, map[int64]int64{2: 3})
+	acc := NewAttachmentAccumulator(d)
+	el := graph.FromEdges([]graph.Edge{{U: 0, V: 0}, {U: 1, V: 2}})
+	el.NumVertices = 3
+	acc.Add(el)
+	m := acc.Matrix()
+	want := 1.0 / 3 // one edge among C(3,2)=3 pairs
+	if got := m.At(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P = %v, want %v", got, want)
+	}
+}
+
+func TestAttachmentAccumulatorEmpty(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 2})
+	acc := NewAttachmentAccumulator(d)
+	m := acc.Matrix()
+	if m.At(0, 0) != 0 {
+		t.Error("no samples should give zero matrix")
+	}
+}
+
+func TestAssortativityKnownSigns(t *testing.T) {
+	// Star: maximally disassortative (hub-leaf edges only).
+	star := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}, 4)
+	if r := Assortativity(star, 1); r >= 0 {
+		t.Errorf("star assortativity = %v, want < 0", r)
+	}
+	// Regular ring: zero variance ⇒ defined 0.
+	ring := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, 3)
+	if r := Assortativity(ring, 1); r != 0 {
+		t.Errorf("ring assortativity = %v, want 0", r)
+	}
+	// Two separate cliques of different sizes: like connects to like.
+	var edges []graph.Edge
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 4, V: 5})
+	assort := graph.NewEdgeList(edges, 6)
+	if r := Assortativity(assort, 1); r <= 0.99 {
+		t.Errorf("disjoint-cliques assortativity = %v, want ~1", r)
+	}
+	// Empty graph.
+	if r := Assortativity(graph.NewEdgeList(nil, 0), 1); r != 0 {
+		t.Errorf("empty assortativity = %v", r)
+	}
+}
+
+func TestGiniMonotoneInSkew(t *testing.T) {
+	flat := []int64{3, 3, 3, 3, 3, 3}
+	mild := []int64{1, 2, 3, 3, 4, 5}
+	steep := []int64{1, 1, 1, 1, 1, 13}
+	if !(Gini(flat) < Gini(mild) && Gini(mild) < Gini(steep)) {
+		t.Errorf("Gini not monotone: %v %v %v", Gini(flat), Gini(mild), Gini(steep))
+	}
+}

@@ -1,0 +1,139 @@
+package mixing
+
+import (
+	"testing"
+
+	"nullgraph/internal/graph"
+	"nullgraph/internal/lfr"
+)
+
+func clusteredGraph(t testing.TB) *graph.EdgeList {
+	t.Helper()
+	res, err := lfr.Generate(lfr.Config{
+		NumVertices: 1500, DegreeGamma: 2.3, MinDegree: 4, MaxDegree: 40,
+		CommunityGamma: 1.8, MinCommunity: 30, MaxCommunity: 200,
+		Mu: 0.1, SwapIterations: 2, Seed: 5, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestRecordTrajectoryShape(t *testing.T) {
+	el := clusteredGraph(t)
+	tr := Record(el, Options{Iterations: 10, Workers: 2, Seed: 3, Statistic: Triangles})
+	if len(tr.Values) != 11 {
+		t.Fatalf("values = %d, want 11", len(tr.Values))
+	}
+	if len(tr.SwapStats) != 10 {
+		t.Fatalf("swap stats = %d, want 10", len(tr.SwapStats))
+	}
+	// A clustered start relaxes: the triangle count must fall
+	// substantially within the window.
+	if tr.Values[10] > tr.Values[0]/2 {
+		t.Errorf("triangles did not relax: %v -> %v", tr.Values[0], tr.Values[10])
+	}
+}
+
+func TestRecordStatisticNames(t *testing.T) {
+	if Assortativity.String() != "assortativity" || Triangles.String() != "triangles" {
+		t.Error("statistic names wrong")
+	}
+	if Statistic(99).String() == "" {
+		t.Error("unknown statistic has empty name")
+	}
+}
+
+func TestAutocorrelationKnownSeries(t *testing.T) {
+	// Perfectly alternating series: ρ(1) = −1ish, ρ(2) = +1ish.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1, 1, -1, 1, -1}
+	acf := Autocorrelation(alt, 2)
+	if acf[0] != 1 {
+		t.Errorf("acf[0] = %v", acf[0])
+	}
+	if acf[1] > -0.9 {
+		t.Errorf("acf[1] = %v, want ~-1", acf[1])
+	}
+	if acf[2] < 0.9 {
+		t.Errorf("acf[2] = %v, want ~+1", acf[2])
+	}
+	// Constant series: zero variance → zeros beyond lag 0.
+	konst := []float64{5, 5, 5, 5}
+	acf = Autocorrelation(konst, 2)
+	if acf[1] != 0 || acf[2] != 0 {
+		t.Errorf("constant series acf = %v", acf)
+	}
+	// Degenerate input lengths.
+	if got := Autocorrelation(nil, 3); got[0] != 1 {
+		t.Errorf("empty series acf = %v", got)
+	}
+}
+
+func TestIntegratedTimeOrdering(t *testing.T) {
+	// A slowly-varying series must have a larger τ than white noise.
+	slow := make([]float64, 300)
+	noise := make([]float64, 300)
+	x := 0.0
+	s := uint64(88172645463325252)
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1000)/500 - 1
+	}
+	for i := range slow {
+		x = 0.95*x + 0.05*next()
+		slow[i] = x
+		noise[i] = next()
+	}
+	tauSlow := IntegratedTime(slow)
+	tauNoise := IntegratedTime(noise)
+	if tauSlow <= tauNoise {
+		t.Errorf("τ(slow) = %v not above τ(noise) = %v", tauSlow, tauNoise)
+	}
+	if tauNoise > 3 {
+		t.Errorf("white noise τ = %v, want ~1", tauNoise)
+	}
+	if got := IntegratedTime([]float64{1}); got != 1 {
+		t.Errorf("tiny series τ = %v", got)
+	}
+}
+
+func TestRelaxationIterations(t *testing.T) {
+	// Exponential decay toward 0: settles partway through.
+	series := make([]float64, 50)
+	v := 100.0
+	for i := range series {
+		series[i] = v
+		v *= 0.7
+	}
+	r := RelaxationIterations(series, 0.05)
+	if r <= 0 || r >= 49 {
+		t.Errorf("relaxation = %d, want interior", r)
+	}
+	// Constant series settles immediately.
+	if got := RelaxationIterations([]float64{3, 3, 3, 3}, 0.1); got != 0 {
+		t.Errorf("constant relaxation = %d", got)
+	}
+	// Short series.
+	if got := RelaxationIterations([]float64{1}, 0.1); got != 0 {
+		t.Errorf("short relaxation = %d", got)
+	}
+}
+
+func TestChainDecorrelatesWithinPaperWindow(t *testing.T) {
+	// The paper's core empirical claim: ~10 iterations decorrelate the
+	// chain. After relaxation, the integrated autocorrelation time of
+	// the assortativity series should be small (a few iterations).
+	el := clusteredGraph(t)
+	tr := Record(el, Options{Iterations: 40, Workers: 2, Seed: 9, Statistic: Triangles})
+	relax := RelaxationIterations(tr.Values, 0.05)
+	if relax > 20 {
+		t.Errorf("relaxation took %d iterations, paper expects ~10", relax)
+	}
+	tail := tr.Values[relax:]
+	if tau := IntegratedTime(tail); tau > 10 {
+		t.Errorf("post-relaxation τ = %v, want small", tau)
+	}
+}

@@ -1,0 +1,202 @@
+// Package par provides the shared-memory parallel primitives used
+// throughout the library: parallel loops over index ranges, parallel
+// prefix sums, and reductions.
+//
+// The package mirrors the OpenMP constructs used by the paper
+// ("parallel for", reductions, prefix sums) with goroutine worker pools.
+// All functions are deterministic given a fixed worker count when the
+// caller's per-index work is deterministic: ranges are split into
+// contiguous chunks, one per worker, so a worker's ID fully determines
+// the indices it touches.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the effective worker count for a requested value.
+// A request of <= 0 means "use GOMAXPROCS".
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Range describes a contiguous half-open index interval [Begin, End).
+type Range struct {
+	Begin int
+	End   int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.End - r.Begin }
+
+// Split partitions [0, n) into at most p contiguous, non-empty,
+// near-equal ranges. It returns fewer than p ranges when n < p.
+func Split(n, p int) []Range {
+	if n <= 0 || p <= 0 {
+		return nil
+	}
+	if p > n {
+		p = n
+	}
+	ranges := make([]Range, p)
+	chunk := n / p
+	rem := n % p
+	begin := 0
+	for i := 0; i < p; i++ {
+		size := chunk
+		if i < rem {
+			size++
+		}
+		ranges[i] = Range{Begin: begin, End: begin + size}
+		begin += size
+	}
+	return ranges
+}
+
+// For runs body(i) for every i in [0, n) using p workers (p <= 0 means
+// GOMAXPROCS). Each worker owns one contiguous chunk. body must be safe
+// to call concurrently for distinct indices.
+func For(n, p int, body func(i int)) {
+	ForRange(n, p, func(_ int, r Range) {
+		for i := r.Begin; i < r.End; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange runs body(worker, range) once per contiguous chunk of [0, n),
+// with at most p concurrent workers. The worker argument is the chunk
+// index in [0, len(chunks)), usable for indexing per-worker state such
+// as RNG streams or partial accumulators.
+func ForRange(n, p int, body func(worker int, r Range)) {
+	p = Workers(p)
+	ranges := Split(n, p)
+	if len(ranges) == 0 {
+		return
+	}
+	if len(ranges) == 1 {
+		body(0, ranges[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for w, r := range ranges {
+		go func(w int, r Range) {
+			defer wg.Done()
+			body(w, r)
+		}(w, r)
+	}
+	wg.Wait()
+}
+
+// SumInt64 computes the sum of f(i) over [0, n) in parallel.
+func SumInt64(n, p int, f func(i int) int64) int64 {
+	p = Workers(p)
+	ranges := Split(n, p)
+	if len(ranges) == 0 {
+		return 0
+	}
+	partial := make([]int64, len(ranges))
+	ForRange(n, p, func(w int, r Range) {
+		var s int64
+		for i := r.Begin; i < r.End; i++ {
+			s += f(i)
+		}
+		partial[w] = s
+	})
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// MaxInt64 computes the maximum of f(i) over [0, n) in parallel.
+// It returns 0 when n <= 0.
+func MaxInt64(n, p int, f func(i int) int64) int64 {
+	p = Workers(p)
+	ranges := Split(n, p)
+	if len(ranges) == 0 {
+		return 0
+	}
+	partial := make([]int64, len(ranges))
+	ForRange(n, p, func(w int, r Range) {
+		m := f(r.Begin)
+		for i := r.Begin + 1; i < r.End; i++ {
+			if v := f(i); v > m {
+				m = v
+			}
+		}
+		partial[w] = m
+	})
+	m := partial[0]
+	for _, v := range partial[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CountIf counts indices i in [0, n) for which pred(i) holds, in parallel.
+func CountIf(n, p int, pred func(i int) bool) int64 {
+	return SumInt64(n, p, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// PrefixSums computes the exclusive prefix sums of in, returning a slice
+// of length len(in)+1 whose element k is the sum of in[0:k]. The final
+// element is the total. The computation is a classic two-pass parallel
+// scan: per-chunk partial sums, a serial scan over the (few) chunk
+// totals, then a per-chunk local scan with the chunk offset.
+func PrefixSums(in []int64, p int) []int64 {
+	out := make([]int64, len(in)+1)
+	PrefixSumsInto(in, out, p)
+	return out
+}
+
+// PrefixSumsInto is PrefixSums writing into a caller-provided slice of
+// length len(in)+1. It panics if out has the wrong length.
+func PrefixSumsInto(in []int64, out []int64, p int) {
+	if len(out) != len(in)+1 {
+		panic("par: PrefixSumsInto output length must be len(in)+1")
+	}
+	n := len(in)
+	if n == 0 {
+		out[0] = 0
+		return
+	}
+	p = Workers(p)
+	ranges := Split(n, p)
+	partial := make([]int64, len(ranges))
+	ForRange(n, p, func(w int, r Range) {
+		var s int64
+		for i := r.Begin; i < r.End; i++ {
+			s += in[i]
+		}
+		partial[w] = s
+	})
+	// Serial exclusive scan over chunk totals: len(partial) <= p, cheap.
+	var running int64
+	offsets := make([]int64, len(ranges))
+	for w, s := range partial {
+		offsets[w] = running
+		running += s
+	}
+	ForRange(n, p, func(w int, r Range) {
+		s := offsets[w]
+		for i := r.Begin; i < r.End; i++ {
+			out[i] = s
+			s += in[i]
+		}
+	})
+	out[n] = running
+}

@@ -1,0 +1,217 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d, want 4", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-3); got < 1 {
+		t.Errorf("Workers(-3) = %d, want >= 1", got)
+	}
+}
+
+func TestSplitCoversRange(t *testing.T) {
+	cases := []struct{ n, p int }{
+		{0, 4}, {1, 1}, {1, 8}, {7, 3}, {10, 10}, {10, 3}, {100, 7}, {5, 0},
+	}
+	for _, c := range cases {
+		ranges := Split(c.n, c.p)
+		if c.n <= 0 || c.p <= 0 {
+			if ranges != nil {
+				t.Errorf("Split(%d,%d) = %v, want nil", c.n, c.p, ranges)
+			}
+			continue
+		}
+		covered := 0
+		prevEnd := 0
+		for i, r := range ranges {
+			if r.Begin != prevEnd {
+				t.Errorf("Split(%d,%d): chunk %d begins at %d, want %d", c.n, c.p, i, r.Begin, prevEnd)
+			}
+			if r.Len() <= 0 {
+				t.Errorf("Split(%d,%d): chunk %d is empty", c.n, c.p, i)
+			}
+			covered += r.Len()
+			prevEnd = r.End
+		}
+		if covered != c.n {
+			t.Errorf("Split(%d,%d) covers %d indices, want %d", c.n, c.p, covered, c.n)
+		}
+		if prevEnd != c.n {
+			t.Errorf("Split(%d,%d) ends at %d, want %d", c.n, c.p, prevEnd, c.n)
+		}
+		if len(ranges) > c.p {
+			t.Errorf("Split(%d,%d) produced %d chunks, want <= %d", c.n, c.p, len(ranges), c.p)
+		}
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	ranges := Split(103, 4)
+	min, max := ranges[0].Len(), ranges[0].Len()
+	for _, r := range ranges {
+		if r.Len() < min {
+			min = r.Len()
+		}
+		if r.Len() > max {
+			max = r.Len()
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("Split(103,4): chunk sizes differ by %d, want <= 1", max-min)
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	f := func(n, p uint8) bool {
+		ranges := Split(int(n), int(p))
+		total := 0
+		for _, r := range ranges {
+			total += r.Len()
+		}
+		if int(n) > 0 && int(p) > 0 {
+			return total == int(n)
+		}
+		return total == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForTouchesEachIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		const n = 1000
+		counts := make([]int32, n)
+		For(n, p, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: index %d touched %d times, want 1", p, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	if called {
+		t.Error("For(0, ...) invoked body")
+	}
+}
+
+func TestForRangeWorkerIDsDistinct(t *testing.T) {
+	const n = 64
+	seen := make([]int32, 8)
+	ForRange(n, 8, func(w int, r Range) {
+		atomic.AddInt32(&seen[w], 1)
+	})
+	for w, c := range seen {
+		if c != 1 {
+			t.Errorf("worker %d ran %d chunks, want 1", w, c)
+		}
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		got := SumInt64(101, p, func(i int) int64 { return int64(i) })
+		want := int64(100 * 101 / 2)
+		if got != want {
+			t.Errorf("p=%d: SumInt64 = %d, want %d", p, got, want)
+		}
+	}
+	if got := SumInt64(0, 4, func(int) int64 { return 1 }); got != 0 {
+		t.Errorf("SumInt64(0) = %d, want 0", got)
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	vals := []int64{3, -7, 12, 0, 12, 5}
+	got := MaxInt64(len(vals), 3, func(i int) int64 { return vals[i] })
+	if got != 12 {
+		t.Errorf("MaxInt64 = %d, want 12", got)
+	}
+	if got := MaxInt64(0, 3, func(int) int64 { return 99 }); got != 0 {
+		t.Errorf("MaxInt64(0) = %d, want 0", got)
+	}
+	neg := []int64{-5, -2, -9}
+	if got := MaxInt64(len(neg), 2, func(i int) int64 { return neg[i] }); got != -2 {
+		t.Errorf("MaxInt64(neg) = %d, want -2", got)
+	}
+}
+
+func TestCountIf(t *testing.T) {
+	got := CountIf(100, 4, func(i int) bool { return i%3 == 0 })
+	if got != 34 {
+		t.Errorf("CountIf = %d, want 34", got)
+	}
+}
+
+func TestPrefixSumsMatchesSerial(t *testing.T) {
+	in := make([]int64, 1237)
+	for i := range in {
+		in[i] = int64((i*7919)%13 - 6)
+	}
+	for _, p := range []int{1, 2, 5, 16} {
+		got := PrefixSums(in, p)
+		if len(got) != len(in)+1 {
+			t.Fatalf("p=%d: len = %d, want %d", p, len(got), len(in)+1)
+		}
+		var want int64
+		for i := range in {
+			if got[i] != want {
+				t.Fatalf("p=%d: prefix[%d] = %d, want %d", p, i, got[i], want)
+			}
+			want += in[i]
+		}
+		if got[len(in)] != want {
+			t.Fatalf("p=%d: total = %d, want %d", p, got[len(in)], want)
+		}
+	}
+}
+
+func TestPrefixSumsEmpty(t *testing.T) {
+	got := PrefixSums(nil, 4)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("PrefixSums(nil) = %v, want [0]", got)
+	}
+}
+
+func TestPrefixSumsIntoBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PrefixSumsInto with short output did not panic")
+		}
+	}()
+	PrefixSumsInto(make([]int64, 4), make([]int64, 4), 1)
+}
+
+func TestPrefixSumsProperty(t *testing.T) {
+	f := func(in []int64, p uint8) bool {
+		// Bound magnitudes so sums don't overflow.
+		for i := range in {
+			in[i] %= 1 << 20
+		}
+		got := PrefixSums(in, int(p%8)+1)
+		var want int64
+		for i := range in {
+			if got[i] != want {
+				return false
+			}
+			want += in[i]
+		}
+		return got[len(in)] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

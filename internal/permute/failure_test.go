@@ -1,0 +1,52 @@
+package permute
+
+import "testing"
+
+func TestApplyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply with mismatched lengths did not panic")
+		}
+	}()
+	Apply([]int{1, 2, 3}, []int32{0}, 1)
+}
+
+func TestApplyTrivialSizes(t *testing.T) {
+	// len 0 and 1 are no-ops regardless of target content.
+	Apply([]int{}, []int32{}, 4)
+	one := []int{42}
+	Apply(one, []int32{0}, 4)
+	if one[0] != 42 {
+		t.Error("single-element apply changed data")
+	}
+}
+
+func TestTargetsStableAcrossCalls(t *testing.T) {
+	a := Targets(5, 1000, 2)
+	b := Targets(5, 1000, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Targets not deterministic at %d", i)
+		}
+	}
+}
+
+func TestApplyConsistentAcrossArrays(t *testing.T) {
+	// The use case the swap engine relies on: two arrays permuted with
+	// the same targets stay aligned.
+	const n = 20000
+	vals := make([]int, n)
+	tags := make([]uint8, n)
+	for i := range vals {
+		vals[i] = i
+		tags[i] = uint8(i % 251)
+	}
+	h := Targets(9, n, 4)
+	Apply(vals, h, 4)
+	Apply(tags, h, 4)
+	for i := range vals {
+		if tags[i] != uint8(vals[i]%251) {
+			t.Fatalf("arrays desynchronized at %d", i)
+		}
+	}
+}

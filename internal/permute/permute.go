@@ -1,0 +1,177 @@
+// Package permute implements random permutations of slices: a serial
+// Fisher–Yates baseline and the parallel algorithm of Shun, Gu,
+// Blelloch, Fineman and Gibbons ("Sequential random permutation, list
+// contraction and tree contraction are highly parallel", SODA 2015),
+// which the paper uses to permute the edge list before every swap
+// iteration.
+//
+// The parallel algorithm executes the exact dependence structure of the
+// sequential "inside-out" shuffle
+//
+//	for i = 0..n-1: swap(A[i], A[H[i]])  with H[i] uniform in [i, n)
+//
+// by repeatedly letting each uncommitted iteration i reserve the two
+// cells it touches with a priority-writeMin, then committing iterations
+// that hold both their reservations. Given the same swap-target array H,
+// the output is bit-identical to the serial loop; randomness enters only
+// through H.
+package permute
+
+import (
+	"math"
+	"sync/atomic"
+
+	"nullgraph/internal/par"
+	"nullgraph/internal/rng"
+)
+
+// FisherYates shuffles data uniformly at random using the provided
+// source. This is the serial baseline of the permutation ablation.
+func FisherYates[T any](r *rng.Source, data []T) {
+	for i := len(data) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		data[i], data[j] = data[j], data[i]
+	}
+}
+
+// targets fills h with the inside-out swap targets: h[i] uniform in
+// [i, n). Targets are drawn with per-worker streams over contiguous
+// chunks, so the permutation is deterministic for fixed (seed, p).
+func targets(seed uint64, n, p int, h []int32) {
+	par.ForRange(n, p, func(w int, r par.Range) {
+		src := rng.New(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
+		for i := r.Begin; i < r.End; i++ {
+			h[i] = int32(i) + int32(src.Uint64n(uint64(n-i)))
+		}
+	})
+}
+
+// applySerial executes the inside-out shuffle for the given target
+// array. Used both by tests (as the reference) and by Parallel for
+// small inputs.
+func applySerial[T any](data []T, h []int32) {
+	for i := range data {
+		j := h[i]
+		data[i], data[j] = data[j], data[i]
+	}
+}
+
+// serialCutoff is the size below which Parallel falls back to the
+// serial apply; reservation rounds don't pay for themselves on small
+// slices.
+const serialCutoff = 1 << 12
+
+// Targets returns the deterministic inside-out swap-target array for
+// (seed, n, p). Applying the same targets to multiple parallel arrays
+// (e.g. the swap engine's edges and their bookkeeping flags) permutes
+// them consistently.
+func Targets(seed uint64, n, p int) []int32 {
+	h := make([]int32, n)
+	targets(seed, n, par.Workers(p), h)
+	return h
+}
+
+// Apply permutes data according to a target array from Targets, choosing
+// the serial or reservation-parallel execution by size.
+func Apply[T any](data []T, h []int32, p int) {
+	if len(data) != len(h) {
+		panic("permute: Apply length mismatch")
+	}
+	if len(data) <= 1 {
+		return
+	}
+	p = par.Workers(p)
+	if len(data) < serialCutoff || p == 1 {
+		applySerial(data, h)
+		return
+	}
+	applyParallel(data, h, p)
+}
+
+// Parallel shuffles data uniformly at random with p workers, matching
+// the serial inside-out shuffle on the same deterministic target array.
+func Parallel[T any](seed uint64, data []T, p int) {
+	n := len(data)
+	if n <= 1 {
+		return
+	}
+	p = par.Workers(p)
+	h := make([]int32, n)
+	targets(seed, n, p, h)
+	if n < serialCutoff || p == 1 {
+		applySerial(data, h)
+		return
+	}
+	applyParallel(data, h, p)
+}
+
+// applyParallel runs the reservation algorithm: each round, every
+// pending iteration i writeMin-reserves cells i and h[i]; iterations
+// holding both reservations commit their swap. Priorities are iteration
+// indices, so a committed iteration is one all of whose sequential
+// predecessors on its cells have already committed — the final array is
+// identical to applySerial(data, h).
+func applyParallel[T any](data []T, h []int32, p int) {
+	n := len(data)
+	const none = int32(math.MaxInt32)
+	r := make([]int32, n)
+	for i := range r {
+		r[i] = none
+	}
+	pending := make([]int32, n)
+	for i := range pending {
+		pending[i] = int32(i)
+	}
+	next := make([]int32, 0, n)
+
+	writeMin := func(cell int, prio int32) {
+		addr := &r[cell]
+		for {
+			cur := atomic.LoadInt32(addr)
+			if cur <= prio {
+				return
+			}
+			if atomic.CompareAndSwapInt32(addr, cur, prio) {
+				return
+			}
+		}
+	}
+
+	for len(pending) > 0 {
+		// Phase 1: reserve.
+		par.For(len(pending), p, func(k int) {
+			i := pending[k]
+			writeMin(int(i), i)
+			writeMin(int(h[i]), i)
+		})
+		// Phase 2: commit winners; collect losers per worker.
+		ranges := par.Split(len(pending), p)
+		buckets := make([][]int32, len(ranges))
+		par.ForRange(len(pending), p, func(w int, rg par.Range) {
+			var keep []int32
+			for k := rg.Begin; k < rg.End; k++ {
+				i := pending[k]
+				j := h[i]
+				if atomic.LoadInt32(&r[i]) == i && atomic.LoadInt32(&r[j]) == i {
+					data[i], data[j] = data[j], data[i]
+				} else {
+					keep = append(keep, i)
+				}
+			}
+			buckets[w] = keep
+		})
+		// Phase 3: reset reservations for the next round. Only cells
+		// touched this round need clearing; do it for all pending
+		// iterations (winners and losers both touched cells).
+		par.For(len(pending), p, func(k int) {
+			i := pending[k]
+			atomic.StoreInt32(&r[i], none)
+			atomic.StoreInt32(&r[h[i]], none)
+		})
+		next = next[:0]
+		for _, b := range buckets {
+			next = append(next, b...)
+		}
+		pending, next = next, pending
+	}
+}

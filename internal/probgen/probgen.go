@@ -1,0 +1,255 @@
+package probgen
+
+import (
+	"sort"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/par"
+)
+
+// Generate runs the paper's heuristic free-stub attachment (Section
+// IV-A) and returns the symmetric pairwise class probability matrix,
+// indexed by class position in dist (ascending degree).
+//
+// The method:
+//
+//   - assign every class a doubled free-stub budget FE(k) = 2·d_k·n_k
+//     (doubled because each unordered class pair contributes two halves,
+//     p_ij and p_ji, each carrying a factor 1/2),
+//
+//   - visit classes in descending expected degree ("preferential
+//     inter-class attachment"); at class i's step, estimate the edges it
+//     sends to every class j from the current free-stub state,
+//
+//     e_ij = min( FE(i)·FE(j) / (ΣFE − FE(i)),  2·cap(i,j),  FE(j) ),
+//
+//     where cap is the simple-graph pair count (n_i·n_j off-diagonal,
+//     C(n_i,2) on the diagonal, whose naive estimate carries an extra
+//     factor 1/2: e_ii = FE(i)²/(2·(ΣFE − FE(i)))),
+//
+//   - convert to the step's half-credit p_ij = e_ij/(2·cap(i,j)),
+//
+//   - subtract the consumed stubs (e_ij from each side; 2·e_ii from a
+//     self-attachment) and continue,
+//
+//   - finally P_ij = p_ij + p_ji (the diagonal keeps its single visit's
+//     credit), clamped to [0,1].
+//
+// After the main sweep a small number of refinement sweeps redistribute
+// the stubs left over where caps or early exhaustion bound the
+// estimates; each sweep reuses the same attachment rule on the residual
+// FE array. This recovers the edge mass the single-pass heuristic loses
+// on small, heavily skewed distributions.
+//
+// Work is O(|D|²) per sweep; the inner j loop of each step is
+// parallelized with p workers (the carried FE dependency serializes the
+// outer loop, as the paper's complexity discussion notes).
+func Generate(dist *degseq.Distribution, p int) *Matrix {
+	k := dist.NumClasses()
+	m := NewMatrix(k)
+	if k == 0 {
+		return m
+	}
+	fe := make([]float64, k)
+	var total float64
+	for c, cl := range dist.Classes {
+		fe[c] = 2 * float64(cl.Degree) * float64(cl.Count)
+		total += fe[c]
+	}
+	initialTotal := total
+	// Descending expected degree order.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return dist.Classes[order[a]].Degree > dist.Classes[order[b]].Degree
+	})
+
+	const maxSweeps = 5
+	for sweep := 0; sweep < maxSweeps && total > 1e-9*initialTotal+1e-9; sweep++ {
+		before := total
+		total = attachSweep(dist, m, fe, order, total, p)
+		if total >= before-1e-9 {
+			break // no progress: remaining stubs are unplaceable
+		}
+	}
+	m.symmetrize()
+	m.Clamp()
+	return m
+}
+
+// attachSweep performs one pass of preferential inter-class attachment
+// over all classes, accumulating half-credits into m and consuming from
+// fe. It returns the updated stub total.
+func attachSweep(dist *degseq.Distribution, m *Matrix, fe []float64, order []int, total float64, p int) float64 {
+	k := dist.NumClasses()
+
+	// Unit bookkeeping: fe values live in *doubled-stub* units (the
+	// paper's doubled FE array). An off-diagonal estimate e_ij in these
+	// units intends e_ij/2 true edges, delivered as two half-credits
+	// p_ij + p_ji. The diagonal is visited only once, so its credit is
+	// not halved twice: e_ii = FE²/(2·denom) with P_ii = e_ii/(2·C(n_i,2))
+	// intends e_ii/2 true edges in a single visit. Simplicity caps are
+	// expressed in the same doubled units (2× the true pair counts); the
+	// final [0,1] clamp is what actually guarantees Bernoulli validity.
+	eRow := make([]float64, k)
+	for _, i := range order {
+		if fe[i] <= 0 {
+			continue
+		}
+		denom := total - fe[i]
+		if denom <= 0 {
+			// Only this class has stubs left; it can only self-attach.
+			denom = fe[i]
+		}
+		ni := float64(dist.Classes[i].Count)
+		fei := fe[i]
+		par.For(k, p, func(j int) {
+			eRow[j] = 0
+			if fe[j] <= 0 {
+				return
+			}
+			nj := float64(dist.Classes[j].Count)
+			var naive, capacity, pairs float64
+			if i == j {
+				pairs = ni * (ni - 1) / 2
+				naive = fei * fei / (2 * denom)
+				// Remaining headroom before P_ii reaches 1: allocated
+				// mass so far is m(i,i) = Σ e/(2·pairs).
+				capacity = 2 * pairs * (1 - m.At(i, i))
+			} else {
+				pairs = ni * nj
+				naive = fei * fe[j] / denom
+				// Cumulative constraint e_ij + e_ji <= 2·pairs, i.e.
+				// final P_ij = (e_ij+e_ji)/(2·pairs) <= 1. Both halves
+				// are stored asymmetrically until symmetrize.
+				capacity = 2 * pairs * (1 - m.At(i, j) - m.At(j, i))
+			}
+			if pairs <= 0 || capacity <= 0 {
+				return
+			}
+			e := naive
+			if capacity < e {
+				e = capacity
+			}
+			if fe[j] < e {
+				e = fe[j]
+			}
+			if e <= 0 {
+				return
+			}
+			eRow[j] = e
+		})
+		// The class cannot spend more stubs than it owns: with the
+		// diagonal term included, Σ_j≠i e_ij + 2·e_ii can exceed FE(i)
+		// (the paper's naive estimates sum to exactly FE(i) only without
+		// the self term). Scale the whole row down proportionally so the
+		// budget holds; this is what keeps expected degrees on target
+		// for top-heavy distributions.
+		var rowSpend float64
+		for j := 0; j < k; j++ {
+			if j == i {
+				rowSpend += 2 * eRow[j]
+			} else {
+				rowSpend += eRow[j]
+			}
+		}
+		scale := 1.0
+		if rowSpend > fei && rowSpend > 0 {
+			scale = fei / rowSpend
+		}
+		// Credit probabilities and consume stubs with the scaled
+		// estimates: an inter-class estimate removes e from each side, a
+		// self estimate removes 2e from class i.
+		var consumedByI float64
+		for j := 0; j < k; j++ {
+			e := eRow[j] * scale
+			if e == 0 {
+				continue
+			}
+			var pairs float64
+			if i == j {
+				pairs = ni * (ni - 1) / 2
+				consumedByI += 2 * e
+			} else {
+				pairs = ni * float64(dist.Classes[j].Count)
+				fe[j] -= e
+				if fe[j] < 0 {
+					fe[j] = 0
+				}
+				consumedByI += e
+			}
+			m.add(i, j, e/(2*pairs)) // half-credit: e intends e/2 true edges
+		}
+		fe[i] -= consumedByI
+		if fe[i] < 0 {
+			fe[i] = 0
+		}
+		total = 0
+		for _, v := range fe {
+			total += v
+		}
+	}
+	return total
+}
+
+// RowResiduals returns, per class j, the expected degree error of the
+// probability matrix under Bernoulli generation:
+//
+//	resid[j] = (Σ_i n_i·P(j,i) − P(j,j)) − d_j
+//
+// A perfect solution of the paper's system has all-zero residuals.
+func RowResiduals(dist *degseq.Distribution, m *Matrix) []float64 {
+	k := dist.NumClasses()
+	resid := make([]float64, k)
+	for j := 0; j < k; j++ {
+		var sum float64
+		for i := 0; i < k; i++ {
+			sum += float64(dist.Classes[i].Count) * m.At(j, i)
+		}
+		sum -= m.At(j, j)
+		resid[j] = sum - float64(dist.Classes[j].Degree)
+	}
+	return resid
+}
+
+// ExpectedEdges returns the expected number of edges a Bernoulli
+// generator draws from the matrix: Σ_{i<j} n_i·n_j·P(i,j) +
+// Σ_i C(n_i,2)·P(i,i).
+func ExpectedEdges(dist *degseq.Distribution, m *Matrix) float64 {
+	k := dist.NumClasses()
+	var sum float64
+	for i := 0; i < k; i++ {
+		ni := float64(dist.Classes[i].Count)
+		sum += ni * (ni - 1) / 2 * m.At(i, i)
+		for j := i + 1; j < k; j++ {
+			nj := float64(dist.Classes[j].Count)
+			sum += ni * nj * m.At(i, j)
+		}
+	}
+	return sum
+}
+
+// ChungLu returns the naive Chung-Lu class probabilities
+// P_ij = min(1, d_i·d_j / 2m) — the baseline whose failure on skewed
+// distributions (Figures 1–2) motivates the paper.
+func ChungLu(dist *degseq.Distribution) *Matrix {
+	k := dist.NumClasses()
+	m := NewMatrix(k)
+	twoM := float64(dist.NumStubs())
+	if twoM == 0 {
+		return m
+	}
+	for i := 0; i < k; i++ {
+		di := float64(dist.Classes[i].Degree)
+		for j := i; j < k; j++ {
+			p := di * float64(dist.Classes[j].Degree) / twoM
+			if p > 1 {
+				p = 1
+			}
+			m.Set(i, j, p)
+		}
+	}
+	return m
+}

@@ -1,0 +1,78 @@
+package probgen
+
+import (
+	"math"
+
+	"nullgraph/internal/degseq"
+)
+
+// Refine improves a probability matrix with symmetric iterative
+// proportional fitting: each pass computes every class's expected
+// degree under the current matrix and rescales P_ij by the geometric
+// mean of the two classes' correction ratios,
+//
+//	P_ij ← min(1, P_ij · √(r_i·r_j)),  r_i = d_i / E_i,
+//
+// clamping at 1 (mass that cannot be placed on a saturated pair flows
+// to other pairs on later passes via their ratios). This is the cheap
+// cousin of the fixed-point corrections of Winlaw et al. the paper
+// discusses: it cannot fix distributions for which no valid weight
+// assignment exists (the paper's point), but it drives the residuals of
+// *feasible* rows down fast and costs only O(passes·|D|²).
+//
+// The input matrix is not modified; the refined clone is returned.
+// Passes below 1 default to 8; iteration stops early once the worst
+// relative residual falls under 1e-4.
+func Refine(dist *degseq.Distribution, m *Matrix, passes int) *Matrix {
+	if passes < 1 {
+		passes = 8
+	}
+	k := dist.NumClasses()
+	out := m.Clone()
+	if k == 0 {
+		return out
+	}
+	ratio := make([]float64, k)
+	for pass := 0; pass < passes; pass++ {
+		resid := RowResiduals(dist, out)
+		worst := 0.0
+		for i := 0; i < k; i++ {
+			target := float64(dist.Classes[i].Degree)
+			expected := target + resid[i]
+			switch {
+			case target == 0:
+				// Zero-degree classes keep zero rows.
+				ratio[i] = 0
+			case expected <= 0:
+				// Nothing placed yet: pull hard toward the target.
+				ratio[i] = 2
+			default:
+				ratio[i] = target / expected
+			}
+			if target > 0 {
+				rel := math.Abs(resid[i]) / target
+				if rel > worst {
+					worst = rel
+				}
+			}
+		}
+		if worst < 1e-4 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				v := out.At(i, j)
+				if v == 0 {
+					continue
+				}
+				scale := math.Sqrt(ratio[i] * ratio[j])
+				v *= scale
+				if v > 1 {
+					v = 1
+				}
+				out.Set(i, j, v)
+			}
+		}
+	}
+	return out
+}

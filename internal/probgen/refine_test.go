@@ -1,0 +1,105 @@
+package probgen
+
+import (
+	"math"
+	"testing"
+
+	"nullgraph/internal/degseq"
+)
+
+func sumAbs(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+func TestRefineReducesResiduals(t *testing.T) {
+	d, err := degseq.SamplePowerLaw(degseq.PowerLawConfig{
+		NumVertices: 6500, MinDegree: 1, MaxDegree: 1500, Gamma: 2.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Generate(d, 2)
+	refined := Refine(d, base, 12)
+	before := sumAbs(RowResiduals(d, base))
+	after := sumAbs(RowResiduals(d, refined))
+	if after >= before {
+		t.Errorf("Refine did not reduce residuals: %v -> %v", before, after)
+	}
+	// Validity preserved.
+	for i := 0; i < refined.Dim(); i++ {
+		for j := 0; j < refined.Dim(); j++ {
+			if v := refined.At(i, j); v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("P(%d,%d) = %v", i, j, v)
+			}
+		}
+	}
+	// Expected edges closer to target too.
+	target := float64(d.NumEdges())
+	if math.Abs(ExpectedEdges(d, refined)-target) > math.Abs(ExpectedEdges(d, base)-target)+1e-9 {
+		t.Error("Refine moved expected edge count away from target")
+	}
+}
+
+func TestRefineFixedPointOnExactMatrix(t *testing.T) {
+	// An already-exact matrix is (nearly) a fixed point.
+	d := mustDist(t, map[int64]int64{10: 1000})
+	base := Generate(d, 1) // exact for regular inputs
+	refined := Refine(d, base, 5)
+	if diff := L1Distance(base, refined); diff > 1e-9 {
+		t.Errorf("exact matrix moved by %v", diff)
+	}
+}
+
+func TestRefineDoesNotMutateInput(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 100, 30: 5})
+	base := Generate(d, 1)
+	snapshot := base.Clone()
+	Refine(d, base, 6)
+	if L1Distance(base, snapshot) != 0 {
+		t.Error("Refine mutated its input matrix")
+	}
+}
+
+func TestRefineImprovesChungLu(t *testing.T) {
+	// Refinement should rescue even the naive Chung-Lu matrix
+	// substantially on a skewed instance.
+	d, err := degseq.SamplePowerLaw(degseq.PowerLawConfig{
+		NumVertices: 2000, MinDegree: 1, MaxDegree: 300, Gamma: 2.0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ChungLu(d)
+	refined := Refine(d, cl, 16)
+	before := sumAbs(RowResiduals(d, cl))
+	after := sumAbs(RowResiduals(d, refined))
+	if after > before/2 {
+		t.Errorf("refined Chung-Lu residual %v, want < half of %v", after, before)
+	}
+}
+
+func TestRefineZeroAndEmpty(t *testing.T) {
+	empty := &degseq.Distribution{}
+	out := Refine(empty, NewMatrix(0), 3)
+	if out.Dim() != 0 {
+		t.Error("empty refine mis-sized")
+	}
+	zero := mustDist(t, map[int64]int64{0: 5})
+	m := Generate(zero, 1)
+	refined := Refine(zero, m, 3)
+	if refined.At(0, 0) != 0 {
+		t.Error("zero-degree class gained probability")
+	}
+}
+
+func TestRefineDefaultPasses(t *testing.T) {
+	d := mustDist(t, map[int64]int64{1: 50, 5: 10})
+	m := Generate(d, 1)
+	// passes <= 0 must still work (defaults internally).
+	refined := Refine(d, m, 0)
+	if refined == nil || refined.Dim() != m.Dim() {
+		t.Fatal("default-pass refine broken")
+	}
+}

@@ -1,0 +1,191 @@
+// Package rng provides the deterministic pseudo-random machinery used by
+// every generator in the library: a splitmix64 seed expander, the
+// xoshiro256** generator, and derivation of independent per-worker
+// streams so parallel runs are reproducible for a fixed (seed, workers)
+// pair.
+//
+// The stdlib math/rand sources are avoided in hot paths: generation and
+// swapping draw billions of variates, and a locked global source (or an
+// interface call per variate) dominates the profile. xoshiro256** is the
+// generator used by several HPC graph-generation codes and by Go's own
+// runtime-internal fastrand ancestry; it is small, splittable via
+// splitmix64 seeding, and passes BigCrush.
+package rng
+
+import "math"
+
+// SplitMix64 is a tiny counter-based generator used to expand one seed
+// into many well-separated seeds. Zero value is usable: the first Next
+// advances the state away from 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next value in the splitmix64 sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x with the splitmix64 finalizer; useful for stateless
+// per-index hashing (e.g. deriving a stream for index i).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Source is a xoshiro256** pseudo-random generator. It is NOT safe for
+// concurrent use; use Streams to derive one Source per worker.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, per the xoshiro
+// authors' recommendation. The state is guaranteed nonzero.
+func New(seed uint64) *Source {
+	sm := NewSplitMix64(seed)
+	src := &Source{s0: sm.Next(), s1: sm.Next(), s2: sm.Next(), s3: sm.Next()}
+	if src.s0|src.s1|src.s2|src.s3 == 0 {
+		src.s0 = 0x9e3779b97f4a7c15 // all-zero state is the one forbidden state
+	}
+	return src
+}
+
+// Streams derives n independent sources from seed. Stream i depends only
+// on (seed, i), so a worker's stream is stable across runs regardless of
+// scheduling.
+func Streams(seed uint64, n int) []*Source {
+	streams := make([]*Source, n)
+	for i := range streams {
+		streams[i] = New(Mix64(seed) ^ Mix64(uint64(i)+0x632be59bd9b4e019))
+	}
+	return streams
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float64Open returns a uniform float64 in (0, 1); it never returns 0,
+// which makes it safe as the argument of log() in inversion sampling.
+func (r *Source) Float64Open() float64 {
+	for {
+		f := (float64(r.Uint64()>>11) + 0.5) * (1.0 / (1 << 53))
+		if f > 0 && f < 1 {
+			return f
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method: one multiply in the common
+// case, no division.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire (2019): multiply a 64-bit variate by n, take the high word;
+	// reject the small biased region of the low word.
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		threshold := (-n) % n
+		for lo < threshold {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo1 := t & mask32
+	hi1 := t >> 32
+	lo1 += aLo * bHi
+	hi = aHi*bHi + hi1 + lo1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Bool returns a fair coin flip.
+func (r *Source) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials — the "skip length" l of edge-skipping, distributed
+// Geom(p) on {0, 1, 2, ...}. For p >= 1 it returns 0. It panics if
+// p <= 0: a zero success probability has no finite skip.
+//
+// Uses inversion: floor(log(U)/log(1-p)) with U in (0,1).
+func (r *Source) Geometric(p float64) int64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric called with p <= 0")
+	}
+	l := math.Floor(math.Log(r.Float64Open()) / math.Log1p(-p))
+	if l < 0 {
+		// Floating-point edge: log ratio can round to a tiny negative.
+		return 0
+	}
+	if l > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(l)
+}
+
+// Perm fills out with a uniformly random permutation of [0, len(out))
+// via Fisher–Yates.
+func (r *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Shuffle performs an in-place Fisher–Yates shuffle of n elements using
+// the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

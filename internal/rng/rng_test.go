@@ -1,0 +1,275 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// refSplitMix64 is an independent transcription of Vigna's canonical
+// splitmix64 next() used to cross-check the package implementation.
+func refSplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func TestSplitMix64MatchesReference(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 1234567, math.MaxUint64} {
+		sm := NewSplitMix64(seed)
+		state := seed
+		for i := 0; i < 64; i++ {
+			if got, want := sm.Next(), refSplitMix64(&state); got != want {
+				t.Fatalf("seed %d step %d: Next() = %#x, want %#x", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMix64MatchesSplitMix(t *testing.T) {
+	sm := NewSplitMix64(42)
+	if got, want := Mix64(42), sm.Next(); got != want {
+		t.Errorf("Mix64(42) = %#x, want %#x", got, want)
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at step %d", i)
+		}
+	}
+	c := New(100)
+	same := true
+	a = New(99)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first 10 outputs")
+	}
+}
+
+func TestStreamsIndependentAndStable(t *testing.T) {
+	s1 := Streams(7, 4)
+	s2 := Streams(7, 8)
+	// Stream i must not depend on how many streams were requested.
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 16; k++ {
+			if s1[i].Uint64() != s2[i].Uint64() {
+				t.Fatalf("stream %d differs between Streams(7,4) and Streams(7,8)", i)
+			}
+		}
+	}
+	// Distinct streams should not collide on their first outputs.
+	s := Streams(7, 16)
+	seen := map[uint64]int{}
+	for i, src := range s {
+		v := src.Uint64()
+		if j, dup := seen[v]; dup {
+			t.Errorf("streams %d and %d share first output %#x", i, j, v)
+		}
+		seen[v] = i
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(17)
+	const n, draws = 10, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn(%d): value %d drawn %d times, want ~%v", n, v, c, want)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%#x,%#x) = (%#x,%#x), want (%#x,%#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul64Property(t *testing.T) {
+	f := func(a, b uint32) bool {
+		hi, lo := mul64(uint64(a), uint64(b))
+		return hi == 0 && lo == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(1)
+	if got := r.Geometric(1.0); got != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", got)
+	}
+	if got := r.Geometric(1.5); got != 0 {
+		t.Errorf("Geometric(1.5) = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	// E[Geom(p)] (failures before first success) = (1-p)/p.
+	r := New(23)
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		const n = 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		mean := sum / n
+		want := (1 - p) / p
+		if math.Abs(mean-want) > 0.05*want+0.05 {
+			t.Errorf("Geometric(%v): mean = %v, want ~%v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricNonNegativeProperty(t *testing.T) {
+	r := New(9)
+	f := func(raw uint16) bool {
+		p := (float64(raw) + 1) / (math.MaxUint16 + 2) // p in (0,1)
+		return r.Geometric(p) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(77)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		out := make([]int, n)
+		r.Perm(out)
+		seen := make([]bool, n)
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, out)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(31)
+	vals := []int{5, 5, 1, 9, 2, 2, 2}
+	orig := map[int]int{}
+	for _, v := range vals {
+		orig[v]++
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := map[int]int{}
+	for _, v := range vals {
+		got[v]++
+	}
+	for k, c := range orig {
+		if got[k] != c {
+			t.Errorf("Shuffle changed multiset: %v", vals)
+		}
+	}
+}
+
+func TestBoolRoughlyFair(t *testing.T) {
+	r := New(41)
+	const n = 100000
+	trues := 0
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)-n/2) > 3*math.Sqrt(n/4) {
+		t.Errorf("Bool: %d of %d true", trues, n)
+	}
+}

@@ -1,0 +1,140 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func checkEmpirical(t *testing.T, name string, s WeightedSampler, weights []float64, draws int) {
+	t.Helper()
+	r := New(1357)
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		idx := s.Sample(r)
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("%s: index %d out of range", name, idx)
+		}
+		counts[idx]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := float64(draws) * w / total
+		got := float64(counts[i])
+		// 5-sigma binomial tolerance plus slack for tiny expectations.
+		tol := 5*math.Sqrt(want*(1-w/total)) + 3
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: item %d drawn %v times, want ~%v (tol %v)", name, i, got, want, tol)
+		}
+		if w == 0 && counts[i] > 0 {
+			t.Errorf("%s: zero-weight item %d drawn %d times", name, i, counts[i])
+		}
+	}
+}
+
+func TestCDFSamplerDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	checkEmpirical(t, "cdf", NewCDFSampler(weights), weights, 100000)
+}
+
+func TestAliasSamplerDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	checkEmpirical(t, "alias", NewAliasSampler(weights), weights, 100000)
+}
+
+func TestSamplersSkewedDistribution(t *testing.T) {
+	// Power-law-ish weights, like a degree sequence.
+	weights := make([]float64, 50)
+	for i := range weights {
+		weights[i] = 1.0 / float64(i+1) / float64(i+1)
+	}
+	checkEmpirical(t, "cdf-skew", NewCDFSampler(weights), weights, 200000)
+	checkEmpirical(t, "alias-skew", NewAliasSampler(weights), weights, 200000)
+}
+
+func TestSamplersZeroWeights(t *testing.T) {
+	weights := []float64{0, 3, 0, 1, 0}
+	checkEmpirical(t, "cdf-zero", NewCDFSampler(weights), weights, 50000)
+	checkEmpirical(t, "alias-zero", NewAliasSampler(weights), weights, 50000)
+}
+
+func TestSamplerSingleItem(t *testing.T) {
+	r := New(2)
+	for _, s := range []WeightedSampler{NewCDFSampler([]float64{7}), NewAliasSampler([]float64{7})} {
+		for i := 0; i < 100; i++ {
+			if got := s.Sample(r); got != 0 {
+				t.Fatalf("single-item sampler returned %d", got)
+			}
+		}
+		if s.Len() != 1 {
+			t.Errorf("Len = %d, want 1", s.Len())
+		}
+	}
+}
+
+func TestSamplerPanicsOnAllZero(t *testing.T) {
+	for name, build := range map[string]func(){
+		"cdf":   func() { NewCDFSampler([]float64{0, 0}) },
+		"alias": func() { NewAliasSampler([]float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: all-zero weights did not panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestSamplerPanicsOnNegative(t *testing.T) {
+	for name, build := range map[string]func(){
+		"cdf":   func() { NewCDFSampler([]float64{1, -1}) },
+		"alias": func() { NewAliasSampler([]float64{1, -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative weight did not panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestSamplersAgreeOnUniform(t *testing.T) {
+	// With equal weights both must be uniform.
+	weights := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	checkEmpirical(t, "cdf-uniform", NewCDFSampler(weights), weights, 80000)
+	checkEmpirical(t, "alias-uniform", NewAliasSampler(weights), weights, 80000)
+}
+
+func BenchmarkCDFSampler(b *testing.B) {
+	weights := make([]float64, 1<<16)
+	for i := range weights {
+		weights[i] = float64(i%97 + 1)
+	}
+	s := NewCDFSampler(weights)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(r)
+	}
+}
+
+func BenchmarkAliasSampler(b *testing.B) {
+	weights := make([]float64, 1<<16)
+	for i := range weights {
+		weights[i] = float64(i%97 + 1)
+	}
+	s := NewAliasSampler(weights)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(r)
+	}
+}

@@ -1,0 +1,68 @@
+package swap
+
+import (
+	"fmt"
+
+	"nullgraph/internal/graph"
+	"nullgraph/internal/rng"
+)
+
+// RunSerial performs `attempts` classic single-proposal double-edge swap
+// steps (the textbook Markov chain of Milo et al.): pick two random
+// distinct edge positions, flip a coin for the endpoint pairing, and
+// commit iff the two new edges are loop-free and absent from the graph.
+// It mutates el in place and returns the number of committed swaps.
+//
+// This is the validation reference for the parallel engine — same state
+// space, same moves, pedestrian execution. It requires a simple input.
+func RunSerial(el *graph.EdgeList, attempts int64, seed uint64) (int64, error) {
+	if rep := el.CheckSimplicity(); !rep.IsSimple() {
+		return 0, fmt.Errorf("swap: RunSerial requires a simple graph, got %+v", rep)
+	}
+	m := len(el.Edges)
+	if m < 2 {
+		return 0, nil
+	}
+	present := make(map[uint64]struct{}, m)
+	for _, e := range el.Edges {
+		present[e.Key()] = struct{}{}
+	}
+	src := rng.New(seed)
+	var successes int64
+	for a := int64(0); a < attempts; a++ {
+		i := src.Intn(m)
+		j := src.Intn(m - 1)
+		if j >= i {
+			j++
+		}
+		e, f := el.Edges[i], el.Edges[j]
+		var g, h graph.Edge
+		if src.Bool() {
+			g = graph.Edge{U: e.U, V: f.U}
+			h = graph.Edge{U: e.V, V: f.V}
+		} else {
+			g = graph.Edge{U: e.U, V: f.V}
+			h = graph.Edge{U: e.V, V: f.U}
+		}
+		if g.IsLoop() || h.IsLoop() {
+			continue
+		}
+		gk, hk := g.Key(), h.Key()
+		if gk == hk {
+			continue
+		}
+		if _, hit := present[gk]; hit {
+			continue
+		}
+		if _, hit := present[hk]; hit {
+			continue
+		}
+		delete(present, e.Key())
+		delete(present, f.Key())
+		present[gk] = struct{}{}
+		present[hk] = struct{}{}
+		el.Edges[i], el.Edges[j] = g, h
+		successes++
+	}
+	return successes, nil
+}

@@ -1,0 +1,250 @@
+// Package swap implements the paper's parallel double-edge swap engine
+// (Algorithm III.1): an MCMC process that uniformly mixes the simple
+// graphs of a fixed degree sequence.
+//
+// Each iteration:
+//  1. every current edge is inserted into a concurrent hash table,
+//  2. the edge list is randomly permuted in parallel (Shun et al.),
+//  3. adjacent disjoint pairs (E[2k], E[2k+1]) each propose one of the
+//     two endpoint exchanges, chosen by a fair coin, and commit it iff
+//     neither new edge is a self-loop and neither is already present in
+//     the table (checked with thread-safe TestAndSet),
+//  4. the table is cleared in parallel.
+//
+// Degree sequence, edge count and — once the input is simple —
+// simplicity are invariants of every iteration. Non-simple inputs (the
+// O(m) Chung-Lu model emits loops and multi-edges) are progressively
+// "simplified": a duplicate edge can swap into two fresh edges, and the
+// paper observes a few dozen iterations remove all multi-edges.
+//
+// Deviation from the paper's pseudocode, documented here once: the
+// self-loop test runs *before* the TestAndSet calls rather than after.
+// Algorithm III.1's short-circuit `TestAndSet(g) = false and
+// TestAndSet(h) = false and not loops` inserts g (and possibly h) into
+// the table even when the loop test then rejects the proposal, which
+// spuriously blocks later proposals of g in the same iteration. Testing
+// loops first only removes those spurious failures; every committed
+// swap satisfies exactly the same conditions.
+package swap
+
+import (
+	"fmt"
+
+	"nullgraph/internal/graph"
+	"nullgraph/internal/hashtable"
+	"nullgraph/internal/par"
+	"nullgraph/internal/permute"
+	"nullgraph/internal/rng"
+)
+
+// Options configures a swap run.
+type Options struct {
+	// Iterations is the number of full permute-and-sweep passes.
+	Iterations int
+	// Workers is the parallel width; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed drives the permutations and proposal coins. With Workers=1
+	// the run is bit-reproducible. With Workers>1 all *randomness* is
+	// still seed-determined, but when two workers concurrently propose
+	// the same new edge, which proposal the hash table admits depends
+	// on scheduling — the same benign race the paper's OpenMP
+	// implementation has — so exact outputs can differ across runs
+	// while every invariant (degrees, edge count, simplicity) and the
+	// sampled distribution are unaffected.
+	Seed uint64
+	// Probing selects the hash-table collision strategy.
+	Probing hashtable.Probing
+	// TrackSwapped maintains a per-edge "ever successfully swapped" flag
+	// so IterStats can report the mixing fraction the paper uses as its
+	// empirical stopping signal. Costs one extra permutation per
+	// iteration; leave false in throughput benchmarks.
+	TrackSwapped bool
+	// OnIteration, when non-nil, receives each iteration's statistics as
+	// soon as the sweep finishes; experiments use it to snapshot
+	// convergence without re-running.
+	OnIteration func(iteration int, stats IterStats)
+}
+
+// Validate reports option misuse.
+func (o Options) Validate() error {
+	if o.Iterations < 0 {
+		return fmt.Errorf("swap: negative iteration count %d", o.Iterations)
+	}
+	return nil
+}
+
+// IterStats reports one iteration of swapping.
+type IterStats struct {
+	// Attempts is the number of proposed pair swaps (⌊m/2⌋).
+	Attempts int64
+	// Successes is the number of committed swaps.
+	Successes int64
+	// EverSwapped is the fraction of edges that have been part of at
+	// least one successful swap in any iteration so far. Only populated
+	// when Options.TrackSwapped is set.
+	EverSwapped float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	PerIteration []IterStats
+	// TotalSuccesses across all iterations.
+	TotalSuccesses int64
+}
+
+// Engine holds the reusable state of the swap process on one edge list:
+// the concurrent edge table and the ever-swapped flags. Iterations can
+// be run in any grouping without losing tracking state.
+type Engine struct {
+	el      *graph.EdgeList
+	opt     Options
+	p       int
+	table   *hashtable.EdgeSet
+	swapped []uint8
+	// iteration counts all iterations run so far; it seeds each
+	// iteration's permutation and proposal streams.
+	iteration int
+}
+
+// NewEngine prepares a swap engine over el. The engine mutates el's
+// edge slice in place; el must not be resized while the engine is live.
+func NewEngine(el *graph.EdgeList, opt Options) *Engine {
+	p := par.Workers(opt.Workers)
+	m := len(el.Edges)
+	eng := &Engine{el: el, opt: opt, p: p}
+	if m >= 2 {
+		// Worst case insertions per iteration: m initial edges + 2 new
+		// edges per proposing pair = 2m.
+		eng.table = hashtable.New(2*m, opt.Probing)
+	}
+	if opt.TrackSwapped {
+		eng.swapped = make([]uint8, m)
+	}
+	return eng
+}
+
+// EverSwappedFraction returns the fraction of edges that have been in a
+// successful swap so far (0 when tracking is disabled).
+func (eng *Engine) EverSwappedFraction() float64 {
+	if eng.swapped == nil || len(eng.swapped) == 0 {
+		return 0
+	}
+	count := par.SumInt64(len(eng.swapped), eng.p, func(i int) int64 { return int64(eng.swapped[i]) })
+	return float64(count) / float64(len(eng.swapped))
+}
+
+// Step runs one full swap iteration and returns its statistics.
+func (eng *Engine) Step() IterStats {
+	edges := eng.el.Edges
+	m := len(edges)
+	it := eng.iteration
+	eng.iteration++
+	if m < 2 {
+		return IterStats{}
+	}
+	p := eng.p
+
+	// Phase 1: register the current edge set.
+	table := eng.table
+	par.ForRange(m, p, func(_ int, r par.Range) {
+		for i := r.Begin; i < r.End; i++ {
+			table.TestAndSet(edges[i].Key())
+		}
+	})
+
+	// Phase 2: permute. The swapped flags ride along under the same
+	// targets so flag k keeps following edge k.
+	permSeed := rng.Mix64(eng.opt.Seed) + 0x9e3779b97f4a7c15*uint64(it+1)
+	h := permute.Targets(permSeed, m, p)
+	permute.Apply(edges, h, p)
+	if eng.swapped != nil {
+		permute.Apply(eng.swapped, h, p)
+	}
+
+	// Phase 3: propose swaps on adjacent disjoint pairs.
+	pairs := m / 2
+	stats := IterStats{Attempts: int64(pairs)}
+	sweepSeed := rng.Mix64(eng.opt.Seed) ^ rng.Mix64(uint64(it)+0xabcd0123)
+	successes := make([]int64, p)
+	par.ForRange(pairs, p, func(w int, r par.Range) {
+		src := rng.New(rng.Mix64(sweepSeed) ^ rng.Mix64(uint64(w)+0x5134))
+		var local int64
+		for k := r.Begin; k < r.End; k++ {
+			i, j := 2*k, 2*k+1
+			e, f := edges[i], edges[j]
+			var g, hh graph.Edge
+			if src.Bool() {
+				g = graph.Edge{U: e.U, V: f.U}
+				hh = graph.Edge{U: e.V, V: f.V}
+			} else {
+				g = graph.Edge{U: e.U, V: f.V}
+				hh = graph.Edge{U: e.V, V: f.U}
+			}
+			if g.IsLoop() || hh.IsLoop() {
+				continue
+			}
+			if table.TestAndSet(g.Key()) {
+				continue
+			}
+			if table.TestAndSet(hh.Key()) {
+				// g stays registered: harmless for correctness (it only
+				// suppresses re-proposals of g this iteration).
+				continue
+			}
+			edges[i], edges[j] = g, hh
+			if eng.swapped != nil {
+				eng.swapped[i], eng.swapped[j] = 1, 1
+			}
+			local++
+		}
+		successes[w] = local
+	})
+	for _, s := range successes {
+		stats.Successes += s
+	}
+	if eng.swapped != nil {
+		stats.EverSwapped = eng.EverSwappedFraction()
+	}
+
+	// Phase 4: reset the table for the next iteration.
+	table.Clear(p)
+	return stats
+}
+
+// Run performs opt.Iterations parallel double-edge swap iterations on el
+// in place and returns per-iteration statistics.
+func Run(el *graph.EdgeList, opt Options) Result {
+	eng := NewEngine(el, opt)
+	result := Result{PerIteration: make([]IterStats, 0, opt.Iterations)}
+	for it := 0; it < opt.Iterations; it++ {
+		stats := eng.Step()
+		result.PerIteration = append(result.PerIteration, stats)
+		result.TotalSuccesses += stats.Successes
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, stats)
+		}
+	}
+	return result
+}
+
+// RunUntilMixed swaps until every edge has been part of a successful
+// swap at least once (the paper's empirical mixing signal), or until
+// maxIterations. Tracking is forced on. It returns the statistics and
+// whether full mixing was reached.
+func RunUntilMixed(el *graph.EdgeList, opt Options, maxIterations int) (Result, bool) {
+	opt.TrackSwapped = true
+	eng := NewEngine(el, opt)
+	var result Result
+	for it := 0; it < maxIterations; it++ {
+		stats := eng.Step()
+		result.PerIteration = append(result.PerIteration, stats)
+		result.TotalSuccesses += stats.Successes
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, stats)
+		}
+		if stats.EverSwapped >= 1.0 {
+			return result, true
+		}
+	}
+	return result, false
+}

@@ -1,0 +1,184 @@
+package nullgraph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateQuickstartFlow(t *testing.T) {
+	dist, err := PowerLawDistribution(5000, 1, 200, 2.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(dist); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(dist, Options{Seed: 42, SwapIterations: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := res.Graph.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("not simple: %+v", rep)
+	}
+	if len(res.SwapIterations) != 8 {
+		t.Errorf("swap stats = %d, want 8", len(res.SwapIterations))
+	}
+	q := Quality(res.Graph, dist, 4)
+	if math.Abs(q.Edges) > 0.08 {
+		t.Errorf("edge error %v", q.Edges)
+	}
+}
+
+func TestShufflePreservesDegrees(t *testing.T) {
+	// Build a small deterministic graph, shuffle, compare degrees.
+	var edges []Edge
+	for i := int32(0); i < 500; i++ {
+		edges = append(edges, Edge{U: i, V: (i + 1) % 500})
+	}
+	g := NewGraph(edges, 500)
+	before := g.Degrees(1)
+	res := Shuffle(g, Options{Seed: 7, SwapIterations: 5, Workers: 2})
+	if res.Graph != g {
+		t.Error("Shuffle must operate in place")
+	}
+	after := g.Degrees(1)
+	for v := range before {
+		if before[v] != after[v] {
+			t.Fatalf("degree of %d changed", v)
+		}
+	}
+}
+
+func TestMixUntilSwapped(t *testing.T) {
+	dist, err := DistributionFromCounts(map[int64]int64{2: 1000, 5: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(dist, Options{Seed: 5, MixUntilSwapped: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mixed {
+		t.Error("MixUntilSwapped did not reach full mixing")
+	}
+}
+
+func TestBaselinesExported(t *testing.T) {
+	dist, err := DistributionFromCounts(map[int64]int64{1: 200, 50: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := ChungLuMultigraph(dist, Options{Seed: 1})
+	if int64(om.NumEdges()) != dist.NumEdges() {
+		t.Errorf("O(m) edges = %d, want %d", om.NumEdges(), dist.NumEdges())
+	}
+	erased, rep := ChungLuErased(dist, Options{Seed: 1})
+	if !erased.CheckSimplicity().IsSimple() {
+		t.Error("erased output not simple")
+	}
+	if rep.IsSimple() {
+		t.Error("extreme skew produced no erasures (wildly unlikely)")
+	}
+	bern, err := ChungLuBernoulli(dist, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bern.CheckSimplicity().IsSimple() {
+		t.Error("Bernoulli output not simple")
+	}
+	hh, err := HavelHakimi(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DistributionOf(hh, 1)
+	if got.NumEdges() != dist.NumEdges() {
+		t.Error("Havel-Hakimi did not realize the distribution exactly")
+	}
+}
+
+func TestLFRExported(t *testing.T) {
+	res, err := LFR(LFRConfig{
+		NumVertices: 1500, DegreeGamma: 2.2, MinDegree: 3, MaxDegree: 40,
+		CommunityGamma: 1.8, MinCommunity: 25, MaxCommunity: 200,
+		Mu: 0.25, SwapIterations: 2, Seed: 9, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) < 2 {
+		t.Errorf("only %d communities", len(res.Communities))
+	}
+	if math.Abs(res.ObservedMu-0.25) > 0.12 {
+		t.Errorf("observed mu %v", res.ObservedMu)
+	}
+}
+
+func TestIORoundTrips(t *testing.T) {
+	g := NewGraph([]Edge{{U: 0, V: 1}, {U: 1, V: 2}}, 3)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualAsSets(g) {
+		t.Error("graph IO round trip failed")
+	}
+	dist, _ := DistributionFromCounts(map[int64]int64{1: 2, 2: 1})
+	buf.Reset()
+	if err := WriteDistribution(&buf, dist); err != nil {
+		t.Fatal(err)
+	}
+	dback, err := ReadDistribution(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dback.NumVertices() != 3 {
+		t.Error("distribution IO round trip failed")
+	}
+}
+
+func TestValidateRejectsNonGraphical(t *testing.T) {
+	dist, err := DistributionFromCounts(map[int64]int64{3: 2, 1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(dist); err == nil {
+		t.Error("non-graphical distribution validated")
+	}
+}
+
+func TestMetricsExported(t *testing.T) {
+	if g := Gini([]int64{1, 1, 1, 1}); g != 0 {
+		t.Errorf("Gini regular = %v", g)
+	}
+	star := NewGraph([]Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}, 4)
+	if a := Assortativity(star, 1); a >= 0 {
+		t.Errorf("star assortativity = %v", a)
+	}
+	s := ComputeStats(star, 1)
+	if s.MaxDegree != 3 || s.NumEdges != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Bit-exact reproducibility holds for Workers=1 (parallel swap
+	// proposals race benignly between workers; see the Options doc).
+	dist, _ := DistributionFromCounts(map[int64]int64{3: 400, 7: 20})
+	a, err := Generate(dist, Options{Seed: 3, SwapIterations: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(dist, Options{Seed: 3, SwapIterations: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.EqualAsSets(b.Graph) {
+		t.Error("same seed produced different graphs")
+	}
+}
