@@ -1,0 +1,37 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `verify`
+# and `race`; `bench-swap` tracks the hot path's allocation budget.
+
+GO ?= go
+
+# RACE_PKGS are the packages on the swap hot path — the ones with real
+# cross-goroutine protocols worth the race detector's 10x slowdown.
+RACE_PKGS = ./internal/swap/... ./internal/hashtable/... ./internal/permute/... ./internal/par/...
+
+.PHONY: verify build vet test race bench-swap clean
+
+# verify is the tier-1 gate: everything compiles, vets clean, and every
+# test passes.
+verify: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race stresses the concurrent hot-path packages under the race
+# detector (shortened statistical tests).
+race:
+	$(GO) test -race -short $(RACE_PKGS)
+
+# bench-swap emits BENCH_swap.json: ns/op, allocs/op, B/op and
+# swaps/sec for one engine Step on a 1M-edge graph. The hot path's
+# budget is ~0 allocs/op; see DESIGN.md.
+bench-swap:
+	$(GO) run ./cmd/benchswap
+
+clean:
+	rm -f BENCH_swap.json

@@ -1,0 +1,120 @@
+// Command benchswap measures the swap engine's hot path — one full
+// Step on a large ring graph — and emits the result as a small JSON
+// document (BENCH_swap.json by default) for CI tracking. It reports the
+// same quantities as the BenchmarkSwapStep micro-benchmark: ns per
+// iteration, bytes and allocations per iteration, and committed swaps
+// per second, at one worker and at the configured maximum.
+//
+// Usage:
+//
+//	benchswap                      # 1M-edge ring, writes BENCH_swap.json
+//	benchswap -edges 262144 -o -   # smaller graph, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"nullgraph/internal/graph"
+	"nullgraph/internal/swap"
+)
+
+// Measurement is one benchmark configuration's result.
+type Measurement struct {
+	Workers     int     `json:"workers"`
+	Edges       int     `json:"edges"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SwapsPerSec float64 `json:"swaps_per_sec"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmark  string        `json:"benchmark"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []Measurement `json:"results"`
+}
+
+func ring(n int) *graph.EdgeList {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{U: int32(i), V: int32((i + 1) % n)}
+	}
+	return graph.NewEdgeList(edges, n)
+}
+
+// measure runs Step under testing.Benchmark for one worker count.
+func measure(edges, workers int) Measurement {
+	var successes int64
+	var n int
+	res := testing.Benchmark(func(b *testing.B) {
+		el := ring(edges)
+		eng := swap.NewEngine(el, swap.Options{Workers: workers, Seed: 1})
+		defer eng.Close()
+		eng.Step() // warm-up: buffers materialize on first use
+		successes, n = 0, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			successes += eng.Step().Successes
+		}
+		n = b.N
+	})
+	m := Measurement{
+		Workers:     workers,
+		Edges:       edges,
+		Iterations:  n,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if res.T > 0 {
+		m.SwapsPerSec = float64(successes) / res.T.Seconds()
+	}
+	return m
+}
+
+func main() {
+	var (
+		edges = flag.Int("edges", 1<<20, "ring size (edge count) to benchmark")
+		out   = flag.String("o", "BENCH_swap.json", "output path (- = stdout)")
+	)
+	flag.Parse()
+	if *edges < 2 {
+		fmt.Fprintln(os.Stderr, "benchswap: -edges must be >= 2")
+		os.Exit(2)
+	}
+
+	report := Report{Benchmark: "swap.Engine.Step", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	configs := []int{1}
+	if runtime.GOMAXPROCS(0) > 1 {
+		configs = append(configs, 0) // 0 = all procs
+	}
+	for _, workers := range configs {
+		m := measure(*edges, workers)
+		report.Results = append(report.Results, m)
+		fmt.Fprintf(os.Stderr, "benchswap: workers=%d edges=%d ns/op=%d allocs/op=%d B/op=%d swaps/sec=%.0f\n",
+			m.Workers, m.Edges, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SwapsPerSec)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchswap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchswap:", err)
+		os.Exit(1)
+	}
+}

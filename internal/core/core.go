@@ -124,16 +124,78 @@ func FromEdgeList(el *graph.EdgeList, opt Options) *Result {
 	return res
 }
 
-func runSwaps(el *graph.EdgeList, opt Options) (swap.Result, bool) {
-	sopt := swap.Options{
-		Workers:      opt.Workers,
-		Seed:         opt.Seed + 0x5eed,
-		Probing:      opt.Probing,
-		TrackSwapped: opt.TrackSwapStats || opt.MixUntilSwapped,
+// swapOptions derives the swap configuration shared by runSwaps and
+// Mixer.
+func (o Options) swapOptions() swap.Options {
+	return swap.Options{
+		Iterations:   o.SwapIterations,
+		Workers:      o.Workers,
+		Seed:         o.Seed + 0x5eed,
+		Probing:      o.Probing,
+		TrackSwapped: o.TrackSwapStats || o.MixUntilSwapped,
 	}
+}
+
+func runSwaps(el *graph.EdgeList, opt Options) (swap.Result, bool) {
+	sopt := opt.swapOptions()
 	if opt.MixUntilSwapped {
+		sopt.Iterations = 0
 		return swap.RunUntilMixed(el, sopt, opt.maxSwapIterations())
 	}
-	sopt.Iterations = opt.SwapIterations
 	return swap.Run(el, sopt), false
+}
+
+// Mixer amortizes the swap engine's buffers — hash table, insertion
+// journals, permutation scratch, worker pool — across many mixing runs:
+// the batch-sampling pattern of "generate a graph, mix it, hand it off,
+// repeat" pays the engine's setup cost once instead of per sample.
+//
+// Each Mix call behaves exactly like FromEdgeList on a fresh pipeline
+// whose Seed produces the same per-sample swap seed (bit-identically
+// for Workers=1). A Mixer is not safe for concurrent use; Close it when
+// the batch is done.
+type Mixer struct {
+	opt Options
+	eng *swap.Engine
+}
+
+// NewMixer prepares a mixer for the given pipeline options (only the
+// swap-phase fields are consulted).
+func NewMixer(opt Options) *Mixer { return &Mixer{opt: opt} }
+
+// sampleSeed derives the swap seed of one sample in the batch. Sample 0
+// matches runSwaps with the same Options, so a Mixer is a drop-in for a
+// single FromEdgeList call too.
+func (mx *Mixer) sampleSeed(sample uint64) uint64 {
+	base := mx.opt.Seed + 0x5eed
+	if sample == 0 {
+		return base
+	}
+	return base ^ (sample * 0x9e3779b97f4a7c15)
+}
+
+// Mix swaps el in place as the sample-th member of the batch, reusing
+// the engine state from earlier calls when el's size allows.
+func (mx *Mixer) Mix(el *graph.EdgeList, sample uint64) (swap.Result, bool) {
+	if mx.eng == nil {
+		sopt := mx.opt.swapOptions()
+		sopt.Seed = mx.sampleSeed(sample)
+		mx.eng = swap.NewEngine(el, sopt)
+	} else {
+		mx.eng.SetSeed(mx.sampleSeed(sample))
+		mx.eng.Reset(el)
+	}
+	if mx.opt.MixUntilSwapped {
+		return swap.RunEngineUntilMixed(mx.eng, mx.opt.maxSwapIterations())
+	}
+	res := swap.RunEngine(mx.eng)
+	return res, false
+}
+
+// Close releases the mixer's engine. Idempotent; the mixer must not be
+// used afterwards.
+func (mx *Mixer) Close() {
+	if mx.eng != nil {
+		mx.eng.Close()
+	}
 }

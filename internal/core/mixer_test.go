@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"nullgraph/internal/graph"
+)
+
+func ringEdges(n int) *graph.EdgeList {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{U: int32(i), V: int32((i + 1) % n)}
+	}
+	return graph.NewEdgeList(edges, n)
+}
+
+// TestMixerMatchesFromEdgeList locks the Mixer's contract: sample 0 is
+// bit-identical (Workers=1) to a one-shot FromEdgeList with the same
+// options, and later samples match a pipeline seeded with that sample's
+// derived seed.
+func TestMixerMatchesFromEdgeList(t *testing.T) {
+	opt := Options{Workers: 1, Seed: 17, SwapIterations: 4}
+	mx := NewMixer(opt)
+	defer mx.Close()
+	for sample := uint64(0); sample < 3; sample++ {
+		mixed := ringEdges(2000)
+		res, _ := mx.Mix(mixed, sample)
+		if len(res.PerIteration) != 4 {
+			t.Fatalf("sample %d: ran %d iterations, want 4", sample, len(res.PerIteration))
+		}
+
+		ref := ringEdges(2000)
+		refOpt := opt
+		refOpt.Seed = mx.sampleSeed(sample) - 0x5eed // invert runSwaps' offset
+		FromEdgeList(ref, refOpt)
+		for i := range ref.Edges {
+			if mixed.Edges[i] != ref.Edges[i] {
+				t.Fatalf("sample %d: mixer diverges from FromEdgeList at edge %d", sample, i)
+			}
+		}
+	}
+}
+
+func TestMixerDistinctSamplesDiffer(t *testing.T) {
+	mx := NewMixer(Options{Workers: 1, Seed: 5, SwapIterations: 4})
+	defer mx.Close()
+	a := ringEdges(1000)
+	mx.Mix(a, 0)
+	b := ringEdges(1000)
+	mx.Mix(b, 1)
+	if a.EqualAsSets(b) {
+		t.Error("samples 0 and 1 produced identical graphs")
+	}
+}
+
+func TestMixerUntilSwapped(t *testing.T) {
+	mx := NewMixer(Options{Workers: 2, Seed: 9, MixUntilSwapped: true, MaxSwapIterations: 200})
+	defer mx.Close()
+	for sample := uint64(0); sample < 2; sample++ {
+		el := ringEdges(256)
+		res, mixed := mx.Mix(el, sample)
+		if !mixed {
+			t.Fatalf("sample %d: 256-ring did not mix in 200 iterations", sample)
+		}
+		last := res.PerIteration[len(res.PerIteration)-1]
+		if last.EverSwapped < 1.0 {
+			t.Errorf("sample %d: mixed=true but EverSwapped = %v", sample, last.EverSwapped)
+		}
+		if rep := el.CheckSimplicity(); !rep.IsSimple() {
+			t.Errorf("sample %d: output not simple: %+v", sample, rep)
+		}
+	}
+}
+
+// TestMixerHandlesGrowingInputs: the engine must rebind cleanly when a
+// later sample is larger than the buffers sized for the first.
+func TestMixerHandlesGrowingInputs(t *testing.T) {
+	mx := NewMixer(Options{Workers: 1, Seed: 3, SwapIterations: 3})
+	defer mx.Close()
+	for _, n := range []int{500, 5000, 100} {
+		el := ringEdges(n)
+		degrees := el.Degrees(1)
+		mx.Mix(el, uint64(n))
+		after := el.Degrees(1)
+		for i := range degrees {
+			if degrees[i] != after[i] {
+				t.Fatalf("n=%d: degree sequence changed", n)
+			}
+		}
+		if rep := el.CheckSimplicity(); !rep.IsSimple() {
+			t.Fatalf("n=%d: output not simple: %+v", n, rep)
+		}
+	}
+}

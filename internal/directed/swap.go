@@ -44,12 +44,32 @@ type SwapResult struct {
 //     *triples* and reverses any that form a directed triangle
 //     (u→v→w→u ⇒ u←v←w←u), the classic second move type of directed
 //     switch chains (Rao et al.; Erdős–Miklós–Toroczkai).
+//
+// Like the undirected engine, a SwapEngine owns its iteration buffers
+// (hash-table writer counters, permutation targets and scratch, padded
+// per-worker accumulators), so steady-state Steps do not allocate. It
+// dispatches parallel regions with per-call goroutines rather than a
+// persistent pool — the directed chain is an extension, not the
+// benchmarked hot path — so there is nothing to Close.
 type SwapEngine struct {
-	al        *ArcList
-	opt       SwapOptions
-	p         int
-	table     *hashtable.EdgeSet
-	swapped   []uint8
+	al  *ArcList
+	opt SwapOptions
+	p   int
+
+	table   *hashtable.EdgeSet
+	writers []*hashtable.Writer
+
+	swapped      []uint8
+	swappedCount int64
+
+	h       []int32
+	sc      *permute.Scratch
+	apArcs  *permute.Applier[Arc]
+	apFlags *permute.Applier[uint8]
+
+	successes []par.Cell
+	newly     []par.Cell
+
 	iteration int
 }
 
@@ -60,26 +80,45 @@ func NewSwapEngine(al *ArcList, opt SwapOptions) *SwapEngine {
 	eng := &SwapEngine{al: al, opt: opt, p: p}
 	if m >= 2 {
 		// Worst case insertions per iteration: m registrations + 2 per
-		// pair proposal + 3 per triple proposal = 3m.
+		// pair proposal + 3 per triple proposal = 3m. Counting-only
+		// writers: occupancy always lands above the journal/sweep
+		// crossover (see the hashtable package doc), so ClearWriters
+		// sweeps.
 		eng.table = hashtable.New(3*m, opt.Probing)
+		eng.writers = eng.table.NewCountingWriters(p)
+		eng.h = make([]int32, m)
 	}
+	eng.sc = permute.NewScratch()
+	eng.apArcs = permute.NewApplier[Arc](eng.sc)
+	eng.apFlags = permute.NewApplier[uint8](eng.sc)
+	eng.successes = make([]par.Cell, p)
+	eng.newly = make([]par.Cell, p)
 	if opt.TrackSwapped {
 		eng.swapped = make([]uint8, m)
 	}
 	return eng
 }
 
-// EverSwappedFraction reports the mixing tracker.
+// EverSwappedFraction reports the mixing tracker — O(1), accumulated
+// from each sweep's newly set flags.
 func (eng *SwapEngine) EverSwappedFraction() float64 {
 	if len(eng.swapped) == 0 {
 		return 0
 	}
-	count := par.SumInt64(len(eng.swapped), eng.p, func(i int) int64 { return int64(eng.swapped[i]) })
-	return float64(count) / float64(len(eng.swapped))
+	return float64(eng.swappedCount) / float64(len(eng.swapped))
+}
+
+// markSwapped sets flag i, counting first-time transitions.
+func (eng *SwapEngine) markSwapped(i int, newly *int64) {
+	if eng.swapped[i] == 0 {
+		eng.swapped[i] = 1
+		*newly++
+	}
 }
 
 // Step runs one full iteration: register all arcs, permute, propose the
-// single legal exchange per adjacent pair, clear.
+// single legal exchange per adjacent pair, reverse disjoint directed
+// triangles, clear the table.
 func (eng *SwapEngine) Step() SwapIterStats {
 	arcs := eng.al.Arcs
 	m := len(arcs)
@@ -89,26 +128,31 @@ func (eng *SwapEngine) Step() SwapIterStats {
 		return SwapIterStats{}
 	}
 	p := eng.p
-	table := eng.table
 
-	par.ForRange(m, p, func(_ int, r par.Range) {
+	par.ForRange(m, p, func(w int, r par.Range) {
+		wtr := eng.writers[w]
 		for i := r.Begin; i < r.End; i++ {
-			table.TestAndSet(arcs[i].Key())
+			wtr.TestAndSet(arcs[i].Key())
 		}
 	})
 
 	permSeed := rng.Mix64(eng.opt.Seed) + 0x9e3779b97f4a7c15*uint64(it+1)
-	h := permute.Targets(permSeed, m, p)
-	permute.Apply(arcs, h, p)
+	h := eng.h[:m]
+	permute.TargetsInto(permSeed, p, h)
+	eng.apArcs.Apply(arcs, h, p, nil)
 	if eng.swapped != nil {
-		permute.Apply(eng.swapped, h, p)
+		eng.apFlags.Apply(eng.swapped, h, p, nil)
 	}
 
 	pairs := m / 2
 	stats := SwapIterStats{Attempts: int64(pairs)}
-	successes := make([]int64, p)
+	for w := range eng.successes {
+		eng.successes[w].V = 0
+		eng.newly[w].V = 0
+	}
 	par.ForRange(pairs, p, func(w int, r par.Range) {
-		var local int64
+		wtr := eng.writers[w]
+		var local, newly int64
 		for k := r.Begin; k < r.End; k++ {
 			i, j := 2*k, 2*k+1
 			a, b := arcs[i], arcs[j]
@@ -117,22 +161,25 @@ func (eng *SwapEngine) Step() SwapIterStats {
 			if g.IsLoop() || hh.IsLoop() {
 				continue
 			}
-			if table.TestAndSet(g.Key()) {
+			if wtr.TestAndSet(g.Key()) {
 				continue
 			}
-			if table.TestAndSet(hh.Key()) {
+			if wtr.TestAndSet(hh.Key()) {
 				continue
 			}
 			arcs[i], arcs[j] = g, hh
 			if eng.swapped != nil {
-				eng.swapped[i], eng.swapped[j] = 1, 1
+				eng.markSwapped(i, &newly)
+				eng.markSwapped(j, &newly)
 			}
 			local++
 		}
-		successes[w] = local
+		eng.successes[w].V = local
+		eng.newly[w].V = newly
 	})
-	for _, s := range successes {
-		stats.Successes += s
+	for w := range eng.successes {
+		stats.Successes += eng.successes[w].V
+		eng.swappedCount += eng.newly[w].V
 	}
 
 	// Triple sweep: reverse disjoint directed triangles. The pair sweep
@@ -141,9 +188,13 @@ func (eng *SwapEngine) Step() SwapIterStats {
 	// iteration plus the pair-swap insertions — a conservative filter
 	// that can only reject, never corrupt.
 	triples := m / 3
-	tripleSuccesses := make([]int64, p)
+	for w := range eng.successes {
+		eng.successes[w].V = 0
+		eng.newly[w].V = 0
+	}
 	par.ForRange(triples, p, func(w int, r par.Range) {
-		var local int64
+		wtr := eng.writers[w]
+		var local, newly int64
 		for k := r.Begin; k < r.End; k++ {
 			i, j, l := 3*k, 3*k+1, 3*k+2
 			a, b, c := arcs[i], arcs[j], arcs[l]
@@ -156,32 +207,36 @@ func (eng *SwapEngine) Step() SwapIterStats {
 			ra := Arc{From: a.To, To: a.From}
 			rb := Arc{From: b.To, To: b.From}
 			rc := Arc{From: c.To, To: c.From}
-			if table.TestAndSet(ra.Key()) {
+			if wtr.TestAndSet(ra.Key()) {
 				continue
 			}
-			if table.TestAndSet(rb.Key()) {
+			if wtr.TestAndSet(rb.Key()) {
 				continue
 			}
-			if table.TestAndSet(rc.Key()) {
+			if wtr.TestAndSet(rc.Key()) {
 				continue
 			}
 			arcs[i], arcs[j], arcs[l] = ra, rb, rc
 			if eng.swapped != nil {
-				eng.swapped[i], eng.swapped[j], eng.swapped[l] = 1, 1, 1
+				eng.markSwapped(i, &newly)
+				eng.markSwapped(j, &newly)
+				eng.markSwapped(l, &newly)
 			}
 			local++
 		}
-		tripleSuccesses[w] = local
+		eng.successes[w].V = local
+		eng.newly[w].V = newly
 	})
-	for _, s := range tripleSuccesses {
-		stats.Successes += s
+	for w := range eng.successes {
+		stats.Successes += eng.successes[w].V
+		eng.swappedCount += eng.newly[w].V
 	}
 	stats.Attempts += int64(triples)
 
 	if eng.swapped != nil {
 		stats.EverSwapped = eng.EverSwappedFraction()
 	}
-	table.Clear(p)
+	eng.table.ClearWriters(eng.writers, p)
 	return stats
 }
 

@@ -102,6 +102,7 @@ func mixingCurve(dist *degseq.Distribution, method Method, base *probgen.Matrix,
 			eng.Step()
 			accs[it].Add(el)
 		}
+		eng.Close()
 	}
 	counts := make([]int64, dist.NumClasses())
 	for i, c := range dist.Classes {

@@ -81,6 +81,7 @@ func Record(el *graph.EdgeList, opt Options) *Trajectory {
 		Seed:         opt.Seed,
 		TrackSwapped: true,
 	})
+	defer eng.Close()
 	for it := 0; it < opt.Iterations; it++ {
 		stats := eng.Step()
 		tr.SwapStats = append(tr.SwapStats, stats)

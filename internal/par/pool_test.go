@@ -1,0 +1,146 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitIntoMatchesSplitAndReusesBuffer(t *testing.T) {
+	buf := make([]Range, 0, 16)
+	for _, n := range []int{0, 1, 5, 100, 101} {
+		for _, p := range []int{1, 3, 8, 200} {
+			want := Split(n, p)
+			got := SplitInto(buf[:0], n, p)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d p=%d: %d ranges, want %d", n, p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d: range %d = %+v, want %+v", n, p, i, got[i], want[i])
+				}
+			}
+			if NumChunks(n, p) != len(want) {
+				t.Fatalf("NumChunks(%d,%d) = %d, want %d", n, p, NumChunks(n, p), len(want))
+			}
+		}
+	}
+}
+
+// TestPoolMatchesForRange: identical chunking, worker IDs and coverage
+// between the persistent pool and per-call goroutines.
+func TestPoolMatchesForRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		pool := NewPool(workers)
+		for _, n := range []int{0, 1, workers - 1, workers, 1000} {
+			if n < 0 {
+				continue
+			}
+			gotCover := make([]int32, n)
+			gotOwner := make([]int32, n)
+			pool.Run(n, func(w int, r Range) {
+				for i := r.Begin; i < r.End; i++ {
+					atomic.AddInt32(&gotCover[i], 1)
+					gotOwner[i] = int32(w)
+				}
+			})
+			wantOwner := make([]int32, n)
+			ForRange(n, workers, func(w int, r Range) {
+				for i := r.Begin; i < r.End; i++ {
+					wantOwner[i] = int32(w)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if gotCover[i] != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, gotCover[i])
+				}
+				if gotOwner[i] != wantOwner[i] {
+					t.Fatalf("workers=%d n=%d: index %d owned by %d, ForRange gives %d",
+						workers, n, i, gotOwner[i], wantOwner[i])
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestPoolReuseAcrossManyRuns(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	var total int64
+	for round := 0; round < 200; round++ {
+		pool.Run(100, func(_ int, r Range) {
+			atomic.AddInt64(&total, int64(r.Len()))
+		})
+	}
+	if total != 200*100 {
+		t.Fatalf("covered %d indices over 200 runs, want %d", total, 200*100)
+	}
+}
+
+func TestPoolSerialRunsInline(t *testing.T) {
+	// A 1-worker pool must execute on the calling goroutine (no spawned
+	// workers), so body-side state needs no synchronization.
+	pool := NewPool(1)
+	defer pool.Close()
+	sum := 0
+	pool.Run(10, func(w int, r Range) {
+		if w != 0 {
+			t.Fatalf("serial pool used worker %d", w)
+		}
+		for i := r.Begin; i < r.End; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+}
+
+func TestPoolRunAfterClosePanics(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	pool.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("Run on closed pool did not panic")
+		}
+	}()
+	pool.Run(1, func(int, Range) {})
+}
+
+func TestExecuteWithAndWithoutPool(t *testing.T) {
+	var total int64
+	Execute(nil, 100, 4, func(_ int, r Range) {
+		atomic.AddInt64(&total, int64(r.Len()))
+	})
+	if total != 100 {
+		t.Fatalf("nil-pool Execute covered %d, want 100", total)
+	}
+	pool := NewPool(4)
+	defer pool.Close()
+	total = 0
+	Execute(pool, 100, 1 /* ignored in favor of pool width */, func(_ int, r Range) {
+		atomic.AddInt64(&total, int64(r.Len()))
+	})
+	if total != 100 {
+		t.Fatalf("pool Execute covered %d, want 100", total)
+	}
+}
+
+// TestPoolRunDoesNotAllocate: dispatch on a warm pool stays off the
+// heap — the property the swap hot path depends on.
+func TestPoolRunDoesNotAllocate(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(workers)
+		body := func(_ int, r Range) {
+			for i := r.Begin; i < r.End; i++ {
+				_ = i
+			}
+		}
+		pool.Run(1000, body) // warm-up
+		if allocs := testing.AllocsPerRun(10, func() { pool.Run(1000, body) }); allocs != 0 {
+			t.Errorf("workers=%d: Run allocated %v per dispatch, want 0", workers, allocs)
+		}
+		pool.Close()
+	}
+}

@@ -15,6 +15,16 @@
 // that hold both their reservations. Given the same swap-target array H,
 // the output is bit-identical to the serial loop; randomness enters only
 // through H.
+//
+// # Scratch reuse
+//
+// The reservation algorithm needs O(n) scratch (reservations, two
+// pending buffers, per-worker loser lists). The one-shot entry points
+// (Targets, Apply, Parallel) allocate it per call; hot loops that
+// permute every iteration — the swap engines — instead hold a Scratch
+// and per-element-type Appliers, which allocate only on first use or
+// growth and are bit-identical to the one-shot paths no matter how
+// dirty the reused buffers are (see the buffer invariants on Scratch).
 package permute
 
 import (
@@ -34,32 +44,35 @@ func FisherYates[T any](r *rng.Source, data []T) {
 	}
 }
 
-// targets fills h with the inside-out swap targets: h[i] uniform in
-// [i, n). Targets are drawn with per-worker streams over contiguous
-// chunks, so the permutation is deterministic for fixed (seed, p).
-func targets(seed uint64, n, p int, h []int32) {
-	par.ForRange(n, p, func(w int, r par.Range) {
-		src := rng.New(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
-		for i := r.Begin; i < r.End; i++ {
-			h[i] = int32(i) + int32(src.Uint64n(uint64(n-i)))
-		}
-	})
-}
-
-// applySerial executes the inside-out shuffle for the given target
-// array. Used both by tests (as the reference) and by Parallel for
-// small inputs.
-func applySerial[T any](data []T, h []int32) {
-	for i := range data {
-		j := h[i]
-		data[i], data[j] = data[j], data[i]
+// FillTargets fills h[begin:end) — worker w's chunk — with the
+// deterministic inside-out swap targets for (seed, len(h)): h[i]
+// uniform in [i, len(h)). The per-worker stream depends only on
+// (seed, w), so any execution that splits [0, len(h)) into the same
+// chunks produces the same array. The worker's source lives on the
+// stack; the call does not allocate.
+func FillTargets(h []int32, seed uint64, w, begin, end int) {
+	var src rng.Source
+	src.Reseed(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
+	n := len(h)
+	for i := begin; i < end; i++ {
+		h[i] = int32(i) + int32(src.Uint64n(uint64(n-i)))
 	}
 }
 
-// serialCutoff is the size below which Parallel falls back to the
-// serial apply; reservation rounds don't pay for themselves on small
-// slices.
-const serialCutoff = 1 << 12
+// targets fills h with the inside-out swap targets via per-worker
+// streams over contiguous chunks, so the permutation is deterministic
+// for fixed (seed, p).
+func targets(seed uint64, n, p int, h []int32) {
+	par.ForRange(n, p, func(w int, r par.Range) {
+		FillTargets(h[:n], seed, w, r.Begin, r.End)
+	})
+}
+
+// TargetsInto is Targets writing into a caller-provided array: it fills
+// h with the deterministic swap targets for (seed, len(h), p).
+func TargetsInto(seed uint64, p int, h []int32) {
+	targets(seed, len(h), par.Workers(p), h)
+}
 
 // Targets returns the deterministic inside-out swap-target array for
 // (seed, n, p). Applying the same targets to multiple parallel arrays
@@ -67,12 +80,222 @@ const serialCutoff = 1 << 12
 // them consistently.
 func Targets(seed uint64, n, p int) []int32 {
 	h := make([]int32, n)
-	targets(seed, n, par.Workers(p), h)
+	TargetsInto(seed, p, h)
 	return h
 }
 
+// applySerial executes the inside-out shuffle for the given target
+// array. Used both by tests (as the reference) and as the small-input /
+// single-worker fast path.
+func applySerial[T any](data []T, h []int32) {
+	for i := range data {
+		j := h[i]
+		data[i], data[j] = data[j], data[i]
+	}
+}
+
+// serialCutoff is the size below which Apply falls back to the serial
+// path; reservation rounds don't pay for themselves on small slices.
+const serialCutoff = 1 << 12
+
+const none = int32(math.MaxInt32)
+
+// Scratch holds the reusable buffers of the reservation algorithm. One
+// Scratch may back several Appliers (of different element types) as
+// long as their Apply calls don't overlap in time.
+//
+// Buffer invariants that make dirty reuse safe:
+//
+//   - r (reservations) is all-`none` between Apply calls: round R's
+//     reset phase clears exactly the cells round R's reserve phase
+//     wrote, so the algorithm restores the array it found. Growth
+//     re-initializes in full.
+//   - the pending ping-pong buffers and loser lists are fully
+//     (re)written before being read in every Apply call.
+//
+// A panic inside a caller-supplied context (not expected: bodies are
+// internal) may violate the first invariant; discard the Scratch then.
+type Scratch struct {
+	r    []int32   // reservation priorities, all none when idle
+	bufA []int32   // pending iterations (ping)
+	bufB []int32   // pending iterations (pong)
+	keep [][]int32 // per-chunk losers of the current round
+	cur  []int32   // live pending view, read by prebound bodies
+	fill func(w int, r par.Range)
+}
+
+// NewScratch returns an empty Scratch; buffers materialize on first use.
+func NewScratch() *Scratch {
+	sc := &Scratch{}
+	sc.fill = func(_ int, r par.Range) {
+		buf := sc.bufA
+		for i := r.Begin; i < r.End; i++ {
+			buf[i] = int32(i)
+		}
+	}
+	return sc
+}
+
+// ensure grows the buffers for an n-element apply with p chunks.
+func (sc *Scratch) ensure(n, p int) {
+	if cap(sc.r) < n {
+		sc.r = make([]int32, n)
+		for i := range sc.r {
+			sc.r[i] = none
+		}
+	}
+	if cap(sc.bufA) < n {
+		sc.bufA = make([]int32, n)
+	}
+	if cap(sc.bufB) < n {
+		sc.bufB = make([]int32, n)
+	}
+	sc.bufA = sc.bufA[:n]
+	for len(sc.keep) < p {
+		sc.keep = append(sc.keep, nil)
+	}
+	chunkMax := (n + p - 1) / p
+	for w := 0; w < p; w++ {
+		if cap(sc.keep[w]) < chunkMax {
+			sc.keep[w] = make([]int32, 0, chunkMax)
+		}
+	}
+}
+
+func writeMin(r []int32, cell int, prio int32) {
+	addr := &r[cell]
+	for {
+		cur := atomic.LoadInt32(addr)
+		if cur <= prio {
+			return
+		}
+		if atomic.CompareAndSwapInt32(addr, cur, prio) {
+			return
+		}
+	}
+}
+
+// Applier executes reservation-parallel applies for one element type,
+// reusing a Scratch and pre-bound phase bodies so steady-state calls do
+// not allocate. Not safe for concurrent use; Appliers sharing a Scratch
+// must not run concurrently with each other either.
+type Applier[T any] struct {
+	sc                    *Scratch
+	data                  []T
+	h                     []int32
+	reserve, commit, rset func(w int, r par.Range)
+}
+
+// NewApplier returns an applier over sc. The phase closures are
+// allocated here, once, so Apply itself stays allocation-free.
+func NewApplier[T any](sc *Scratch) *Applier[T] {
+	a := &Applier[T]{sc: sc}
+	a.reserve = func(_ int, rg par.Range) {
+		cur, h, r := a.sc.cur, a.h, a.sc.r
+		for k := rg.Begin; k < rg.End; k++ {
+			i := cur[k]
+			writeMin(r, int(i), i)
+			writeMin(r, int(h[i]), i)
+		}
+	}
+	a.commit = func(w int, rg par.Range) {
+		sc := a.sc
+		cur, h, r, data := sc.cur, a.h, sc.r, a.data
+		keep := sc.keep[w][:0]
+		for k := rg.Begin; k < rg.End; k++ {
+			i := cur[k]
+			j := h[i]
+			if atomic.LoadInt32(&r[i]) == i && atomic.LoadInt32(&r[j]) == i {
+				data[i], data[j] = data[j], data[i]
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		sc.keep[w] = keep
+	}
+	a.rset = func(_ int, rg par.Range) {
+		sc := a.sc
+		cur, h, r := sc.cur, a.h, sc.r
+		for k := rg.Begin; k < rg.End; k++ {
+			i := cur[k]
+			atomic.StoreInt32(&r[i], none)
+			atomic.StoreInt32(&r[h[i]], none)
+		}
+	}
+	return a
+}
+
+// Apply permutes data according to a target array (from Targets /
+// TargetsInto), choosing the serial or reservation-parallel execution by
+// size. With a non-nil pool the parallel phases run on it (and p is
+// ignored in favor of the pool's width); otherwise ForRange workers are
+// spawned per phase. The result is bit-identical to applySerial(data, h)
+// in all configurations.
+func (a *Applier[T]) Apply(data []T, h []int32, p int, pool *par.Pool) {
+	if len(data) != len(h) {
+		panic("permute: Apply length mismatch")
+	}
+	n := len(data)
+	if n <= 1 {
+		return
+	}
+	if pool != nil {
+		p = pool.Workers()
+	} else {
+		p = par.Workers(p)
+	}
+	if n < serialCutoff || p == 1 {
+		applySerial(data, h)
+		return
+	}
+	a.run(data, h, p, pool)
+}
+
+// run executes the reservation algorithm: each round, every pending
+// iteration i writeMin-reserves cells i and h[i]; iterations holding
+// both reservations commit their swap. Priorities are iteration indices,
+// so a committed iteration is one all of whose sequential predecessors
+// on its cells have already committed — the final array is identical to
+// applySerial(data, h).
+func (a *Applier[T]) run(data []T, h []int32, p int, pool *par.Pool) {
+	n := len(data)
+	sc := a.sc
+	sc.ensure(n, p)
+	a.data, a.h = data, h
+
+	par.Execute(pool, n, p, sc.fill)
+	cur := sc.bufA[:n]
+	spare := sc.bufB[:0]
+
+	for len(cur) > 0 {
+		sc.cur = cur
+		k := par.NumChunks(len(cur), p)
+		// Phase 1: reserve. Phase 2: commit winners, collect losers
+		// per chunk. Phase 3: reset reservations — only cells touched
+		// this round need clearing, which restores r to all-none.
+		par.Execute(pool, len(cur), p, a.reserve)
+		par.Execute(pool, len(cur), p, a.commit)
+		par.Execute(pool, len(cur), p, a.rset)
+		spare = spare[:0]
+		for w := 0; w < k; w++ {
+			spare = append(spare, sc.keep[w]...)
+		}
+		cur, spare = spare, cur
+	}
+	sc.cur = nil
+	a.data, a.h = nil, nil
+}
+
+// applyParallel forces the reservation-parallel execution with one-shot
+// scratch; tests use it to exercise the parallel path below the serial
+// cutoff.
+func applyParallel[T any](data []T, h []int32, p int) {
+	NewApplier[T](NewScratch()).run(data, h, par.Workers(p), nil)
+}
+
 // Apply permutes data according to a target array from Targets, choosing
-// the serial or reservation-parallel execution by size.
+// the serial or reservation-parallel execution by size. One-shot scratch;
+// hot loops should hold an Applier.
 func Apply[T any](data []T, h []int32, p int) {
 	if len(data) != len(h) {
 		panic("permute: Apply length mismatch")
@@ -103,75 +326,4 @@ func Parallel[T any](seed uint64, data []T, p int) {
 		return
 	}
 	applyParallel(data, h, p)
-}
-
-// applyParallel runs the reservation algorithm: each round, every
-// pending iteration i writeMin-reserves cells i and h[i]; iterations
-// holding both reservations commit their swap. Priorities are iteration
-// indices, so a committed iteration is one all of whose sequential
-// predecessors on its cells have already committed — the final array is
-// identical to applySerial(data, h).
-func applyParallel[T any](data []T, h []int32, p int) {
-	n := len(data)
-	const none = int32(math.MaxInt32)
-	r := make([]int32, n)
-	for i := range r {
-		r[i] = none
-	}
-	pending := make([]int32, n)
-	for i := range pending {
-		pending[i] = int32(i)
-	}
-	next := make([]int32, 0, n)
-
-	writeMin := func(cell int, prio int32) {
-		addr := &r[cell]
-		for {
-			cur := atomic.LoadInt32(addr)
-			if cur <= prio {
-				return
-			}
-			if atomic.CompareAndSwapInt32(addr, cur, prio) {
-				return
-			}
-		}
-	}
-
-	for len(pending) > 0 {
-		// Phase 1: reserve.
-		par.For(len(pending), p, func(k int) {
-			i := pending[k]
-			writeMin(int(i), i)
-			writeMin(int(h[i]), i)
-		})
-		// Phase 2: commit winners; collect losers per worker.
-		ranges := par.Split(len(pending), p)
-		buckets := make([][]int32, len(ranges))
-		par.ForRange(len(pending), p, func(w int, rg par.Range) {
-			var keep []int32
-			for k := rg.Begin; k < rg.End; k++ {
-				i := pending[k]
-				j := h[i]
-				if atomic.LoadInt32(&r[i]) == i && atomic.LoadInt32(&r[j]) == i {
-					data[i], data[j] = data[j], data[i]
-				} else {
-					keep = append(keep, i)
-				}
-			}
-			buckets[w] = keep
-		})
-		// Phase 3: reset reservations for the next round. Only cells
-		// touched this round need clearing; do it for all pending
-		// iterations (winners and losers both touched cells).
-		par.For(len(pending), p, func(k int) {
-			i := pending[k]
-			atomic.StoreInt32(&r[i], none)
-			atomic.StoreInt32(&r[h[i]], none)
-		})
-		next = next[:0]
-		for _, b := range buckets {
-			next = append(next, b...)
-		}
-		pending, next = next, pending
-	}
 }

@@ -51,12 +51,21 @@ type Source struct {
 // New returns a Source seeded from seed via splitmix64, per the xoshiro
 // authors' recommendation. The state is guaranteed nonzero.
 func New(seed uint64) *Source {
-	sm := NewSplitMix64(seed)
-	src := &Source{s0: sm.Next(), s1: sm.Next(), s2: sm.Next(), s3: sm.Next()}
-	if src.s0|src.s1|src.s2|src.s3 == 0 {
-		src.s0 = 0x9e3779b97f4a7c15 // all-zero state is the one forbidden state
-	}
+	src := &Source{}
+	src.Reseed(seed)
 	return src
+}
+
+// Reseed re-initializes the source in place, leaving it in exactly the
+// state New(seed) produces. It lets hot loops keep a Source value on the
+// stack (or embedded in per-worker scratch) and re-derive a stream per
+// iteration without allocating.
+func (r *Source) Reseed(seed uint64) {
+	sm := SplitMix64{state: seed}
+	r.s0, r.s1, r.s2, r.s3 = sm.Next(), sm.Next(), sm.Next(), sm.Next()
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15 // all-zero state is the one forbidden state
+	}
 }
 
 // Streams derives n independent sources from seed. Stream i depends only

@@ -1,0 +1,192 @@
+package swap
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"nullgraph/internal/graph"
+	"nullgraph/internal/permute"
+	"nullgraph/internal/rng"
+)
+
+// edgeHash fingerprints an edge list in order (not as a set), so it
+// detects any difference in the final array layout, not just the graph.
+func edgeHash(el *graph.EdgeList) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, e := range el.Edges {
+		binary.LittleEndian.PutUint64(buf[:], e.Key())
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestGoldenSerialChain pins the exact serial output of the engine: the
+// value was captured from the pre-buffer-reuse implementation, so any
+// refactor that perturbs the Workers=1 bit-stream (seed derivations,
+// permutation, sweep order, rejection logic) fails here.
+func TestGoldenSerialChain(t *testing.T) {
+	el := ring(2000)
+	Run(el, Options{Iterations: 4, Workers: 1, Seed: 11})
+	const want = uint64(0x19e55278175fc9c9)
+	if got := edgeHash(el); got != want {
+		t.Fatalf("serial chain output hash = %#x, want %#x", got, want)
+	}
+}
+
+// naiveStep is an independent map-based reimplementation of one
+// Workers=1 iteration, sharing only the seed-derivation helpers with
+// the engine. It is the executable spec the buffered engine must match.
+func naiveStep(el *graph.EdgeList, seed uint64, it int) {
+	m := len(el.Edges)
+	if m < 2 {
+		return
+	}
+	set := make(map[uint64]bool, 2*m)
+	testAndSet := func(key uint64) bool {
+		if set[key] {
+			return true
+		}
+		set[key] = true
+		return false
+	}
+	for _, e := range el.Edges {
+		testAndSet(e.Key())
+	}
+	h := permute.Targets(permSeedFor(seed, it), m, 1)
+	for i := range el.Edges {
+		j := h[i]
+		el.Edges[i], el.Edges[j] = el.Edges[j], el.Edges[i]
+	}
+	var src rng.Source
+	src.Reseed(sweepWorkerSeed(sweepSeedFor(seed, it), 0))
+	for k := 0; k < m/2; k++ {
+		i, j := 2*k, 2*k+1
+		e, f := el.Edges[i], el.Edges[j]
+		var g, hh graph.Edge
+		if src.Bool() {
+			g = graph.Edge{U: e.U, V: f.U}
+			hh = graph.Edge{U: e.V, V: f.V}
+		} else {
+			g = graph.Edge{U: e.U, V: f.V}
+			hh = graph.Edge{U: e.V, V: f.U}
+		}
+		if g.IsLoop() || hh.IsLoop() {
+			continue
+		}
+		if testAndSet(g.Key()) {
+			continue
+		}
+		if testAndSet(hh.Key()) {
+			continue
+		}
+		el.Edges[i], el.Edges[j] = g, hh
+	}
+}
+
+// TestEngineMatchesNaiveReference locks the buffered engine to the
+// naive per-iteration spec above, edge for edge, across several
+// iterations and graph shapes.
+func TestEngineMatchesNaiveReference(t *testing.T) {
+	for _, n := range []int{7, 64, 999, 5000} {
+		const seed = 31
+		fast := ring(n)
+		slow := ring(n)
+		eng := NewEngine(fast, Options{Workers: 1, Seed: seed})
+		for it := 0; it < 5; it++ {
+			eng.Step()
+			naiveStep(slow, seed, it)
+			for i := range fast.Edges {
+				if fast.Edges[i] != slow.Edges[i] {
+					t.Fatalf("n=%d iteration %d: engine edge %d = %v, naive reference %v",
+						n, it, i, fast.Edges[i], slow.Edges[i])
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestEngineResetMatchesFresh locks Reset's contract: a reused engine
+// rebound to a new edge list behaves bit-identically (Workers=1) to a
+// freshly constructed engine, including after shrinking and regrowing.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	eng := NewEngine(ring(3000), Options{Workers: 1, Seed: 5, TrackSwapped: true})
+	defer eng.Close()
+	for _, n := range []int{3000, 800, 4096} { // same size, shrink, grow
+		reused := ring(n)
+		eng.Reset(reused)
+		var gotStats []IterStats
+		for it := 0; it < 3; it++ {
+			gotStats = append(gotStats, eng.Step())
+		}
+		fresh := ring(n)
+		ref := NewEngine(fresh, Options{Workers: 1, Seed: 5, TrackSwapped: true})
+		var wantStats []IterStats
+		for it := 0; it < 3; it++ {
+			wantStats = append(wantStats, ref.Step())
+		}
+		ref.Close()
+		if edgeHash(reused) != edgeHash(fresh) {
+			t.Fatalf("n=%d: reset engine diverged from fresh engine", n)
+		}
+		for it := range gotStats {
+			if gotStats[it] != wantStats[it] {
+				t.Fatalf("n=%d iteration %d: reset stats %+v, fresh stats %+v",
+					n, it, gotStats[it], wantStats[it])
+			}
+		}
+	}
+}
+
+func TestRunEngineHelpers(t *testing.T) {
+	eng := NewEngine(ring(400), Options{Iterations: 6, Workers: 1, Seed: 2})
+	defer eng.Close()
+	res := RunEngine(eng)
+	if len(res.PerIteration) != 6 {
+		t.Fatalf("RunEngine ran %d iterations, want 6", len(res.PerIteration))
+	}
+	tracked := NewEngine(ring(256), Options{Workers: 1, Seed: 3, TrackSwapped: true})
+	defer tracked.Close()
+	if _, mixed := RunEngineUntilMixed(tracked, 200); !mixed {
+		t.Error("256-ring did not mix on a reusable engine")
+	}
+	// Reset restarts tracking: the fraction must drop back to zero.
+	tracked.Reset(ring(256))
+	if f := tracked.EverSwappedFraction(); f != 0 {
+		t.Errorf("EverSwappedFraction after Reset = %v, want 0", f)
+	}
+	untracked := NewEngine(ring(64), Options{Workers: 1, Seed: 4})
+	defer untracked.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RunEngineUntilMixed without TrackSwapped did not panic")
+			}
+		}()
+		RunEngineUntilMixed(untracked, 1)
+	}()
+}
+
+func TestEngineCloseIdempotent(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		eng := NewEngine(ring(32), Options{Workers: workers, Seed: 1})
+		eng.Step()
+		eng.Close()
+		eng.Close()
+	}
+}
+
+// TestStepDoesNotAllocate is the tentpole's acceptance check in unit
+// form: after warm-up, Step on a graph large enough to take the
+// parallel permutation path must not touch the heap.
+func TestStepDoesNotAllocate(t *testing.T) {
+	el := ring(1 << 13) // above permute's serial cutoff
+	eng := NewEngine(el, Options{Workers: 1, Seed: 1, TrackSwapped: true})
+	defer eng.Close()
+	eng.Step() // warm-up: scratch buffers materialize on first use
+	if allocs := testing.AllocsPerRun(5, func() { eng.Step() }); allocs != 0 {
+		t.Errorf("Step allocated %v objects per call after warm-up, want 0", allocs)
+	}
+}

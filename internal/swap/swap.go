@@ -9,7 +9,8 @@
 //     two endpoint exchanges, chosen by a fair coin, and commit it iff
 //     neither new edge is a self-loop and neither is already present in
 //     the table (checked with thread-safe TestAndSet),
-//  4. the table is cleared in parallel.
+//  4. the table is cleared with a parallel streaming sweep and the
+//     per-worker insert counters are checked against the load contract.
 //
 // Degree sequence, edge count and — once the input is simple —
 // simplicity are invariants of every iteration. Non-simple inputs (the
@@ -25,6 +26,16 @@
 // spuriously blocks later proposals of g in the same iteration. Testing
 // loops first only removes those spurious failures; every committed
 // swap satisfies exactly the same conditions.
+//
+// # Hot-path memory discipline
+//
+// The Engine owns every buffer an iteration needs — hash-table writer
+// journals, the permutation target array and reservation scratch,
+// per-worker padded accumulators, a persistent worker pool — so after
+// the first Step on a given size, Step performs no heap allocations and
+// the only cross-worker atomics are the edge table's CAS slots and the
+// permutation's reservation words. Step must not be called concurrently
+// with itself or with any other method of the same Engine.
 package swap
 
 import (
@@ -56,8 +67,10 @@ type Options struct {
 	Probing hashtable.Probing
 	// TrackSwapped maintains a per-edge "ever successfully swapped" flag
 	// so IterStats can report the mixing fraction the paper uses as its
-	// empirical stopping signal. Costs one extra permutation per
-	// iteration; leave false in throughput benchmarks.
+	// empirical stopping signal. The fraction is accumulated
+	// incrementally from newly-set flags, so tracking costs one extra
+	// permutation per iteration (the flags ride the edge permutation)
+	// but no re-scan; leave false in throughput benchmarks.
 	TrackSwapped bool
 	// OnIteration, when non-nil, receives each iteration's statistics as
 	// soon as the sweep finishes; experiments use it to snapshot
@@ -92,83 +105,104 @@ type Result struct {
 	TotalSuccesses int64
 }
 
+// permSeedFor and sweepSeedFor derive an iteration's permutation and
+// proposal streams; factored out so the naive reference implementation
+// in the tests replays the exact streams.
+func permSeedFor(seed uint64, it int) uint64 {
+	return rng.Mix64(seed) + 0x9e3779b97f4a7c15*uint64(it+1)
+}
+
+func sweepSeedFor(seed uint64, it int) uint64 {
+	return rng.Mix64(seed) ^ rng.Mix64(uint64(it)+0xabcd0123)
+}
+
+// sweepWorkerSeed derives worker w's proposal stream for an iteration.
+func sweepWorkerSeed(sweepSeed uint64, w int) uint64 {
+	return rng.Mix64(sweepSeed) ^ rng.Mix64(uint64(w)+0x5134)
+}
+
 // Engine holds the reusable state of the swap process on one edge list:
-// the concurrent edge table and the ever-swapped flags. Iterations can
-// be run in any grouping without losing tracking state.
+// the concurrent edge table with its per-worker insertion counters, the
+// ever-swapped flags, the permutation scratch, and the worker pool.
+// Iterations can be run in any grouping without losing tracking state.
+//
+// Engines with more than one worker own parked goroutines; call Close
+// when done with an engine (Run and RunUntilMixed do it for the engines
+// they create). All methods must be called from one goroutine at a
+// time.
 type Engine struct {
-	el      *graph.EdgeList
-	opt     Options
-	p       int
+	el  *graph.EdgeList
+	opt Options
+	p   int
+
+	pool    *par.Pool
 	table   *hashtable.EdgeSet
-	swapped []uint8
+	writers []*hashtable.Writer
+
+	// swapped flags ever-swapped edges; swappedCount accumulates the
+	// number of set flags so EverSwappedFraction is O(1) instead of an
+	// O(m) rescan per iteration.
+	swapped      []uint8
+	swappedCount int64
+
+	// h is the permutation target buffer; sc/apEdges/apFlags the
+	// reusable reservation machinery (the appliers share one scratch —
+	// they run sequentially).
+	h       []int32
+	sc      *permute.Scratch
+	apEdges *permute.Applier[graph.Edge]
+	apFlags *permute.Applier[uint8]
+
+	// successes and newly are per-worker padded accumulators (cache-line
+	// isolated so workers don't false-share).
+	successes []par.Cell
+	newly     []par.Cell
+
 	// iteration counts all iterations run so far; it seeds each
-	// iteration's permutation and proposal streams.
+	// iteration's permutation and proposal streams. permSeed/sweepSeed
+	// are the current iteration's derived seeds, read by the prebound
+	// bodies below.
 	iteration int
+	permSeed  uint64
+	sweepSeed uint64
+
+	// Prebound parallel-region bodies: allocated once here so Step
+	// dispatches them without creating closures.
+	registerBody func(w int, r par.Range)
+	targetsBody  func(w int, r par.Range)
+	sweepBody    func(w int, r par.Range)
+	clearBody    func(w int, r par.Range)
 }
 
 // NewEngine prepares a swap engine over el. The engine mutates el's
 // edge slice in place; el must not be resized while the engine is live.
 func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 	p := par.Workers(opt.Workers)
-	m := len(el.Edges)
 	eng := &Engine{el: el, opt: opt, p: p}
-	if m >= 2 {
-		// Worst case insertions per iteration: m initial edges + 2 new
-		// edges per proposing pair = 2m.
-		eng.table = hashtable.New(2*m, opt.Probing)
-	}
-	if opt.TrackSwapped {
-		eng.swapped = make([]uint8, m)
-	}
-	return eng
-}
+	eng.pool = par.NewPool(p)
+	eng.sc = permute.NewScratch()
+	eng.apEdges = permute.NewApplier[graph.Edge](eng.sc)
+	eng.apFlags = permute.NewApplier[uint8](eng.sc)
+	eng.successes = make([]par.Cell, p)
+	eng.newly = make([]par.Cell, p)
 
-// EverSwappedFraction returns the fraction of edges that have been in a
-// successful swap so far (0 when tracking is disabled).
-func (eng *Engine) EverSwappedFraction() float64 {
-	if eng.swapped == nil || len(eng.swapped) == 0 {
-		return 0
-	}
-	count := par.SumInt64(len(eng.swapped), eng.p, func(i int) int64 { return int64(eng.swapped[i]) })
-	return float64(count) / float64(len(eng.swapped))
-}
-
-// Step runs one full swap iteration and returns its statistics.
-func (eng *Engine) Step() IterStats {
-	edges := eng.el.Edges
-	m := len(edges)
-	it := eng.iteration
-	eng.iteration++
-	if m < 2 {
-		return IterStats{}
-	}
-	p := eng.p
-
-	// Phase 1: register the current edge set.
-	table := eng.table
-	par.ForRange(m, p, func(_ int, r par.Range) {
+	eng.registerBody = func(w int, r par.Range) {
+		wtr := eng.writers[w]
+		edges := eng.el.Edges
 		for i := r.Begin; i < r.End; i++ {
-			table.TestAndSet(edges[i].Key())
+			wtr.TestAndSet(edges[i].Key())
 		}
-	})
-
-	// Phase 2: permute. The swapped flags ride along under the same
-	// targets so flag k keeps following edge k.
-	permSeed := rng.Mix64(eng.opt.Seed) + 0x9e3779b97f4a7c15*uint64(it+1)
-	h := permute.Targets(permSeed, m, p)
-	permute.Apply(edges, h, p)
-	if eng.swapped != nil {
-		permute.Apply(eng.swapped, h, p)
 	}
-
-	// Phase 3: propose swaps on adjacent disjoint pairs.
-	pairs := m / 2
-	stats := IterStats{Attempts: int64(pairs)}
-	sweepSeed := rng.Mix64(eng.opt.Seed) ^ rng.Mix64(uint64(it)+0xabcd0123)
-	successes := make([]int64, p)
-	par.ForRange(pairs, p, func(w int, r par.Range) {
-		src := rng.New(rng.Mix64(sweepSeed) ^ rng.Mix64(uint64(w)+0x5134))
-		var local int64
+	eng.targetsBody = func(w int, r par.Range) {
+		permute.FillTargets(eng.h, eng.permSeed, w, r.Begin, r.End)
+	}
+	eng.sweepBody = func(w int, r par.Range) {
+		var src rng.Source
+		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
+		edges := eng.el.Edges
+		wtr := eng.writers[w]
+		swapped := eng.swapped
+		var local, newly int64
 		for k := r.Begin; k < r.End; k++ {
 			i, j := 2*k, 2*k+1
 			e, f := edges[i], edges[j]
@@ -183,47 +217,175 @@ func (eng *Engine) Step() IterStats {
 			if g.IsLoop() || hh.IsLoop() {
 				continue
 			}
-			if table.TestAndSet(g.Key()) {
+			if wtr.TestAndSet(g.Key()) {
 				continue
 			}
-			if table.TestAndSet(hh.Key()) {
+			if wtr.TestAndSet(hh.Key()) {
 				// g stays registered: harmless for correctness (it only
 				// suppresses re-proposals of g this iteration).
 				continue
 			}
 			edges[i], edges[j] = g, hh
-			if eng.swapped != nil {
-				eng.swapped[i], eng.swapped[j] = 1, 1
+			if swapped != nil {
+				if swapped[i] == 0 {
+					swapped[i] = 1
+					newly++
+				}
+				if swapped[j] == 0 {
+					swapped[j] = 1
+					newly++
+				}
 			}
 			local++
 		}
-		successes[w] = local
-	})
-	for _, s := range successes {
-		stats.Successes += s
+		eng.successes[w].V = local
+		eng.newly[w].V = newly
+	}
+	eng.clearBody = func(_ int, r par.Range) {
+		eng.table.ClearRange(r.Begin, r.End)
+	}
+
+	eng.bind(el)
+	return eng
+}
+
+// bind sizes the per-edge-list state (table, journals, target buffer,
+// flags) for el, reusing existing buffers when they are large enough.
+func (eng *Engine) bind(el *graph.EdgeList) {
+	eng.el = el
+	m := len(el.Edges)
+	if m >= 2 {
+		// Worst case insertions per iteration: m initial edges + 2 new
+		// edges per proposing pair = 2m, the table's exact capacity.
+		// Counting-only writers: at >= m inserts into <= 8m slots the
+		// iteration always ends above the journal/sweep crossover, so
+		// journaling the slots would be pure per-insert overhead (see the
+		// hashtable package doc).
+		if eng.table == nil || eng.table.Capacity() < 2*m {
+			eng.table = hashtable.New(2*m, eng.opt.Probing)
+			eng.writers = eng.table.NewCountingWriters(eng.p)
+		}
+		if cap(eng.h) < m {
+			eng.h = make([]int32, m)
+		}
+		eng.h = eng.h[:m]
+		for _, w := range eng.writers {
+			w.Reset()
+		}
+	}
+	if eng.opt.TrackSwapped {
+		if cap(eng.swapped) < m {
+			eng.swapped = make([]uint8, m)
+		}
+		eng.swapped = eng.swapped[:m]
+		clear(eng.swapped)
+	}
+	eng.swappedCount = 0
+	eng.iteration = 0
+}
+
+// Reset rebinds the engine to a new edge list, reusing the table,
+// counters, scratch and pool when capacities allow. Tracking state and
+// the iteration counter restart from zero, so a Reset engine behaves
+// exactly like a freshly constructed one (bit-identically for
+// Workers=1). The previous edge list is left as the last Step left it.
+func (eng *Engine) Reset(el *graph.EdgeList) {
+	eng.bind(el)
+}
+
+// SetSeed redirects the randomness of subsequent iterations to a new
+// seed stream. Combined with Reset, it lets one engine's buffers serve
+// a batch of independent samples.
+func (eng *Engine) SetSeed(seed uint64) { eng.opt.Seed = seed }
+
+// Close releases the engine's worker pool. The engine must not be used
+// afterwards. Idempotent.
+func (eng *Engine) Close() { eng.pool.Close() }
+
+// EverSwappedFraction returns the fraction of edges that have been in a
+// successful swap so far (0 when tracking is disabled).
+func (eng *Engine) EverSwappedFraction() float64 {
+	if len(eng.swapped) == 0 {
+		return 0
+	}
+	return float64(eng.swappedCount) / float64(len(eng.swapped))
+}
+
+// Step runs one full swap iteration and returns its statistics.
+func (eng *Engine) Step() IterStats {
+	m := len(eng.el.Edges)
+	it := eng.iteration
+	eng.iteration++
+	if m < 2 {
+		return IterStats{}
+	}
+	pool := eng.pool
+
+	// Phase 1: register the current edge set.
+	pool.Run(m, eng.registerBody)
+
+	// Phase 2: permute. The swapped flags ride along under the same
+	// targets so flag k keeps following edge k.
+	eng.permSeed = permSeedFor(eng.opt.Seed, it)
+	pool.Run(m, eng.targetsBody)
+	eng.apEdges.Apply(eng.el.Edges, eng.h, eng.p, pool)
+	if eng.swapped != nil {
+		eng.apFlags.Apply(eng.swapped, eng.h, eng.p, pool)
+	}
+
+	// Phase 3: propose swaps on adjacent disjoint pairs.
+	pairs := m / 2
+	stats := IterStats{Attempts: int64(pairs)}
+	eng.sweepSeed = sweepSeedFor(eng.opt.Seed, it)
+	for w := range eng.successes {
+		eng.successes[w].V = 0
+		eng.newly[w].V = 0
+	}
+	pool.Run(pairs, eng.sweepBody)
+	for w := range eng.successes {
+		stats.Successes += eng.successes[w].V
+		eng.swappedCount += eng.newly[w].V
 	}
 	if eng.swapped != nil {
 		stats.EverSwapped = eng.EverSwappedFraction()
 	}
 
-	// Phase 4: reset the table for the next iteration.
-	table.Clear(p)
+	// Phase 4: reset the table for the next iteration — a streaming
+	// parallel sweep (the measured winner at swap occupancy; see the
+	// hashtable package doc), with the deterministic load check at this
+	// quiescent point.
+	eng.table.CheckLoad(eng.writers)
+	pool.Run(eng.table.NumSlots(), eng.clearBody)
+	for _, w := range eng.writers {
+		w.Reset()
+	}
 	return stats
+}
+
+// runLoop drives eng for the given iteration budget, optionally
+// stopping when fully mixed.
+func runLoop(eng *Engine, iterations int, stopWhenMixed bool) (Result, bool) {
+	result := Result{PerIteration: make([]IterStats, 0, iterations)}
+	for it := 0; it < iterations; it++ {
+		stats := eng.Step()
+		result.PerIteration = append(result.PerIteration, stats)
+		result.TotalSuccesses += stats.Successes
+		if eng.opt.OnIteration != nil {
+			eng.opt.OnIteration(it, stats)
+		}
+		if stopWhenMixed && stats.EverSwapped >= 1.0 {
+			return result, true
+		}
+	}
+	return result, false
 }
 
 // Run performs opt.Iterations parallel double-edge swap iterations on el
 // in place and returns per-iteration statistics.
 func Run(el *graph.EdgeList, opt Options) Result {
 	eng := NewEngine(el, opt)
-	result := Result{PerIteration: make([]IterStats, 0, opt.Iterations)}
-	for it := 0; it < opt.Iterations; it++ {
-		stats := eng.Step()
-		result.PerIteration = append(result.PerIteration, stats)
-		result.TotalSuccesses += stats.Successes
-		if opt.OnIteration != nil {
-			opt.OnIteration(it, stats)
-		}
-	}
+	defer eng.Close()
+	result, _ := runLoop(eng, opt.Iterations, false)
 	return result
 }
 
@@ -234,17 +396,22 @@ func Run(el *graph.EdgeList, opt Options) Result {
 func RunUntilMixed(el *graph.EdgeList, opt Options, maxIterations int) (Result, bool) {
 	opt.TrackSwapped = true
 	eng := NewEngine(el, opt)
-	var result Result
-	for it := 0; it < maxIterations; it++ {
-		stats := eng.Step()
-		result.PerIteration = append(result.PerIteration, stats)
-		result.TotalSuccesses += stats.Successes
-		if opt.OnIteration != nil {
-			opt.OnIteration(it, stats)
-		}
-		if stats.EverSwapped >= 1.0 {
-			return result, true
-		}
+	defer eng.Close()
+	return runLoop(eng, maxIterations, true)
+}
+
+// RunEngine performs eng.opt.Iterations iterations on an existing
+// (possibly Reset) engine, reusing all of its buffers.
+func RunEngine(eng *Engine) Result {
+	result, _ := runLoop(eng, eng.opt.Iterations, false)
+	return result
+}
+
+// RunEngineUntilMixed is RunUntilMixed on an existing engine, which
+// must have been constructed with TrackSwapped set.
+func RunEngineUntilMixed(eng *Engine, maxIterations int) (Result, bool) {
+	if eng.swapped == nil && len(eng.el.Edges) > 0 {
+		panic("swap: RunEngineUntilMixed requires TrackSwapped")
 	}
-	return result, false
+	return runLoop(eng, maxIterations, true)
 }

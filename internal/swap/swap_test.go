@@ -373,6 +373,33 @@ func BenchmarkSwapIterationSerial(b *testing.B) {
 	b.SetBytes(int64(el.NumEdges()) * 8)
 }
 
+// BenchmarkSwapStep is the hot-path tracking benchmark (ISSUE 1): one
+// full iteration on a >=1M-edge graph, reporting allocations and swap
+// throughput. cmd/benchswap emits the same measurement as BENCH_swap.json.
+func BenchmarkSwapStep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			el := ring(1 << 20)
+			eng := NewEngine(el, Options{Workers: bc.workers, Seed: 1})
+			eng.Step() // warm-up: populate scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			var successes int64
+			for i := 0; i < b.N; i++ {
+				successes += eng.Step().Successes
+			}
+			b.StopTimer()
+			b.SetBytes(int64(el.NumEdges()) * 8)
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(successes)/b.Elapsed().Seconds(), "swaps/sec")
+			}
+		})
+	}
+}
+
 // Probing ablation (DESIGN.md): linear vs quadratic collision handling
 // under the swap workload.
 func BenchmarkSwapIterationLinearProbing(b *testing.B)    { benchProbing(b, hashtable.Linear) }
