@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"nullgraph/internal/graph"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/swap"
 )
 
@@ -80,15 +81,36 @@ func measure(edges, workers int) Measurement {
 	return m
 }
 
+// collectRunReport runs a short instrumented chain on the benchmark
+// graph and returns its chain-health report. This is a separate run
+// from the timed measurements, so the numbers in BENCH_swap.json stay
+// uninstrumented.
+func collectRunReport(edges, iterations int) *obs.RunReport {
+	rec := obs.NewRecorder()
+	el := ring(edges)
+	swap.Run(el, swap.Options{Iterations: iterations, Workers: 1, Seed: 1, TrackSwapped: true, Recorder: rec})
+	return rec.Report()
+}
+
 func main() {
 	var (
-		edges = flag.Int("edges", 1<<20, "ring size (edge count) to benchmark")
-		out   = flag.String("o", "BENCH_swap.json", "output path (- = stdout)")
+		edges      = flag.Int("edges", 1<<20, "ring size (edge count) to benchmark")
+		out        = flag.String("o", "BENCH_swap.json", "output path (- = stdout)")
+		reportPath = flag.String("report", "", "also write a chain-health RunReport (JSON, from a separate instrumented run) to this path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
 	)
 	flag.Parse()
 	if *edges < 2 {
 		fmt.Fprintln(os.Stderr, "benchswap: -edges must be >= 2")
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchswap:", err)
+			os.Exit(1)
+		}
+		defer stop()
 	}
 
 	report := Report{Benchmark: "swap.Engine.Step", GoMaxProcs: runtime.GOMAXPROCS(0)}
@@ -101,6 +123,13 @@ func main() {
 		report.Results = append(report.Results, m)
 		fmt.Fprintf(os.Stderr, "benchswap: workers=%d edges=%d ns/op=%d allocs/op=%d B/op=%d swaps/sec=%.0f\n",
 			m.Workers, m.Edges, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SwapsPerSec)
+	}
+
+	if *reportPath != "" {
+		if err := obs.WriteReportFile(*reportPath, collectRunReport(*edges, 8)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchswap:", err)
+			os.Exit(1)
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

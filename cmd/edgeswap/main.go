@@ -11,6 +11,7 @@
 //	edgeswap -in graph.txt -swaps 10 -o shuffled.txt
 //	edgeswap -in graph.txt -mix -o shuffled.txt     # swap until mixed
 //	edgeswap -in digraph.txt -directed -o shuffled.txt
+//	edgeswap -in graph.txt -report report.json      # chain-health report
 package main
 
 import (
@@ -19,29 +20,58 @@ import (
 	"os"
 
 	"nullgraph"
+	"nullgraph/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "edgeswap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		in       = flag.String("in", "", "input edge list (\"u v\" lines; - = stdin)")
-		swaps    = flag.Int("swaps", 10, "double-edge swap iterations")
-		mix      = flag.Bool("mix", false, "swap until every edge swapped at least once (overrides -swaps)")
-		directed = flag.Bool("directed", false, "treat the input as a directed arc list")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		out      = flag.String("o", "-", "output path (- = stdout)")
-		quiet    = flag.Bool("q", false, "suppress the summary line on stderr")
+		in         = flag.String("in", "", "input edge list (\"u v\" lines; - = stdin)")
+		swaps      = flag.Int("swaps", 10, "double-edge swap iterations")
+		mix        = flag.Bool("mix", false, "swap until every edge swapped at least once (overrides -swaps)")
+		directed   = flag.Bool("directed", false, "treat the input as a directed arc list")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("o", "-", "output path (- = stdout)")
+		quiet      = flag.Bool("q", false, "suppress the summary line on stderr")
+		report     = flag.String("report", "", "write a chain-health RunReport (JSON) to this path (- = stdout)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 	if *in == "" {
-		fatal(fmt.Errorf("-in is required"))
+		return fmt.Errorf("-in is required")
+	}
+	if *report != "" && *directed {
+		return fmt.Errorf("-report is not supported with -directed")
+	}
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "edgeswap: pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	r := os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
@@ -50,7 +80,7 @@ func main() {
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -60,17 +90,18 @@ func main() {
 		Seed:            *seed,
 		SwapIterations:  *swaps,
 		MixUntilSwapped: *mix,
+		CollectReport:   *report != "",
 	}
 
 	if *directed {
 		g, err := nullgraph.ReadDigraph(r)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		before := g.CheckSimplicity()
 		res := nullgraph.ShuffleDirected(g, opt)
 		if err := nullgraph.WriteDigraph(w, g); err != nil {
-			fatal(err)
+			return err
 		}
 		if !*quiet {
 			after := g.CheckSimplicity()
@@ -84,17 +115,25 @@ func main() {
 				g.NumArcs(), before.SelfLoops, before.DuplicateArcs, after.SelfLoops, after.DuplicateArcs,
 				success, total, len(res.SwapIterations))
 		}
-		return
+		return nil
 	}
 
 	g, err := nullgraph.ReadGraph(r)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	before := g.CheckSimplicity()
-	res := nullgraph.Shuffle(g, opt)
+	res, err := nullgraph.Shuffle(g, opt)
+	if err != nil {
+		return err
+	}
 	if err := nullgraph.WriteGraph(w, g); err != nil {
-		fatal(err)
+		return err
+	}
+	if *report != "" && res.Report != nil {
+		if err := obs.WriteReportFile(*report, res.Report); err != nil {
+			return err
+		}
 	}
 	if !*quiet {
 		after := g.CheckSimplicity()
@@ -108,9 +147,5 @@ func main() {
 			g.NumEdges(), before.SelfLoops, before.MultiEdges, after.SelfLoops, after.MultiEdges,
 			success, total, len(res.SwapIterations))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "edgeswap:", err)
-	os.Exit(1)
+	return nil
 }

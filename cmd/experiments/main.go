@@ -19,20 +19,45 @@ import (
 	"strings"
 
 	"nullgraph/internal/experiments"
+	"nullgraph/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain holds main's body so deferred cleanup (the CPU-profile
+// flush) runs before the process exits.
+func realMain() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|fig5|fig6|swapscale|uniformity|ablation|mixingtime|all")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		maxVerts = flag.Int64("max-vertices", 0, "dataset analog size cap (0 = package default of 150k)")
-		trials   = flag.Int("trials", 0, "trials per stochastic measurement (0 = default 3)")
-		iters    = flag.Int("iters", 0, "swap-iteration axis length for fig4 (0 = default 16)")
-		skewed   = flag.Bool("skewed-only", false, "restrict dataset sweeps to the four skewed instances")
-		datasets = flag.String("datasets", "", "comma-separated Table I names to restrict sweeps to")
+		exp        = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|fig5|fig6|swapscale|uniformity|ablation|mixingtime|all")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		maxVerts   = flag.Int64("max-vertices", 0, "dataset analog size cap (0 = package default of 150k)")
+		trials     = flag.Int("trials", 0, "trials per stochastic measurement (0 = default 3)")
+		iters      = flag.Int("iters", 0, "swap-iteration axis length for fig4 (0 = default 16)")
+		skewed     = flag.Bool("skewed-only", false, "restrict dataset sweeps to the four skewed instances")
+		datasets   = flag.String("datasets", "", "comma-separated Table I names to restrict sweeps to")
+		reportPath = flag.String("report", "", "also write a chain-health RunReport (JSON) of one instrumented pipeline run to this path")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "experiments: pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer stop()
+	}
 
 	cfg := experiments.Config{
 		Workers:        *workers,
@@ -54,9 +79,21 @@ func main() {
 	for _, name := range names {
 		if err := run(name, cfg, w); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	if *reportPath != "" {
+		rep, err := experiments.CollectRunReport(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		if err := obs.WriteReportFile(*reportPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 func run(name string, cfg experiments.Config, w io.Writer) error {

@@ -13,139 +13,234 @@
 //	nullgen -powerlaw 100000 -gamma 2.1 -dmax 1000 -swaps 10 -o graph.txt
 //	nullgen -dataset as20 -swaps 10 -o as20-null.txt
 //	nullgen -dist degrees.txt -mix -o graph.txt
+//	nullgen -powerlaw 100000 -report report.json   # chain-health report
+//
+// Invalid flag combinations exit with status 2; runtime failures exit
+// with status 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"nullgraph"
 	"nullgraph/internal/datasets"
+	"nullgraph/internal/obs"
 )
 
+// config carries the parsed flags, decoupled from the flag package so
+// the validation rules are unit-testable.
+type config struct {
+	DistFile   string
+	Joint      string
+	Dataset    string
+	PowerLaw   int64
+	Gamma      float64
+	DMin       int64
+	DMax       int64
+	MaxVerts   int64
+	Swaps      int
+	Mix        bool
+	Workers    int
+	Seed       uint64
+	Out        string
+	Report     string
+	Pprof      string
+	CPUProfile string
+	Quiet      bool
+}
+
+// validateConfig rejects flag combinations that cannot produce a run:
+// zero or multiple distribution sources, non-positive power-law
+// parameters, an inverted degree range, or a negative swap count.
+func validateConfig(c config) error {
+	sources := 0
+	for _, set := range []bool{c.DistFile != "", c.Joint != "", c.Dataset != "", c.PowerLaw != 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources == 0 {
+		return errors.New("one of -dist, -joint, -dataset or -powerlaw is required")
+	}
+	if sources > 1 {
+		return errors.New("-dist, -joint, -dataset and -powerlaw are mutually exclusive; pass exactly one")
+	}
+	if c.Swaps < 0 {
+		return fmt.Errorf("-swaps must be >= 0 (got %d)", c.Swaps)
+	}
+	if c.PowerLaw != 0 {
+		if c.PowerLaw < 0 {
+			return fmt.Errorf("-powerlaw vertex count must be positive (got %d)", c.PowerLaw)
+		}
+		if c.Gamma <= 1 {
+			return fmt.Errorf("-gamma must be > 1 (got %v); the power-law normalization diverges at 1", c.Gamma)
+		}
+		if c.DMin < 1 {
+			return fmt.Errorf("-dmin must be >= 1 (got %d)", c.DMin)
+		}
+		if c.DMin > c.DMax {
+			return fmt.Errorf("-dmin %d exceeds -dmax %d", c.DMin, c.DMax)
+		}
+	}
+	if c.Joint != "" && c.Report != "" {
+		return errors.New("-report is not supported with -joint (directed pipeline)")
+	}
+	return nil
+}
+
 func main() {
-	var (
-		distFile = flag.String("dist", "", "read the degree distribution from this file (\"degree count\" lines)")
-		jointF   = flag.String("joint", "", "generate a DIGRAPH from this joint distribution file (\"out in count\" lines)")
-		powerlaw = flag.Int64("powerlaw", 0, "sample a power-law distribution over this many vertices")
-		gamma    = flag.Float64("gamma", 2.1, "power-law exponent (with -powerlaw)")
-		dmin     = flag.Int64("dmin", 1, "minimum degree (with -powerlaw)")
-		dmax     = flag.Int64("dmax", 1000, "maximum degree (with -powerlaw)")
-		dataset  = flag.String("dataset", "", "use a Table I analog distribution (Meso, as20, WikiTalk, DBPedia, LiveJournal, Friendster, Twitter, uk-2005)")
-		maxVerts = flag.Int64("max-vertices", 0, "cap for dataset analog sizes (0 = package default)")
-		swaps    = flag.Int("swaps", 10, "double-edge swap iterations for mixing")
-		mix      = flag.Bool("mix", false, "swap until every edge has swapped at least once (overrides -swaps)")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		out      = flag.String("o", "-", "output edge list path (- = stdout)")
-		quiet    = flag.Bool("q", false, "suppress the summary line on stderr")
-	)
+	var c config
+	flag.StringVar(&c.DistFile, "dist", "", "read the degree distribution from this file (\"degree count\" lines)")
+	flag.StringVar(&c.Joint, "joint", "", "generate a DIGRAPH from this joint distribution file (\"out in count\" lines)")
+	flag.Int64Var(&c.PowerLaw, "powerlaw", 0, "sample a power-law distribution over this many vertices")
+	flag.Float64Var(&c.Gamma, "gamma", 2.1, "power-law exponent (with -powerlaw)")
+	flag.Int64Var(&c.DMin, "dmin", 1, "minimum degree (with -powerlaw)")
+	flag.Int64Var(&c.DMax, "dmax", 1000, "maximum degree (with -powerlaw)")
+	flag.StringVar(&c.Dataset, "dataset", "", "use a Table I analog distribution (Meso, as20, WikiTalk, DBPedia, LiveJournal, Friendster, Twitter, uk-2005)")
+	flag.Int64Var(&c.MaxVerts, "max-vertices", 0, "cap for dataset analog sizes (0 = package default)")
+	flag.IntVar(&c.Swaps, "swaps", 10, "double-edge swap iterations for mixing")
+	flag.BoolVar(&c.Mix, "mix", false, "swap until every edge has swapped at least once (overrides -swaps)")
+	flag.IntVar(&c.Workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Uint64Var(&c.Seed, "seed", 1, "random seed")
+	flag.StringVar(&c.Out, "o", "-", "output edge list path (- = stdout)")
+	flag.StringVar(&c.Report, "report", "", "write a chain-health RunReport (JSON) to this path (- = stdout)")
+	flag.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.BoolVar(&c.Quiet, "q", false, "suppress the summary line on stderr")
 	flag.Parse()
 
-	if *jointF != "" {
-		generateDirected(*jointF, *swaps, *mix, *workers, *seed, *out, *quiet)
-		return
+	if err := validateConfig(c); err != nil {
+		fmt.Fprintln(os.Stderr, "nullgen:", err)
+		os.Exit(2)
+	}
+	if err := run(c); err != nil {
+		fmt.Fprintln(os.Stderr, "nullgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(c config) error {
+	if c.Pprof != "" {
+		addr, err := obs.ServePprof(c.Pprof)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nullgen: pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	if c.CPUProfile != "" {
+		stop, err := obs.StartCPUProfile(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
-	dist, err := loadDistribution(*distFile, *powerlaw, *gamma, *dmin, *dmax, *dataset, *maxVerts, *seed)
+	if c.Joint != "" {
+		return generateDirected(c)
+	}
+
+	dist, err := loadDistribution(c)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := nullgraph.Validate(dist); err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := nullgraph.Generate(dist, nullgraph.Options{
-		Workers:         *workers,
-		Seed:            *seed,
-		SwapIterations:  *swaps,
-		MixUntilSwapped: *mix,
+		Workers:         c.Workers,
+		Seed:            c.Seed,
+		SwapIterations:  c.Swaps,
+		MixUntilSwapped: c.Mix,
+		CollectReport:   c.Report != "",
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if c.Out != "-" {
+		f, err := os.Create(c.Out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := nullgraph.WriteGraph(w, res.Graph); err != nil {
-		fatal(err)
+		return err
 	}
-	if !*quiet {
-		stats := nullgraph.ComputeStats(res.Graph, *workers)
-		q := nullgraph.Quality(res.Graph, dist, *workers)
+	if c.Report != "" && res.Report != nil {
+		if err := obs.WriteReportFile(c.Report, res.Report); err != nil {
+			return err
+		}
+	}
+	if !c.Quiet {
+		stats := nullgraph.ComputeStats(res.Graph, c.Workers)
+		q := nullgraph.Quality(res.Graph, dist, c.Workers)
 		fmt.Fprintf(os.Stderr, "nullgen: n=%d m=%d d_max=%d |D|=%d | edge err %+.2f%% d_max err %+.2f%% | %d swap iterations\n",
 			stats.NumVertices, stats.NumEdges, stats.MaxDegree, stats.UniqueDegrees,
 			q.Edges*100, q.MaxDegree*100, len(res.SwapIterations))
 	}
+	return nil
 }
 
-func loadDistribution(distFile string, powerlaw int64, gamma float64, dmin, dmax int64, dataset string, maxVerts int64, seed uint64) (*nullgraph.DegreeDistribution, error) {
+func loadDistribution(c config) (*nullgraph.DegreeDistribution, error) {
 	switch {
-	case distFile != "":
-		f, err := os.Open(distFile)
+	case c.DistFile != "":
+		f, err := os.Open(c.DistFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return nullgraph.ReadDistribution(f)
-	case dataset != "":
-		spec, err := datasets.ByName(dataset)
+	case c.Dataset != "":
+		spec, err := datasets.ByName(c.Dataset)
 		if err != nil {
 			return nil, err
 		}
-		return datasets.Load(spec, datasets.LoadOptions{MaxVertices: maxVerts, Seed: seed})
-	case powerlaw > 0:
-		return nullgraph.PowerLawDistribution(powerlaw, dmin, dmax, gamma, seed)
-	default:
-		return nil, fmt.Errorf("one of -dist, -dataset or -powerlaw is required")
+		return datasets.Load(spec, datasets.LoadOptions{MaxVertices: c.MaxVerts, Seed: c.Seed})
+	default: // validateConfig guarantees PowerLaw > 0 here
+		return nullgraph.PowerLawDistribution(c.PowerLaw, c.DMin, c.DMax, c.Gamma, c.Seed)
 	}
 }
 
-func generateDirected(jointFile string, swaps int, mix bool, workers int, seed uint64, out string, quiet bool) {
-	f, err := os.Open(jointFile)
+func generateDirected(c config) error {
+	f, err := os.Open(c.Joint)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	dist, err := nullgraph.ReadJointDistribution(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := nullgraph.GenerateDirected(dist, nullgraph.Options{
-		Workers:         workers,
-		Seed:            seed,
-		SwapIterations:  swaps,
-		MixUntilSwapped: mix,
+		Workers:         c.Workers,
+		Seed:            c.Seed,
+		SwapIterations:  c.Swaps,
+		MixUntilSwapped: c.Mix,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	w := os.Stdout
-	if out != "-" {
-		of, err := os.Create(out)
+	if c.Out != "-" {
+		of, err := os.Create(c.Out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer of.Close()
 		w = of
 	}
 	if err := nullgraph.WriteDigraph(w, res.Graph); err != nil {
-		fatal(err)
+		return err
 	}
-	if !quiet {
+	if !c.Quiet {
 		fmt.Fprintf(os.Stderr, "nullgen: digraph n=%d arcs=%d (target %d) | %d swap iterations\n",
 			res.Graph.NumVertices, res.Graph.NumArcs(), dist.NumArcs(), len(res.SwapIterations))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nullgen:", err)
-	os.Exit(1)
+	return nil
 }

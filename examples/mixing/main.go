@@ -39,8 +39,14 @@ func main() {
 	a := simpleStart.Graph
 	b := multiStart
 	for it := 1; it <= 24; it++ {
-		ra := nullgraph.Shuffle(a, nullgraph.Options{Seed: uint64(100 + it), SwapIterations: 1})
-		rb := nullgraph.Shuffle(b, nullgraph.Options{Seed: uint64(100 + it), SwapIterations: 1})
+		ra, err := nullgraph.Shuffle(a, nullgraph.Options{Seed: uint64(100 + it), SwapIterations: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rb, err := nullgraph.Shuffle(b, nullgraph.Options{Seed: uint64(100 + it), SwapIterations: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
 		sa, sb := ra.SwapIterations[0], rb.SwapIterations[0]
 		rep := b.CheckSimplicity()
 		fmt.Printf("%5d | %12.1f%% %13.1f%% | %12.1f%% %13.1f%% %9d\n",

@@ -54,7 +54,9 @@ func main() {
 	var shuffleCounts []float64
 	for i := 0; i < ensemble; i++ {
 		g := observed.Clone()
-		nullgraph.Shuffle(g, nullgraph.Options{Seed: uint64(1000 + i), SwapIterations: 12})
+		if _, err := nullgraph.Shuffle(g, nullgraph.Options{Seed: uint64(1000 + i), SwapIterations: 12}); err != nil {
+			log.Fatal(err)
+		}
 		shuffleCounts = append(shuffleCounts, float64(countTriangles(g)))
 	}
 	reportZ("shuffle null (Problem 1)", float64(obsTriangles), shuffleCounts)

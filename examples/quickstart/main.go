@@ -49,7 +49,10 @@ func main() {
 	// without touching its degree sequence.
 	shuffled := res.Graph // reuse the generated graph as "existing"
 	before := nullgraph.Assortativity(shuffled, 0)
-	sres := nullgraph.Shuffle(shuffled, nullgraph.Options{Seed: 7, MixUntilSwapped: true})
+	sres, err := nullgraph.Shuffle(shuffled, nullgraph.Options{Seed: 7, MixUntilSwapped: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("shuffled in %d iterations (fully mixed: %v); assortativity %+.4f -> %+.4f\n",
 		len(sres.SwapIterations), sres.Mixed, before, nullgraph.Assortativity(shuffled, 0))
 }

@@ -13,6 +13,7 @@ import (
 	"nullgraph/internal/edgeskip"
 	"nullgraph/internal/graph"
 	"nullgraph/internal/hashtable"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/swap"
 )
@@ -45,6 +46,12 @@ type Options struct {
 	// (probgen.Refine), trading O(passes·|D|²) extra work for tighter
 	// expected-degree residuals on extreme distributions.
 	RefinePasses int
+	// Recorder, when non-nil, collects chain-health observability
+	// across the pipeline — edge-skip space accounting, per-iteration
+	// swap acceptance splits and probe histograms, and the phase wall
+	// times — into an obs.RunReport. nil (the default) leaves every hot
+	// path untouched.
+	Recorder *obs.Recorder
 }
 
 func (o Options) maxSwapIterations() int {
@@ -99,8 +106,9 @@ func FromDistribution(dist *degseq.Distribution, opt Options) (*Result, error) {
 
 	start = time.Now()
 	el, err := edgeskip.Generate(dist, res.Probabilities, edgeskip.Options{
-		Workers: opt.Workers,
-		Seed:    opt.Seed,
+		Workers:  opt.Workers,
+		Seed:     opt.Seed,
+		Recorder: opt.Recorder,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: edge generation: %w", err)
@@ -111,17 +119,48 @@ func FromDistribution(dist *degseq.Distribution, opt Options) (*Result, error) {
 	start = time.Now()
 	res.Swaps, res.Mixed = runSwaps(el, opt)
 	res.Phases.Swapping = time.Since(start)
+	recordPhases(opt, res.Phases)
 	return res, nil
 }
 
+// recordPhases folds the phase wall times into the run report.
+func recordPhases(opt Options, p PhaseTimes) {
+	if obs.Enabled && opt.Recorder != nil {
+		opt.Recorder.SetPhases(int64(p.Probabilities), int64(p.EdgeGeneration), int64(p.Swapping))
+	}
+}
+
+// validateEdgeList is the shared input gate for the edge-list entry
+// points: the list must be non-nil and every endpoint must name a
+// vertex in [0, NumVertices). Empty and single-edge lists are valid
+// (the swap phase is then a no-op).
+func validateEdgeList(el *graph.EdgeList) error {
+	if el == nil {
+		return fmt.Errorf("core: nil edge list")
+	}
+	n := int32(el.NumVertices)
+	for i, e := range el.Edges {
+		if e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+			return fmt.Errorf("core: edge %d (%d,%d) out of range for %d vertices", i, e.U, e.V, el.NumVertices)
+		}
+	}
+	return nil
+}
+
 // FromEdgeList mixes an existing edge list in place (Problem 1). The
-// input may be non-simple; swapping progressively simplifies it.
-func FromEdgeList(el *graph.EdgeList, opt Options) *Result {
+// input may be non-simple; swapping progressively simplifies it. The
+// list must be non-nil with in-range endpoints; empty and single-edge
+// inputs are valid no-ops.
+func FromEdgeList(el *graph.EdgeList, opt Options) (*Result, error) {
+	if err := validateEdgeList(el); err != nil {
+		return nil, err
+	}
 	res := &Result{Graph: el}
 	start := time.Now()
 	res.Swaps, res.Mixed = runSwaps(el, opt)
 	res.Phases.Swapping = time.Since(start)
-	return res
+	recordPhases(opt, res.Phases)
+	return res, nil
 }
 
 // swapOptions derives the swap configuration shared by runSwaps and
@@ -133,6 +172,7 @@ func (o Options) swapOptions() swap.Options {
 		Seed:         o.Seed + 0x5eed,
 		Probing:      o.Probing,
 		TrackSwapped: o.TrackSwapStats || o.MixUntilSwapped,
+		Recorder:     o.Recorder,
 	}
 }
 
@@ -175,8 +215,12 @@ func (mx *Mixer) sampleSeed(sample uint64) uint64 {
 }
 
 // Mix swaps el in place as the sample-th member of the batch, reusing
-// the engine state from earlier calls when el's size allows.
-func (mx *Mixer) Mix(el *graph.EdgeList, sample uint64) (swap.Result, bool) {
+// the engine state from earlier calls when el's size allows. It applies
+// the same input validation as FromEdgeList.
+func (mx *Mixer) Mix(el *graph.EdgeList, sample uint64) (swap.Result, bool, error) {
+	if err := validateEdgeList(el); err != nil {
+		return swap.Result{}, false, err
+	}
 	if mx.eng == nil {
 		sopt := mx.opt.swapOptions()
 		sopt.Seed = mx.sampleSeed(sample)
@@ -186,10 +230,11 @@ func (mx *Mixer) Mix(el *graph.EdgeList, sample uint64) (swap.Result, bool) {
 		mx.eng.Reset(el)
 	}
 	if mx.opt.MixUntilSwapped {
-		return swap.RunEngineUntilMixed(mx.eng, mx.opt.maxSwapIterations())
+		res, mixed := swap.RunEngineUntilMixed(mx.eng, mx.opt.maxSwapIterations())
+		return res, mixed, nil
 	}
 	res := swap.RunEngine(mx.eng)
-	return res, false
+	return res, false, nil
 }
 
 // Close releases the mixer's engine. Idempotent; the mixer must not be

@@ -124,7 +124,10 @@ func TestFromEdgeList(t *testing.T) {
 	}
 	el := graph.NewEdgeList(edges, n)
 	orig := el.Clone()
-	res := FromEdgeList(el, Options{Workers: 4, Seed: 13, SwapIterations: 6})
+	res, err := FromEdgeList(el, Options{Workers: 4, Seed: 13, SwapIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Graph != el {
 		t.Error("FromEdgeList must mutate in place")
 	}
@@ -136,6 +139,54 @@ func TestFromEdgeList(t *testing.T) {
 	}
 	if res.Phases.Probabilities != 0 || res.Phases.EdgeGeneration != 0 {
 		t.Error("edge-list entry point should only record swap time")
+	}
+}
+
+// TestFromEdgeListValidation pins the edge-list entry points' input
+// contract: nil and out-of-range inputs fail with a defined error
+// instead of panicking in the swap engine, while empty and single-edge
+// lists are valid no-ops (no pair to swap).
+func TestFromEdgeListValidation(t *testing.T) {
+	opt := Options{Workers: 1, Seed: 1, SwapIterations: 3}
+
+	if _, err := FromEdgeList(nil, opt); err == nil {
+		t.Error("nil edge list accepted")
+	}
+	bad := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}}, 2)
+	bad.Edges[0].V = 7 // corrupt after construction, as a caller could
+	if _, err := FromEdgeList(bad, opt); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	neg := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}}, 2)
+	neg.Edges[0].U = -1
+	if _, err := FromEdgeList(neg, opt); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+
+	for name, el := range map[string]*graph.EdgeList{
+		"empty":       graph.NewEdgeList(nil, 4),
+		"single-edge": graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}}, 2),
+	} {
+		res, err := FromEdgeList(el, opt)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Graph != el {
+			t.Errorf("%s: result must reference the input in place", name)
+		}
+	}
+
+	mx := NewMixer(opt)
+	defer mx.Close()
+	if _, _, err := mx.Mix(nil, 0); err == nil {
+		t.Error("Mixer accepted nil edge list")
+	}
+	if _, _, err := mx.Mix(bad, 0); err == nil {
+		t.Error("Mixer accepted out-of-range endpoint")
+	}
+	if _, _, err := mx.Mix(graph.NewEdgeList(nil, 2), 0); err != nil {
+		t.Errorf("Mixer rejected empty list: %v", err)
 	}
 }
 

@@ -24,7 +24,10 @@ func TestMixerMatchesFromEdgeList(t *testing.T) {
 	defer mx.Close()
 	for sample := uint64(0); sample < 3; sample++ {
 		mixed := ringEdges(2000)
-		res, _ := mx.Mix(mixed, sample)
+		res, _, err := mx.Mix(mixed, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(res.PerIteration) != 4 {
 			t.Fatalf("sample %d: ran %d iterations, want 4", sample, len(res.PerIteration))
 		}
@@ -32,7 +35,9 @@ func TestMixerMatchesFromEdgeList(t *testing.T) {
 		ref := ringEdges(2000)
 		refOpt := opt
 		refOpt.Seed = mx.sampleSeed(sample) - 0x5eed // invert runSwaps' offset
-		FromEdgeList(ref, refOpt)
+		if _, err := FromEdgeList(ref, refOpt); err != nil {
+			t.Fatal(err)
+		}
 		for i := range ref.Edges {
 			if mixed.Edges[i] != ref.Edges[i] {
 				t.Fatalf("sample %d: mixer diverges from FromEdgeList at edge %d", sample, i)
@@ -58,7 +63,10 @@ func TestMixerUntilSwapped(t *testing.T) {
 	defer mx.Close()
 	for sample := uint64(0); sample < 2; sample++ {
 		el := ringEdges(256)
-		res, mixed := mx.Mix(el, sample)
+		res, mixed, err := mx.Mix(el, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !mixed {
 			t.Fatalf("sample %d: 256-ring did not mix in 200 iterations", sample)
 		}
@@ -80,7 +88,9 @@ func TestMixerHandlesGrowingInputs(t *testing.T) {
 	for _, n := range []int{500, 5000, 100} {
 		el := ringEdges(n)
 		degrees := el.Degrees(1)
-		mx.Mix(el, uint64(n))
+		if _, _, err := mx.Mix(el, uint64(n)); err != nil {
+			t.Fatal(err)
+		}
 		after := el.Degrees(1)
 		for i := range degrees {
 			if degrees[i] != after[i] {

@@ -38,6 +38,7 @@ import (
 
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/graph"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/par"
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/rng"
@@ -53,6 +54,11 @@ type Options struct {
 	// larger than this are split for intra-space parallelism. <= 0 uses
 	// a default of 1<<22.
 	ChunkSpan int64
+	// Recorder, when non-nil, receives per-space skip-draw accounting
+	// (obs.SpaceReport per class pair) after generation. Counting is
+	// per-chunk and aggregated once at the join, so it is deterministic
+	// for a fixed seed regardless of scheduling.
+	Recorder *obs.Recorder
 }
 
 const defaultChunkSpan = 1 << 22
@@ -113,6 +119,7 @@ func Generate(dist *degseq.Distribution, m *probgen.Matrix, opt Options) (*graph
 	// chunk's stream is keyed by its index so the result is independent
 	// of which worker runs it.
 	buffers := make([][]graph.Edge, len(chunks))
+	draws := make([]int64, len(chunks))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
@@ -124,11 +131,15 @@ func Generate(dist *degseq.Distribution, m *probgen.Matrix, opt Options) (*graph
 				if c >= len(chunks) {
 					return
 				}
-				buffers[c] = runChunk(dist, offsets, chunks[c], rng.New(rng.Mix64(opt.Seed)^rng.Mix64(uint64(c)+0x1234567)))
+				buffers[c], draws[c] = runChunk(dist, offsets, chunks[c], rng.New(rng.Mix64(opt.Seed)^rng.Mix64(uint64(c)+0x1234567)))
 			}
 		}()
 	}
 	wg.Wait()
+
+	if obs.Enabled && opt.Recorder != nil {
+		recordSpaces(opt.Recorder, chunks, buffers, draws)
+	}
 
 	var total int
 	for _, b := range buffers {
@@ -141,9 +152,28 @@ func Generate(dist *degseq.Distribution, m *probgen.Matrix, opt Options) (*graph
 	return graph.NewEdgeList(edges, int(n)), nil
 }
 
+// recordSpaces merges per-chunk draw/edge counts back into one record
+// per class-pair space (chunks are enumerated in ascending (ci, cj)
+// order, so the merged spaces come out sorted and deterministic).
+func recordSpaces(rec *obs.Recorder, chunks []chunk, buffers [][]graph.Edge, draws []int64) {
+	var spaces []obs.SpaceReport
+	for c, ch := range chunks {
+		if len(spaces) == 0 || spaces[len(spaces)-1].ClassI != ch.ci || spaces[len(spaces)-1].ClassJ != ch.cj {
+			spaces = append(spaces, obs.SpaceReport{ClassI: ch.ci, ClassJ: ch.cj, Probability: ch.prob})
+		}
+		sp := &spaces[len(spaces)-1]
+		sp.Pairs += ch.end - ch.begin
+		sp.Draws += draws[c]
+		sp.Edges += int64(len(buffers[c]))
+	}
+	rec.SetEdgeSkip(spaces)
+}
+
 // runChunk samples the Bernoulli process on [c.begin, c.end) of the
-// (c.ci, c.cj) space.
-func runChunk(dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Source) []graph.Edge {
+// (c.ci, c.cj) space. It also returns the number of geometric skip
+// lengths drawn (the observability layer's per-space cost signal; the
+// degenerate prob >= 1 path emits without drawing, so it reports 0).
+func runChunk(dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Source) ([]graph.Edge, int64) {
 	expected := float64(c.end-c.begin) * c.prob
 	out := make([]graph.Edge, 0, int(expected*1.15)+8)
 	baseI := offsets[c.ci]
@@ -156,14 +186,16 @@ func runChunk(dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Sour
 		for x := c.begin; x < c.end; x++ {
 			out = append(out, decode(c.ci == c.cj, x, baseI, baseJ, nj))
 		}
-		return out
+		return out, 0
 	}
+	var ndraws int64 = 1
 	x := c.begin + src.Geometric(c.prob)
 	for x < c.end {
 		out = append(out, decode(c.ci == c.cj, x, baseI, baseJ, nj))
 		x += 1 + src.Geometric(c.prob)
+		ndraws++
 	}
-	return out
+	return out, ndraws
 }
 
 // decode maps a space index to its global vertex pair.

@@ -2,11 +2,13 @@ package edgeskip
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/graph"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/probgen"
 )
 
@@ -275,6 +277,52 @@ func TestGenerateSingletonClasses(t *testing.T) {
 		if e.IsLoop() {
 			t.Errorf("self-loop %v emitted", e)
 		}
+	}
+}
+
+// TestGenerateRecordsSpaces locks the observability contract of the
+// edge-skip phase: one merged record per class pair with prob > 0,
+// edge counts matching the actual output, draw counts covering every
+// emitted edge, and determinism across worker counts (chunk streams
+// are keyed by chunk index, so scheduling cannot move counts between
+// spaces).
+func TestGenerateRecordsSpaces(t *testing.T) {
+	d := mustDist(t, map[int64]int64{2: 2000, 7: 300, 40: 20})
+	m := probgen.Generate(d, 2)
+	collect := func(workers int) (*graph.EdgeList, *obs.EdgeSkipReport) {
+		rec := obs.NewRecorder()
+		el, err := Generate(d, m, Options{Workers: workers, Seed: 5, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return el, rec.Report().EdgeSkip
+	}
+	el, rep := collect(1)
+	if rep == nil {
+		t.Fatal("no edge-skip section recorded")
+	}
+	if rep.TotalEdges != int64(el.NumEdges()) {
+		t.Errorf("recorded %d edges, generated %d", rep.TotalEdges, el.NumEdges())
+	}
+	// Every emitted edge consumed at least one draw, plus each space's
+	// positioning draw.
+	if rep.TotalDraws < rep.TotalEdges {
+		t.Errorf("draws %d < edges %d", rep.TotalDraws, rep.TotalEdges)
+	}
+	seen := map[[2]int]bool{}
+	for _, sp := range rep.Spaces {
+		key := [2]int{sp.ClassI, sp.ClassJ}
+		if seen[key] {
+			t.Fatalf("space (%d,%d) recorded twice (chunks not merged)", sp.ClassI, sp.ClassJ)
+		}
+		seen[key] = true
+		if sp.ClassI > sp.ClassJ || sp.Probability <= 0 || sp.Pairs <= 0 {
+			t.Errorf("malformed space record %+v", sp)
+		}
+	}
+	_, rep8 := collect(8)
+	if !reflect.DeepEqual(rep, rep8) {
+		t.Errorf("space accounting differs across worker counts:\n%+v\n%+v", rep, rep8)
 	}
 }
 

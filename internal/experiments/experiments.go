@@ -29,6 +29,7 @@ import (
 	"nullgraph/internal/graph"
 	"nullgraph/internal/havelhakimi"
 	"nullgraph/internal/metrics"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/rng"
 	"nullgraph/internal/swap"
@@ -161,6 +162,35 @@ func baseAttachment(dist *degseq.Distribution, workers int, seed uint64, samples
 		acc.Add(el)
 	}
 	return acc.Matrix(), nil
+}
+
+// CollectRunReport runs the paper's full pipeline once on the first
+// configured Table I analog with chain-health instrumentation attached
+// and returns the resulting report — the observability companion to an
+// experiment sweep, so a figure's numbers can be cross-checked against
+// the acceptance, probe, and skip-draw statistics of an identically
+// configured run.
+func CollectRunReport(cfg Config) (*obs.RunReport, error) {
+	specs := cfg.specs()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("experiments: no datasets selected")
+	}
+	dist, err := cfg.load(specs[0])
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.NewRecorder()
+	_, err = core.FromDistribution(dist, core.Options{
+		Workers:        cfg.Workers,
+		Seed:           cfg.Seed,
+		SwapIterations: cfg.swapIterations(),
+		TrackSwapStats: true,
+		Recorder:       rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec.Report(), nil
 }
 
 // column formats a duration in milliseconds with fixed width.

@@ -382,3 +382,24 @@ func TestRunUniformity(t *testing.T) {
 		t.Error("render missing statistic")
 	}
 }
+
+func TestCollectRunReport(t *testing.T) {
+	cfg := smallCfg()
+	rep, err := CollectRunReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema == "" || rep.SwapTotals.Attempts == 0 {
+		t.Errorf("report not populated: %+v", rep.SwapTotals)
+	}
+	if rep.EdgeSkip == nil || rep.EdgeSkip.TotalEdges == 0 {
+		t.Error("report missing edge-skip accounting")
+	}
+	if rep.Phases == nil || rep.Phases.SwappingNs <= 0 {
+		t.Error("report missing phase times")
+	}
+	cfg.Datasets = []string{"no-such-dataset"}
+	if _, err := CollectRunReport(cfg); err == nil {
+		t.Error("empty dataset selection accepted")
+	}
+}

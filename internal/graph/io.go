@@ -92,8 +92,33 @@ func WriteEdgeListBinary(w io.Writer, el *EdgeList) error {
 	return bw.Flush()
 }
 
+// binaryChunkEdges caps how many edges' worth of buffer is allocated on
+// the strength of the header alone when the input size cannot be
+// checked: a corrupt or hostile edge count then costs at most one chunk
+// (512 KiB) before the short read surfaces, instead of an arbitrarily
+// large up-front allocation.
+const binaryChunkEdges = 1 << 16
+
+// binaryHeaderBytes is the encoded size of (magic, n, m).
+const binaryHeaderBytes = 24
+
 // ReadEdgeListBinary reads the format written by WriteEdgeListBinary.
+// The header's edge count is never trusted blindly: on seekable inputs
+// it is validated against the bytes actually remaining, and on streams
+// the edge buffer grows in bounded chunks as payload arrives, so a
+// truncated or corrupt header fails with a clear error rather than an
+// out-of-memory allocation.
 func ReadEdgeListBinary(r io.Reader) (*EdgeList, error) {
+	remaining := int64(-1)
+	if s, ok := r.(io.Seeker); ok {
+		if cur, err := s.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := s.Seek(0, io.SeekEnd); err == nil {
+				if _, err := s.Seek(cur, io.SeekStart); err == nil {
+					remaining = end - cur
+				}
+			}
+		}
+	}
 	br := bufio.NewReader(r)
 	var magic, n, m uint64
 	for _, dst := range []*uint64{&magic, &n, &m} {
@@ -107,18 +132,27 @@ func ReadEdgeListBinary(r io.Reader) (*EdgeList, error) {
 	if n > 1<<31 {
 		return nil, fmt.Errorf("graph: vertex count %d exceeds int32 range", n)
 	}
-	edges := make([]Edge, m)
+	capHint := m
+	if remaining >= 0 {
+		payload := remaining - binaryHeaderBytes
+		if payload < 0 || uint64(payload)/8 < m {
+			return nil, fmt.Errorf("graph: header claims %d edges but only %d payload bytes remain", m, max(payload, 0))
+		}
+	} else if capHint > binaryChunkEdges {
+		capHint = binaryChunkEdges
+	}
+	edges := make([]Edge, 0, capHint)
 	buf := make([]byte, 8)
-	for i := range edges {
+	for i := uint64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+			return nil, fmt.Errorf("graph: reading edge %d of %d: %w", i, m, err)
 		}
 		k := binary.LittleEndian.Uint64(buf)
 		e := Edge{U: int32(uint32(k >> 32)), V: int32(uint32(k))}
-		if int(e.U) >= int(n) || int(e.V) >= int(n) {
+		if e.U < 0 || e.V < 0 || int(e.U) >= int(n) || int(e.V) >= int(n) {
 			return nil, fmt.Errorf("graph: edge %d endpoint out of range", i)
 		}
-		edges[i] = e
+		edges = append(edges, e)
 	}
 	return &EdgeList{Edges: edges, NumVertices: int(n)}, nil
 }

@@ -96,6 +96,114 @@ func TestBinaryTruncated(t *testing.T) {
 	}
 }
 
+// onlyReader hides Seek so the stream (chunked-growth) path is
+// exercised; bytes.Reader would otherwise take the validated path.
+type onlyReader struct{ r *bytes.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// corruptEdgeCount returns a valid encoding of el whose header claims m
+// edges instead of the true count.
+func corruptEdgeCount(t *testing.T, el *EdgeList, m uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for i := 0; i < 8; i++ {
+		b[16+i] = byte(m >> (8 * i))
+	}
+	return b
+}
+
+// TestBinaryHugeClaimedEdgeCount pins the hardening contract: a header
+// whose edge count vastly exceeds the actual payload must fail fast on
+// both seekable and stream inputs, without attempting a proportional
+// allocation first.
+func TestBinaryHugeClaimedEdgeCount(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}}, 3)
+	b := corruptEdgeCount(t, el, 1<<50) // would be an 8 PiB allocation if trusted
+	if _, err := ReadEdgeListBinary(bytes.NewReader(b)); err == nil {
+		t.Error("seekable: 2^50-edge header over a 16-byte payload accepted")
+	}
+	if _, err := ReadEdgeListBinary(onlyReader{bytes.NewReader(b)}); err == nil {
+		t.Error("stream: 2^50-edge header over a 16-byte payload accepted")
+	}
+}
+
+// TestBinaryHeaderCountMismatch: off-by-a-little corruption (claiming
+// one more edge than the payload holds) is caught too — by the seekable
+// validation up front, and by the short read on streams.
+func TestBinaryHeaderCountMismatch(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}}, 3)
+	b := corruptEdgeCount(t, el, 3)
+	if _, err := ReadEdgeListBinary(bytes.NewReader(b)); err == nil {
+		t.Error("seekable: header claiming 3 edges over a 2-edge payload accepted")
+	}
+	if _, err := ReadEdgeListBinary(onlyReader{bytes.NewReader(b)}); err == nil {
+		t.Error("stream: header claiming 3 edges over a 2-edge payload accepted")
+	}
+}
+
+// TestBinaryTruncatedHeader: every prefix of the 24-byte header fails
+// cleanly.
+func TestBinaryTruncatedHeader(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}}, 2)
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < 24; cut++ {
+		if _, err := ReadEdgeListBinary(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("%d-byte header prefix accepted", cut)
+		}
+	}
+}
+
+// TestBinaryNegativeEndpoint: a payload word whose high bit is set
+// decodes to a negative int32 and must be rejected, not smuggled past
+// the upper-bound check.
+func TestBinaryNegativeEndpoint(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}}, 2)
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[24+7] = 0xFF // high byte of U
+	if _, err := ReadEdgeListBinary(bytes.NewReader(b)); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+}
+
+// TestBinaryStreamRoundTrip: the chunked stream path must still read a
+// graph larger than one chunk correctly.
+func TestBinaryStreamRoundTrip(t *testing.T) {
+	n := 3 * binaryChunkEdges / 2
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{U: int32(i % 1000), V: int32((i + 1) % 1000)}
+	}
+	el := NewEdgeList(edges, 1000)
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeListBinary(onlyReader{bytes.NewReader(buf.Bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Edges) != n {
+		t.Fatalf("stream read %d edges, want %d", len(got.Edges), n)
+	}
+	for i := range edges {
+		if got.Edges[i] != edges[i] {
+			t.Fatalf("edge %d: %v vs %v", i, got.Edges[i], edges[i])
+		}
+	}
+}
+
 func TestBinaryEmptyGraph(t *testing.T) {
 	el := NewEdgeList(nil, 0)
 	var buf bytes.Buffer

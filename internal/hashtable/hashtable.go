@@ -150,30 +150,32 @@ func (s *EdgeSet) Len() int {
 // contract on EdgeSet). Hot loops that insert through a Writer get
 // deterministic load checking as well.
 func (s *EdgeSet) TestAndSet(key uint64) bool {
-	present, _ := s.testAndSet(key)
+	present, _, _ := s.testAndSet(key)
 	return present
 }
 
-// testAndSet returns (present, slot); slot is meaningful only when the
-// call inserted (present == false).
-func (s *EdgeSet) testAndSet(key uint64) (bool, uint64) {
+// testAndSet returns (present, slot, probes): slot is meaningful only
+// when the call inserted (present == false); probes is the number of
+// slots the probe sequence visited (>= 1), the §VIII ablation's
+// probing-cost signal.
+func (s *EdgeSet) testAndSet(key uint64) (bool, uint64, int) {
 	stored := key + 1
 	slot := rng.Mix64(key) & s.mask
 	for step := uint64(1); ; step++ {
 		cur := atomic.LoadUint64(&s.slots[slot])
 		if cur == stored {
-			return true, 0
+			return true, 0, int(step)
 		}
 		if cur == 0 {
 			if atomic.CompareAndSwapUint64(&s.slots[slot], 0, stored) {
-				return false, slot
+				return false, slot, int(step)
 			}
 			// Collision: another thread claimed this slot between the
 			// load and the CAS. Re-examine the same slot — it may now
 			// hold our key.
 			cur = atomic.LoadUint64(&s.slots[slot])
 			if cur == stored {
-				return true, 0
+				return true, 0, int(step)
 			}
 		}
 		if step > uint64(len(s.slots)) {
@@ -285,7 +287,7 @@ func (s *EdgeSet) NewCountingWriters(p int) []*Writer {
 // records the claimed slot. No shared state is touched beyond the slot
 // CAS itself.
 func (w *Writer) TestAndSet(key uint64) bool {
-	present, slot := w.set.testAndSet(key)
+	present, slot, _ := w.set.testAndSet(key)
 	if !present {
 		w.inserts++
 		if w.journal != nil {
@@ -293,6 +295,21 @@ func (w *Writer) TestAndSet(key uint64) bool {
 		}
 	}
 	return present
+}
+
+// TestAndSetProbed is TestAndSet additionally reporting how many slots
+// the probe sequence visited (>= 1). Instrumented swap sweeps use it to
+// feed probe-length histograms; the plain TestAndSet stays the
+// uninstrumented hot path.
+func (w *Writer) TestAndSetProbed(key uint64) (present bool, probes int) {
+	present, slot, probes := w.set.testAndSet(key)
+	if !present {
+		w.inserts++
+		if w.journal != nil {
+			w.journal = append(w.journal, uint32(slot))
+		}
+	}
+	return present, probes
 }
 
 // Inserts returns the number of keys this writer inserted since its

@@ -441,6 +441,57 @@ func TestClearWritersDensePicksSweep(t *testing.T) {
 	}
 }
 
+func TestTestAndSetProbedMatchesPlain(t *testing.T) {
+	// Probed and plain insertion must agree on set semantics; probe
+	// counts must be >= 1, equal 1 on an uncontended first-probe hit,
+	// and exceed 1 for a key whose home slot is occupied by another key.
+	for _, probing := range []Probing{Linear, Quadratic} {
+		s := New(64, probing)
+		ws := s.NewCountingWriters(1)
+		ref := New(64, probing)
+		rws := ref.NewCountingWriters(1)
+		for k := uint64(0); k < uint64(s.Capacity()); k++ {
+			key := k * 0x9e3779b9
+			present, probes := ws[0].TestAndSetProbed(key)
+			if probes < 1 {
+				t.Fatalf("probing=%v: probe count %d < 1", probing, probes)
+			}
+			if want := rws[0].TestAndSet(key); present != want {
+				t.Fatalf("probing=%v: probed insert of %d = %v, plain = %v", probing, key, present, want)
+			}
+		}
+		if ws[0].Inserts() != rws[0].Inserts() {
+			t.Fatalf("probing=%v: probed writer counted %d inserts, plain %d",
+				probing, ws[0].Inserts(), rws[0].Inserts())
+		}
+		// Re-testing a present key still reports its probe cost.
+		present, probes := ws[0].TestAndSetProbed(0)
+		if !present || probes < 1 {
+			t.Errorf("probing=%v: re-test of present key = (%v, %d)", probing, present, probes)
+		}
+	}
+}
+
+func TestTestAndSetProbedCollisionCost(t *testing.T) {
+	// Force a collision: fill every slot but one, then insert a fresh
+	// key — its probe sequence must visit more than one slot whenever
+	// its home slot is taken.
+	s := New(2, Linear) // 4 slots
+	ws := s.NewCountingWriters(1)
+	longest := 0
+	for k := uint64(0); k < 2; k++ {
+		_, probes := ws[0].TestAndSetProbed(k)
+		if probes > longest {
+			longest = probes
+		}
+	}
+	// Two keys into four slots: at least possible, and the histogram
+	// input is bounded by the table size.
+	if longest > s.NumSlots() {
+		t.Errorf("probe count %d exceeds slot count %d", longest, s.NumSlots())
+	}
+}
+
 func TestStringDescribesOccupancy(t *testing.T) {
 	s := New(4, Linear)
 	s.TestAndSet(1)

@@ -1,0 +1,7 @@
+//go:build nullgraph_noobs
+
+package obs
+
+// Enabled is false under the nullgraph_noobs build tag: recorders are
+// never attached and the compiler eliminates the instrumented paths.
+const Enabled = false

@@ -1,0 +1,10 @@
+//go:build !nullgraph_noobs
+
+package obs
+
+// Enabled reports whether the observability layer is compiled in. The
+// default build includes it (a nil Recorder still costs nothing at run
+// time); `-tags nullgraph_noobs` flips this to false, turning every
+// `obs.Enabled && rec != nil` guard into constant-false so the
+// instrumented code paths are eliminated entirely.
+const Enabled = true

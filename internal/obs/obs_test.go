@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+)
+
+func TestCountersPadding(t *testing.T) {
+	if sz := unsafe.Sizeof(Counters{}); sz%64 != 0 {
+		t.Errorf("Counters size %d is not a multiple of the 64-byte cache line", sz)
+	}
+}
+
+func TestRecordProbeBuckets(t *testing.T) {
+	var c Counters
+	c.RecordProbe(1)
+	c.RecordProbe(1)
+	c.RecordProbe(3)
+	c.RecordProbe(ProbeBuckets)      // exactly the overflow bucket
+	c.RecordProbe(ProbeBuckets + 50) // clamped into it
+	c.RecordProbe(0)                 // defensive clamp to 1
+	want := [ProbeBuckets]int64{}
+	want[0] = 3
+	want[2] = 1
+	want[ProbeBuckets-1] = 2
+	if c.Probes != want {
+		t.Errorf("probe histogram %v, want %v", c.Probes, want)
+	}
+}
+
+func TestFlushIterationAggregatesAndResets(t *testing.T) {
+	r := NewRecorder()
+	r.StartRun(7, 2, 100)
+	r.Cell(0).RejectSelfLoop = 3
+	r.Cell(0).RecordProbe(1)
+	r.Cell(1).RejectDuplicate = 2
+	r.Cell(1).RejectPartnerDuplicate = 1
+	r.Cell(1).RecordProbe(2)
+	r.FlushIteration(50, 44, 0.5)
+
+	rep := r.Report()
+	if len(rep.Iterations) != 1 {
+		t.Fatalf("got %d iterations, want 1", len(rep.Iterations))
+	}
+	it := rep.Iterations[0]
+	want := IterationReport{Attempts: 50, Successes: 44, RejectSelfLoop: 3,
+		RejectDuplicate: 2, RejectPartnerDuplicate: 1, EverSwapped: 0.5}
+	if it != want {
+		t.Errorf("iteration record %+v, want %+v", it, want)
+	}
+	if rep.ProbeHistogram[0] != 1 || rep.ProbeHistogram[1] != 1 {
+		t.Errorf("probe histogram %v, want one count in buckets 0 and 1", rep.ProbeHistogram)
+	}
+	// Cells must be reset for the next iteration.
+	for w := 0; w < 2; w++ {
+		if c := r.Cell(w); *c != (Counters{}) {
+			t.Errorf("worker %d cell not reset after flush: %+v", w, c)
+		}
+	}
+	// A second flush accumulates totals.
+	r.Cell(0).RejectSelfLoop = 1
+	r.FlushIteration(50, 49, 1.0)
+	tot := r.Report().SwapTotals
+	if tot.Iterations != 2 || tot.Attempts != 100 || tot.Successes != 93 ||
+		tot.RejectSelfLoop != 4 || tot.FinalEverSwapped != 1.0 {
+		t.Errorf("totals %+v", tot)
+	}
+}
+
+func TestStartRunPreservesGenerationSections(t *testing.T) {
+	r := NewRecorder()
+	r.SetEdgeSkip([]SpaceReport{{ClassI: 0, ClassJ: 1, Probability: 0.5, Pairs: 10, Draws: 6, Edges: 5}})
+	r.SetPhases(100, 200, 0)
+	r.StartRun(1, 1, 5)
+	rep := r.Report()
+	if rep.EdgeSkip == nil || rep.EdgeSkip.TotalEdges != 5 || rep.EdgeSkip.TotalDraws != 6 {
+		t.Errorf("StartRun dropped the edge-skip section: %+v", rep.EdgeSkip)
+	}
+	if rep.Phases == nil || rep.Phases.EdgeGenerationNs != 200 {
+		t.Errorf("StartRun dropped the phase section: %+v", rep.Phases)
+	}
+	// ...while resetting the swap section.
+	if len(rep.Iterations) != 0 || rep.SwapTotals.Iterations != 0 {
+		t.Errorf("StartRun kept stale swap state: %+v", rep.SwapTotals)
+	}
+}
+
+func TestStartRunResizesCells(t *testing.T) {
+	r := NewRecorder()
+	r.StartRun(1, 4, 10)
+	if r.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", r.Workers())
+	}
+	r.Cell(3).RejectSelfLoop = 9
+	r.StartRun(1, 2, 10)
+	if r.Workers() != 2 {
+		t.Fatalf("workers = %d, want 2", r.Workers())
+	}
+	r.StartRun(1, 4, 10)
+	if c := r.Cell(3); *c != (Counters{}) {
+		t.Errorf("regrown cell carries stale counts: %+v", c)
+	}
+}
+
+func TestWriteReportFileRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.StartRun(42, 1, 8)
+	r.Cell(0).RecordProbe(1)
+	r.FlushIteration(4, 3, 0.25)
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteReportFile(path, r.Report()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Schema != SchemaVersion {
+		t.Errorf("schema %q, want %q", back.Schema, SchemaVersion)
+	}
+	if back.Seed != 42 || back.SwapTotals.Successes != 3 {
+		t.Errorf("round-trip mangled the report: %+v", back)
+	}
+	var buf bytes.Buffer
+	if err := r.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Error("WriteJSON and WriteReportFile disagree")
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestStartCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("CPU profile file is empty")
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	runtimepprof "runtime/pprof"
+)
+
+// ServePprof exposes the standard /debug/pprof/ endpoints on addr
+// (e.g. "localhost:6060"; an empty port picks a free one) from a
+// background goroutine and returns the bound address. The handlers go
+// on a private mux, not http.DefaultServeMux, so importing this package
+// never changes a host program's HTTP surface. The listener lives until
+// process exit — profiling hooks for CLIs, not a managed server.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// StartCPUProfile begins a CPU profile into path and returns the stop
+// function that ends the profile and closes the file. Only one CPU
+// profile can run per process (a runtime/pprof constraint).
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		runtimepprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}

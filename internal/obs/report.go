@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// SchemaVersion identifies the RunReport JSON schema. Consumers
+// (regression dashboards, CI deltas) should reject reports whose schema
+// field they do not recognize; additive changes bump the trailing
+// version. The schema is documented in DESIGN.md §8.
+const SchemaVersion = "nullgraph/run-report/v1"
+
+// IterationReport is one swap iteration's acceptance accounting.
+// Attempts = Successes + the three rejection counters + proposals
+// short-circuited before any check (none today), so the split is
+// exhaustive.
+type IterationReport struct {
+	Attempts               int64 `json:"attempts"`
+	Successes              int64 `json:"successes"`
+	RejectSelfLoop         int64 `json:"reject_self_loop"`
+	RejectDuplicate        int64 `json:"reject_duplicate"`
+	RejectPartnerDuplicate int64 `json:"reject_partner_duplicate"`
+	// EverSwapped is the fraction of edges that have been in at least
+	// one successful swap so far — the paper's empirical mixing signal.
+	// Zero when the engine runs without TrackSwapped.
+	EverSwapped float64 `json:"ever_swapped"`
+}
+
+// SwapTotals sums the iteration records.
+type SwapTotals struct {
+	Iterations             int   `json:"iterations"`
+	Attempts               int64 `json:"attempts"`
+	Successes              int64 `json:"successes"`
+	RejectSelfLoop         int64 `json:"reject_self_loop"`
+	RejectDuplicate        int64 `json:"reject_duplicate"`
+	RejectPartnerDuplicate int64 `json:"reject_partner_duplicate"`
+	// FinalEverSwapped is the last iteration's mixing fraction.
+	FinalEverSwapped float64 `json:"final_ever_swapped"`
+}
+
+// SpaceReport is one class-pair sample space of the edge-skipping
+// phase (Algorithm IV.2): its index-space size, the number of geometric
+// skip draws spent on it, and the edges it emitted. Spaces with zero
+// probability are skipped by the generator and absent here.
+type SpaceReport struct {
+	// ClassI and ClassJ are the degree-class indices, ClassI <= ClassJ.
+	ClassI int `json:"class_i"`
+	ClassJ int `json:"class_j"`
+	// Probability is the per-pair Bernoulli probability of the space.
+	Probability float64 `json:"probability"`
+	// Pairs is the number of candidate vertex pairs in the space.
+	Pairs int64 `json:"pairs"`
+	// Draws is the number of geometric skip lengths sampled (0 in the
+	// degenerate probability >= 1 path, which emits without drawing).
+	Draws int64 `json:"draws"`
+	// Edges is the number of edges the space emitted.
+	Edges int64 `json:"edges"`
+}
+
+// EdgeSkipReport is the edge-generation section of a run report.
+type EdgeSkipReport struct {
+	Spaces     []SpaceReport `json:"spaces"`
+	TotalPairs int64         `json:"total_pairs"`
+	TotalDraws int64         `json:"total_draws"`
+	TotalEdges int64         `json:"total_edges"`
+}
+
+// PhaseReport records per-phase wall time in nanoseconds (Fig. 6's
+// quantities). Phases a run did not execute are zero.
+type PhaseReport struct {
+	ProbabilitiesNs  int64 `json:"probabilities_ns"`
+	EdgeGenerationNs int64 `json:"edge_generation_ns"`
+	SwappingNs       int64 `json:"swapping_ns"`
+}
+
+// RunReport is the serializable aggregate of one run's chain-health
+// observability: per-iteration acceptance splits, the run-wide
+// hash-table probe-length histogram, the edge-skip space accounting,
+// and the pipeline phase times. With Workers == 1 and a fixed seed
+// every counter is bit-reproducible; timings (Phases) are the only
+// nondeterministic fields.
+type RunReport struct {
+	// Schema is SchemaVersion.
+	Schema string `json:"schema"`
+	// Seed is the swap phase's seed stream; Workers its parallel width;
+	// Edges the edge count of the (last) bound edge list.
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	Edges   int    `json:"edges"`
+	// Iterations has one record per swap iteration, in order.
+	Iterations []IterationReport `json:"iterations"`
+	SwapTotals SwapTotals        `json:"swap_totals"`
+	// ProbeHistogram bucket i counts TestAndSet calls (edge
+	// registration and proposal checks alike) whose probe sequence
+	// visited i+1 slots; the final bucket is overflow.
+	ProbeHistogram []int64 `json:"probe_length_histogram"`
+	// EdgeSkip is present only for runs that executed the
+	// edge-generation phase.
+	EdgeSkip *EdgeSkipReport `json:"edge_skip,omitempty"`
+	// Phases is present when the core pipeline drove the run.
+	Phases *PhaseReport `json:"phases,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteReportFile writes the report to path ("-" = stdout).
+func WriteReportFile(path string, r *RunReport) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -3,9 +3,11 @@ package swap
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"reflect"
 	"testing"
 
 	"nullgraph/internal/graph"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/permute"
 	"nullgraph/internal/rng"
 )
@@ -180,7 +182,9 @@ func TestEngineCloseIdempotent(t *testing.T) {
 
 // TestStepDoesNotAllocate is the tentpole's acceptance check in unit
 // form: after warm-up, Step on a graph large enough to take the
-// parallel permutation path must not touch the heap.
+// parallel permutation path must not touch the heap. The obs layer is
+// compiled in here but disabled (no Recorder), which is exactly the
+// configuration the CI alloc budget protects.
 func TestStepDoesNotAllocate(t *testing.T) {
 	el := ring(1 << 13) // above permute's serial cutoff
 	eng := NewEngine(el, Options{Workers: 1, Seed: 1, TrackSwapped: true})
@@ -188,5 +192,91 @@ func TestStepDoesNotAllocate(t *testing.T) {
 	eng.Step() // warm-up: scratch buffers materialize on first use
 	if allocs := testing.AllocsPerRun(5, func() { eng.Step() }); allocs != 0 {
 		t.Errorf("Step allocated %v objects per call after warm-up, want 0", allocs)
+	}
+}
+
+// TestInstrumentedEngineMatchesPlain locks the observability layer's
+// non-interference contract: attaching a recorder must not change the
+// chain — the instrumented engine's edge stream is bit-identical to the
+// plain engine's for the same seed.
+func TestInstrumentedEngineMatchesPlain(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		plain := ring(3000)
+		instrumented := ring(3000)
+		rec := obs.NewRecorder()
+		Run(plain, Options{Iterations: 4, Workers: workers, Seed: 9, TrackSwapped: true})
+		Run(instrumented, Options{Iterations: 4, Workers: workers, Seed: 9, TrackSwapped: true, Recorder: rec})
+		if workers == 1 && edgeHash(plain) != edgeHash(instrumented) {
+			t.Errorf("workers=%d: recorder changed the chain output", workers)
+		}
+		rep := rec.Report()
+		if len(rep.Iterations) != 4 {
+			t.Fatalf("workers=%d: report has %d iterations, want 4", workers, len(rep.Iterations))
+		}
+		// The rejection split is exhaustive: every proposal either
+		// commits or lands in exactly one rejection counter.
+		for it, r := range rep.Iterations {
+			if got := r.Successes + r.RejectSelfLoop + r.RejectDuplicate + r.RejectPartnerDuplicate; got != r.Attempts {
+				t.Errorf("workers=%d iteration %d: split sums to %d, want %d attempts", workers, it, got, r.Attempts)
+			}
+		}
+		// Every registration probes the table: the histogram must hold
+		// at least m probes per iteration.
+		var probeCount int64
+		for _, n := range rep.ProbeHistogram {
+			probeCount += n
+		}
+		if probeCount < int64(4*3000) {
+			t.Errorf("workers=%d: probe histogram holds %d samples, want >= %d", workers, probeCount, 4*3000)
+		}
+	}
+}
+
+// TestInstrumentedReportDeterministic locks the acceptance criterion:
+// same seed and Workers=1 produce identical report counters.
+func TestInstrumentedReportDeterministic(t *testing.T) {
+	collect := func() *obs.RunReport {
+		rec := obs.NewRecorder()
+		el := ring(2500)
+		Run(el, Options{Iterations: 5, Workers: 1, Seed: 77, TrackSwapped: true, Recorder: rec})
+		return rec.Report()
+	}
+	a, b := collect(), collect()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("reports differ across identical seeded runs:\n%+v\n%+v", a, b)
+	}
+	if a.SwapTotals.Successes == 0 || a.SwapTotals.FinalEverSwapped == 0 {
+		t.Errorf("degenerate report: %+v", a.SwapTotals)
+	}
+}
+
+// TestInstrumentedStepSteadyStateAllocs: with a recorder attached the
+// per-Step cost is bounded by the iteration-record append — at most a
+// couple of amortized allocations, never per-edge work.
+func TestInstrumentedStepSteadyStateAllocs(t *testing.T) {
+	rec := obs.NewRecorder()
+	el := ring(1 << 13)
+	eng := NewEngine(el, Options{Workers: 1, Seed: 1, TrackSwapped: true, Recorder: rec})
+	defer eng.Close()
+	for i := 0; i < 8; i++ {
+		eng.Step() // warm-up; lets the iterations slice grow
+	}
+	if allocs := testing.AllocsPerRun(5, func() { eng.Step() }); allocs > 1 {
+		t.Errorf("instrumented Step allocated %v objects per call, want <= 1 (amortized append)", allocs)
+	}
+}
+
+// TestEngineResetRestartsReport: a rebound engine reports only its
+// latest run (the Mixer batch pattern).
+func TestEngineResetRestartsReport(t *testing.T) {
+	rec := obs.NewRecorder()
+	eng := NewEngine(ring(512), Options{Workers: 1, Seed: 6, Recorder: rec})
+	defer eng.Close()
+	eng.Step()
+	eng.Step()
+	eng.Reset(ring(512))
+	eng.Step()
+	if got := len(rec.Report().Iterations); got != 1 {
+		t.Errorf("report holds %d iterations after Reset+1 Step, want 1", got)
 	}
 }

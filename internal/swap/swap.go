@@ -43,6 +43,7 @@ import (
 
 	"nullgraph/internal/graph"
 	"nullgraph/internal/hashtable"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/par"
 	"nullgraph/internal/permute"
 	"nullgraph/internal/rng"
@@ -76,6 +77,15 @@ type Options struct {
 	// soon as the sweep finishes; experiments use it to snapshot
 	// convergence without re-running.
 	OnIteration func(iteration int, stats IterStats)
+	// Recorder, when non-nil (and the obs layer is compiled in),
+	// collects chain-health observability: per-iteration rejection
+	// splits, hash-table probe-length histograms, and the ever-swapped
+	// trajectory, aggregated at each iteration's quiescent point into
+	// an obs.RunReport. The cost model is pay-for-use: NewEngine binds
+	// instrumented loop bodies only when a recorder is attached, so a
+	// nil Recorder leaves the hot path — and its zero-allocation
+	// budget — exactly as before.
+	Recorder *obs.Recorder
 }
 
 // Validate reports option misuse.
@@ -166,8 +176,14 @@ type Engine struct {
 	permSeed  uint64
 	sweepSeed uint64
 
+	// rec is the attached chain-health recorder (nil when observability
+	// is off, which leaves the hot path untouched).
+	rec *obs.Recorder
+
 	// Prebound parallel-region bodies: allocated once here so Step
-	// dispatches them without creating closures.
+	// dispatches them without creating closures. With a recorder
+	// attached, registerBody and sweepBody hold the instrumented
+	// variants instead; Step's dispatch is identical either way.
 	registerBody func(w int, r par.Range)
 	targetsBody  func(w int, r par.Range)
 	sweepBody    func(w int, r par.Range)
@@ -245,8 +261,86 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		eng.table.ClearRange(r.Begin, r.End)
 	}
 
+	if obs.Enabled && opt.Recorder != nil {
+		eng.rec = opt.Recorder
+		eng.bindInstrumentedBodies()
+	}
+
 	eng.bind(el)
 	return eng
+}
+
+// bindInstrumentedBodies replaces the register and sweep bodies with
+// variants that feed the recorder's per-worker cells: probe lengths for
+// every TestAndSet (registration and proposals alike) and the proposal
+// rejection split. They deliberately duplicate the plain loops — a
+// branch-per-proposal "if instrumented" inside the shared hot loop
+// would tax the disabled path this layer promises to leave free.
+// Counters go to the worker's own cache-line-padded cell, so the
+// instrumented sweep adds no cross-worker traffic either.
+func (eng *Engine) bindInstrumentedBodies() {
+	eng.registerBody = func(w int, r par.Range) {
+		wtr := eng.writers[w]
+		cell := eng.rec.Cell(w)
+		edges := eng.el.Edges
+		for i := r.Begin; i < r.End; i++ {
+			_, probes := wtr.TestAndSetProbed(edges[i].Key())
+			cell.RecordProbe(probes)
+		}
+	}
+	eng.sweepBody = func(w int, r par.Range) {
+		var src rng.Source
+		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
+		edges := eng.el.Edges
+		wtr := eng.writers[w]
+		cell := eng.rec.Cell(w)
+		swapped := eng.swapped
+		var local, newly int64
+		for k := r.Begin; k < r.End; k++ {
+			i, j := 2*k, 2*k+1
+			e, f := edges[i], edges[j]
+			var g, hh graph.Edge
+			if src.Bool() {
+				g = graph.Edge{U: e.U, V: f.U}
+				hh = graph.Edge{U: e.V, V: f.V}
+			} else {
+				g = graph.Edge{U: e.U, V: f.V}
+				hh = graph.Edge{U: e.V, V: f.U}
+			}
+			if g.IsLoop() || hh.IsLoop() {
+				cell.RejectSelfLoop++
+				continue
+			}
+			present, probes := wtr.TestAndSetProbed(g.Key())
+			cell.RecordProbe(probes)
+			if present {
+				cell.RejectDuplicate++
+				continue
+			}
+			present, probes = wtr.TestAndSetProbed(hh.Key())
+			cell.RecordProbe(probes)
+			if present {
+				// g stays registered: harmless for correctness (it only
+				// suppresses re-proposals of g this iteration).
+				cell.RejectPartnerDuplicate++
+				continue
+			}
+			edges[i], edges[j] = g, hh
+			if swapped != nil {
+				if swapped[i] == 0 {
+					swapped[i] = 1
+					newly++
+				}
+				if swapped[j] == 0 {
+					swapped[j] = 1
+					newly++
+				}
+			}
+			local++
+		}
+		eng.successes[w].V = local
+		eng.newly[w].V = newly
+	}
 }
 
 // bind sizes the per-edge-list state (table, journals, target buffer,
@@ -282,6 +376,12 @@ func (eng *Engine) bind(el *graph.EdgeList) {
 	}
 	eng.swappedCount = 0
 	eng.iteration = 0
+	if eng.rec != nil {
+		// A (re)bound engine starts a fresh chain, so the recorder's
+		// swap section restarts with it; generation-phase sections
+		// recorded earlier in the pipeline are preserved.
+		eng.rec.StartRun(eng.opt.Seed, eng.p, m)
+	}
 }
 
 // Reset rebinds the engine to a new edge list, reusing the table,
@@ -358,6 +458,11 @@ func (eng *Engine) Step() IterStats {
 	pool.Run(eng.table.NumSlots(), eng.clearBody)
 	for _, w := range eng.writers {
 		w.Reset()
+	}
+	if eng.rec != nil {
+		// Quiescent point: all workers joined, so aggregating and
+		// resetting their cells races with nothing.
+		eng.rec.FlushIteration(stats.Attempts, stats.Successes, stats.EverSwapped)
 	}
 	return stats
 }

@@ -45,6 +45,7 @@ import (
 	"nullgraph/internal/havelhakimi"
 	"nullgraph/internal/lfr"
 	"nullgraph/internal/metrics"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/swap"
 )
 
@@ -72,6 +73,12 @@ type QualityError = metrics.QualityError
 
 // SwapStats reports one double-edge swap iteration.
 type SwapStats = swap.IterStats
+
+// RunReport is the serializable chain-health report collected when
+// Options.CollectReport is set: per-iteration swap acceptance and
+// rejection splits, hash-probe histograms, edge-skip sample-space
+// accounting, and phase wall times. See internal/obs for the schema.
+type RunReport = obs.RunReport
 
 // LFRConfig configures the LFR-like hierarchical benchmark generator.
 type LFRConfig = lfr.Config
@@ -102,6 +109,10 @@ type Options struct {
 	// matrix before edge generation, tightening expected-degree
 	// residuals on extreme distributions at O(passes·|D|²) extra cost.
 	RefineProbabilities int
+	// CollectReport, when true, instruments the run and attaches a
+	// RunReport to the result. Off (the default) the instrumentation
+	// costs nothing: the swap hot path is the same zero-allocation code.
+	CollectReport bool
 }
 
 func (o Options) core() core.Options {
@@ -115,6 +126,15 @@ func (o Options) core() core.Options {
 	}
 }
 
+// recorder returns the obs recorder to thread through the pipeline, or
+// nil when reporting is off.
+func (o Options) recorder() *obs.Recorder {
+	if obs.Enabled && o.CollectReport {
+		return obs.NewRecorder()
+	}
+	return nil
+}
+
 // Result is the output of Generate or Shuffle.
 type Result struct {
 	// Graph is the generated (or shuffled-in-place) simple graph.
@@ -124,26 +144,48 @@ type Result struct {
 	// Mixed reports whether every edge swapped at least once (only
 	// meaningful with Options.MixUntilSwapped).
 	Mixed bool
+	// Report holds the chain-health report when Options.CollectReport
+	// was set, nil otherwise.
+	Report *RunReport
+}
+
+func wrapResult(out *core.Result, rec *obs.Recorder) *Result {
+	res := &Result{Graph: out.Graph, SwapIterations: out.Swaps.PerIteration, Mixed: out.Mixed}
+	if rec != nil {
+		res.Report = rec.Report()
+	}
+	return res
 }
 
 // Generate draws a uniformly random simple graph matching dist in
 // expectation (the paper's Algorithm IV.1: probabilities →
 // edge-skipping → double-edge swaps).
 func Generate(dist *DegreeDistribution, opt Options) (*Result, error) {
-	out, err := core.FromDistribution(dist, opt.core())
+	copt := opt.core()
+	rec := opt.recorder()
+	copt.Recorder = rec
+	out, err := core.FromDistribution(dist, copt)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Graph: out.Graph, SwapIterations: out.Swaps.PerIteration, Mixed: out.Mixed}, nil
+	return wrapResult(out, rec), nil
 }
 
 // Shuffle mixes an existing graph in place with parallel double-edge
 // swaps, preserving every vertex's degree; given enough iterations the
 // result is a uniform sample of the simple graphs with that degree
-// sequence. Non-simple inputs are progressively simplified.
-func Shuffle(g *Graph, opt Options) *Result {
-	out := core.FromEdgeList(g, opt.core())
-	return &Result{Graph: out.Graph, SwapIterations: out.Swaps.PerIteration, Mixed: out.Mixed}
+// sequence. Non-simple inputs are progressively simplified. The graph
+// must be non-nil with in-range endpoints; empty and single-edge inputs
+// are valid no-ops.
+func Shuffle(g *Graph, opt Options) (*Result, error) {
+	copt := opt.core()
+	rec := opt.recorder()
+	copt.Recorder = rec
+	out, err := core.FromEdgeList(g, copt)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(out, rec), nil
 }
 
 // NewGraph wraps an edge slice with an explicit vertex count, validating

@@ -39,7 +39,10 @@ func TestShufflePreservesDegrees(t *testing.T) {
 	}
 	g := NewGraph(edges, 500)
 	before := g.Degrees(1)
-	res := Shuffle(g, Options{Seed: 7, SwapIterations: 5, Workers: 2})
+	res, err := Shuffle(g, Options{Seed: 7, SwapIterations: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Graph != g {
 		t.Error("Shuffle must operate in place")
 	}
