@@ -1,13 +1,16 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `verify`
-# and `race`; `bench-swap` tracks the hot path's allocation budget.
+# and `race`; `bench-swap` tracks the hot path's allocation budget and
+# `bench-gen` the session-reuse allocation budget.
 
 GO ?= go
 
-# RACE_PKGS are the packages on the swap hot path — the ones with real
-# cross-goroutine protocols worth the race detector's 10x slowdown.
-RACE_PKGS = ./internal/swap/... ./internal/hashtable/... ./internal/permute/... ./internal/par/...
+# RACE_PKGS are the packages with real cross-goroutine protocols worth
+# the race detector's 10x slowdown: the swap hot path plus the session
+# and cancellation layers (core Engine reuse, edge-skip stop polling,
+# context watchers).
+RACE_PKGS = ./internal/swap/... ./internal/hashtable/... ./internal/permute/... ./internal/par/... ./internal/core/... ./internal/edgeskip/...
 
-.PHONY: verify build vet test race bench-swap clean
+.PHONY: verify build vet test race bench-swap bench-gen clean
 
 # verify is the tier-1 gate: everything compiles, vets clean, and every
 # test passes.
@@ -33,5 +36,11 @@ race:
 bench-swap:
 	$(GO) run ./cmd/benchswap
 
+# bench-gen emits BENCH_generate.json: cold one-shot Generate vs reused
+# Engine.Generate (ns/op, allocs/op, B/op) and their byte ratio. The
+# session contract is reuse_bytes_ratio <= 0.10; see DESIGN.md §9.
+bench-gen:
+	$(GO) run ./cmd/benchgen
+
 clean:
-	rm -f BENCH_swap.json
+	rm -f BENCH_swap.json BENCH_generate.json

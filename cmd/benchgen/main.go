@@ -1,0 +1,191 @@
+// Command benchgen measures the full generation pipeline two ways —
+// cold (a one-shot nullgraph.Generate per sample, rebuilding every
+// buffer) and reused (one nullgraph.Engine serving repeated samples) —
+// and emits the comparison as a small JSON document
+// (BENCH_generate.json by default) for CI tracking. The interesting
+// number is reuse_bytes_ratio: bytes allocated per reused sample over
+// bytes per cold sample, the figure of merit of the session refactor
+// (CI asserts it stays under 0.10).
+//
+// Usage:
+//
+//	benchgen                         # 50k-vertex power law, writes BENCH_generate.json
+//	benchgen -vertices 10000 -o -    # smaller run, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nullgraph"
+	"nullgraph/internal/obs"
+)
+
+// Measurement is one benchmark configuration's result.
+type Measurement struct {
+	Mode        string `json:"mode"` // "cold" or "reuse"
+	Workers     int    `json:"workers"`
+	Vertices    int64  `json:"vertices"`
+	Edges       int    `json:"edges"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// Comparison pairs the two modes at one worker count.
+type Comparison struct {
+	Workers int         `json:"workers"`
+	Cold    Measurement `json:"cold"`
+	Reuse   Measurement `json:"reuse"`
+	// ReuseBytesRatio is Reuse.BytesPerOp / Cold.BytesPerOp — how much
+	// of the cold allocation cost a warmed Engine still pays per sample.
+	ReuseBytesRatio float64 `json:"reuse_bytes_ratio"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmark      string       `json:"benchmark"`
+	GoMaxProcs     int          `json:"gomaxprocs"`
+	SwapIterations int          `json:"swap_iterations"`
+	Results        []Comparison `json:"results"`
+}
+
+func options(workers, swaps int) nullgraph.Options {
+	return nullgraph.Options{Workers: workers, Seed: 1, SwapIterations: swaps}
+}
+
+// measureCold times one-shot Generate calls: every sample pays the
+// full setup (worker pool, probability matrix, edge-skip buffers, swap
+// engine with its hash table and permutation scratch).
+func measureCold(dist *nullgraph.DegreeDistribution, workers, swaps int) Measurement {
+	var edges int
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := nullgraph.Generate(dist, options(workers, swaps))
+			if err != nil {
+				b.Fatal(err)
+			}
+			edges = out.Graph.NumEdges()
+		}
+	})
+	return measurement("cold", workers, dist.NumVertices(), edges, res)
+}
+
+// measureReuse times samples drawn from one warmed Engine: the
+// probability matrix is cached (the distribution never changes) and
+// every phase reuses session-owned buffers, so steady-state samples
+// allocate only incidental bytes.
+func measureReuse(dist *nullgraph.DegreeDistribution, workers, swaps int) Measurement {
+	var edges int
+	res := testing.Benchmark(func(b *testing.B) {
+		eng := nullgraph.NewEngine(options(workers, swaps))
+		defer eng.Close()
+		if _, err := eng.Generate(dist); err != nil { // warm-up: buffers materialize
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := eng.Generate(dist)
+			if err != nil {
+				b.Fatal(err)
+			}
+			edges = out.Graph.NumEdges()
+		}
+	})
+	return measurement("reuse", workers, dist.NumVertices(), edges, res)
+}
+
+func measurement(mode string, workers int, vertices int64, edges int, res testing.BenchmarkResult) Measurement {
+	return Measurement{
+		Mode:        mode,
+		Workers:     workers,
+		Vertices:    vertices,
+		Edges:       edges,
+		Iterations:  res.N,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	var (
+		vertices   = flag.Int64("vertices", 50_000, "power-law distribution size (vertex count)")
+		gamma      = flag.Float64("gamma", 2.1, "power-law exponent")
+		dmax       = flag.Int64("dmax", 300, "maximum degree")
+		swaps      = flag.Int("swaps", 5, "swap iterations per sample")
+		out        = flag.String("o", "BENCH_generate.json", "output path (- = stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
+		timeout    = flag.Duration("timeout", 0, "abort with an error if the benchmark exceeds this (e.g. 5m; 0 = no limit)")
+	)
+	flag.Parse()
+	if *vertices < 2 {
+		fmt.Fprintln(os.Stderr, "benchgen: -vertices must be >= 2")
+		os.Exit(2)
+	}
+	// testing.Benchmark has no cancellation hook; -timeout is a hard
+	// watchdog over the whole measurement.
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintln(os.Stderr, "benchgen: -timeout exceeded, aborting")
+			os.Exit(1)
+		})
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
+	dist, err := nullgraph.PowerLawDistribution(*vertices, 1, *dmax, *gamma, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+
+	report := Report{Benchmark: "nullgraph.Engine.Generate", GoMaxProcs: runtime.GOMAXPROCS(0), SwapIterations: *swaps}
+	configs := []int{1}
+	if runtime.GOMAXPROCS(0) > 1 {
+		configs = append(configs, 0) // 0 = all procs
+	}
+	for _, workers := range configs {
+		cmp := Comparison{
+			Workers: workers,
+			Cold:    measureCold(dist, workers, *swaps),
+			Reuse:   measureReuse(dist, workers, *swaps),
+		}
+		if cmp.Cold.BytesPerOp > 0 {
+			cmp.ReuseBytesRatio = float64(cmp.Reuse.BytesPerOp) / float64(cmp.Cold.BytesPerOp)
+		}
+		report.Results = append(report.Results, cmp)
+		fmt.Fprintf(os.Stderr, "benchgen: workers=%d cold: ns/op=%d B/op=%d allocs/op=%d | reuse: ns/op=%d B/op=%d allocs/op=%d | ratio=%.4f\n",
+			cmp.Workers, cmp.Cold.NsPerOp, cmp.Cold.BytesPerOp, cmp.Cold.AllocsPerOp,
+			cmp.Reuse.NsPerOp, cmp.Reuse.BytesPerOp, cmp.Reuse.AllocsPerOp, cmp.ReuseBytesRatio)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}

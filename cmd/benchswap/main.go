@@ -18,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"nullgraph/internal/graph"
 	"nullgraph/internal/obs"
@@ -98,11 +99,20 @@ func main() {
 		out        = flag.String("o", "BENCH_swap.json", "output path (- = stdout)")
 		reportPath = flag.String("report", "", "also write a chain-health RunReport (JSON, from a separate instrumented run) to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
+		timeout    = flag.Duration("timeout", 0, "abort with an error if the benchmark exceeds this (e.g. 5m; 0 = no limit)")
 	)
 	flag.Parse()
 	if *edges < 2 {
 		fmt.Fprintln(os.Stderr, "benchswap: -edges must be >= 2")
 		os.Exit(2)
+	}
+	// testing.Benchmark has no cancellation hook; -timeout is a hard
+	// watchdog over the whole measurement.
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintln(os.Stderr, "benchswap: -timeout exceeded, aborting")
+			os.Exit(1)
+		})
 	}
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)

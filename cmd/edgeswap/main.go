@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nullgraph"
 	"nullgraph/internal/obs"
@@ -43,6 +46,7 @@ func run() error {
 		report     = flag.String("report", "", "write a chain-health RunReport (JSON) to this path (- = stdout)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		timeout    = flag.Duration("timeout", 0, "abandon the run after this long (e.g. 30s; 0 = no limit); SIGINT/SIGTERM also stop it gracefully")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -50,6 +54,14 @@ func run() error {
 	}
 	if *report != "" && *directed {
 		return fmt.Errorf("-report is not supported with -directed")
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var cancelTime context.CancelFunc
+		ctx, cancelTime = context.WithTimeout(ctx, *timeout)
+		defer cancelTime()
 	}
 
 	if *pprofAddr != "" {
@@ -76,14 +88,19 @@ func run() error {
 		defer f.Close()
 		r = f
 	}
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+	// The output file is created only after the mix succeeds, so an
+	// interrupted run (-timeout, SIGINT) leaves no partial output.
+	writeOut := func(write func(w *os.File) error) error {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
 		}
-		defer f.Close()
-		w = f
+		return write(w)
 	}
 	opt := nullgraph.Options{
 		Workers:         *workers,
@@ -99,8 +116,11 @@ func run() error {
 			return err
 		}
 		before := g.CheckSimplicity()
-		res := nullgraph.ShuffleDirected(g, opt)
-		if err := nullgraph.WriteDigraph(w, g); err != nil {
+		res, err := nullgraph.ShuffleDirectedContext(ctx, g, opt)
+		if err != nil {
+			return err
+		}
+		if err := writeOut(func(w *os.File) error { return nullgraph.WriteDigraph(w, g) }); err != nil {
 			return err
 		}
 		if !*quiet {
@@ -123,11 +143,11 @@ func run() error {
 		return err
 	}
 	before := g.CheckSimplicity()
-	res, err := nullgraph.Shuffle(g, opt)
+	res, err := nullgraph.ShuffleContext(ctx, g, opt)
 	if err != nil {
 		return err
 	}
-	if err := nullgraph.WriteGraph(w, g); err != nil {
+	if err := writeOut(func(w *os.File) error { return nullgraph.WriteGraph(w, g) }); err != nil {
 		return err
 	}
 	if *report != "" && res.Report != nil {

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"nullgraph/internal/experiments"
 	"nullgraph/internal/obs"
@@ -39,8 +40,18 @@ func realMain() int {
 		reportPath = flag.String("report", "", "also write a chain-health RunReport (JSON) of one instrumented pipeline run to this path")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		timeout    = flag.Duration("timeout", 0, "abort with an error if the run exceeds this (e.g. 10m; 0 = no limit)")
 	)
 	flag.Parse()
+
+	// Experiment sweeps drive many pipeline runs back to back; -timeout
+	// is a hard watchdog over the whole sweep.
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintln(os.Stderr, "experiments: -timeout exceeded, aborting")
+			os.Exit(1)
+		})
+	}
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nullgraph"
 )
@@ -23,10 +24,19 @@ func main() {
 		in      = flag.String("in", "", "input edge list (\"u v\" lines; - = stdin)")
 		distOut = flag.String("dist-out", "", "also write the degree distribution here (\"degree count\" lines)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort with an error if the run exceeds this (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+	// The analytics here have no cooperative cancellation points, so
+	// -timeout is a hard watchdog rather than a graceful stop.
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintln(os.Stderr, "graphstats: -timeout exceeded, aborting")
+			os.Exit(1)
+		})
 	}
 	r := os.Stdin
 	if *in != "-" {

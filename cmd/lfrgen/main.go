@@ -11,9 +11,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nullgraph"
 )
@@ -34,10 +37,19 @@ func main() {
 		out      = flag.String("o", "-", "output edge list (- = stdout)")
 		commOut  = flag.String("communities", "", "write the planted community of each vertex here")
 		quiet    = flag.Bool("q", false, "suppress the summary line on stderr")
+		timeout  = flag.Duration("timeout", 0, "abandon the run after this long (e.g. 30s; 0 = no limit); SIGINT/SIGTERM also stop it gracefully")
 	)
 	flag.Parse()
 
-	res, err := nullgraph.LFR(nullgraph.LFRConfig{
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var cancelTime context.CancelFunc
+		ctx, cancelTime = context.WithTimeout(ctx, *timeout)
+		defer cancelTime()
+	}
+
+	res, err := nullgraph.LFRContext(ctx, nullgraph.LFRConfig{
 		NumVertices:    *n,
 		DegreeGamma:    *degGamma,
 		MinDegree:      *dmin,

@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"nullgraph"
 	"nullgraph/internal/datasets"
@@ -50,6 +54,7 @@ type config struct {
 	Pprof      string
 	CPUProfile string
 	Quiet      bool
+	Timeout    time.Duration
 }
 
 // validateConfig rejects flag combinations that cannot produce a run:
@@ -88,7 +93,23 @@ func validateConfig(c config) error {
 	if c.Joint != "" && c.Report != "" {
 		return errors.New("-report is not supported with -joint (directed pipeline)")
 	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", c.Timeout)
+	}
 	return nil
+}
+
+// runContext builds the run's context: SIGINT/SIGTERM always cancel it
+// (graceful stop — cooperative checkpoints abandon the sample and exit
+// cleanly instead of killing the process mid-write), and -timeout, when
+// positive, bounds the wall time.
+func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, cancelSig
+	}
+	ctx, cancelTime := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancelTime(); cancelSig() }
 }
 
 func main() {
@@ -110,19 +131,22 @@ func main() {
 	flag.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.BoolVar(&c.Quiet, "q", false, "suppress the summary line on stderr")
+	flag.DurationVar(&c.Timeout, "timeout", 0, "abandon the run after this long (e.g. 30s; 0 = no limit); SIGINT/SIGTERM also stop it gracefully")
 	flag.Parse()
 
 	if err := validateConfig(c); err != nil {
 		fmt.Fprintln(os.Stderr, "nullgen:", err)
 		os.Exit(2)
 	}
-	if err := run(c); err != nil {
+	ctx, cancel := runContext(c.Timeout)
+	defer cancel()
+	if err := run(ctx, c); err != nil {
 		fmt.Fprintln(os.Stderr, "nullgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(c config) error {
+func run(ctx context.Context, c config) error {
 	if c.Pprof != "" {
 		addr, err := obs.ServePprof(c.Pprof)
 		if err != nil {
@@ -139,7 +163,7 @@ func run(c config) error {
 	}
 
 	if c.Joint != "" {
-		return generateDirected(c)
+		return generateDirected(ctx, c)
 	}
 
 	dist, err := loadDistribution(c)
@@ -149,7 +173,7 @@ func run(c config) error {
 	if err := nullgraph.Validate(dist); err != nil {
 		return err
 	}
-	res, err := nullgraph.Generate(dist, nullgraph.Options{
+	res, err := nullgraph.GenerateContext(ctx, dist, nullgraph.Options{
 		Workers:         c.Workers,
 		Seed:            c.Seed,
 		SwapIterations:  c.Swaps,
@@ -207,7 +231,7 @@ func loadDistribution(c config) (*nullgraph.DegreeDistribution, error) {
 	}
 }
 
-func generateDirected(c config) error {
+func generateDirected(ctx context.Context, c config) error {
 	f, err := os.Open(c.Joint)
 	if err != nil {
 		return err
@@ -217,7 +241,7 @@ func generateDirected(c config) error {
 	if err != nil {
 		return err
 	}
-	res, err := nullgraph.GenerateDirected(dist, nullgraph.Options{
+	res, err := nullgraph.GenerateDirectedContext(ctx, dist, nullgraph.Options{
 		Workers:         c.Workers,
 		Seed:            c.Seed,
 		SwapIterations:  c.Swaps,

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"nullgraph/internal/obs"
 )
@@ -40,6 +43,8 @@ func TestValidateConfig(t *testing.T) {
 		{"gamma ignored without powerlaw", func(c *config) { c.PowerLaw = 0; c.DistFile = "d.txt"; c.Gamma = 0 }, ""},
 		{"report with joint", func(c *config) { c.PowerLaw = 0; c.Joint = "j.txt"; c.Report = "r.json" }, "-report"},
 		{"report with powerlaw ok", func(c *config) { c.Report = "r.json" }, ""},
+		{"negative timeout", func(c *config) { c.Timeout = -time.Second }, "-timeout"},
+		{"positive timeout ok", func(c *config) { c.Timeout = 30 * time.Second }, ""},
 	}
 	for _, tc := range cases {
 		c := valid()
@@ -73,7 +78,7 @@ func TestRunEmitsReport(t *testing.T) {
 	if err := validateConfig(c); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(c.Out); err != nil || fi.Size() == 0 {
@@ -98,5 +103,25 @@ func TestRunEmitsReport(t *testing.T) {
 	}
 	if rep.Phases == nil {
 		t.Error("report missing phases section")
+	}
+}
+
+// TestRunCanceledContext: a context canceled before the run starts must
+// surface the context error (the -timeout / SIGINT path) and write no
+// output file.
+func TestRunCanceledContext(t *testing.T) {
+	dir := t.TempDir()
+	c := valid()
+	c.PowerLaw = 500
+	c.Quiet = true
+	c.Out = filepath.Join(dir, "graph.txt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(c.Out); !os.IsNotExist(err) {
+		t.Error("canceled run still created the output file")
 	}
 }

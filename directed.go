@@ -1,9 +1,12 @@
 package nullgraph
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"nullgraph/internal/directed"
+	"nullgraph/internal/par"
 )
 
 // Directed graph support — the extrapolation the paper points to via
@@ -45,33 +48,88 @@ type DirectedResult struct {
 	Mixed          bool
 }
 
-// GenerateDirected draws a uniformly random simple digraph matching the
-// joint (out, in) distribution in expectation: directed probability
-// heuristic → directed edge-skipping → double-arc swaps with triangle
-// reversals.
-func GenerateDirected(dist *JointDistribution, opt Options) (*DirectedResult, error) {
-	res, err := directed.Generate(dist, directed.Options{
+// directedOptions maps the shared Options onto the directed pipeline,
+// rejecting fields the directed chain does not implement rather than
+// silently dropping them: RefineProbabilities targets the undirected
+// class matrix, and CollectReport's recorder instruments only the
+// undirected engines.
+func directedOptions(opt Options) (directed.Options, error) {
+	if opt.RefineProbabilities > 0 {
+		return directed.Options{}, fmt.Errorf("nullgraph: RefineProbabilities is not supported for directed generation")
+	}
+	if opt.CollectReport {
+		return directed.Options{}, fmt.Errorf("nullgraph: CollectReport is not supported for directed generation")
+	}
+	return directed.Options{
 		Workers:         opt.Workers,
 		Seed:            opt.Seed,
 		SwapIterations:  opt.SwapIterations,
 		MixUntilSwapped: opt.MixUntilSwapped,
-	})
+	}, nil
+}
+
+// GenerateDirected draws a uniformly random simple digraph matching the
+// joint (out, in) distribution in expectation: directed probability
+// heuristic → directed edge-skipping → double-arc swaps with triangle
+// reversals. Options the directed chain does not implement
+// (RefineProbabilities, CollectReport) are rejected with an error.
+// Equivalent to GenerateDirectedContext with a background context.
+func GenerateDirected(dist *JointDistribution, opt Options) (*DirectedResult, error) {
+	return GenerateDirectedContext(context.Background(), dist, opt)
+}
+
+// GenerateDirectedContext is GenerateDirected honoring ctx:
+// cancellation is cooperative (between phases and swap iterations),
+// the partial digraph is abandoned, and ctx.Err() is returned. A ctx
+// already canceled on entry returns before any work.
+func GenerateDirectedContext(ctx context.Context, dist *JointDistribution, opt Options) (*DirectedResult, error) {
+	if err := ctxEntryErr(ctx); err != nil {
+		return nil, err
+	}
+	dopt, err := directedOptions(opt)
 	if err != nil {
 		return nil, err
+	}
+	stop, release := par.WatchContext(ctx)
+	defer release()
+	dopt.Stop = stop
+	res, err := directed.Generate(dist, dopt)
+	if err != nil {
+		return nil, ctxError(ctx, err)
 	}
 	return &DirectedResult{Graph: res.Graph, SwapIterations: res.Swaps.PerIteration, Mixed: res.Mixed}, nil
 }
 
 // ShuffleDirected mixes an existing digraph in place, preserving every
-// vertex's in- and out-degree.
-func ShuffleDirected(g *Digraph, opt Options) *DirectedResult {
-	res := directed.Shuffle(g, directed.Options{
-		Workers:         opt.Workers,
-		Seed:            opt.Seed,
-		SwapIterations:  opt.SwapIterations,
-		MixUntilSwapped: opt.MixUntilSwapped,
-	})
-	return &DirectedResult{Graph: res.Graph, SwapIterations: res.Swaps.PerIteration, Mixed: res.Mixed}
+// vertex's in- and out-degree. The digraph must be non-nil with
+// in-range endpoints — the same validation as the undirected Shuffle —
+// and unsupported Options (RefineProbabilities, CollectReport) are
+// rejected with an error. Equivalent to ShuffleDirectedContext with a
+// background context.
+func ShuffleDirected(g *Digraph, opt Options) (*DirectedResult, error) {
+	return ShuffleDirectedContext(context.Background(), g, opt)
+}
+
+// ShuffleDirectedContext is ShuffleDirected honoring ctx. On
+// cancellation it returns ctx.Err() with g left valid — every
+// vertex's in- and out-degree preserved — but under-mixed. A ctx
+// already canceled on entry leaves g untouched.
+func ShuffleDirectedContext(ctx context.Context, g *Digraph, opt Options) (*DirectedResult, error) {
+	if err := ctxEntryErr(ctx); err != nil {
+		return nil, err
+	}
+	dopt, err := directedOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	stop, release := par.WatchContext(ctx)
+	defer release()
+	dopt.Stop = stop
+	res, err := directed.Shuffle(g, dopt)
+	if err != nil {
+		return nil, ctxError(ctx, err)
+	}
+	return &DirectedResult{Graph: res.Graph, SwapIterations: res.Swaps.PerIteration, Mixed: res.Mixed}, nil
 }
 
 // KleitmanWang deterministically realizes a joint degree distribution

@@ -43,7 +43,10 @@ func TestGenerateDirectedEndToEnd(t *testing.T) {
 func TestShuffleDirectedFacade(t *testing.T) {
 	g := digraphCycle(300)
 	outBefore, inBefore := g.Degrees(1)
-	res := ShuffleDirected(g, Options{Seed: 5, MixUntilSwapped: true})
+	res, err := ShuffleDirected(g, Options{Seed: 5, MixUntilSwapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Mixed {
 		t.Error("cycle did not mix")
 	}

@@ -36,7 +36,9 @@ func main() {
 	var shuffled []float64
 	for i := 0; i < ensemble; i++ {
 		g := observed.Clone()
-		nullgraph.ShuffleDirected(g, nullgraph.Options{Seed: uint64(100 + i), SwapIterations: 15})
+		if _, err := nullgraph.ShuffleDirected(g, nullgraph.Options{Seed: uint64(100 + i), SwapIterations: 15}); err != nil {
+			log.Fatal(err)
+		}
 		shuffled = append(shuffled, g.Reciprocity())
 	}
 	report("shuffle null", obsRecip, shuffled)

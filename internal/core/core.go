@@ -10,10 +10,10 @@ import (
 	"time"
 
 	"nullgraph/internal/degseq"
-	"nullgraph/internal/edgeskip"
 	"nullgraph/internal/graph"
 	"nullgraph/internal/hashtable"
 	"nullgraph/internal/obs"
+	"nullgraph/internal/par"
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/swap"
 )
@@ -52,6 +52,12 @@ type Options struct {
 	// times — into an obs.RunReport. nil (the default) leaves every hot
 	// path untouched.
 	Recorder *obs.Recorder
+	// Stop, when non-nil, is the cooperative cancellation flag the
+	// one-shot entry points thread through every phase; a tripped flag
+	// makes them return par.ErrStopped. The public API derives it from
+	// a context.Context. nil (the default) leaves every hot path
+	// untouched.
+	Stop *par.Stop
 }
 
 func (o Options) maxSwapIterations() int {
@@ -90,37 +96,14 @@ type Result struct {
 }
 
 // FromDistribution generates a uniformly random simple graph matching
-// dist in expectation (Problem 2, Algorithm IV.1).
+// dist in expectation (Problem 2, Algorithm IV.1). It is a one-shot
+// wrapper over a single-use Engine, so its output is bit-identical
+// (Workers=1) to Engine.GenerateSample(dist, 0, ...) by construction;
+// batch callers should hold an Engine to amortize the setup.
 func FromDistribution(dist *degseq.Distribution, opt Options) (*Result, error) {
-	if err := dist.Validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-
-	start := time.Now()
-	res.Probabilities = probgen.Generate(dist, opt.Workers)
-	if opt.RefinePasses > 0 {
-		res.Probabilities = probgen.Refine(dist, res.Probabilities, opt.RefinePasses)
-	}
-	res.Phases.Probabilities = time.Since(start)
-
-	start = time.Now()
-	el, err := edgeskip.Generate(dist, res.Probabilities, edgeskip.Options{
-		Workers:  opt.Workers,
-		Seed:     opt.Seed,
-		Recorder: opt.Recorder,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: edge generation: %w", err)
-	}
-	res.Phases.EdgeGeneration = time.Since(start)
-	res.Graph = el
-
-	start = time.Now()
-	res.Swaps, res.Mixed = runSwaps(el, opt)
-	res.Phases.Swapping = time.Since(start)
-	recordPhases(opt, res.Phases)
-	return res, nil
+	eng := NewEngine(opt)
+	defer eng.Close()
+	return eng.GenerateSample(dist, 0, opt.Stop)
 }
 
 // recordPhases folds the phase wall times into the run report.
@@ -150,17 +133,12 @@ func validateEdgeList(el *graph.EdgeList) error {
 // FromEdgeList mixes an existing edge list in place (Problem 1). The
 // input may be non-simple; swapping progressively simplifies it. The
 // list must be non-nil with in-range endpoints; empty and single-edge
-// inputs are valid no-ops.
+// inputs are valid no-ops. Like FromDistribution it is a one-shot
+// wrapper over a single-use Engine.
 func FromEdgeList(el *graph.EdgeList, opt Options) (*Result, error) {
-	if err := validateEdgeList(el); err != nil {
-		return nil, err
-	}
-	res := &Result{Graph: el}
-	start := time.Now()
-	res.Swaps, res.Mixed = runSwaps(el, opt)
-	res.Phases.Swapping = time.Since(start)
-	recordPhases(opt, res.Phases)
-	return res, nil
+	eng := NewEngine(opt)
+	defer eng.Close()
+	return eng.ShuffleSample(el, 0, opt.Stop)
 }
 
 // swapOptions derives the swap configuration shared by runSwaps and
@@ -176,71 +154,44 @@ func (o Options) swapOptions() swap.Options {
 	}
 }
 
-func runSwaps(el *graph.EdgeList, opt Options) (swap.Result, bool) {
-	sopt := opt.swapOptions()
-	if opt.MixUntilSwapped {
-		sopt.Iterations = 0
-		return swap.RunUntilMixed(el, sopt, opt.maxSwapIterations())
-	}
-	return swap.Run(el, sopt), false
-}
-
-// Mixer amortizes the swap engine's buffers — hash table, insertion
-// journals, permutation scratch, worker pool — across many mixing runs:
-// the batch-sampling pattern of "generate a graph, mix it, hand it off,
-// repeat" pays the engine's setup cost once instead of per sample.
+// Mixer amortizes the swap engine's buffers across many mixing runs.
 //
-// Each Mix call behaves exactly like FromEdgeList on a fresh pipeline
-// whose Seed produces the same per-sample swap seed (bit-identically
-// for Workers=1). A Mixer is not safe for concurrent use; Close it when
-// the batch is done.
+// Deprecated: Mixer predates Engine, which owns the scratch of every
+// pipeline phase (not just swapping) and supports cancellation; Mixer
+// is now a thin delegating wrapper kept for compatibility. New code
+// should hold an Engine and call ShuffleSample. Each Mix call remains
+// bit-identical (Workers=1) to the Engine path with the same options
+// and sample index.
 type Mixer struct {
 	opt Options
-	eng *swap.Engine
+	eng *Engine
 }
 
-// NewMixer prepares a mixer for the given pipeline options (only the
-// swap-phase fields are consulted).
-func NewMixer(opt Options) *Mixer { return &Mixer{opt: opt} }
+// NewMixer prepares a mixer for the given pipeline options.
+//
+// Deprecated: use NewEngine.
+func NewMixer(opt Options) *Mixer {
+	return &Mixer{opt: opt, eng: NewEngine(opt)}
+}
 
 // sampleSeed derives the swap seed of one sample in the batch. Sample 0
-// matches runSwaps with the same Options, so a Mixer is a drop-in for a
-// single FromEdgeList call too.
+// matches a one-shot FromEdgeList with the same Options, so a Mixer is
+// a drop-in for a single call too.
 func (mx *Mixer) sampleSeed(sample uint64) uint64 {
-	base := mx.opt.Seed + 0x5eed
-	if sample == 0 {
-		return base
-	}
-	return base ^ (sample * 0x9e3779b97f4a7c15)
+	return SampleSeed(mx.opt.Seed, sample) + 0x5eed
 }
 
 // Mix swaps el in place as the sample-th member of the batch, reusing
 // the engine state from earlier calls when el's size allows. It applies
 // the same input validation as FromEdgeList.
 func (mx *Mixer) Mix(el *graph.EdgeList, sample uint64) (swap.Result, bool, error) {
-	if err := validateEdgeList(el); err != nil {
+	res, err := mx.eng.ShuffleSample(el, sample, nil)
+	if err != nil {
 		return swap.Result{}, false, err
 	}
-	if mx.eng == nil {
-		sopt := mx.opt.swapOptions()
-		sopt.Seed = mx.sampleSeed(sample)
-		mx.eng = swap.NewEngine(el, sopt)
-	} else {
-		mx.eng.SetSeed(mx.sampleSeed(sample))
-		mx.eng.Reset(el)
-	}
-	if mx.opt.MixUntilSwapped {
-		res, mixed := swap.RunEngineUntilMixed(mx.eng, mx.opt.maxSwapIterations())
-		return res, mixed, nil
-	}
-	res := swap.RunEngine(mx.eng)
-	return res, false, nil
+	return res.Swaps, res.Mixed, nil
 }
 
 // Close releases the mixer's engine. Idempotent; the mixer must not be
 // used afterwards.
-func (mx *Mixer) Close() {
-	if mx.eng != nil {
-		mx.eng.Close()
-	}
-}
+func (mx *Mixer) Close() { mx.eng.Close() }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/edgeskip"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/par"
+	"nullgraph/internal/probgen"
+	"nullgraph/internal/swap"
+)
+
+// SampleSeed derives the pipeline seed of one sample in a batch drawn
+// under a base seed. Sample 0 is the base seed itself, so a batch's
+// first sample is bit-identical (Workers=1) to a one-shot run with the
+// same Options; later samples decorrelate through a golden-ratio
+// multiply. Every phase of sample s — edge skipping directly, swapping
+// through its own +0x5eed offset — draws from this one seed.
+func SampleSeed(seed, sample uint64) uint64 {
+	if sample == 0 {
+		return seed
+	}
+	return seed ^ (sample * 0x9e3779b97f4a7c15)
+}
+
+// Engine is a reusable generation session: it owns every buffer the
+// pipeline needs — the probability matrix (cached while the
+// distribution is unchanged), the edge-skip generator's chunk and edge
+// buffers, the swap engine with its hash table and permutation scratch,
+// and one persistent worker pool shared by all phases — so repeated
+// GenerateSample/ShuffleSample calls reach a steady state with
+// near-zero allocations.
+//
+// Each sample s runs the pipeline under SampleSeed(opt.Seed, s):
+// sample 0 is bit-identical (Workers=1) to the one-shot entry points,
+// which are themselves thin wrappers over a single-use Engine.
+//
+// The Result of GenerateSample aliases engine-owned buffers (the edge
+// list, the probability matrix); it is valid until the next call on the
+// same Engine. Callers that keep samples must copy them out.
+//
+// An Engine is not safe for concurrent use. Close releases the worker
+// pool; the engine must not be used afterwards.
+type Engine struct {
+	opt  Options
+	pool *par.Pool
+	gen  *edgeskip.Generator
+	mix  *swap.Engine
+
+	// prob caches the probability matrix of the last distribution;
+	// probKey is a snapshot of its classes, compared per call so a
+	// changed distribution invalidates the cache.
+	prob    *probgen.Matrix
+	probKey []degseq.Class
+}
+
+// NewEngine prepares a session for the given pipeline options. The
+// swap engine and all buffers materialize lazily on first use.
+func NewEngine(opt Options) *Engine {
+	e := &Engine{opt: opt}
+	e.pool = par.NewPool(opt.Workers)
+	e.gen = edgeskip.NewGenerator(edgeskip.Options{Workers: opt.Workers, Recorder: opt.Recorder})
+	e.gen.SetPool(e.pool)
+	return e
+}
+
+// Close releases the session's worker pool. Idempotent; the engine
+// must not be used afterwards.
+func (e *Engine) Close() {
+	if e.mix != nil {
+		e.mix.Close() // no-op for the pool (externally owned), kept for symmetry
+	}
+	e.pool.Close()
+}
+
+// classesEqual reports whether the cached class snapshot still
+// describes dist.
+func classesEqual(a, b []degseq.Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// probabilities returns the class probability matrix for dist, serving
+// the cached one when the distribution is unchanged since the last
+// call. Reports stopped=true when the stop flag interrupted a rebuild.
+func (e *Engine) probabilities(dist *degseq.Distribution, stop *par.Stop) (*probgen.Matrix, bool) {
+	if e.prob != nil && classesEqual(e.probKey, dist.Classes) {
+		return e.prob, false
+	}
+	m, stopped := probgen.GenerateStop(dist, e.opt.Workers, stop)
+	if stopped {
+		return nil, true
+	}
+	if e.opt.RefinePasses > 0 {
+		m, stopped = probgen.RefineStop(dist, m, e.opt.RefinePasses, stop)
+		if stopped {
+			return nil, true
+		}
+	}
+	e.prob = m
+	e.probKey = append(e.probKey[:0], dist.Classes...)
+	return m, false
+}
+
+// runSwaps mixes el on the session's swap engine, constructing it on
+// first use and rebinding it (seed, stop, buffers) on every later call.
+func (e *Engine) runSwaps(el *graph.EdgeList, seed uint64, stop *par.Stop) (swap.Result, bool) {
+	if e.mix == nil {
+		sopt := e.opt.swapOptions()
+		sopt.Seed = seed + 0x5eed
+		sopt.Pool = e.pool
+		sopt.Stop = stop
+		e.mix = swap.NewEngine(el, sopt)
+	} else {
+		e.mix.SetSeed(seed + 0x5eed)
+		e.mix.SetStop(stop)
+		e.mix.Reset(el)
+	}
+	if e.opt.MixUntilSwapped {
+		return swap.RunEngineUntilMixed(e.mix, e.opt.maxSwapIterations())
+	}
+	res := swap.RunEngine(e.mix)
+	return res, false
+}
+
+// GenerateSample runs the full pipeline (Algorithm IV.1) for the
+// sample-th member of the batch. The returned Result aliases
+// engine-owned buffers and is valid until the next call.
+//
+// When stop trips mid-run, GenerateSample returns par.ErrStopped; no
+// graph is returned and the engine remains reusable. A stop observed
+// before any work leaves everything untouched.
+func (e *Engine) GenerateSample(dist *degseq.Distribution, sample uint64, stop *par.Stop) (*Result, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	if stop.Stopped() {
+		return nil, par.ErrStopped
+	}
+	seed := SampleSeed(e.opt.Seed, sample)
+	res := &Result{}
+
+	start := time.Now()
+	prob, stopped := e.probabilities(dist, stop)
+	if stopped {
+		return nil, par.ErrStopped
+	}
+	res.Probabilities = prob
+	res.Phases.Probabilities = time.Since(start)
+
+	start = time.Now()
+	el, err := e.gen.Generate(dist, prob, seed, stop)
+	if err != nil {
+		if errors.Is(err, par.ErrStopped) {
+			return nil, par.ErrStopped
+		}
+		return nil, fmt.Errorf("core: edge generation: %w", err)
+	}
+	res.Phases.EdgeGeneration = time.Since(start)
+	res.Graph = el
+
+	start = time.Now()
+	res.Swaps, res.Mixed = e.runSwaps(el, seed, stop)
+	res.Phases.Swapping = time.Since(start)
+	if res.Swaps.Stopped {
+		// The generated edge list is valid but under-mixed; the sample
+		// is abandoned rather than returned partially uniform.
+		return nil, par.ErrStopped
+	}
+	recordPhases(e.opt, res.Phases)
+	return res, nil
+}
+
+// ShuffleSample mixes an existing edge list in place (Problem 1) as
+// the sample-th member of the batch, with FromEdgeList's validation.
+//
+// When stop trips mid-run, ShuffleSample returns par.ErrStopped and el
+// is left valid but under-mixed: its degree sequence and edge count
+// are preserved (and simplicity, for simple inputs), with all swaps
+// committed before the stop kept. A stop observed before any work
+// leaves el untouched.
+func (e *Engine) ShuffleSample(el *graph.EdgeList, sample uint64, stop *par.Stop) (*Result, error) {
+	if err := validateEdgeList(el); err != nil {
+		return nil, err
+	}
+	if stop.Stopped() {
+		return nil, par.ErrStopped
+	}
+	seed := SampleSeed(e.opt.Seed, sample)
+	res := &Result{Graph: el}
+	start := time.Now()
+	res.Swaps, res.Mixed = e.runSwaps(el, seed, stop)
+	res.Phases.Swapping = time.Since(start)
+	if res.Swaps.Stopped {
+		return nil, par.ErrStopped
+	}
+	recordPhases(e.opt, res.Phases)
+	return res, nil
+}

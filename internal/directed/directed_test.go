@@ -331,7 +331,10 @@ func TestPipelineRejectsUnbalanced(t *testing.T) {
 func TestShuffleDirectedPreservesJointDegrees(t *testing.T) {
 	al := cycleDigraph(400)
 	before := OfArcList(al, 1)
-	res := Shuffle(al, Options{Workers: 2, Seed: 3, MixUntilSwapped: true})
+	res, err := Shuffle(al, Options{Workers: 2, Seed: 3, MixUntilSwapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	after := OfArcList(al, 1)
 	if len(before.Classes) != len(after.Classes) {
 		t.Fatal("joint distribution changed")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nullgraph/internal/par"
 	"nullgraph/internal/rng"
 )
 
@@ -14,6 +15,11 @@ type Options struct {
 	SwapIterations    int
 	MixUntilSwapped   bool
 	MaxSwapIterations int
+	// Stop, when non-nil, cancels cooperatively: between pipeline phases
+	// and between swap iterations. A tripped flag makes Generate and
+	// Shuffle return par.ErrStopped; Shuffle's arc list stays valid
+	// (joint degrees preserved) but under-mixed.
+	Stop *par.Stop
 }
 
 func (o Options) maxSwapIterations() int {
@@ -55,10 +61,16 @@ func Generate(d *JointDistribution, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("directed: out stubs %d != in stubs %d (not a digraph sequence)",
 			d.OutStubs(), d.InStubs())
 	}
+	if opt.Stop.Stopped() {
+		return nil, par.ErrStopped
+	}
 	res := &Result{}
 	start := time.Now()
 	res.Probabilities = GenerateProbabilities(d, opt.Workers)
 	res.Phases.Probabilities = time.Since(start)
+	if opt.Stop.Stopped() {
+		return nil, par.ErrStopped
+	}
 
 	start = time.Now()
 	al, err := GenerateArcs(d, res.Probabilities, SkipOptions{Workers: opt.Workers, Seed: opt.Seed})
@@ -67,30 +79,62 @@ func Generate(d *JointDistribution, opt Options) (*Result, error) {
 	}
 	res.Phases.ArcGeneration = time.Since(start)
 	res.Graph = al
+	if opt.Stop.Stopped() {
+		return nil, par.ErrStopped
+	}
 
 	start = time.Now()
-	sopt := SwapOptions{Workers: opt.Workers, Seed: rng.Mix64(opt.Seed) + 0xd15eed}
-	if opt.MixUntilSwapped {
-		res.Swaps, res.Mixed = SwapArcsUntilMixed(al, sopt, opt.maxSwapIterations())
-	} else {
-		sopt.Iterations = opt.SwapIterations
-		res.Swaps = SwapArcs(al, sopt)
+	if stopped := res.runSwaps(al, opt); stopped {
+		return nil, par.ErrStopped
 	}
 	res.Phases.Swapping = time.Since(start)
 	return res, nil
 }
 
-// Shuffle mixes an existing digraph in place with double-arc swaps.
-func Shuffle(al *ArcList, opt Options) *Result {
-	res := &Result{Graph: al}
-	start := time.Now()
-	sopt := SwapOptions{Workers: opt.Workers, Seed: rng.Mix64(opt.Seed) + 0xd15eed}
+// runSwaps drives the mixing phase shared by Generate and Shuffle,
+// reporting whether the stop flag interrupted it.
+func (res *Result) runSwaps(al *ArcList, opt Options) bool {
+	sopt := SwapOptions{Workers: opt.Workers, Seed: rng.Mix64(opt.Seed) + 0xd15eed, Stop: opt.Stop}
 	if opt.MixUntilSwapped {
 		res.Swaps, res.Mixed = SwapArcsUntilMixed(al, sopt, opt.maxSwapIterations())
 	} else {
 		sopt.Iterations = opt.SwapIterations
 		res.Swaps = SwapArcs(al, sopt)
 	}
+	return res.Swaps.Stopped
+}
+
+// validateArcList is the input gate for the arc-list entry point,
+// mirroring the undirected pipeline's validateEdgeList: the list must
+// be non-nil and every endpoint must name a vertex in
+// [0, NumVertices). Empty and single-arc lists are valid (the swap
+// phase is then a no-op).
+func validateArcList(al *ArcList) error {
+	if al == nil {
+		return fmt.Errorf("directed: nil arc list")
+	}
+	n := int32(al.NumVertices)
+	for i, a := range al.Arcs {
+		if a.From < 0 || a.To < 0 || a.From >= n || a.To >= n {
+			return fmt.Errorf("directed: arc %d (%d->%d) out of range for %d vertices", i, a.From, a.To, al.NumVertices)
+		}
+	}
+	return nil
+}
+
+// Shuffle mixes an existing digraph in place with double-arc swaps,
+// validating the input like the undirected edge-list entry point. When
+// opt.Stop trips mid-run it returns par.ErrStopped and al is left
+// valid (in- and out-degrees preserved) but under-mixed.
+func Shuffle(al *ArcList, opt Options) (*Result, error) {
+	if err := validateArcList(al); err != nil {
+		return nil, err
+	}
+	res := &Result{Graph: al}
+	start := time.Now()
+	if stopped := res.runSwaps(al, opt); stopped {
+		return nil, par.ErrStopped
+	}
 	res.Phases.Swapping = time.Since(start)
-	return res
+	return res, nil
 }

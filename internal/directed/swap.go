@@ -16,6 +16,11 @@ type SwapOptions struct {
 	Probing      hashtable.Probing
 	TrackSwapped bool
 	OnIteration  func(iteration int, stats SwapIterStats)
+	// Stop, when non-nil, is checked between iterations; a tripped flag
+	// ends the run early with SwapResult.Stopped set, leaving the arc
+	// list valid (joint degrees preserved) but under-mixed.
+	// Cancellation latency is bounded by one iteration.
+	Stop *par.Stop
 }
 
 // SwapIterStats reports one directed swap iteration.
@@ -29,6 +34,9 @@ type SwapIterStats struct {
 type SwapResult struct {
 	PerIteration   []SwapIterStats
 	TotalSuccesses int64
+	// Stopped reports that SwapOptions.Stop ended the run before its
+	// iteration budget.
+	Stopped bool
 }
 
 // SwapEngine is the directed analog of Algorithm III.1, with the two
@@ -246,6 +254,10 @@ func SwapArcs(al *ArcList, opt SwapOptions) SwapResult {
 	eng := NewSwapEngine(al, opt)
 	result := SwapResult{PerIteration: make([]SwapIterStats, 0, opt.Iterations)}
 	for it := 0; it < opt.Iterations; it++ {
+		if opt.Stop.Stopped() {
+			result.Stopped = true
+			return result
+		}
 		stats := eng.Step()
 		result.PerIteration = append(result.PerIteration, stats)
 		result.TotalSuccesses += stats.Successes
@@ -263,6 +275,10 @@ func SwapArcsUntilMixed(al *ArcList, opt SwapOptions, maxIterations int) (SwapRe
 	eng := NewSwapEngine(al, opt)
 	var result SwapResult
 	for it := 0; it < maxIterations; it++ {
+		if opt.Stop.Stopped() {
+			result.Stopped = true
+			return result, false
+		}
 		stats := eng.Step()
 		result.PerIteration = append(result.PerIteration, stats)
 		result.TotalSuccesses += stats.Successes

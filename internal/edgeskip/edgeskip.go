@@ -33,7 +33,6 @@ package edgeskip
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"nullgraph/internal/degseq"
@@ -59,6 +58,11 @@ type Options struct {
 	// per-chunk and aggregated once at the join, so it is deterministic
 	// for a fixed seed regardless of scheduling.
 	Recorder *obs.Recorder
+	// Stop, when non-nil, is polled cooperatively inside the skip loops;
+	// a tripped flag makes Generate return par.ErrStopped. Polling never
+	// consumes randomness, so untripped runs are bit-identical with or
+	// without a Stop.
+	Stop *par.Stop
 }
 
 const defaultChunkSpan = 1 << 22
@@ -70,10 +74,79 @@ type chunk struct {
 	prob       float64
 }
 
+// Generator is a reusable edge-skip sampler. It owns the chunk list,
+// per-chunk edge buffers, draw counters, and the concatenated output
+// buffer, so repeated Generate calls over same-shape inputs reach a
+// steady state with near-zero allocations. A Generator is not safe for
+// concurrent use.
+//
+// The returned edge list aliases the Generator's output buffer: it is
+// valid until the next Generate call.
+type Generator struct {
+	workers  int
+	span     int64
+	rec      *obs.Recorder
+	pool     *par.Pool // optional; dispatches the chunk workers when set
+	chunks   []chunk
+	buffers  [][]graph.Edge
+	draws    []int64
+	offsets  []int64
+	edges    []graph.Edge
+	next     atomic.Int64
+	chunkFn  func(w int, r par.Range)
+	chunkArg struct {
+		dist *degseq.Distribution
+		seed uint64
+		stop *par.Stop
+	}
+}
+
+// NewGenerator returns a Generator with opt's width, chunk span, and
+// recorder. Per-call state (seed, stop) comes from Generate arguments;
+// opt.Seed and opt.Stop are ignored here. When opt.Pool is set below
+// (via SetPool) the chunk workers run on it instead of fresh goroutines.
+func NewGenerator(opt Options) *Generator {
+	span := opt.ChunkSpan
+	if span <= 0 {
+		span = defaultChunkSpan
+	}
+	g := &Generator{workers: par.Workers(opt.Workers), span: span, rec: opt.Recorder}
+	// One prebound body for the dynamic chunk loop: workers race on the
+	// shared counter, so steady-state dispatch allocates nothing.
+	g.chunkFn = func(_ int, _ par.Range) {
+		for {
+			c := int(g.next.Add(1)) - 1
+			if c >= len(g.chunks) {
+				return
+			}
+			if g.chunkArg.stop.Stopped() {
+				return
+			}
+			var src rng.Source
+			src.Reseed(rng.Mix64(g.chunkArg.seed) ^ rng.Mix64(uint64(c)+0x1234567))
+			g.buffers[c], g.draws[c] = runChunkInto(g.buffers[c][:0], g.chunkArg.dist, g.offsets, g.chunks[c], &src, g.chunkArg.stop)
+		}
+	}
+	return g
+}
+
+// SetPool attaches a persistent worker pool; subsequent Generate calls
+// dispatch chunk workers on it (the pool's width overrides the
+// configured worker count). A nil pool reverts to per-call goroutines.
+func (g *Generator) SetPool(pl *par.Pool) {
+	g.pool = pl
+	if pl != nil {
+		g.workers = pl.Workers()
+	}
+}
+
 // Generate draws a simple random graph whose class-pair edge
 // probabilities are given by m (dimension |D|), over the vertex layout
-// of dist. It returns the edge list with NumVertices = Σ n_k.
-func Generate(dist *degseq.Distribution, m *probgen.Matrix, opt Options) (*graph.EdgeList, error) {
+// of dist, using the given seed. The output is bit-identical to the
+// package-level Generate with the same (dist, m, seed, workers,
+// span) regardless of buffer reuse, pool attachment, or scheduling.
+// When stop trips mid-run it returns par.ErrStopped and no graph.
+func (g *Generator) Generate(dist *degseq.Distribution, m *probgen.Matrix, seed uint64, stop *par.Stop) (*graph.EdgeList, error) {
 	k := dist.NumClasses()
 	if m.Dim() != k {
 		return nil, fmt.Errorf("edgeskip: matrix dim %d != |D| %d", m.Dim(), k)
@@ -82,16 +155,20 @@ func Generate(dist *degseq.Distribution, m *probgen.Matrix, opt Options) (*graph
 	if n > math.MaxInt32 {
 		return nil, fmt.Errorf("edgeskip: %d vertices exceed int32 IDs", n)
 	}
-	p := par.Workers(opt.Workers)
-	span := opt.ChunkSpan
-	if span <= 0 {
-		span = defaultChunkSpan
+
+	// Vertex offsets: exclusive prefix sums of class counts, into the
+	// reusable buffer. Matches dist.VertexOffsets.
+	g.offsets = g.offsets[:0]
+	var running int64
+	for _, c := range dist.Classes {
+		g.offsets = append(g.offsets, running)
+		running += c.Count
 	}
-	offsets := dist.VertexOffsets(p)
+	g.offsets = append(g.offsets, running)
 
 	// Enumerate chunks. Spaces with zero probability contribute nothing
 	// and are skipped outright.
-	var chunks []chunk
+	g.chunks = g.chunks[:0]
 	for i := 0; i < k; i++ {
 		ni := dist.Classes[i].Count
 		for j := i; j < k; j++ {
@@ -105,51 +182,52 @@ func Generate(dist *degseq.Distribution, m *probgen.Matrix, opt Options) (*graph
 			} else {
 				end = ni * dist.Classes[j].Count
 			}
-			for b := int64(0); b < end; b += span {
-				e := b + span
+			for b := int64(0); b < end; b += g.span {
+				e := b + g.span
 				if e > end {
 					e = end
 				}
-				chunks = append(chunks, chunk{ci: i, cj: j, begin: b, end: e, prob: prob})
+				g.chunks = append(g.chunks, chunk{ci: i, cj: j, begin: b, end: e, prob: prob})
 			}
 		}
 	}
 
 	// Dynamic scheduling over chunks (sizes are wildly uneven); each
 	// chunk's stream is keyed by its index so the result is independent
-	// of which worker runs it.
-	buffers := make([][]graph.Edge, len(chunks))
-	draws := make([]int64, len(chunks))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= len(chunks) {
-					return
-				}
-				buffers[c], draws[c] = runChunk(dist, offsets, chunks[c], rng.New(rng.Mix64(opt.Seed)^rng.Mix64(uint64(c)+0x1234567)))
-			}
-		}()
+	// of which worker runs it. Per-chunk buffers keep their capacity
+	// across calls; only growth allocates.
+	for len(g.buffers) < len(g.chunks) {
+		g.buffers = append(g.buffers, nil)
 	}
-	wg.Wait()
+	for len(g.draws) < len(g.chunks) {
+		g.draws = append(g.draws, 0)
+	}
+	g.next.Store(0)
+	g.chunkArg.dist, g.chunkArg.seed, g.chunkArg.stop = dist, seed, stop
+	par.Execute(g.pool, g.workers, g.workers, g.chunkFn)
+	g.chunkArg.dist = nil
 
-	if obs.Enabled && opt.Recorder != nil {
-		recordSpaces(opt.Recorder, chunks, buffers, draws)
+	if stop.Stopped() {
+		return nil, par.ErrStopped
 	}
 
-	var total int
-	for _, b := range buffers {
-		total += len(b)
+	if obs.Enabled && g.rec != nil {
+		recordSpaces(g.rec, g.chunks, g.buffers[:len(g.chunks)], g.draws[:len(g.chunks)])
 	}
-	edges := make([]graph.Edge, 0, total)
-	for _, b := range buffers {
-		edges = append(edges, b...)
+
+	g.edges = g.edges[:0]
+	for _, b := range g.buffers[:len(g.chunks)] {
+		g.edges = append(g.edges, b...)
 	}
-	return graph.NewEdgeList(edges, int(n)), nil
+	return graph.NewEdgeList(g.edges, int(n)), nil
+}
+
+// Generate draws a simple random graph whose class-pair edge
+// probabilities are given by m (dimension |D|), over the vertex layout
+// of dist. It returns the edge list with NumVertices = Σ n_k. One-shot
+// scratch; hot loops should hold a Generator.
+func Generate(dist *degseq.Distribution, m *probgen.Matrix, opt Options) (*graph.EdgeList, error) {
+	return NewGenerator(opt).Generate(dist, m, opt.Seed, opt.Stop)
 }
 
 // recordSpaces merges per-chunk draw/edge counts back into one record
@@ -169,13 +247,18 @@ func recordSpaces(rec *obs.Recorder, chunks []chunk, buffers [][]graph.Edge, dra
 	rec.SetEdgeSkip(spaces)
 }
 
-// runChunk samples the Bernoulli process on [c.begin, c.end) of the
-// (c.ci, c.cj) space. It also returns the number of geometric skip
-// lengths drawn (the observability layer's per-space cost signal; the
-// degenerate prob >= 1 path emits without drawing, so it reports 0).
-func runChunk(dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Source) ([]graph.Edge, int64) {
-	expected := float64(c.end-c.begin) * c.prob
-	out := make([]graph.Edge, 0, int(expected*1.15)+8)
+// runChunkInto samples the Bernoulli process on [c.begin, c.end) of the
+// (c.ci, c.cj) space, appending into out (usually buf[:0] of a reusable
+// buffer). It also returns the number of geometric skip lengths drawn
+// (the observability layer's per-space cost signal; the degenerate
+// prob >= 1 path emits without drawing, so it reports 0). The stop flag
+// is polled every few thousand draws; an abandoned chunk's buffer is
+// discarded by the caller.
+func runChunkInto(out []graph.Edge, dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Source, stop *par.Stop) ([]graph.Edge, int64) {
+	if cap(out) == 0 {
+		expected := float64(c.end-c.begin) * c.prob
+		out = make([]graph.Edge, 0, int(expected*1.15)+8)
+	}
 	baseI := offsets[c.ci]
 	baseJ := offsets[c.cj]
 	nj := dist.Classes[c.cj].Count
@@ -184,6 +267,9 @@ func runChunk(dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Sour
 	if c.prob >= 1 {
 		// Degenerate but valid: every index is an edge.
 		for x := c.begin; x < c.end; x++ {
+			if (x-c.begin)&8191 == 0 && stop.Stopped() {
+				return out, 0
+			}
 			out = append(out, decode(c.ci == c.cj, x, baseI, baseJ, nj))
 		}
 		return out, 0
@@ -191,6 +277,9 @@ func runChunk(dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Sour
 	var ndraws int64 = 1
 	x := c.begin + src.Geometric(c.prob)
 	for x < c.end {
+		if ndraws&2047 == 0 && stop.Stopped() {
+			return out, ndraws
+		}
 		out = append(out, decode(c.ci == c.cj, x, baseI, baseJ, nj))
 		x += 1 + src.Geometric(c.prob)
 		ndraws++

@@ -1,0 +1,62 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrStopped is the sentinel returned by pipeline stages that observed a
+// tripped Stop flag and abandoned their work cooperatively. Callers at
+// the public API boundary translate it into the context's error.
+var ErrStopped = errors.New("par: run stopped")
+
+// Stop is a cooperative cancellation flag shared by every stage of a
+// pipeline run. Loop bodies poll Stopped at coarse intervals (every few
+// thousand iterations, or between phases) and bail out early when it
+// trips; they never consume randomness on the polling path, so an
+// uncanceled run is bit-identical whether or not a Stop is attached.
+//
+// A nil *Stop is valid and never stops, letting hot paths keep a single
+// nil-check instead of branching on configuration.
+type Stop struct {
+	flag atomic.Bool
+}
+
+// Set trips the flag. Safe to call concurrently and more than once.
+func (s *Stop) Set() { s.flag.Store(true) }
+
+// Stopped reports whether the flag has been tripped. Nil-safe: a nil
+// receiver always reports false.
+func (s *Stop) Stopped() bool {
+	return s != nil && s.flag.Load()
+}
+
+// WatchContext bridges a context.Context to a Stop flag. It returns a
+// Stop that trips when ctx is canceled, and a release function the
+// caller must invoke (typically via defer) to reclaim the watcher
+// goroutine once the run completes.
+//
+// Contexts that can never be canceled — nil, context.Background(),
+// context.TODO(), or any ctx with a nil Done channel — yield a nil Stop
+// and a no-op release, so the uncancelable path costs nothing: no
+// goroutine, no atomic traffic beyond nil checks.
+func WatchContext(ctx context.Context) (stop *Stop, release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, func() {}
+	}
+	stop = &Stop{}
+	if ctx.Err() != nil {
+		stop.Set()
+		return stop, func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Set()
+		case <-quit:
+		}
+	}()
+	return stop, func() { close(quit) }
+}

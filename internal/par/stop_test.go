@@ -1,0 +1,83 @@
+package par
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestStopNilSafe(t *testing.T) {
+	var s *Stop
+	if s.Stopped() {
+		t.Fatal("nil Stop reported stopped")
+	}
+}
+
+func TestStopSet(t *testing.T) {
+	s := &Stop{}
+	if s.Stopped() {
+		t.Fatal("fresh Stop reported stopped")
+	}
+	s.Set()
+	if !s.Stopped() {
+		t.Fatal("Set did not trip the flag")
+	}
+	s.Set() // idempotent
+	if !s.Stopped() {
+		t.Fatal("second Set untripped the flag")
+	}
+}
+
+// TestWatchContextUncancelable: nil and never-canceled contexts must
+// yield a nil Stop — the zero-cost fast path the hot loops rely on.
+func TestWatchContextUncancelable(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background(), context.TODO()} {
+		stop, release := WatchContext(ctx)
+		if stop != nil {
+			t.Fatalf("uncancelable ctx %v produced a non-nil Stop", ctx)
+		}
+		release() // must be callable
+	}
+}
+
+func TestWatchContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stop, release := WatchContext(ctx)
+	defer release()
+	if !stop.Stopped() {
+		t.Fatal("pre-canceled ctx produced an untripped Stop")
+	}
+}
+
+func TestWatchContextTripsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stop, release := WatchContext(ctx)
+	defer release()
+	if stop.Stopped() {
+		t.Fatal("Stop tripped before cancel")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !stop.Stopped() {
+		if time.Now().After(deadline) {
+			t.Fatal("Stop did not trip within 5s of cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchContextRelease: releasing before cancel must reclaim the
+// watcher without tripping the flag.
+func TestWatchContextRelease(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop, release := WatchContext(ctx)
+	release()
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	// The flag may or may not trip depending on which select branch won;
+	// the guarantee is only that release is safe and non-blocking. This
+	// test is primarily a leak/race check under -race.
+	_ = stop.Stopped()
+}

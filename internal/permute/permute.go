@@ -59,6 +59,22 @@ func FillTargets(h []int32, seed uint64, w, begin, end int) {
 	}
 }
 
+// FillTargetsStop is FillTargets with a cooperative stop check every
+// few thousand indices. The generated stream is a prefix of what
+// FillTargets writes for the same (seed, w, begin): polling never
+// consumes randomness, so an untripped stop changes nothing.
+func FillTargetsStop(h []int32, seed uint64, w, begin, end int, stop *par.Stop) {
+	var src rng.Source
+	src.Reseed(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
+	n := len(h)
+	for i := begin; i < end; i++ {
+		if (i-begin)&8191 == 0 && stop.Stopped() {
+			return
+		}
+		h[i] = int32(i) + int32(src.Uint64n(uint64(n-i)))
+	}
+}
+
 // targets fills h with the inside-out swap targets via per-worker
 // streams over contiguous chunks, so the permutation is deterministic
 // for fixed (seed, p).
@@ -89,6 +105,19 @@ func Targets(seed uint64, n, p int) []int32 {
 // single-worker fast path.
 func applySerial[T any](data []T, h []int32) {
 	for i := range data {
+		j := h[i]
+		data[i], data[j] = data[j], data[i]
+	}
+}
+
+// applySerialStop is applySerial with a coarse stop poll. An abandoned
+// apply leaves data partially permuted — the same multiset of elements
+// in a different order — never corrupted.
+func applySerialStop[T any](data []T, h []int32, stop *par.Stop) {
+	for i := range data {
+		if i&8191 == 0 && stop.Stopped() {
+			return
+		}
 		j := h[i]
 		data[i], data[j] = data[j], data[i]
 	}
@@ -136,19 +165,25 @@ func NewScratch() *Scratch {
 	return sc
 }
 
-// ensure grows the buffers for an n-element apply with p chunks.
+// ensure grows the buffers for an n-element apply with p chunks. Buffers
+// that already exist grow with slack, so batch runs whose input sizes
+// jitter slightly don't reallocate on every small new maximum.
 func (sc *Scratch) ensure(n, p int) {
 	if cap(sc.r) < n {
-		sc.r = make([]int32, n)
+		grown := n
+		if sc.r != nil {
+			grown += n / 8
+		}
+		sc.r = make([]int32, grown)
 		for i := range sc.r {
 			sc.r[i] = none
 		}
 	}
 	if cap(sc.bufA) < n {
-		sc.bufA = make([]int32, n)
+		sc.bufA = make([]int32, n, cap(sc.r))
 	}
 	if cap(sc.bufB) < n {
-		sc.bufB = make([]int32, n)
+		sc.bufB = make([]int32, n, cap(sc.r))
 	}
 	sc.bufA = sc.bufA[:n]
 	for len(sc.keep) < p {
@@ -183,8 +218,15 @@ type Applier[T any] struct {
 	sc                    *Scratch
 	data                  []T
 	h                     []int32
+	stop                  *par.Stop
 	reserve, commit, rset func(w int, r par.Range)
 }
+
+// SetStop attaches (or, with nil, detaches) a cooperative stop flag.
+// Apply polls it between reservation rounds — after the reset phase, so
+// an abandoned apply still leaves the Scratch's reservation array
+// all-none and the data partially permuted but element-complete.
+func (a *Applier[T]) SetStop(stop *par.Stop) { a.stop = stop }
 
 // NewApplier returns an applier over sc. The phase closures are
 // allocated here, once, so Apply itself stays allocation-free.
@@ -245,7 +287,11 @@ func (a *Applier[T]) Apply(data []T, h []int32, p int, pool *par.Pool) {
 		p = par.Workers(p)
 	}
 	if n < serialCutoff || p == 1 {
-		applySerial(data, h)
+		if a.stop != nil {
+			applySerialStop(data, h, a.stop)
+		} else {
+			applySerial(data, h)
+		}
 		return
 	}
 	a.run(data, h, p, pool)
@@ -281,6 +327,11 @@ func (a *Applier[T]) run(data []T, h []int32, p int, pool *par.Pool) {
 			spare = append(spare, sc.keep[w]...)
 		}
 		cur, spare = spare, cur
+		// Round boundary: the reset phase just restored r to all-none,
+		// so abandoning here leaves the Scratch reusable.
+		if a.stop.Stopped() {
+			break
+		}
 	}
 	sc.cur = nil
 	a.data, a.h = nil, nil

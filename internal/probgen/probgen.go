@@ -45,10 +45,20 @@ import (
 // parallelized with p workers (the carried FE dependency serializes the
 // outer loop, as the paper's complexity discussion notes).
 func Generate(dist *degseq.Distribution, p int) *Matrix {
+	m, _ := GenerateStop(dist, p, nil)
+	return m
+}
+
+// GenerateStop is Generate with a cooperative stop flag, polled once per
+// attachment row (the O(|D|) granule of the O(|D|²) sweep). When the
+// flag trips it reports stopped=true and the returned matrix must be
+// discarded. A nil stop never trips; untripped runs are bit-identical
+// to Generate.
+func GenerateStop(dist *degseq.Distribution, p int, stop *par.Stop) (*Matrix, bool) {
 	k := dist.NumClasses()
 	m := NewMatrix(k)
 	if k == 0 {
-		return m
+		return m, false
 	}
 	fe := make([]float64, k)
 	var total float64
@@ -69,20 +79,25 @@ func Generate(dist *degseq.Distribution, p int) *Matrix {
 	const maxSweeps = 5
 	for sweep := 0; sweep < maxSweeps && total > 1e-9*initialTotal+1e-9; sweep++ {
 		before := total
-		total = attachSweep(dist, m, fe, order, total, p)
+		var stopped bool
+		total, stopped = attachSweep(dist, m, fe, order, total, p, stop)
+		if stopped {
+			return m, true
+		}
 		if total >= before-1e-9 {
 			break // no progress: remaining stubs are unplaceable
 		}
 	}
 	m.symmetrize()
 	m.Clamp()
-	return m
+	return m, false
 }
 
 // attachSweep performs one pass of preferential inter-class attachment
 // over all classes, accumulating half-credits into m and consuming from
-// fe. It returns the updated stub total.
-func attachSweep(dist *degseq.Distribution, m *Matrix, fe []float64, order []int, total float64, p int) float64 {
+// fe. It returns the updated stub total, and whether the stop flag
+// interrupted the sweep.
+func attachSweep(dist *degseq.Distribution, m *Matrix, fe []float64, order []int, total float64, p int, stop *par.Stop) (float64, bool) {
 	k := dist.NumClasses()
 
 	// Unit bookkeeping: fe values live in *doubled-stub* units (the
@@ -95,6 +110,9 @@ func attachSweep(dist *degseq.Distribution, m *Matrix, fe []float64, order []int
 	// final [0,1] clamp is what actually guarantees Bernoulli validity.
 	eRow := make([]float64, k)
 	for _, i := range order {
+		if stop.Stopped() {
+			return total, true
+		}
 		if fe[i] <= 0 {
 			continue
 		}
@@ -191,7 +209,7 @@ func attachSweep(dist *degseq.Distribution, m *Matrix, fe []float64, order []int
 			total += v
 		}
 	}
-	return total
+	return total, false
 }
 
 // RowResiduals returns, per class j, the expected degree error of the

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"nullgraph/internal/degseq"
+	"nullgraph/internal/par"
 )
 
 // Refine improves a probability matrix with symmetric iterative
@@ -24,13 +25,22 @@ import (
 // Passes below 1 default to 8; iteration stops early once the worst
 // relative residual falls under 1e-4.
 func Refine(dist *degseq.Distribution, m *Matrix, passes int) *Matrix {
+	out, _ := RefineStop(dist, m, passes, nil)
+	return out
+}
+
+// RefineStop is Refine with a cooperative stop flag, polled once per
+// matrix row. When the flag trips it reports stopped=true and the
+// returned matrix must be discarded. Untripped runs are bit-identical
+// to Refine.
+func RefineStop(dist *degseq.Distribution, m *Matrix, passes int, stop *par.Stop) (*Matrix, bool) {
 	if passes < 1 {
 		passes = 8
 	}
 	k := dist.NumClasses()
 	out := m.Clone()
 	if k == 0 {
-		return out
+		return out, false
 	}
 	ratio := make([]float64, k)
 	for pass := 0; pass < passes; pass++ {
@@ -60,6 +70,9 @@ func Refine(dist *degseq.Distribution, m *Matrix, passes int) *Matrix {
 			break
 		}
 		for i := 0; i < k; i++ {
+			if stop.Stopped() {
+				return out, true
+			}
 			for j := i; j < k; j++ {
 				v := out.At(i, j)
 				if v == 0 {
@@ -74,5 +87,5 @@ func Refine(dist *degseq.Distribution, m *Matrix, passes int) *Matrix {
 			}
 		}
 	}
-	return out
+	return out, false
 }

@@ -1,0 +1,77 @@
+package swap
+
+import (
+	"testing"
+
+	"nullgraph/internal/par"
+)
+
+// TestRunStopPreTripped: a tripped flag ends the run before the first
+// iteration with Stopped set and the edge list untouched.
+func TestRunStopPreTripped(t *testing.T) {
+	el := ring(512)
+	orig := ring(512)
+	stop := &par.Stop{}
+	stop.Set()
+	res := Run(el, Options{Iterations: 10, Workers: 2, Seed: 1, Stop: stop})
+	if !res.Stopped {
+		t.Fatal("pre-tripped stop: Result.Stopped is false")
+	}
+	if len(res.PerIteration) != 0 {
+		t.Fatalf("pre-tripped stop ran %d iterations", len(res.PerIteration))
+	}
+	for i := range orig.Edges {
+		if el.Edges[i] != orig.Edges[i] {
+			t.Fatalf("pre-tripped stop mutated edge %d", i)
+		}
+	}
+}
+
+// TestRunStopUntrippedBitIdentical: polling must not change the chain
+// at Workers=1.
+func TestRunStopUntrippedBitIdentical(t *testing.T) {
+	a := ring(2048)
+	Run(a, Options{Iterations: 6, Workers: 1, Seed: 9})
+	b := ring(2048)
+	res := Run(b, Options{Iterations: 6, Workers: 1, Seed: 9, Stop: &par.Stop{}})
+	if res.Stopped {
+		t.Fatal("untripped stop reported Stopped")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("stop polling changed the chain at edge %d", i)
+		}
+	}
+}
+
+// TestStepAfterMidIterationStop: an interrupted iteration must restore
+// the hash table so the next Step behaves like a clean one. The
+// mid-iteration path is exercised deterministically by tripping the
+// flag between Steps (phase boundaries are a superset of the in-loop
+// polls' behavior: both leave the table cleared).
+func TestStepAfterMidIterationStop(t *testing.T) {
+	el := ring(1024)
+	degrees := degreesOf(el)
+	eng := NewEngine(el, Options{Workers: 2, Seed: 4})
+	defer eng.Close()
+	eng.Step()
+
+	stop := &par.Stop{}
+	stop.Set()
+	eng.SetStop(stop)
+	if stats, stopped := eng.step(); !stopped || stats.Successes != 0 {
+		t.Fatalf("tripped step: stopped=%v stats=%+v", stopped, stats)
+	}
+
+	// Clear the flag and keep going: invariants must hold.
+	eng.SetStop(nil)
+	for i := 0; i < 4; i++ {
+		eng.Step()
+	}
+	if !equalInt64(degrees, degreesOf(el)) {
+		t.Fatal("degree sequence broken after an interrupted iteration")
+	}
+	if rep := el.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("graph not simple after an interrupted iteration: %+v", rep)
+	}
+}

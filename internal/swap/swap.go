@@ -86,6 +86,19 @@ type Options struct {
 	// nil Recorder leaves the hot path — and its zero-allocation
 	// budget — exactly as before.
 	Recorder *obs.Recorder
+	// Stop, when non-nil, is polled cooperatively inside each phase's
+	// loops (every few thousand indices) and between phases; a tripped
+	// flag ends the run early with Result.Stopped set, leaving the edge
+	// list valid (degree sequence and edge count preserved) but not
+	// fully mixed. Polling never consumes randomness, so untripped runs
+	// are bit-identical with or without a Stop, and a nil Stop leaves
+	// the hot path's zero-allocation budget untouched.
+	Stop *par.Stop
+	// Pool, when non-nil, is an externally owned worker pool the engine
+	// dispatches on instead of creating its own; the pool's width
+	// overrides Workers, and Close leaves it running. Sessions use this
+	// to share one pool across all pipeline phases.
+	Pool *par.Pool
 }
 
 // Validate reports option misuse.
@@ -113,6 +126,13 @@ type Result struct {
 	PerIteration []IterStats
 	// TotalSuccesses across all iterations.
 	TotalSuccesses int64
+	// Stopped reports that a cooperative stop flag ended the run before
+	// its iteration budget. The edge list is valid (degrees, edge count,
+	// and — for simple inputs — simplicity all hold) but under-mixed:
+	// the interrupted iteration's partial work is kept, its statistics
+	// are not reported, and PerIteration covers only complete
+	// iterations.
+	Stopped bool
 }
 
 // permSeedFor and sweepSeedFor derive an iteration's permutation and
@@ -145,9 +165,14 @@ type Engine struct {
 	opt Options
 	p   int
 
-	pool    *par.Pool
-	table   *hashtable.EdgeSet
-	writers []*hashtable.Writer
+	pool     *par.Pool
+	ownsPool bool
+	table    *hashtable.EdgeSet
+	writers  []*hashtable.Writer
+
+	// stop is the attached cooperative cancellation flag (nil when the
+	// run is uncancelable, which keeps the hot path to nil checks).
+	stop *par.Stop
 
 	// swapped flags ever-swapped edges; swappedCount accumulates the
 	// number of set flags so EverSwappedFraction is O(1) instead of an
@@ -183,19 +208,36 @@ type Engine struct {
 	// Prebound parallel-region bodies: allocated once here so Step
 	// dispatches them without creating closures. With a recorder
 	// attached, registerBody and sweepBody hold the instrumented
-	// variants instead; Step's dispatch is identical either way.
-	registerBody func(w int, r par.Range)
-	targetsBody  func(w int, r par.Range)
-	sweepBody    func(w int, r par.Range)
-	clearBody    func(w int, r par.Range)
+	// variants instead; Step's dispatch is identical either way. The
+	// *Stop variants poll the stop flag inside their loops; step
+	// selects them only when a stop is attached, so the plain bodies —
+	// and their per-iteration cost — are byte-identical to a build
+	// without cancellation.
+	registerBody     func(w int, r par.Range)
+	targetsBody      func(w int, r par.Range)
+	sweepBody        func(w int, r par.Range)
+	clearBody        func(w int, r par.Range)
+	registerStopBody func(w int, r par.Range)
+	targetsStopBody  func(w int, r par.Range)
+	sweepStopBody    func(w int, r par.Range)
 }
 
 // NewEngine prepares a swap engine over el. The engine mutates el's
 // edge slice in place; el must not be resized while the engine is live.
 func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 	p := par.Workers(opt.Workers)
+	if opt.Pool != nil {
+		// Per-worker state (writers, cells) is indexed by the dispatching
+		// pool's worker IDs, so an external pool dictates the width.
+		p = opt.Pool.Workers()
+	}
 	eng := &Engine{el: el, opt: opt, p: p}
-	eng.pool = par.NewPool(p)
+	if opt.Pool != nil {
+		eng.pool = opt.Pool
+	} else {
+		eng.pool = par.NewPool(p)
+		eng.ownsPool = true
+	}
 	eng.sc = permute.NewScratch()
 	eng.apEdges = permute.NewApplier[graph.Edge](eng.sc)
 	eng.apFlags = permute.NewApplier[uint8](eng.sc)
@@ -261,10 +303,79 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		eng.table.ClearRange(r.Begin, r.End)
 	}
 
+	// Cancelable variants. A worker that observes the tripped flag exits
+	// its chunk early; the join still happens, so the engine's state
+	// stays consistent and step() decides what to do with the partial
+	// phase. Polling reads nothing from the RNG streams.
+	eng.registerStopBody = func(w int, r par.Range) {
+		wtr := eng.writers[w]
+		edges := eng.el.Edges
+		stop := eng.stop
+		for i := r.Begin; i < r.End; i++ {
+			if (i-r.Begin)&8191 == 0 && stop.Stopped() {
+				return
+			}
+			wtr.TestAndSet(edges[i].Key())
+		}
+	}
+	eng.targetsStopBody = func(w int, r par.Range) {
+		permute.FillTargetsStop(eng.h, eng.permSeed, w, r.Begin, r.End, eng.stop)
+	}
+	eng.sweepStopBody = func(w int, r par.Range) {
+		var src rng.Source
+		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
+		edges := eng.el.Edges
+		wtr := eng.writers[w]
+		stop := eng.stop
+		swapped := eng.swapped
+		var local, newly int64
+		for k := r.Begin; k < r.End; k++ {
+			if (k-r.Begin)&2047 == 0 && stop.Stopped() {
+				break
+			}
+			i, j := 2*k, 2*k+1
+			e, f := edges[i], edges[j]
+			var g, hh graph.Edge
+			if src.Bool() {
+				g = graph.Edge{U: e.U, V: f.U}
+				hh = graph.Edge{U: e.V, V: f.V}
+			} else {
+				g = graph.Edge{U: e.U, V: f.V}
+				hh = graph.Edge{U: e.V, V: f.U}
+			}
+			if g.IsLoop() || hh.IsLoop() {
+				continue
+			}
+			if wtr.TestAndSet(g.Key()) {
+				continue
+			}
+			if wtr.TestAndSet(hh.Key()) {
+				// g stays registered: harmless for correctness (it only
+				// suppresses re-proposals of g this iteration).
+				continue
+			}
+			edges[i], edges[j] = g, hh
+			if swapped != nil {
+				if swapped[i] == 0 {
+					swapped[i] = 1
+					newly++
+				}
+				if swapped[j] == 0 {
+					swapped[j] = 1
+					newly++
+				}
+			}
+			local++
+		}
+		eng.successes[w].V = local
+		eng.newly[w].V = newly
+	}
+
 	if obs.Enabled && opt.Recorder != nil {
 		eng.rec = opt.Recorder
 		eng.bindInstrumentedBodies()
 	}
+	eng.SetStop(opt.Stop)
 
 	eng.bind(el)
 	return eng
@@ -356,11 +467,24 @@ func (eng *Engine) bind(el *graph.EdgeList) {
 		// journaling the slots would be pure per-insert overhead (see the
 		// hashtable package doc).
 		if eng.table == nil || eng.table.Capacity() < 2*m {
-			eng.table = hashtable.New(2*m, eng.opt.Probing)
+			capacity := 2 * m
+			if eng.table != nil {
+				// Rebind growth: batch samples over a same-shape input
+				// jitter in edge count, so a little slack absorbs the
+				// fluctuations instead of reallocating per sample. Slot
+				// count affects only probe lengths, never membership
+				// outcomes (exact key compare), so output is unchanged.
+				capacity += m / 4
+			}
+			eng.table = hashtable.New(capacity, eng.opt.Probing)
 			eng.writers = eng.table.NewCountingWriters(eng.p)
 		}
 		if cap(eng.h) < m {
-			eng.h = make([]int32, m)
+			grown := m
+			if eng.h != nil {
+				grown += m / 8
+			}
+			eng.h = make([]int32, grown)
 		}
 		eng.h = eng.h[:m]
 		for _, w := range eng.writers {
@@ -398,9 +522,24 @@ func (eng *Engine) Reset(el *graph.EdgeList) {
 // a batch of independent samples.
 func (eng *Engine) SetSeed(seed uint64) { eng.opt.Seed = seed }
 
-// Close releases the engine's worker pool. The engine must not be used
-// afterwards. Idempotent.
-func (eng *Engine) Close() { eng.pool.Close() }
+// SetStop attaches (or, with nil, detaches) a cooperative stop flag for
+// subsequent iterations, propagating it to the permutation appliers.
+// With a nil stop the plain loop bodies run, preserving the
+// zero-allocation, bit-identical hot path.
+func (eng *Engine) SetStop(stop *par.Stop) {
+	eng.stop = stop
+	eng.apEdges.SetStop(stop)
+	eng.apFlags.SetStop(stop)
+}
+
+// Close releases the engine's worker pool (unless it was supplied via
+// Options.Pool, in which case its owner closes it). The engine must not
+// be used afterwards. Idempotent.
+func (eng *Engine) Close() {
+	if eng.ownsPool {
+		eng.pool.Close()
+	}
+}
 
 // EverSwappedFraction returns the fraction of edges that have been in a
 // successful swap so far (0 when tracking is disabled).
@@ -413,24 +552,77 @@ func (eng *Engine) EverSwappedFraction() float64 {
 
 // Step runs one full swap iteration and returns its statistics.
 func (eng *Engine) Step() IterStats {
+	stats, _ := eng.step()
+	return stats
+}
+
+// clearTable restores the edge table and writer counters after an
+// abandoned iteration, so the next Step (or a Reset) finds the same
+// clean state a completed iteration leaves.
+func (eng *Engine) clearTable() {
+	eng.pool.Run(eng.table.NumSlots(), eng.clearBody)
+	for _, w := range eng.writers {
+		w.Reset()
+	}
+}
+
+// step runs one swap iteration, reporting whether the stop flag
+// interrupted it. An interrupted iteration keeps whatever partial work
+// committed (every committed swap is individually valid, so the edge
+// list stays degree- and simplicity-preserving), restores the hash
+// table, and reports no statistics. With a recorder attached the loop
+// bodies are the instrumented ones, which do not poll; cancellation
+// latency is then bounded by a phase, not a poll interval.
+func (eng *Engine) step() (IterStats, bool) {
 	m := len(eng.el.Edges)
 	it := eng.iteration
 	eng.iteration++
 	if m < 2 {
-		return IterStats{}
+		return IterStats{}, eng.stop.Stopped()
 	}
 	pool := eng.pool
+	stop := eng.stop
+	// In-loop polling variants only exist for the plain bodies; the
+	// instrumented ones cancel at phase boundaries.
+	polled := stop != nil && eng.rec == nil
+	if stop.Stopped() {
+		// Nothing touched yet: the table is still clean.
+		return IterStats{}, true
+	}
 
 	// Phase 1: register the current edge set.
-	pool.Run(m, eng.registerBody)
+	if polled {
+		pool.Run(m, eng.registerStopBody)
+	} else {
+		pool.Run(m, eng.registerBody)
+	}
+	if stop.Stopped() {
+		eng.clearTable()
+		return IterStats{}, true
+	}
 
 	// Phase 2: permute. The swapped flags ride along under the same
 	// targets so flag k keeps following edge k.
 	eng.permSeed = permSeedFor(eng.opt.Seed, it)
-	pool.Run(m, eng.targetsBody)
+	if polled {
+		pool.Run(m, eng.targetsStopBody)
+	} else {
+		pool.Run(m, eng.targetsBody)
+	}
+	if stop.Stopped() {
+		eng.clearTable()
+		return IterStats{}, true
+	}
 	eng.apEdges.Apply(eng.el.Edges, eng.h, eng.p, pool)
 	if eng.swapped != nil {
+		// A stop between the two applies leaves the flags lagging the
+		// edges; acceptable, because an interrupted sample's tracking
+		// state is discarded (the run ends, and Reset clears it).
 		eng.apFlags.Apply(eng.swapped, eng.h, eng.p, pool)
+	}
+	if stop.Stopped() {
+		eng.clearTable()
+		return IterStats{}, true
 	}
 
 	// Phase 3: propose swaps on adjacent disjoint pairs.
@@ -441,7 +633,11 @@ func (eng *Engine) Step() IterStats {
 		eng.successes[w].V = 0
 		eng.newly[w].V = 0
 	}
-	pool.Run(pairs, eng.sweepBody)
+	if polled {
+		pool.Run(pairs, eng.sweepStopBody)
+	} else {
+		pool.Run(pairs, eng.sweepBody)
+	}
 	for w := range eng.successes {
 		stats.Successes += eng.successes[w].V
 		eng.swappedCount += eng.newly[w].V
@@ -449,22 +645,23 @@ func (eng *Engine) Step() IterStats {
 	if eng.swapped != nil {
 		stats.EverSwapped = eng.EverSwappedFraction()
 	}
+	if stop.Stopped() {
+		eng.clearTable()
+		return IterStats{}, true
+	}
 
 	// Phase 4: reset the table for the next iteration — a streaming
 	// parallel sweep (the measured winner at swap occupancy; see the
 	// hashtable package doc), with the deterministic load check at this
 	// quiescent point.
 	eng.table.CheckLoad(eng.writers)
-	pool.Run(eng.table.NumSlots(), eng.clearBody)
-	for _, w := range eng.writers {
-		w.Reset()
-	}
+	eng.clearTable()
 	if eng.rec != nil {
 		// Quiescent point: all workers joined, so aggregating and
 		// resetting their cells races with nothing.
 		eng.rec.FlushIteration(stats.Attempts, stats.Successes, stats.EverSwapped)
 	}
-	return stats
+	return stats, false
 }
 
 // runLoop drives eng for the given iteration budget, optionally
@@ -472,7 +669,11 @@ func (eng *Engine) Step() IterStats {
 func runLoop(eng *Engine, iterations int, stopWhenMixed bool) (Result, bool) {
 	result := Result{PerIteration: make([]IterStats, 0, iterations)}
 	for it := 0; it < iterations; it++ {
-		stats := eng.Step()
+		stats, stopped := eng.step()
+		if stopped {
+			result.Stopped = true
+			return result, false
+		}
 		result.PerIteration = append(result.PerIteration, stats)
 		result.TotalSuccesses += stats.Successes
 		if eng.opt.OnIteration != nil {

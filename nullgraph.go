@@ -34,6 +34,7 @@
 package nullgraph
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -46,6 +47,7 @@ import (
 	"nullgraph/internal/lfr"
 	"nullgraph/internal/metrics"
 	"nullgraph/internal/obs"
+	"nullgraph/internal/par"
 	"nullgraph/internal/swap"
 )
 
@@ -159,14 +161,31 @@ func wrapResult(out *core.Result, rec *obs.Recorder) *Result {
 
 // Generate draws a uniformly random simple graph matching dist in
 // expectation (the paper's Algorithm IV.1: probabilities →
-// edge-skipping → double-edge swaps).
+// edge-skipping → double-edge swaps). Equivalent to GenerateContext
+// with a background context.
 func Generate(dist *DegreeDistribution, opt Options) (*Result, error) {
+	return GenerateContext(context.Background(), dist, opt)
+}
+
+// GenerateContext is Generate honoring ctx: cancellation is
+// cooperative with bounded latency (loop bodies poll every few
+// thousand iterations, never on the randomness path, so an uncanceled
+// run is bit-identical with or without a cancelable ctx), the partial
+// sample is abandoned, and ctx.Err() is returned. A ctx already
+// canceled on entry returns before any work.
+func GenerateContext(ctx context.Context, dist *DegreeDistribution, opt Options) (*Result, error) {
+	if err := ctxEntryErr(ctx); err != nil {
+		return nil, err
+	}
+	stop, release := par.WatchContext(ctx)
+	defer release()
 	copt := opt.core()
 	rec := opt.recorder()
 	copt.Recorder = rec
+	copt.Stop = stop
 	out, err := core.FromDistribution(dist, copt)
 	if err != nil {
-		return nil, err
+		return nil, ctxError(ctx, err)
 	}
 	return wrapResult(out, rec), nil
 }
@@ -176,14 +195,30 @@ func Generate(dist *DegreeDistribution, opt Options) (*Result, error) {
 // result is a uniform sample of the simple graphs with that degree
 // sequence. Non-simple inputs are progressively simplified. The graph
 // must be non-nil with in-range endpoints; empty and single-edge inputs
-// are valid no-ops.
+// are valid no-ops. Equivalent to ShuffleContext with a background
+// context.
 func Shuffle(g *Graph, opt Options) (*Result, error) {
+	return ShuffleContext(context.Background(), g, opt)
+}
+
+// ShuffleContext is Shuffle honoring ctx. On cancellation it returns
+// ctx.Err() with g left valid — degree sequence and edge count
+// preserved (and simplicity, for simple inputs) — but under-mixed:
+// swaps committed before the stop are kept. A ctx already canceled on
+// entry leaves g untouched.
+func ShuffleContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	if err := ctxEntryErr(ctx); err != nil {
+		return nil, err
+	}
+	stop, release := par.WatchContext(ctx)
+	defer release()
 	copt := opt.core()
 	rec := opt.recorder()
 	copt.Recorder = rec
+	copt.Stop = stop
 	out, err := core.FromEdgeList(g, copt)
 	if err != nil {
-		return nil, err
+		return nil, ctxError(ctx, err)
 	}
 	return wrapResult(out, rec), nil
 }
@@ -253,9 +288,27 @@ func ErdosRenyi(n int64, p float64, opt Options) (*Graph, error) {
 }
 
 // LFR generates an LFR-like community benchmark graph via the paper's
-// Section VI layering of pipeline-generated subgraphs.
+// Section VI layering of pipeline-generated subgraphs. Equivalent to
+// LFRContext with a background context.
 func LFR(cfg LFRConfig) (*LFRResult, error) {
 	return lfr.Generate(cfg)
+}
+
+// LFRContext is LFR honoring ctx: cancellation is cooperative (checked
+// between per-group pipeline phases and inside their loops) and
+// returns ctx.Err() with no result. A ctx already canceled on entry
+// returns before any work.
+func LFRContext(ctx context.Context, cfg LFRConfig) (*LFRResult, error) {
+	if err := ctxEntryErr(ctx); err != nil {
+		return nil, err
+	}
+	stop, release := par.WatchContext(ctx)
+	defer release()
+	res, err := lfr.GenerateStop(cfg, stop)
+	if err != nil {
+		return nil, ctxError(ctx, err)
+	}
+	return res, nil
 }
 
 // GenerateLayered builds a graph from explicit per-vertex degrees and an
