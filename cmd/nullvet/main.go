@@ -1,0 +1,136 @@
+// nullvet is the repo's custom static-analysis driver: a multichecker
+// running the internal/analysis suite (rngshare, hotpathalloc,
+// stoppoll, atomicalign, errpropagate) over the module's packages with
+// full type information. `make lint` and CI run it on every change; it
+// exits 1 when any invariant is violated, 2 on usage or load errors.
+//
+// Usage:
+//
+//	nullvet [-only a,b] [-list] [packages]
+//
+// Packages are directories or the "./..." wildcard (the default),
+// resolved against the enclosing module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nullgraph/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nullvet [-only a,b] [-list] [packages]\n\npackages are directories or ./... (default)\n\nanalyzers:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(*only)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	root, modPath, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	dirs, err := resolvePackages(flag.Args(), root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ld := analysis.NewLoader()
+	found := 0
+	for _, dir := range dirs {
+		importPath, err := analysis.ImportPathFor(root, modPath, dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pkg, err := ld.Load(dir, importPath)
+		if err != nil {
+			fatalf("loading %s: %v", importPath, err)
+		}
+		diags := analysis.RunPackage(pkg, analyzers)
+		found += len(diags)
+		if len(diags) > 0 {
+			fmt.Print(analysis.FormatDiagnostics(cwd, diags))
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "nullvet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// resolvePackages expands the argument list into package directories:
+// "./..." (or "...") walks the module; anything else must be an
+// existing directory.
+func resolvePackages(args []string, root string) ([]string, error) {
+	if len(args) == 0 {
+		return analysis.PackageDirs(root)
+	}
+	var dirs []string
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			walked, err := analysis.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, walked...)
+		case strings.HasSuffix(arg, "/..."):
+			base, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			walked, err := analysis.PackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, walked...)
+		default:
+			info, err := os.Stat(arg)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				return nil, fmt.Errorf("%s: not a directory", arg)
+			}
+			abs, err := filepath.Abs(arg)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, abs)
+		}
+	}
+	return dirs, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nullvet: "+format+"\n", args...)
+	os.Exit(2)
+}

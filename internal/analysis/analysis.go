@@ -1,0 +1,245 @@
+// Package analysis implements nullvet, the repo's custom static
+// analyzer suite. It machine-checks the invariants DESIGN.md documents
+// in prose and tests can only observe after the fact:
+//
+//   - rngshare: RNG streams are per-worker; a *rng.Source captured by a
+//     goroutine closure or a par-dispatched loop body is a correlated- or
+//     racy-stream bug (DESIGN.md §5, the paper's independent-stream
+//     requirement).
+//   - hotpathalloc: functions annotated //nullgraph:hotpath must avoid
+//     constructs that heap-allocate (closure captures, interface
+//     conversions, map operations, non-self append, fmt) so the
+//     zero-allocation swap contract (§6) is enforced at the syntax level,
+//     not just by the allocation benchmarks.
+//   - stoppoll: loops annotated //nullgraph:cancelable must poll the
+//     par.Stop flag (directly or by delegating to a *par.Stop-taking
+//     callee), keeping the cancellation latency contract of §9 true as
+//     loops are edited.
+//   - atomicalign: 64-bit sync/atomic calls on struct fields must be
+//     8-byte aligned under 32-bit layout rules, and structs annotated
+//     //nullgraph:padded must remain cache-line multiples (the false-
+//     sharing discipline of par.Cell, obs.Counters, hashtable.Writer).
+//   - errpropagate: in cmd/ and internal/core, errors returned by this
+//     module's own APIs must be checked, not dropped on the floor.
+//
+// The framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools go/analysis surface (Analyzer, Pass, want-comment
+// fixtures) built on the standard library's go/parser, go/types and
+// source importer: the build environment vendors no external modules,
+// so x/tools itself is unavailable. The deliberate API parity keeps a
+// future migration mechanical. See DESIGN.md §10.
+//
+// Suppression: a comment containing "//nullgraph:allow <analyzer>"
+// (optionally followed by a reason) on the diagnosed line, or on the
+// line directly above it, silences that analyzer for that line. Every
+// allow is grep-able, so exemptions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in output and in allow comments.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// AppliesTo, when non-nil, restricts the packages the driver runs
+	// this analyzer on (by import path). Fixture tests bypass it.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects the package behind pass and reports findings.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the full suite, in the order diagnostics are grouped.
+var All = []*Analyzer{RngShare, HotPathAlloc, StopPoll, AtomicAlign, ErrPropagate}
+
+// ByName resolves a comma-separated analyzer list ("rngshare,stoppoll").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// RunPackage runs analyzers over pkg, honoring AppliesTo restrictions
+// and //nullgraph:allow suppressions, and returns position-sorted
+// diagnostics.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
+			continue
+		}
+		runOne(pkg, a, &diags)
+	}
+	diags = filterAllowed(pkg, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// runFixture runs a single analyzer without AppliesTo filtering; the
+// test harness uses it so fixtures exercise analyzers whose driver
+// scope excludes the fixture's synthetic import path.
+func runFixture(pkg *Package, a *Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	runOne(pkg, a, &diags)
+	diags = filterAllowed(pkg, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func runOne(pkg *Package, a *Analyzer, diags *[]Diagnostic) {
+	a.Run(&Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    diags,
+	})
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// directivePrefix introduces every nullvet annotation comment.
+const directivePrefix = "//nullgraph:"
+
+// hasDirective reports whether the comment group carries the given
+// //nullgraph:<name> directive (as a whole word: "hotpath" does not
+// match "hotpath-ish").
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if directiveName(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveName extracts the directive word from a comment's raw text:
+// "//nullgraph:hotpath reason" yields "hotpath"; non-directives yield
+// "".
+func directiveName(text string) string {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return ""
+	}
+	rest := text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// filterAllowed drops diagnostics suppressed by a
+// "//nullgraph:allow <analyzer...>" comment on the same line or the
+// line directly above.
+func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// allowed[filename][line] holds analyzer names allowed on that line.
+	allowed := map[string]map[int][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if directiveName(c.Text) != "allow" {
+					continue
+				}
+				args := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix+"allow"))
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowed[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					allowed[pos.Filename] = m
+				}
+				// The allow covers its own line and the next one, so it
+				// works both trailing the diagnosed code and on its own
+				// line above it.
+				m[pos.Line] = append(m[pos.Line], args...)
+				m[pos.Line+1] = append(m[pos.Line+1], args...)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		names := allowed[d.Pos.Filename][d.Pos.Line]
+		suppressed := false
+		for _, n := range names {
+			if n == d.Analyzer {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

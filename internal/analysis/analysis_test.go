@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestFixtures runs every analyzer over its want-comment fixture
+// package under testdata/src. Each fixture pair has a bad file whose
+// diagnostics are pinned line-by-line and a clean file that must stay
+// silent; both are loaded together as one package, so a silent bad
+// finding or a noisy clean finding fails the same test.
+func TestFixtures(t *testing.T) {
+	ld := NewLoader()
+	cases := []struct {
+		analyzer *Analyzer
+		fixture  string
+	}{
+		{RngShare, "rngshare"},
+		{HotPathAlloc, "hotpathalloc"},
+		{StopPoll, "stoppoll"},
+		{AtomicAlign, "atomicalign"},
+		{ErrPropagate, "errpropagate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			RunFixture(t, ld, tc.analyzer, tc.fixture)
+		})
+	}
+}
+
+// TestByName covers the -only flag's resolver.
+func TestByName(t *testing.T) {
+	got, err := ByName("rngshare, stoppoll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != RngShare || got[1] != StopPoll {
+		t.Fatalf("ByName = %v, want [rngshare stoppoll]", got)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch): expected error")
+	}
+}
+
+// TestParseWant pins the fixture-comment grammar, including the
+// line-offset extension.
+func TestParseWant(t *testing.T) {
+	cases := []struct {
+		text   string
+		want   []string
+		offset int
+		ok     bool
+	}{
+		{"// want `a b` `c`", []string{"a b", "c"}, 0, true},
+		{`// want "quoted"`, []string{"quoted"}, 0, true},
+		{"// want-1 `above`", []string{"above"}, -1, true},
+		{"// want+2 `below`", []string{"below"}, 2, true},
+		{"// wanton `x`", nil, 0, false},
+		{"// plain comment", nil, 0, false},
+	}
+	for _, tc := range cases {
+		pats, off, ok := parseWant(tc.text)
+		if ok != tc.ok || off != tc.offset || len(pats) != len(tc.want) {
+			t.Errorf("parseWant(%q) = %v, %d, %v; want %v, %d, %v",
+				tc.text, pats, off, ok, tc.want, tc.offset, tc.ok)
+			continue
+		}
+		for i := range pats {
+			if pats[i] != tc.want[i] {
+				t.Errorf("parseWant(%q)[%d] = %q, want %q", tc.text, i, pats[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestNullvetSelfCheck runs the full suite over the repo itself and
+// requires a clean bill: the annotations in the production packages are
+// live contracts, not decoration. Mirrors `make lint`.
+func TestNullvetSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := NewLoader()
+	var all []Diagnostic
+	for _, dir := range dirs {
+		importPath, err := ImportPathFor(root, modPath, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := ld.Load(dir, importPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", importPath, err)
+		}
+		all = append(all, RunPackage(pkg, All)...)
+	}
+	if len(all) > 0 {
+		t.Errorf("nullvet is not clean on its own repo (%d findings):\n%s",
+			len(all), FormatDiagnostics(root, all))
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads testdata/src/<fixture> with ld, runs a single
+// analyzer over it (ignoring AppliesTo, so scoped analyzers are
+// testable under synthetic import paths), and matches the diagnostics
+// against `// want` comments, mirroring x/tools' analysistest:
+//
+//	s.m[k] = v // want `map access` `second finding on this line`
+//
+// Each backquoted or double-quoted token is a regexp that must match
+// one diagnostic on the comment's line; every diagnostic must be
+// matched by exactly one token, and vice versa. A `want-N` / `want+N`
+// variant anchors the expectation N lines above/below the comment —
+// for findings reported at positions that cannot themselves carry a
+// comment (e.g. a dangling annotation).
+func RunFixture(t *testing.T, ld *Loader, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := ld.Load(dir, "nullvet.fixtures/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags := runFixture(pkg, a)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, offset, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line + offset}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fixture, d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", fixture, k.file, k.line, re)
+		}
+	}
+}
+
+// wantRe matches the head of a want comment: `// want`, `// want-1`,
+// `// want+2`.
+var wantRe = regexp.MustCompile(`^//\s*want([+-]\d+)?\s`)
+
+// wantTokenRe extracts the backquoted or double-quoted patterns.
+var wantTokenRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// parseWant extracts the expectation patterns and line offset from a
+// comment's raw text.
+func parseWant(text string) (patterns []string, offset int, ok bool) {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, 0, false
+	}
+	if m[1] != "" {
+		offset, _ = strconv.Atoi(m[1])
+	}
+	rest := text[len(m[0]):]
+	for _, tok := range wantTokenRe.FindAllStringSubmatch(rest, -1) {
+		if tok[1] != "" {
+			patterns = append(patterns, tok[1])
+		} else {
+			patterns = append(patterns, tok[2])
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, 0, false
+	}
+	return patterns, offset, true
+}
+
+// FormatDiagnostics renders diagnostics one per line, with filenames
+// relative to root when possible — shared by cmd/nullvet and the
+// self-check test.
+func FormatDiagnostics(root string, diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(&sb, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicAlign enforces the memory-layout discipline of the padded
+// per-worker counters (par.Cell, obs.Counters, hashtable.Writer):
+//
+//  1. A 64-bit sync/atomic call (AddInt64, LoadUint64, CAS, ...) whose
+//     operand is a struct field requires the field's offset to be a
+//     multiple of 8 under 32-bit layout rules — on 32-bit platforms only
+//     the first 64-bit-aligned word of an allocation is guaranteed
+//     aligned, and a misaligned 64-bit atomic faults. atomic.Int64 /
+//     atomic.Uint64 fields are exempt (they embed align64 and the
+//     runtime guarantees them).
+//  2. A struct annotated //nullgraph:padded must have a 64-bit size
+//     that is a multiple of 64 bytes, so adjacent elements in a slice
+//     of them never share a cache line (the false-sharing contract the
+//     per-worker accumulators rely on).
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit atomics on struct fields must be 8-aligned under 32-bit layout; //nullgraph:padded structs must be cache-line multiples",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic package functions operating on
+// 64-bit words.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+const cacheLine = 64
+
+func runAtomicAlign(pass *Pass) {
+	sizes32 := types.SizesFor("gc", "386")
+	sizes64 := types.SizesFor("gc", "amd64")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAtomic64Call(pass, n, sizes32)
+			case *ast.GenDecl:
+				checkPaddedDecl(pass, n, sizes64)
+			}
+			return true
+		})
+	}
+}
+
+// checkAtomic64Call flags &struct.field operands of 64-bit atomics
+// whose field offset is not 8-aligned under 32-bit layout.
+func checkAtomic64Call(pass *Pass, call *ast.CallExpr, sizes32 types.Sizes) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	off, ok := fieldOffset(sizes32, selection)
+	if !ok {
+		return
+	}
+	if off%8 != 0 {
+		pass.Reportf(call.Args[0].Pos(),
+			"atomic.%s on field %s at 32-bit offset %d (not a multiple of 8): misaligned 64-bit atomics fault on 32-bit platforms; make it the first field, pad before it, or use atomic.%s",
+			fn.Name(), sel.Sel.Name, off, alignedTypeFor(fn.Name()))
+	}
+}
+
+// fieldOffset computes the selected field's byte offset within its
+// outermost receiver struct under the given layout, following the
+// selection's (possibly embedded) index path.
+func fieldOffset(sizes types.Sizes, selection *types.Selection) (int64, bool) {
+	t := selection.Recv()
+	var off int64
+	for _, idx := range selection.Index() {
+		st, ok := deref(t).Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+	}
+	return off, true
+}
+
+// alignedTypeFor names the sync/atomic wrapper type that fixes the
+// alignment for the flagged function.
+func alignedTypeFor(fn string) string {
+	for _, suffix := range []string{"Uint64"} {
+		if len(fn) >= len(suffix) && fn[len(fn)-len(suffix):] == suffix {
+			return "Uint64"
+		}
+	}
+	return "Int64"
+}
+
+// checkPaddedDecl verifies //nullgraph:padded struct types are
+// cache-line multiples under 64-bit layout.
+func checkPaddedDecl(pass *Pass, decl *ast.GenDecl, sizes64 types.Sizes) {
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		doc := ts.Doc
+		if doc == nil && len(decl.Specs) == 1 {
+			doc = decl.Doc
+		}
+		if !hasDirective(doc, "padded") {
+			continue
+		}
+		obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(ts.Pos(), "padded annotation on non-struct type %s", ts.Name.Name)
+			continue
+		}
+		size := sizes64.Sizeof(st)
+		if size%cacheLine != 0 {
+			pass.Reportf(ts.Pos(),
+				"padded struct %s is %d bytes, not a multiple of %d: adjacent elements in a slice share a cache line and false-share; grow the trailing pad by %d bytes",
+				ts.Name.Name, size, cacheLine, cacheLine-size%cacheLine)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrPropagate bans swallowed errors from this module's own APIs in the
+// binaries (cmd/...) and the pipeline assembly layer (internal/core) —
+// the two places where a dropped error silently turns a failed
+// generation into a plausible-looking output file. Flagged forms, for
+// any call whose callee lives under the nullgraph module and returns an
+// error:
+//
+//   - a call used as a bare statement (including `defer` and `go`);
+//   - an error result assigned to the blank identifier.
+//
+// Third-party and standard-library calls are out of scope (idiomatic
+// CLIs legitimately fire-and-forget fmt.Fprintf to stderr); the
+// module's internal APIs return errors deliberately and every one of
+// them is load-bearing. Exemptions: //nullgraph:allow errpropagate.
+var ErrPropagate = &Analyzer{
+	Name: "errpropagate",
+	Doc:  "errors returned by nullgraph APIs must be checked in cmd/ and internal/core",
+	AppliesTo: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "nullgraph/cmd/") || pkgPath == "nullgraph/internal/core"
+	},
+	Run: runErrPropagate,
+}
+
+func runErrPropagate(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					reportDropped(pass, call, "call result ignored")
+				}
+			case *ast.DeferStmt:
+				reportDropped(pass, n.Call, "deferred call's error ignored")
+			case *ast.GoStmt:
+				reportDropped(pass, n.Call, "goroutine call's error ignored")
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// reportDropped flags a statement-position call to a module API that
+// returns an error.
+func reportDropped(pass *Pass, call *ast.CallExpr, how string) {
+	fn := moduleErrorCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "unchecked error: %s returns an error and the %s; handle it or annotate //nullgraph:allow errpropagate", fn.FullName(), how)
+}
+
+// checkBlankError flags error results assigned to the blank identifier
+// from module API calls.
+func checkBlankError(pass *Pass, assign *ast.AssignStmt) {
+	// Multi-result call: x, _ := f().
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := moduleErrorCallee(pass, call)
+		if fn == nil {
+			return
+		}
+		sig := signatureOf(pass.Info, call)
+		if sig == nil {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			if isBlank(lhs) && i < sig.Results().Len() && isErrorType(sig.Results().At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error from %s discarded into _; handle it or annotate //nullgraph:allow errpropagate", fn.FullName())
+			}
+		}
+		return
+	}
+	// Pairwise: _ = f().
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn := moduleErrorCallee(pass, call); fn != nil && isErrorType(pass.Info.TypeOf(call)) {
+			pass.Reportf(lhs.Pos(), "error from %s discarded into _; handle it or annotate //nullgraph:allow errpropagate", fn.FullName())
+		}
+	}
+}
+
+// moduleErrorCallee returns the call's static callee when it is
+// declared in this module and any of its results is an error.
+func moduleErrorCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != "nullgraph" && !strings.HasPrefix(path, "nullgraph/") {
+		return nil
+	}
+	results := fn.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

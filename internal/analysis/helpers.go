@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const (
+	rngPkgPath = "nullgraph/internal/rng"
+	parPkgPath = "nullgraph/internal/par"
+)
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type behind t (through pointers and
+// aliases), or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeIs reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isRngStream reports whether t is (a pointer to) one of the rng
+// package's stream types — the state whose sharing across workers the
+// rngshare analyzer forbids.
+func isRngStream(t types.Type) bool {
+	return typeIs(t, rngPkgPath, "Source") || typeIs(t, rngPkgPath, "SplitMix64")
+}
+
+// calleeFunc resolves the *types.Func a call statically invokes
+// (package function or method), or nil for builtins, conversions, and
+// calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// signatureOf returns the signature of a call's callee, or nil for
+// builtins and conversions.
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

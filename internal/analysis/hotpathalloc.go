@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc bans heap-allocating constructs in functions annotated
+// //nullgraph:hotpath. The swap Step contract (DESIGN.md §6) is 0
+// allocs/op; benchmarks catch regressions after the fact, this analyzer
+// catches them at the review stage and names the construct. Banned:
+//
+//   - map operations (index, range, composite literal, make, delete):
+//     maps hash and may grow on the hot path;
+//   - fmt calls: interface boxing plus reflection;
+//   - interface conversions (a concrete value passed or converted to an
+//     interface parameter): the value escapes and is boxed;
+//   - append not in the self-append form `x = append(x, ...)`: only
+//     amortized growth into a reused buffer is sanctioned;
+//   - closures capturing local variables: captures force the variable
+//     (and the closure) onto the heap.
+//
+// panic call arguments are exempt — a panic is the cold, terminal path
+// and its formatting cost is irrelevant. Individual lines can be
+// exempted with //nullgraph:allow hotpathalloc <reason>.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//nullgraph:hotpath functions must not use maps, fmt, interface conversions, non-self append, or capturing closures",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotPath(pass, fd)
+		}
+	}
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	// Sanctioned appends: the RHS of `x = append(x, ...)` (any assign
+	// token), matched by printing both sides — object identity would miss
+	// field chains like w.journal.
+	sanctioned := map[*ast.CallExpr]bool{}
+	// panic(...) subtrees are exempt from every check below.
+	panicCalls := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if ok && isBuiltin(pass.Info, call, "append") && len(call.Args) > 0 &&
+					types.ExprString(n.Lhs[i]) == types.ExprString(call.Args[0]) {
+					sanctioned[call] = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, n, "panic") {
+				panicCalls[n] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if panicCalls[n] {
+			return false // cold terminal path: skip the whole subtree
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, sanctioned)
+		case *ast.FuncLit:
+			for _, name := range localCaptures(pass, n) {
+				pass.Reportf(n.Pos(), "closure captures %q: captured locals and the closure itself are heap-allocated; prebind the closure outside the hot path or pass state explicitly", name)
+			}
+		case *ast.IndexExpr:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map access in hot path: map operations hash and may allocate; use a slice or a prebuilt index")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map range in hot path: iteration order is random and the loop touches hash internals; use a slice")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map literal allocates in hot path")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkHotCall reports banned call forms: fmt, map make/delete,
+// non-self append, and implicit interface conversions at arguments.
+func checkHotCall(pass *Pass, call *ast.CallExpr, sanctioned map[*ast.CallExpr]bool) {
+	switch {
+	case isBuiltin(pass.Info, call, "append"):
+		if !sanctioned[call] {
+			pass.Reportf(call.Pos(), "append outside the self-append form `x = append(x, ...)`: result spills to a fresh backing array; append into a reused, pre-sized buffer")
+		}
+		return
+	case isBuiltin(pass.Info, call, "make"):
+		if t := pass.Info.TypeOf(call); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(call.Pos(), "make(map) allocates in hot path")
+			}
+		}
+		return
+	case isBuiltin(pass.Info, call, "delete"):
+		pass.Reportf(call.Pos(), "map delete in hot path")
+		return
+	}
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path: boxes every operand and reflects on it; format off the hot path or use strconv", fn.Name())
+	}
+	// Explicit conversion to an interface type: I(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.Info.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) && !isUntypedNil(at) {
+				pass.Reportf(call.Pos(), "conversion of %s to interface %s heap-allocates the value", at, tv.Type)
+			}
+		}
+		return
+	}
+	// Implicit conversions: concrete argument to interface parameter.
+	sig := signatureOf(pass.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last
+			} else if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if _, isTypeParam := types.Unalias(pt).(*types.TypeParam); isTypeParam {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Type == nil || types.IsInterface(atv.Type) || isUntypedNil(atv.Type) {
+			continue
+		}
+		if atv.Value != nil {
+			// Constants convert to interfaces via static descriptors, not
+			// heap allocation.
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s passed as interface %s: the value is boxed on the heap", atv.Type, pt)
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// localCaptures returns the names of function-local variables (not
+// package globals, which are addressed statically) that lit references
+// but does not declare.
+func localCaptures(pass *Pass, lit *ast.FuncLit) []string {
+	var names []string
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		if v.Parent() == pass.Pkg.Scope() {
+			return true // package-level: no capture
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}

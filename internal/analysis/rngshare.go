@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RngShare enforces the per-worker RNG stream discipline: an
+// rng.Source (or SplitMix64) must never cross a concurrency boundary.
+// A stream captured by a goroutine closure is shared mutable state (a
+// data race); a stream *copied* into a goroutine duplicates the
+// sequence, correlating draws the sampler assumes independent. Both
+// break the reproducibility and uniformity arguments the paper's
+// parallel MCMC rests on. The sanctioned patterns are rng.Streams (one
+// derived source per worker, indexed by worker ID) and a stack-local
+// Source reseeded inside the worker body.
+//
+// Boundaries checked: `go` statements, and closures or stream values
+// passed in calls into the par package (For, ForRange, Pool.Run,
+// Execute, SumInt64, ... — everything in par dispatches its func
+// arguments onto other goroutines).
+var RngShare = &Analyzer{
+	Name: "rngshare",
+	Doc:  "RNG streams must stay within one worker: no captures by goroutine closures, no sharing across par dispatch boundaries",
+	Run:  runRngShare,
+}
+
+func runRngShare(pass *Pass) {
+	// Analyzing package par itself would flag its own dispatch plumbing;
+	// par holds no RNG state by design, so skip it.
+	if pass.Pkg.Path() == parPkgPath {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkConcurrentCall(pass, n.Call, "a goroutine")
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == parPkgPath {
+					checkConcurrentCall(pass, n, "par."+fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkConcurrentCall flags RNG streams crossing into boundary: stream-
+// typed arguments (copied or shared by pointer) and closures capturing
+// a stream declared outside themselves.
+func checkConcurrentCall(pass *Pass, call *ast.CallExpr, boundary string) {
+	exprs := make([]ast.Expr, 0, len(call.Args)+1)
+	exprs = append(exprs, call.Args...)
+	if lit, ok := call.Fun.(*ast.FuncLit); ok { // go func(){...}()
+		exprs = append(exprs, lit)
+	}
+	for _, arg := range exprs {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			reportStreamCaptures(pass, lit, boundary)
+			continue
+		}
+		if t := pass.Info.TypeOf(arg); isRngStream(t) {
+			pass.Reportf(arg.Pos(),
+				"RNG stream passed into %s: streams are single-worker state; derive one per worker with rng.Streams or Reseed a stack-local Source inside the body", boundary)
+		}
+	}
+}
+
+// reportStreamCaptures flags every use inside lit of a stream variable
+// declared outside it.
+func reportStreamCaptures(pass *Pass, lit *ast.FuncLit, boundary string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure: worker-local, fine
+		}
+		if isRngStream(v.Type()) {
+			pass.Reportf(id.Pos(),
+				"RNG stream %q captured by a closure dispatched via %s: every worker would advance the same stream (race + broken determinism); use rng.Streams or a per-worker Reseed", id.Name, boundary)
+		}
+		return true
+	})
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StopPoll verifies the cooperative-cancellation contract of DESIGN.md
+// §9: a loop annotated //nullgraph:cancelable (the annotation goes on
+// the line directly above the `for`, or trailing on its line) must poll
+// the par.Stop flag — either calling Stopped() on a *par.Stop somewhere
+// in its body or condition, or delegating to a callee that takes a
+// *par.Stop (and is therefore responsible for polling). A dangling
+// annotation with no loop under it is also reported, so annotations
+// can't silently detach from the code they guard as it is edited.
+var StopPoll = &Analyzer{
+	Name: "stoppoll",
+	Doc:  "//nullgraph:cancelable loops must poll par.Stop (Stopped() or a *par.Stop-taking callee)",
+	Run:  runStopPoll,
+}
+
+func runStopPoll(pass *Pass) {
+	for _, f := range pass.Files {
+		// Index every for/range statement by its starting line.
+		loops := map[int]ast.Node{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops[pass.Fset.Position(n.Pos()).Line] = n
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if directiveName(c.Text) != "cancelable" {
+					continue
+				}
+				line := pass.Fset.Position(c.Pos()).Line
+				loop := loops[line+1] // annotation on its own line above the for
+				if loop == nil {
+					loop = loops[line] // trailing annotation on the for line
+				}
+				if loop == nil {
+					pass.Reportf(c.Pos(), "cancelable annotation without a loop on this or the next line: move it onto the loop it guards")
+					continue
+				}
+				if !pollsStop(pass, loop) {
+					pass.Reportf(loop.Pos(), "cancelable loop never polls the stop flag: call stop.Stopped() at a coarse interval or delegate to a *par.Stop-taking callee")
+				}
+			}
+		}
+	}
+}
+
+// pollsStop reports whether the loop's subtree contains a
+// (*par.Stop).Stopped() call or a call into a function accepting a
+// *par.Stop parameter.
+func pollsStop(pass *Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.Info, call); fn != nil {
+			sig := fn.Type().(*types.Signature)
+			if fn.Name() == "Stopped" && sig.Recv() != nil && typeIs(sig.Recv().Type(), parPkgPath, "Stop") {
+				found = true
+				return false
+			}
+		}
+		if sig := signatureOf(pass.Info, call); sig != nil && acceptsStop(sig) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// acceptsStop reports whether any parameter of sig is a *par.Stop.
+func acceptsStop(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if _, ok := types.Unalias(t).(*types.Pointer); ok && typeIs(t, parPkgPath, "Stop") {
+			return true
+		}
+	}
+	return false
+}

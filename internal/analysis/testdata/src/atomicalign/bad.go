@@ -1,0 +1,50 @@
+// Deliberately-broken fixture for the atomicalign analyzer. Never
+// compiled into the module.
+package atomicalign
+
+import "sync/atomic"
+
+// misaligned puts a 32-bit word before the 64-bit counter: under
+// 32-bit layout hits lands at offset 4.
+type misaligned struct {
+	flag int32
+	hits int64
+}
+
+func bumpMisaligned(c *misaligned) {
+	atomic.AddInt64(&c.hits, 1) // want `32-bit offset 4`
+}
+
+func loadMisaligned(c *misaligned) int64 {
+	return atomic.LoadInt64(&c.hits) // want `32-bit offset 4`
+}
+
+// nested reproduces the fault through an embedded struct.
+type inner struct {
+	tag  uint32
+	seen uint64
+}
+
+type outer struct {
+	inner
+}
+
+func bumpNested(o *outer) {
+	atomic.AddUint64(&o.seen, 1) // want `32-bit offset 4`
+}
+
+// badCell claims the cache-line contract but is 8 bytes: 8 of them
+// share one line and false-share.
+//
+//nullgraph:padded
+type badCell struct { // want `not a multiple of 64`
+	n uint64
+}
+
+// shortCell has a pad, just not enough of one.
+//
+//nullgraph:padded
+type shortCell struct { // want `48 bytes, not a multiple of 64`
+	n uint64
+	_ [40]byte
+}

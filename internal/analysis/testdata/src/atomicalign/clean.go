@@ -1,0 +1,49 @@
+package atomicalign
+
+import "sync/atomic"
+
+// counter keeps the 64-bit word first: offset 0 on every layout.
+type counter struct {
+	hits int64
+	flag int32
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// twoWords keeps both 64-bit fields 8-aligned under 32-bit rules.
+type twoWords struct {
+	a int64
+	b int64
+}
+
+func bumpSecond(t *twoWords) {
+	atomic.AddInt64(&t.b, 1)
+}
+
+// wrapped uses the atomic wrapper type, which self-aligns.
+type wrapped struct {
+	flag int32
+	hits atomic.Int64
+}
+
+func bumpWrapped(w *wrapped) {
+	w.hits.Add(1)
+}
+
+// goodCell honors the padded contract: exactly one cache line.
+//
+//nullgraph:padded
+type goodCell struct {
+	n uint64
+	_ [56]byte
+}
+
+// plainLocal covers atomics on non-field operands, which the offset
+// rule does not apply to (locals are allocator-aligned).
+func plainLocal() int64 {
+	var n int64
+	atomic.AddInt64(&n, 1)
+	return atomic.LoadInt64(&n)
+}

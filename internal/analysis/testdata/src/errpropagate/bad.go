@@ -1,0 +1,37 @@
+// Deliberately-broken fixture for the errpropagate analyzer. Never
+// compiled into the module.
+package errpropagate
+
+import (
+	"io"
+
+	"nullgraph/internal/graph"
+)
+
+// bareStatement drops the write error on the floor: a full disk turns
+// into a silently truncated edge list.
+func bareStatement(w io.Writer, el *graph.EdgeList) {
+	graph.WriteEdgeListText(w, el) // want `unchecked error`
+}
+
+// blankAssign discards the read error while keeping the value.
+func blankAssign(r io.Reader) *graph.EdgeList {
+	el, _ := graph.ReadEdgeListText(r) // want `discarded into _`
+	return el
+}
+
+// pairwiseBlank discards a single error result.
+func pairwiseBlank(w io.Writer, el *graph.EdgeList) {
+	_ = graph.WriteEdgeListText(w, el) // want `discarded into _`
+}
+
+// deferredDrop loses the flush error at function exit, the classic
+// "output looked fine" failure.
+func deferredDrop(w io.Writer, el *graph.EdgeList) {
+	defer graph.WriteEdgeListBinary(w, el) // want `deferred call`
+}
+
+// goroutineDrop fires the write into the void.
+func goroutineDrop(w io.Writer, el *graph.EdgeList) {
+	go graph.WriteEdgeListText(w, el) // want `goroutine call`
+}

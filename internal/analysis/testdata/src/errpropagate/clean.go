@@ -1,0 +1,39 @@
+package errpropagate
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"nullgraph/internal/graph"
+	"nullgraph/internal/rng"
+)
+
+// checked is the required shape: every module error reaches a branch.
+func checked(w io.Writer, r io.Reader) error {
+	el, err := graph.ReadEdgeListText(r)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteEdgeListText(w, el); err != nil {
+		return err
+	}
+	return nil
+}
+
+// stdlibFireAndForget is idiomatic CLI noise: non-module callees are
+// out of scope even when they return errors.
+func stdlibFireAndForget() {
+	fmt.Fprintln(os.Stderr, "progress: 50%")
+}
+
+// noErrorResult calls a module API that has nothing to check.
+func noErrorResult(seed uint64) uint64 {
+	src := rng.New(seed)
+	return src.Uint64()
+}
+
+// allowed documents a deliberate drop with the audited escape hatch.
+func allowed(w io.Writer, el *graph.EdgeList) {
+	graph.WriteEdgeListText(w, el) //nullgraph:allow errpropagate best-effort debug dump
+}

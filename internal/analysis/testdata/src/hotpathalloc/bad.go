@@ -1,0 +1,74 @@
+// Deliberately-broken fixture for the hotpathalloc analyzer. Never
+// compiled into the module.
+package hotpathalloc
+
+import "fmt"
+
+type table struct {
+	m map[uint64]int
+}
+
+// mapOps hits the map index on both sides of an assignment.
+//
+//nullgraph:hotpath
+func mapOps(t *table, k uint64) int {
+	t.m[k] = 1    // want `map access`
+	return t.m[k] // want `map access`
+}
+
+// mapLife makes, ranges, and deletes.
+//
+//nullgraph:hotpath
+func mapLife(t *table) int {
+	t.m = make(map[uint64]int) // want `make\(map\)`
+	total := 0
+	for _, v := range t.m { // want `map range`
+		total += v
+	}
+	delete(t.m, 0) // want `map delete`
+	return total
+}
+
+// formatted boxes its operand for fmt.
+//
+//nullgraph:hotpath
+func formatted(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf` `passed as interface`
+}
+
+// freshAppend spills into a new backing array instead of self-
+// appending into a reused buffer.
+//
+//nullgraph:hotpath
+func freshAppend(xs []int, x int) []int {
+	ys := append(xs, x) // want `append outside the self-append form`
+	return ys
+}
+
+// boxed converts a concrete value at an interface parameter.
+//
+//nullgraph:hotpath
+func boxed(x int) {
+	sink(x) // want `passed as interface`
+}
+
+func sink(v any) { _ = v }
+
+// explicitConversion boxes via a conversion expression.
+//
+//nullgraph:hotpath
+func explicitConversion(x int) any {
+	return any(x) // want `conversion of int to interface`
+}
+
+// capturing returns a closure over its locals: the closure and the
+// captured word both escape.
+//
+//nullgraph:hotpath
+func capturing(n int) func() int {
+	total := 0
+	return func() int { // want `closure captures "total"` `closure captures "n"`
+		total += n
+		return total
+	}
+}

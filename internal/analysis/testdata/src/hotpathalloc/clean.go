@@ -1,0 +1,56 @@
+package hotpathalloc
+
+import "fmt"
+
+// selfAppend is the sanctioned append form: amortized growth into the
+// caller's reused buffer.
+//
+//nullgraph:hotpath
+func selfAppend(xs []int, x int) []int {
+	xs = append(xs, x)
+	return xs
+}
+
+// fieldSelfAppend covers self-append through a field chain.
+//
+//nullgraph:hotpath
+func fieldSelfAppend(j *journal, slot uint32) {
+	j.slots = append(j.slots, slot)
+}
+
+type journal struct {
+	slots []uint32
+}
+
+// coldPanic may format freely: panic arguments are the terminal path.
+//
+//nullgraph:hotpath
+func coldPanic(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+	return n * 2
+}
+
+// allowedLookup demonstrates the audited escape hatch.
+//
+//nullgraph:hotpath
+func allowedLookup(m map[int]int, k int) int {
+	return m[k] //nullgraph:allow hotpathalloc cold slow-path lookup, measured irrelevant
+}
+
+// plainWork exercises allocation-free constructs the analyzer must not
+// flag: slices, arithmetic, calls with concrete params, stack structs.
+//
+//nullgraph:hotpath
+func plainWork(xs []int) int {
+	type pair struct{ a, b int }
+	total := 0
+	for i := range xs {
+		p := pair{a: xs[i], b: i}
+		total += combine(p.a, p.b)
+	}
+	return total
+}
+
+func combine(a, b int) int { return a + b }

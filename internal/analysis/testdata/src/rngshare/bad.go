@@ -1,0 +1,43 @@
+// Deliberately-broken fixture for the rngshare analyzer: RNG streams
+// crossing concurrency boundaries. Never compiled into the module.
+package rngshare
+
+import (
+	"nullgraph/internal/par"
+	"nullgraph/internal/rng"
+)
+
+// sharedAcrossPool captures one stream in a par-dispatched body: every
+// worker advances the same xoshiro state concurrently.
+func sharedAcrossPool(n int) {
+	src := rng.New(1)
+	par.For(n, 4, func(i int) {
+		_ = src.Uint64() // want `RNG stream "src" captured by a closure dispatched via par.For`
+	})
+}
+
+// sharedGoroutine captures a stream in a raw goroutine.
+func sharedGoroutine(done chan struct{}) {
+	src := rng.New(2)
+	go func() {
+		_ = src.Uint64() // want `captured by a closure dispatched via a goroutine`
+		close(done)
+	}()
+}
+
+// copiedIntoGoroutine duplicates a stream by value: both goroutines
+// draw the same sequence, correlating "independent" samples.
+func copiedIntoGoroutine() {
+	src := rng.New(3)
+	go consume(*src) // want `RNG stream passed into a goroutine`
+}
+
+func consume(s rng.Source) { _ = s.Uint64() }
+
+// splitmixShared covers the seed-expander type too.
+func splitmixShared(n int) {
+	sm := rng.NewSplitMix64(7)
+	par.ForRange(n, 2, func(w int, r par.Range) {
+		_ = sm.Next() // want `RNG stream "sm" captured`
+	})
+}

@@ -1,0 +1,39 @@
+package rngshare
+
+import (
+	"nullgraph/internal/par"
+	"nullgraph/internal/rng"
+)
+
+// perWorkerStreams is the sanctioned pattern: a slice of derived
+// streams indexed by worker ID. Capturing the slice is fine — each
+// worker touches only its own element.
+func perWorkerStreams(n int) {
+	streams := rng.Streams(42, 4)
+	par.ForRange(n, 4, func(w int, r par.Range) {
+		src := streams[w]
+		for i := r.Begin; i < r.End; i++ {
+			_ = src.Uint64()
+		}
+	})
+}
+
+// stackLocal is the other sanctioned pattern: a Source living entirely
+// inside the worker body, reseeded from (seed, worker).
+func stackLocal(n int) {
+	par.ForRange(n, 4, func(w int, r par.Range) {
+		var src rng.Source
+		src.Reseed(rng.Mix64(42) ^ rng.Mix64(uint64(w)))
+		for i := r.Begin; i < r.End; i++ {
+			_ = src.Uint64()
+		}
+	})
+}
+
+// serialUse never crosses a boundary: plain calls may share freely.
+func serialUse() uint64 {
+	src := rng.New(9)
+	total := src.Uint64()
+	total += src.Uint64()
+	return total
+}

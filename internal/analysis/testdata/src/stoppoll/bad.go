@@ -1,0 +1,52 @@
+// Deliberately-broken fixture for the stoppoll analyzer. Never
+// compiled into the module.
+package stoppoll
+
+import "nullgraph/internal/par"
+
+// neverPolls promises cancellation but never reads the flag: a tripped
+// Stop would wait out the whole loop.
+func neverPolls(n int, stop *par.Stop) int {
+	total := 0
+	//nullgraph:cancelable
+	for i := 0; i < n; i++ { // want `never polls the stop flag`
+		total += i
+	}
+	_ = stop
+	return total
+}
+
+// rangeNeverPolls covers the range-statement form.
+func rangeNeverPolls(xs []int, stop *par.Stop) int {
+	total := 0
+	//nullgraph:cancelable
+	for _, x := range xs { // want `never polls the stop flag`
+		total += x
+	}
+	_ = stop
+	return total
+}
+
+// dangling shows an annotation that detached from its loop.
+func dangling(n int) int {
+	//nullgraph:cancelable
+	total := n * 2 // want-1 `annotation without a loop`
+	return total
+}
+
+// wrongStopped polls a look-alike Stopped from the wrong type.
+type fakeStop struct{}
+
+func (fakeStop) Stopped() bool { return false }
+
+func pollsWrongType(n int, stop fakeStop) int {
+	total := 0
+	//nullgraph:cancelable
+	for i := 0; i < n; i++ { // want `never polls the stop flag`
+		if stop.Stopped() {
+			break
+		}
+		total += i
+	}
+	return total
+}

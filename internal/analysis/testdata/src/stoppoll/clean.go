@@ -1,0 +1,58 @@
+package stoppoll
+
+import "nullgraph/internal/par"
+
+// directPoll reads the flag at a coarse interval, the §9 pattern.
+func directPoll(n int, stop *par.Stop) int {
+	total := 0
+	//nullgraph:cancelable
+	for i := 0; i < n; i++ {
+		if i&8191 == 0 && stop.Stopped() {
+			break
+		}
+		total += i
+	}
+	return total
+}
+
+// trailingAnnotation keeps the directive on the loop's own line.
+func trailingAnnotation(n int, stop *par.Stop) int {
+	total := 0
+	for i := 0; i < n; i++ { //nullgraph:cancelable
+		if stop.Stopped() {
+			break
+		}
+		total++
+	}
+	return total
+}
+
+// delegated hands the flag to a callee that owns the polling.
+func delegated(chunks [][]int, stop *par.Stop) int {
+	total := 0
+	//nullgraph:cancelable
+	for _, c := range chunks {
+		total += sumChunk(c, stop)
+	}
+	return total
+}
+
+func sumChunk(xs []int, stop *par.Stop) int {
+	total := 0
+	for i, x := range xs {
+		if i&1023 == 0 && stop.Stopped() {
+			break
+		}
+		total += x
+	}
+	return total
+}
+
+// unannotated loops owe nothing.
+func unannotated(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -116,15 +116,18 @@ func recordPhases(opt Options, p PhaseTimes) {
 // validateEdgeList is the shared input gate for the edge-list entry
 // points: the list must be non-nil and every endpoint must name a
 // vertex in [0, NumVertices). Empty and single-edge lists are valid
-// (the swap phase is then a no-op).
+// (the swap phase is then a no-op). The scan itself is O(m) and
+// allocation-free; the fmt calls sit on cold error exits.
+//
+//nullgraph:hotpath
 func validateEdgeList(el *graph.EdgeList) error {
 	if el == nil {
-		return fmt.Errorf("core: nil edge list")
+		return fmt.Errorf("core: nil edge list") //nullgraph:allow hotpathalloc cold error exit
 	}
 	n := int32(el.NumVertices)
 	for i, e := range el.Edges {
 		if e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
-			return fmt.Errorf("core: edge %d (%d,%d) out of range for %d vertices", i, e.U, e.V, el.NumVertices)
+			return fmt.Errorf("core: edge %d (%d,%d) out of range for %d vertices", i, e.U, e.V, el.NumVertices) //nullgraph:allow hotpathalloc cold error exit
 		}
 	}
 	return nil

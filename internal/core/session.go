@@ -78,6 +78,8 @@ func (e *Engine) Close() {
 
 // classesEqual reports whether the cached class snapshot still
 // describes dist.
+//
+//nullgraph:hotpath
 func classesEqual(a, b []degseq.Class) bool {
 	if len(a) != len(b) {
 		return false

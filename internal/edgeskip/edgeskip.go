@@ -114,6 +114,7 @@ func NewGenerator(opt Options) *Generator {
 	// One prebound body for the dynamic chunk loop: workers race on the
 	// shared counter, so steady-state dispatch allocates nothing.
 	g.chunkFn = func(_ int, _ par.Range) {
+		//nullgraph:cancelable
 		for {
 			c := int(g.next.Add(1)) - 1
 			if c >= len(g.chunks) {
@@ -254,6 +255,8 @@ func recordSpaces(rec *obs.Recorder, chunks []chunk, buffers [][]graph.Edge, dra
 // prob >= 1 path emits without drawing, so it reports 0). The stop flag
 // is polled every few thousand draws; an abandoned chunk's buffer is
 // discarded by the caller.
+//
+//nullgraph:hotpath
 func runChunkInto(out []graph.Edge, dist *degseq.Distribution, offsets []int64, c chunk, src *rng.Source, stop *par.Stop) ([]graph.Edge, int64) {
 	if cap(out) == 0 {
 		expected := float64(c.end-c.begin) * c.prob
@@ -266,6 +269,7 @@ func runChunkInto(out []graph.Edge, dist *degseq.Distribution, offsets []int64, 
 	// begin + skip.
 	if c.prob >= 1 {
 		// Degenerate but valid: every index is an edge.
+		//nullgraph:cancelable
 		for x := c.begin; x < c.end; x++ {
 			if (x-c.begin)&8191 == 0 && stop.Stopped() {
 				return out, 0
@@ -276,6 +280,7 @@ func runChunkInto(out []graph.Edge, dist *degseq.Distribution, offsets []int64, 
 	}
 	var ndraws int64 = 1
 	x := c.begin + src.Geometric(c.prob)
+	//nullgraph:cancelable
 	for x < c.end {
 		if ndraws&2047 == 0 && stop.Stopped() {
 			return out, ndraws
@@ -288,6 +293,8 @@ func runChunkInto(out []graph.Edge, dist *degseq.Distribution, offsets []int64, 
 }
 
 // decode maps a space index to its global vertex pair.
+//
+//nullgraph:hotpath
 func decode(diagonal bool, x, baseI, baseJ, nj int64) graph.Edge {
 	if diagonal {
 		u, v := triangular(x)
@@ -302,6 +309,8 @@ func decode(diagonal bool, x, baseI, baseJ, nj int64) graph.Edge {
 // lower-triangular enumeration of within-class pairs. The float64
 // estimate is corrected by ±1 so the decode is exact for any x within
 // int64's triangular range.
+//
+//nullgraph:hotpath
 func triangular(x int64) (u, v int64) {
 	u = int64((1 + math.Sqrt(1+8*float64(x))) / 2)
 	for u*(u-1)/2 > x {

@@ -18,6 +18,8 @@ type Edge struct {
 
 // Canonical returns the edge with endpoints ordered so U <= V. Two
 // undirected edges are equal iff their canonical forms are equal.
+//
+//nullgraph:hotpath
 func (e Edge) Canonical() Edge {
 	if e.U > e.V {
 		return Edge{U: e.V, V: e.U}
@@ -26,10 +28,14 @@ func (e Edge) Canonical() Edge {
 }
 
 // IsLoop reports whether the edge is a self-loop.
+//
+//nullgraph:hotpath
 func (e Edge) IsLoop() bool { return e.U == e.V }
 
 // Key packs the canonical form into a single uint64 (u in the high 32
 // bits). This is the hash-table key format from the paper.
+//
+//nullgraph:hotpath
 func (e Edge) Key() uint64 {
 	c := e.Canonical()
 	return uint64(uint32(c.U))<<32 | uint64(uint32(c.V))

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
 	"strings"
 	"testing"
 )
@@ -30,6 +32,90 @@ func FuzzReadEdgeListText(f *testing.F) {
 		}
 		if len(back.Edges) != len(el.Edges) {
 			t.Fatalf("round trip changed edge count: %d vs %d", len(back.Edges), len(el.Edges))
+		}
+		for i := range el.Edges {
+			if back.Edges[i] != el.Edges[i] {
+				t.Fatalf("round trip changed edge %d", i)
+			}
+		}
+	})
+}
+
+// binaryHeader encodes a (magic, n, m) header for fuzz seeds.
+func binaryHeader(magic, n, m uint64) []byte {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint64(buf[0:], magic)
+	binary.LittleEndian.PutUint64(buf[8:], n)
+	binary.LittleEndian.PutUint64(buf[16:], m)
+	return buf
+}
+
+// FuzzReadEdgeListBinary targets the binary reader's header hardening:
+// truncated headers, corrupt magic, hostile edge counts, out-of-range
+// endpoints, and truncated payloads must all fail cleanly (no panic, no
+// unbounded allocation), and the seekable fast path must agree with the
+// stream path byte-for-byte — same accept/reject outcome and, on
+// accept, the identical edge list.
+func FuzzReadEdgeListBinary(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteEdgeListBinary(&valid, NewEdgeList([]Edge{{0, 1}, {1, 2}, {0, 2}}, 3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	// Truncated headers: cut inside each of the three header words.
+	f.Add(valid.Bytes()[:7])
+	f.Add(valid.Bytes()[:16])
+	f.Add(valid.Bytes()[:23])
+	// Corrupt magic.
+	f.Add(binaryHeader(0xdeadbeef, 3, 1))
+	// Hostile edge count with no payload behind it (the allocation bomb
+	// the chunked reader defends against).
+	f.Add(binaryHeader(binaryMagic, 3, 1<<40))
+	// Vertex count past int32.
+	f.Add(binaryHeader(binaryMagic, 1<<40, 0))
+	// Valid header, payload endpoint out of range for n=2.
+	f.Add(append(binaryHeader(binaryMagic, 2, 1), valid.Bytes()[24:32]...))
+	// Valid header, payload truncated mid-edge.
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Seekable path: the header's edge count is validated against the
+		// bytes actually present before anything is allocated.
+		el, err := ReadEdgeListBinary(bytes.NewReader(data))
+		// Stream path: no Seeker, so the reader must fall back to
+		// bounded, chunked growth.
+		elStream, errStream := ReadEdgeListBinary(struct{ io.Reader }{bytes.NewReader(data)})
+		if (err == nil) != (errStream == nil) {
+			t.Fatalf("seekable/stream disagree: seekable err=%v, stream err=%v", err, errStream)
+		}
+		if err != nil {
+			return
+		}
+		if el.NumVertices != elStream.NumVertices || len(el.Edges) != len(elStream.Edges) {
+			t.Fatalf("seekable/stream shape mismatch: (%d,%d) vs (%d,%d)",
+				el.NumVertices, len(el.Edges), elStream.NumVertices, len(elStream.Edges))
+		}
+		for i := range el.Edges {
+			if el.Edges[i] != elStream.Edges[i] {
+				t.Fatalf("seekable/stream edge %d mismatch", i)
+			}
+		}
+		n := int32(el.NumVertices)
+		for i, e := range el.Edges {
+			if e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+				t.Fatalf("accepted edge %d (%d,%d) out of range for %d vertices", i, e.U, e.V, n)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeListBinary(&buf, el); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadEdgeListBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if back.NumVertices != el.NumVertices || len(back.Edges) != len(el.Edges) {
+			t.Fatal("round trip changed shape")
 		}
 		for i := range el.Edges {
 			if back.Edges[i] != el.Edges[i] {

@@ -149,6 +149,8 @@ func (s *EdgeSet) Len() int {
 // It panics if the probe sequence exhausts the table (see the load
 // contract on EdgeSet). Hot loops that insert through a Writer get
 // deterministic load checking as well.
+//
+//nullgraph:hotpath
 func (s *EdgeSet) TestAndSet(key uint64) bool {
 	present, _, _ := s.testAndSet(key)
 	return present
@@ -158,6 +160,8 @@ func (s *EdgeSet) TestAndSet(key uint64) bool {
 // when the call inserted (present == false); probes is the number of
 // slots the probe sequence visited (>= 1), the §VIII ablation's
 // probing-cost signal.
+//
+//nullgraph:hotpath
 func (s *EdgeSet) testAndSet(key uint64) (bool, uint64, int) {
 	stored := key + 1
 	slot := rng.Mix64(key) & s.mask
@@ -186,6 +190,8 @@ func (s *EdgeSet) testAndSet(key uint64) (bool, uint64, int) {
 }
 
 // Contains reports whether key is present, without inserting.
+//
+//nullgraph:hotpath
 func (s *EdgeSet) Contains(key uint64) bool {
 	stored := key + 1
 	slot := rng.Mix64(key) & s.mask
@@ -205,6 +211,8 @@ func (s *EdgeSet) Contains(key uint64) bool {
 }
 
 // next advances the probe sequence. step counts completed probes.
+//
+//nullgraph:hotpath
 func (s *EdgeSet) next(slot, step uint64) uint64 {
 	if s.probing == Quadratic {
 		return (slot + step) & s.mask // triangular: cumulative +1,+2,+3...
@@ -223,6 +231,8 @@ func (s *EdgeSet) Clear(p int) {
 // ClearRange zeros slots [begin, end) with plain stores. Callers with
 // their own worker pools partition [0, NumSlots()) and sweep each chunk
 // on its owner; like Clear, it must only run at quiescent points.
+//
+//nullgraph:hotpath
 func (s *EdgeSet) ClearRange(begin, end int) {
 	clear(s.slots[begin:end])
 }
@@ -238,11 +248,13 @@ func (s *EdgeSet) String() string {
 // one goroutine at a time; distinct Writers on the same EdgeSet may
 // insert concurrently. The struct is padded so adjacent Writers in a
 // slice don't share cache lines.
+//
+//nullgraph:padded
 type Writer struct {
 	set     *EdgeSet
 	inserts int
 	journal []uint32 // slot of every insert since the last reset; nil in counting mode
-	_       [64]byte // keep neighbouring Writers off this cache line
+	_       [88]byte // pad the 40 data bytes to 128 so neighbouring Writers never share a cache line
 }
 
 // NewWriters returns p independent journaling handles for s, each with
@@ -286,6 +298,8 @@ func (s *EdgeSet) NewCountingWriters(p int) []*Writer {
 // successful insert bumps the per-writer count and, in journaling mode,
 // records the claimed slot. No shared state is touched beyond the slot
 // CAS itself.
+//
+//nullgraph:hotpath
 func (w *Writer) TestAndSet(key uint64) bool {
 	present, slot, _ := w.set.testAndSet(key)
 	if !present {
@@ -301,6 +315,8 @@ func (w *Writer) TestAndSet(key uint64) bool {
 // the probe sequence visited (>= 1). Instrumented swap sweeps use it to
 // feed probe-length histograms; the plain TestAndSet stays the
 // uninstrumented hot path.
+//
+//nullgraph:hotpath
 func (w *Writer) TestAndSetProbed(key uint64) (present bool, probes int) {
 	present, slot, probes := w.set.testAndSet(key)
 	if !present {

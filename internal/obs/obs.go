@@ -47,6 +47,8 @@ const ProbeBuckets = 16
 // fields directly — no atomics — because each worker owns exactly one
 // cell; the trailing pad keeps neighbouring cells in a []Counters off
 // each other's cache lines, same discipline as par.Cell.
+//
+//nullgraph:padded
 type Counters struct {
 	// RejectSelfLoop counts proposals rejected because an exchanged
 	// edge would be a self-loop.
@@ -68,6 +70,8 @@ type Counters struct {
 
 // RecordProbe files one TestAndSet probe-sequence length (>= 1) into
 // the histogram.
+//
+//nullgraph:hotpath
 func (c *Counters) RecordProbe(probes int) {
 	if probes < 1 {
 		probes = 1

@@ -41,6 +41,8 @@ func Split(n, p int) []Range {
 
 // SplitInto is Split appending into dst (usually dst[:0] of a reusable
 // buffer), so steady-state callers can partition without allocating.
+//
+//nullgraph:hotpath
 func SplitInto(dst []Range, n, p int) []Range {
 	if n <= 0 || p <= 0 {
 		return dst
@@ -113,6 +115,8 @@ func ForRange(n, p int, body func(worker int, r Range)) {
 // stored in a []Cell land on distinct cache lines, so concurrent workers
 // incrementing their own cell never invalidate each other's line (false
 // sharing) — measurable on reductions whose per-index work is tiny.
+//
+//nullgraph:padded
 type Cell struct {
 	V int64
 	_ [56]byte // pad to 64 bytes
@@ -281,6 +285,8 @@ func (pl *Pool) worker() {
 // like ForRange but on the pool's persistent workers. Chunking matches
 // Split(n, pl.Workers()), so worker IDs and index ownership are
 // identical to ForRange with the same width.
+//
+//nullgraph:hotpath
 func (pl *Pool) Run(n int, body func(w int, r Range)) {
 	if pl.closed {
 		panic("par: Run on closed Pool")
@@ -321,6 +327,8 @@ func (pl *Pool) Close() {
 // ForRange with p workers. It lets scratch-reusing code (permute's
 // Applier, the swap engines) accept an optional pool without forcing
 // every caller to own one.
+//
+//nullgraph:hotpath
 func Execute(pl *Pool, n, p int, body func(w int, r Range)) {
 	if pl != nil {
 		pl.Run(n, body)

@@ -50,6 +50,8 @@ func FisherYates[T any](r *rng.Source, data []T) {
 // (seed, w), so any execution that splits [0, len(h)) into the same
 // chunks produces the same array. The worker's source lives on the
 // stack; the call does not allocate.
+//
+//nullgraph:hotpath
 func FillTargets(h []int32, seed uint64, w, begin, end int) {
 	var src rng.Source
 	src.Reseed(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
@@ -63,10 +65,13 @@ func FillTargets(h []int32, seed uint64, w, begin, end int) {
 // few thousand indices. The generated stream is a prefix of what
 // FillTargets writes for the same (seed, w, begin): polling never
 // consumes randomness, so an untripped stop changes nothing.
+//
+//nullgraph:hotpath
 func FillTargetsStop(h []int32, seed uint64, w, begin, end int, stop *par.Stop) {
 	var src rng.Source
 	src.Reseed(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
 	n := len(h)
+	//nullgraph:cancelable
 	for i := begin; i < end; i++ {
 		if (i-begin)&8191 == 0 && stop.Stopped() {
 			return
@@ -103,6 +108,8 @@ func Targets(seed uint64, n, p int) []int32 {
 // applySerial executes the inside-out shuffle for the given target
 // array. Used both by tests (as the reference) and as the small-input /
 // single-worker fast path.
+//
+//nullgraph:hotpath
 func applySerial[T any](data []T, h []int32) {
 	for i := range data {
 		j := h[i]
@@ -113,7 +120,10 @@ func applySerial[T any](data []T, h []int32) {
 // applySerialStop is applySerial with a coarse stop poll. An abandoned
 // apply leaves data partially permuted — the same multiset of elements
 // in a different order — never corrupted.
+//
+//nullgraph:hotpath
 func applySerialStop[T any](data []T, h []int32, stop *par.Stop) {
+	//nullgraph:cancelable
 	for i := range data {
 		if i&8191 == 0 && stop.Stopped() {
 			return
@@ -197,6 +207,7 @@ func (sc *Scratch) ensure(n, p int) {
 	}
 }
 
+//nullgraph:hotpath
 func writeMin(r []int32, cell int, prio int32) {
 	addr := &r[cell]
 	for {
@@ -313,7 +324,7 @@ func (a *Applier[T]) run(data []T, h []int32, p int, pool *par.Pool) {
 	cur := sc.bufA[:n]
 	spare := sc.bufB[:0]
 
-	for len(cur) > 0 {
+	for len(cur) > 0 { //nullgraph:cancelable
 		sc.cur = cur
 		k := par.NumChunks(len(cur), p)
 		// Phase 1: reserve. Phase 2: commit winners, collect losers

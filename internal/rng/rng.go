@@ -25,6 +25,8 @@ type SplitMix64 struct {
 func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
 
 // Next returns the next value in the splitmix64 sequence.
+//
+//nullgraph:hotpath
 func (s *SplitMix64) Next() uint64 {
 	s.state += 0x9e3779b97f4a7c15
 	z := s.state
@@ -35,6 +37,8 @@ func (s *SplitMix64) Next() uint64 {
 
 // Mix64 hashes x with the splitmix64 finalizer; useful for stateless
 // per-index hashing (e.g. deriving a stream for index i).
+//
+//nullgraph:hotpath
 func Mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -60,6 +64,8 @@ func New(seed uint64) *Source {
 // state New(seed) produces. It lets hot loops keep a Source value on the
 // stack (or embedded in per-worker scratch) and re-derive a stream per
 // iteration without allocating.
+//
+//nullgraph:hotpath
 func (r *Source) Reseed(seed uint64) {
 	sm := SplitMix64{state: seed}
 	r.s0, r.s1, r.s2, r.s3 = sm.Next(), sm.Next(), sm.Next(), sm.Next()
@@ -82,6 +88,8 @@ func Streams(seed uint64, n int) []*Source {
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
+//
+//nullgraph:hotpath
 func (r *Source) Uint64() uint64 {
 	result := rotl(r.s1*5, 7) * 9
 	t := r.s1 << 17
@@ -95,12 +103,16 @@ func (r *Source) Uint64() uint64 {
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+//
+//nullgraph:hotpath
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Float64Open returns a uniform float64 in (0, 1); it never returns 0,
 // which makes it safe as the argument of log() in inversion sampling.
+//
+//nullgraph:hotpath
 func (r *Source) Float64Open() float64 {
 	for {
 		f := (float64(r.Uint64()>>11) + 0.5) * (1.0 / (1 << 53))
@@ -113,6 +125,8 @@ func (r *Source) Float64Open() float64 {
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 // Lemire's multiply-shift rejection method: one multiply in the common
 // case, no division.
+//
+//nullgraph:hotpath
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with n <= 0")
@@ -121,6 +135,8 @@ func (r *Source) Intn(n int) int {
 }
 
 // Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+//
+//nullgraph:hotpath
 func (r *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n called with n == 0")
@@ -138,6 +154,8 @@ func (r *Source) Uint64n(n uint64) uint64 {
 }
 
 // mul64 returns the 128-bit product of a and b as (hi, lo).
+//
+//nullgraph:hotpath
 func mul64(a, b uint64) (hi, lo uint64) {
 	const mask32 = 1<<32 - 1
 	aLo, aHi := a&mask32, a>>32
@@ -152,6 +170,8 @@ func mul64(a, b uint64) (hi, lo uint64) {
 }
 
 // Bool returns a fair coin flip.
+//
+//nullgraph:hotpath
 func (r *Source) Bool() bool { return r.Uint64()&1 == 1 }
 
 // Geometric returns the number of failures before the first success in
@@ -160,6 +180,8 @@ func (r *Source) Bool() bool { return r.Uint64()&1 == 1 }
 // p <= 0: a zero success probability has no finite skip.
 //
 // Uses inversion: floor(log(U)/log(1-p)) with U in (0,1).
+//
+//nullgraph:hotpath
 func (r *Source) Geometric(p float64) int64 {
 	if p >= 1 {
 		return 0

@@ -311,6 +311,7 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		wtr := eng.writers[w]
 		edges := eng.el.Edges
 		stop := eng.stop
+		//nullgraph:cancelable
 		for i := r.Begin; i < r.End; i++ {
 			if (i-r.Begin)&8191 == 0 && stop.Stopped() {
 				return
@@ -329,6 +330,7 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		stop := eng.stop
 		swapped := eng.swapped
 		var local, newly int64
+		//nullgraph:cancelable
 		for k := r.Begin; k < r.End; k++ {
 			if (k-r.Begin)&2047 == 0 && stop.Stopped() {
 				break
@@ -573,6 +575,8 @@ func (eng *Engine) clearTable() {
 // table, and reports no statistics. With a recorder attached the loop
 // bodies are the instrumented ones, which do not poll; cancellation
 // latency is then bounded by a phase, not a poll interval.
+//
+//nullgraph:hotpath
 func (eng *Engine) step() (IterStats, bool) {
 	m := len(eng.el.Edges)
 	it := eng.iteration
