@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race lint fuzz-smoke bench-swap bench-gen clean
+.PHONY: verify build vet test test-stat race lint fuzz-smoke bench-swap bench-gen clean
 
 # verify is the tier-1 gate: everything compiles, vets clean, and every
 # test passes.
@@ -18,6 +18,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# test-stat runs the tier-2 statistical verification suite
+# (internal/statcheck) at its documented default budgets: exact-
+# enumeration uniformity for the swap chains, Bernoulli marginals for
+# edge-skipping, expected-degree moments for probgen. A few seconds of
+# sampling; `go test -short` skips these, plain `go test` includes
+# them. Nightly CI runs the same checks at larger budgets via
+# cmd/statcheck (see .github/workflows/nightly.yml and DESIGN.md §11).
+test-stat:
+	$(GO) test -run 'TestStatcheck' -v ./internal/statcheck/...
 
 # race runs the whole module under the race detector (shortened
 # statistical tests). Packages without cross-goroutine protocols cost
@@ -44,6 +54,7 @@ lint:
 # can't rot.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeListBinary -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeListText -fuzztime=10s ./internal/graph
 
 # bench-swap emits BENCH_swap.json: ns/op, allocs/op, B/op and
 # swaps/sec for one engine Step on a 1M-edge graph. The hot path's

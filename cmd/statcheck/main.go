@@ -1,0 +1,119 @@
+// Command statcheck runs the statistical verification suite
+// (internal/statcheck) at configurable budgets: exact-enumeration
+// uniformity gates for the swap chains, Bernoulli-marginal gates for
+// edge-skipping, and moment gates for probgen fidelity.
+//
+// Usage:
+//
+//	statcheck                                   # all checks, default budgets
+//	statcheck -space swap-matchings-k6,probgen-degrees
+//	statcheck -samples 100000 -seed 7 -alpha 0.0001
+//	statcheck -json > statcheck-report.json     # nullgraph/statcheck-report/v1
+//
+// The process exits 0 when every selected check passes, 1 when any
+// check rejects its null, and 2 on usage or execution errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nullgraph/internal/statcheck"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run holds main's body so tests can drive the CLI end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("statcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		space    = fs.String("space", "all", "comma-separated check names, or \"all\" (see -list)")
+		list     = fs.Bool("list", false, "list available checks and exit")
+		samples  = fs.Int("samples", 0, "per-attempt sample budget for every check (0 = per-check defaults)")
+		seed     = fs.Uint64("seed", 1, "base seed (attempts and samples derive from it)")
+		alpha    = fs.Float64("alpha", 0, "per-attempt significance level (0 = default 1e-3)")
+		attempts = fs.Int("attempts", 0, "retry budget: fail only when every attempt rejects (0 = default 3)")
+		workers  = fs.Int("workers", 1, "sampler parallel width (0 = GOMAXPROCS; 1 is deterministic)")
+		jsonOut  = fs.Bool("json", false, "emit the machine-readable report (schema "+statcheck.ReportSchema+") on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range statcheck.Checks() {
+			fmt.Fprintf(stdout, "%-26s %6d samples  %s\n", c.Name, c.DefaultSamples, c.Description)
+		}
+		return 0
+	}
+	var names []string
+	if *space != "" && *space != "all" {
+		for _, n := range strings.Split(*space, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	cfg := statcheck.Config{
+		Samples:     *samples,
+		Alpha:       *alpha,
+		MaxAttempts: *attempts,
+		Seed:        *seed,
+		Workers:     *workers,
+	}
+	rep, err := statcheck.RunChecks(names, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "statcheck:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := rep.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "statcheck:", err)
+			return 2
+		}
+	} else {
+		renderText(stdout, rep)
+	}
+	if !rep.Pass {
+		return 1
+	}
+	return 0
+}
+
+func renderText(w io.Writer, rep *statcheck.Report) {
+	fmt.Fprintf(w, "statcheck: seed=%d alpha=%g attempts=%d workers=%d\n",
+		rep.Seed, rep.Alpha, rep.MaxAttempts, rep.Workers)
+	for _, c := range rep.Checks {
+		last := c.Attempts[len(c.Attempts)-1]
+		verdict := "pass"
+		if !c.Pass {
+			verdict = "REJECT"
+		}
+		size := ""
+		switch {
+		case c.States > 0:
+			size = fmt.Sprintf("%d states", c.States)
+		case c.Cells > 0:
+			size = fmt.Sprintf("%d cells", c.Cells)
+		}
+		fmt.Fprintf(w, "  %-26s %-10s %7d samples  %-10s stat=%10.3f dof=%-3d p=%.6f attempts=%d  %s\n",
+			c.Name, c.Kind, c.Samples, size, last.Stat, last.Dof, last.P, len(c.Attempts), verdict)
+		if !c.Pass {
+			verdictDetail(w, c)
+		}
+	}
+	if rep.Pass {
+		fmt.Fprintln(w, "PASS: no check rejected its null hypothesis")
+	} else {
+		fmt.Fprintln(w, "FAIL: at least one check rejected; see attempts above")
+	}
+}
+
+func verdictDetail(w io.Writer, c statcheck.CheckResult) {
+	for i, a := range c.Attempts {
+		fmt.Fprintf(w, "    attempt %d: seed=%d stat=%.3f p=%g\n", i, a.Seed, a.Stat, a.P)
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nullgraph/internal/statcheck"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/report.golden.json")
+
+// goldenArgs pin everything that feeds the report: one cheap
+// deterministic check, fixed seed, single worker, small budget.
+var goldenArgs = []string{
+	"-space", "swap-matchings-k6",
+	"-samples", "600",
+	"-seed", "42",
+	"-workers", "1",
+	"-json",
+}
+
+// TestJSONGolden locks the exact bytes of the v1 report for a pinned
+// configuration: any schema drift (field rename, ordering change,
+// formatting change) or sampler-determinism regression shows up as a
+// golden diff. Regenerate deliberately with -update-golden.
+func TestJSONGolden(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(goldenArgs, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("report drifted from golden.\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+}
+
+// TestJSONSchemaFields validates the report structurally: schema tag,
+// required fields, and attempt layout.
+func TestJSONSchemaFields(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(goldenArgs, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["schema"] != statcheck.ReportSchema {
+		t.Errorf("schema = %v, want %v", rep["schema"], statcheck.ReportSchema)
+	}
+	for _, field := range []string{"seed", "alpha", "max_attempts", "workers", "checks", "pass"} {
+		if _, ok := rep[field]; !ok {
+			t.Errorf("report missing field %q", field)
+		}
+	}
+	checks, ok := rep["checks"].([]any)
+	if !ok || len(checks) != 1 {
+		t.Fatalf("checks = %v", rep["checks"])
+	}
+	check := checks[0].(map[string]any)
+	for _, field := range []string{"name", "kind", "samples", "alpha", "attempts", "pass"} {
+		if _, ok := check[field]; !ok {
+			t.Errorf("check missing field %q", field)
+		}
+	}
+	attempt := check["attempts"].([]any)[0].(map[string]any)
+	for _, field := range []string{"seed", "stat", "dof", "p"} {
+		if _, ok := attempt[field]; !ok {
+			t.Errorf("attempt missing field %q", field)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, c := range statcheck.Checks() {
+		if !strings.Contains(out.String(), c.Name) {
+			t.Errorf("-list missing %s", c.Name)
+		}
+	}
+}
+
+func TestUnknownSpace(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-space", "bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown space: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown check") {
+		t.Errorf("stderr: %s", errBuf.String())
+	}
+}
+
+// TestRejectionExitCode drives a selection that must fail: the honest
+// sampler judged at alpha just under 1 rejects on every attempt (any
+// finite statistic has p < 1 - eps), exercising the exit-1 path without
+// a long run.
+func TestRejectionExitCode(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-space", "swap-matchings-k6",
+		"-samples", "300",
+		"-attempts", "1",
+		"-alpha", "0.999999",
+		"-workers", "1",
+	}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("text output missing FAIL: %s", out.String())
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-space", "swap-matchings-k6", "-samples", "600", "-seed", "42", "-workers", "1"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"swap-matchings-k6", "uniformity", "15 states", "PASS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package directed
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func jointOf(t *testing.T, classes ...JointClass) *JointDistribution {
+	t.Helper()
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].Out != classes[j].Out {
+			return classes[i].Out < classes[j].Out
+		}
+		return classes[i].In < classes[j].In
+	})
+	d := &JointDistribution{Classes: classes}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestKleitmanWangGraphicalCases pins realizable bidegree sequences:
+// the construction must succeed and realize them exactly.
+func TestKleitmanWangGraphicalCases(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *JointDistribution
+	}{
+		{"3-cycle", jointOf(t, JointClass{Out: 1, In: 1, Count: 3})},
+		{"complete-k4", jointOf(t, JointClass{Out: 3, In: 3, Count: 4})},
+		{"star-out", jointOf(t, JointClass{Out: 4, In: 0, Count: 1}, JointClass{Out: 0, In: 1, Count: 4})},
+		{"mixed", jointOf(t, JointClass{Out: 2, In: 1, Count: 2}, JointClass{Out: 1, In: 2, Count: 2})},
+		{"asymmetric", jointOf(t, JointClass{Out: 3, In: 0, Count: 2}, JointClass{Out: 0, In: 2, Count: 3})},
+	}
+	for _, c := range cases {
+		al, err := KleitmanWang(c.d)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if rep := al.CheckSimplicity(); !rep.IsSimple() {
+			t.Errorf("%s: not simple: %+v", c.name, rep)
+		}
+		if got := OfArcList(al, 1); !jointEqual(got, c.d) {
+			t.Errorf("%s: realized wrong joint distribution", c.name)
+		}
+	}
+}
+
+func jointEqual(a, b *JointDistribution) bool {
+	ao, ai := a.ToJointDegrees()
+	bo, bi := b.ToJointDegrees()
+	if len(ao) != len(bo) {
+		return false
+	}
+	for i := range ao {
+		if ao[i] != bo[i] || ai[i] != bi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKleitmanWangRejectionPaths exercises each distinct error path
+// with its message, so refactors cannot silently change which inputs
+// fail or how they are reported.
+func TestKleitmanWangRejectionPaths(t *testing.T) {
+	// Unbalanced stubs: caught before construction starts.
+	unbalanced := &JointDistribution{Classes: []JointClass{{Out: 2, In: 1, Count: 3}}}
+	if _, err := KleitmanWang(unbalanced); err == nil || !strings.Contains(err.Error(), "out stubs") {
+		t.Errorf("unbalanced: err = %v, want out-stubs message", err)
+	}
+
+	// Balanced but non-realizable: out-degree n-1 everywhere plus an
+	// extra stub has nowhere to go. {Out:2,In:2}×2 with loops barred.
+	dense := &JointDistribution{Classes: []JointClass{{Out: 2, In: 2, Count: 2}}}
+	if _, err := KleitmanWang(dense); err == nil || !strings.Contains(err.Error(), "not realizable") {
+		t.Errorf("dense: err = %v, want not-realizable message", err)
+	}
+	if dense.IsRealizable() {
+		t.Error("Fulkerson check disagrees: dense marked realizable")
+	}
+
+	// Invalid distribution (negative degree) fails validation.
+	invalid := &JointDistribution{Classes: []JointClass{{Out: -1, In: 0, Count: 1}}}
+	if _, err := KleitmanWang(invalid); err == nil {
+		t.Error("negative out-degree accepted")
+	}
+}
+
+// TestKleitmanWangSecondaryTieBreak is the regression the construction
+// documents: the 3-cycle sequence {1,1,1}/{1,1,1} strands a stub if
+// targets with remaining out-degree are not preferred. Scale it up to
+// make the tie-break repeatedly load-bearing.
+func TestKleitmanWangSecondaryTieBreak(t *testing.T) {
+	for _, n := range []int64{3, 5, 9, 12} {
+		d := jointOf(t, JointClass{Out: 1, In: 1, Count: n})
+		al, err := KleitmanWang(d)
+		if err != nil {
+			t.Fatalf("n=%d cycle sequence: %v", n, err)
+		}
+		if int64(al.NumArcs()) != n {
+			t.Fatalf("n=%d: %d arcs", n, al.NumArcs())
+		}
+		if rep := al.CheckSimplicity(); !rep.IsSimple() {
+			t.Fatalf("n=%d: not simple: %+v", n, rep)
+		}
+	}
+}
+
+// TestKleitmanWangStaleHeapReKey exercises the stale-secondary-key
+// path: vertices that both send and receive sit in the heap with a
+// recorded outRem that goes stale once their own source step runs, so
+// later pops must re-key and retry instead of trusting the entry.
+func TestKleitmanWangStaleHeapReKey(t *testing.T) {
+	// Every vertex has both in- and out-degree, so each one's heap
+	// entry is live across other vertices' source steps.
+	d := jointOf(t,
+		JointClass{Out: 2, In: 1, Count: 2},
+		JointClass{Out: 1, In: 2, Count: 2},
+	)
+	al, err := KleitmanWang(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := al.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("not simple: %+v", rep)
+	}
+	if got := OfArcList(al, 1); !jointEqual(got, d) {
+		t.Error("realized wrong joint distribution")
+	}
+}
+
+// TestKleitmanWangDeterministic: the construction is fully
+// deterministic — two runs must produce identical arc lists.
+func TestKleitmanWangDeterministic(t *testing.T) {
+	d := jointOf(t,
+		JointClass{Out: 2, In: 1, Count: 4},
+		JointClass{Out: 1, In: 2, Count: 4},
+	)
+	a, err := KleitmanWang(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KleitmanWang(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Arcs) != len(b.Arcs) {
+		t.Fatal("arc counts differ")
+	}
+	for i := range a.Arcs {
+		if a.Arcs[i] != b.Arcs[i] {
+			t.Fatalf("runs diverged at arc %d", i)
+		}
+	}
+}

@@ -44,8 +44,18 @@ type SwapResult struct {
 //
 //   - a pair of arcs (u→v), (x→y) has exactly ONE legal exchange,
 //     (u→y), (x→v) — the undirected algorithm's second pairing would
-//     turn arc heads into tails and change in/out degrees — so there is
-//     no coin flip, and the hash table stores ordered pairs;
+//     turn arc heads into tails and change in/out degrees — so the
+//     pairing coin is replaced by a *lazy* coin: each paired exchange
+//     is proposed with probability 1/2. Without it the sweep applies
+//     every legal exchange of a pairing in lockstep, and on small arc
+//     sets (where the random pairing covers all arcs) the chain can
+//     only make composite moves: on the 4-vertex out=in=1 space the
+//     state space then decomposes into four communicating classes
+//     (each 4-cycle can only reach its inverse), a bias the
+//     statistical verification suite (internal/statcheck) catches.
+//     The lazy coin makes every single-pair exchange reachable, which
+//     restores the classic chain's connectivity, and laziness never
+//     hurts reversibility. The hash table stores ordered pairs;
 //   - pair exchanges alone do NOT connect the simple-digraph space (the
 //     two orientations of a directed 3-cycle have no legal pair move
 //     between them), so each iteration also sweeps disjoint arc
@@ -78,6 +88,10 @@ type SwapEngine struct {
 	successes []par.Cell
 	newly     []par.Cell
 
+	// coins holds one lazy-coin stream per worker, reseeded each
+	// iteration so steady-state Steps do not allocate.
+	coins []*rng.Source
+
 	iteration int
 }
 
@@ -101,6 +115,10 @@ func NewSwapEngine(al *ArcList, opt SwapOptions) *SwapEngine {
 	eng.apFlags = permute.NewApplier[uint8](eng.sc)
 	eng.successes = make([]par.Cell, p)
 	eng.newly = make([]par.Cell, p)
+	eng.coins = make([]*rng.Source, p)
+	for w := range eng.coins {
+		eng.coins[w] = rng.New(0)
+	}
 	if opt.TrackSwapped {
 		eng.swapped = make([]uint8, m)
 	}
@@ -152,6 +170,7 @@ func (eng *SwapEngine) Step() SwapIterStats {
 		eng.apFlags.Apply(eng.swapped, h, p, nil)
 	}
 
+	sweepSeed := rng.Mix64(eng.opt.Seed) ^ rng.Mix64(uint64(it)+0xabcd0123)
 	pairs := m / 2
 	stats := SwapIterStats{Attempts: int64(pairs)}
 	for w := range eng.successes {
@@ -160,13 +179,18 @@ func (eng *SwapEngine) Step() SwapIterStats {
 	}
 	par.ForRange(pairs, p, func(w int, r par.Range) {
 		wtr := eng.writers[w]
+		coin := eng.coins[w]
+		coin.Reseed(rng.Mix64(sweepSeed) ^ rng.Mix64(uint64(w)+0x5134))
 		var local, newly int64
 		for k := r.Begin; k < r.End; k++ {
+			// Lazy coin: draw first so every pair consumes exactly one
+			// bit and the stream stays aligned across rejections.
+			lazy := coin.Bool()
 			i, j := 2*k, 2*k+1
 			a, b := arcs[i], arcs[j]
 			g := Arc{From: a.From, To: b.To}
 			hh := Arc{From: b.From, To: a.To}
-			if g.IsLoop() || hh.IsLoop() {
+			if lazy || g.IsLoop() || hh.IsLoop() {
 				continue
 			}
 			if wtr.TestAndSet(g.Key()) {

@@ -370,16 +370,21 @@ func TestRunUniformity(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.States != 15 {
-		t.Fatalf("reached %d states, want all 15 matchings", res.States)
+		t.Fatalf("space has %d states, want all 15 matchings", res.States)
 	}
-	// P(chi²_14 > 60) ≈ 1e-7: a biased sampler fails loudly here.
-	if res.ChiSquare > 60 {
-		t.Errorf("chi-square = %v over %d dof", res.ChiSquare, res.DegreesOfFreedom)
+	// A biased sampler fails loudly here (p-value below any plausible
+	// significance level); an unbiased one rejects with probability 1e-4.
+	if res.PValue < 1e-4 {
+		t.Errorf("uniformity rejected: chi-square = %v over %d dof, p = %v",
+			res.ChiSquare, res.DegreesOfFreedom, res.PValue)
+	}
+	if res.PValue < 0 || res.PValue > 1 {
+		t.Errorf("p-value %v outside [0,1]", res.PValue)
 	}
 	var buf bytes.Buffer
 	res.Render(&buf)
-	if !strings.Contains(buf.String(), "chi-square") {
-		t.Error("render missing statistic")
+	if !strings.Contains(buf.String(), "chi-square") || !strings.Contains(buf.String(), "p = ") {
+		t.Error("render missing statistic or p-value")
 	}
 }
 

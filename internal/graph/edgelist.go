@@ -37,7 +37,7 @@ func FromEdges(edges []Edge) *EdgeList {
 			max = e.V
 		}
 	}
-	return &EdgeList{Edges: edges, NumVertices: int(max + 1)}
+	return &EdgeList{Edges: edges, NumVertices: int(max) + 1}
 }
 
 // NumEdges returns m.

@@ -8,8 +8,10 @@ import (
 	"testing"
 )
 
-// FuzzReadEdgeListText checks the text parser never panics and that
-// anything it accepts round-trips through the writer.
+// FuzzReadEdgeListText is the text-parser mirror of the binary
+// differential target: hostile inputs must fail cleanly (no panic, no
+// silent truncation), and anything accepted must satisfy the endpoint
+// invariants and round-trip through the writer byte-for-byte.
 func FuzzReadEdgeListText(f *testing.F) {
 	f.Add("0 1\n1 2\n")
 	f.Add("# comment\n\n5 5\n")
@@ -17,10 +19,43 @@ func FuzzReadEdgeListText(f *testing.F) {
 	f.Add("-1 0\n")
 	f.Add("1 99999999999999\n")
 	f.Add("0 1 extra tokens ok? no\n")
+	// Hostile whitespace: tabs, runs of blanks, leading/trailing pads.
+	f.Add("0\t1\n \t 2   3 \t\n")
+	f.Add("   \n\t\n0 1\n")
+	// CRLF and bare-CR line endings.
+	f.Add("0 1\r\n1 2\r\n")
+	f.Add("0 1\r1 2\r")
+	// Overflow tokens: beyond int64, beyond int32, exactly at bounds.
+	f.Add("0 18446744073709551616\n")
+	f.Add("0 9223372036854775807\n")
+	f.Add("0 2147483647\n")
+	f.Add("2147483648 0\n")
+	// Negative and sign-decorated endpoints.
+	f.Add("-9223372036854775808 0\n")
+	f.Add("+1 2\n")
+	// Token-count violations and mid-line comments.
+	f.Add("7\n")
+	f.Add("0 1 # trailing comment\n")
+	// NUL bytes and other control characters inside tokens.
+	f.Add("0\x001\n")
+	f.Add("\x000 1\n")
+	// Missing trailing newline on the last edge.
+	f.Add("0 1\n2 3")
 	f.Fuzz(func(t *testing.T, input string) {
 		el, err := ReadEdgeListText(strings.NewReader(input))
 		if err != nil {
 			return
+		}
+		// Endpoint invariant: every accepted edge must be in range for
+		// the reported vertex count, and the count itself sane.
+		if el.NumVertices < 0 {
+			t.Fatalf("accepted negative vertex count %d", el.NumVertices)
+		}
+		n := int32(el.NumVertices)
+		for i, e := range el.Edges {
+			if e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+				t.Fatalf("accepted edge %d (%d,%d) out of range for %d vertices", i, e.U, e.V, n)
+			}
 		}
 		var buf bytes.Buffer
 		if err := WriteEdgeListText(&buf, el); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -62,6 +63,11 @@ func parseVertex(s string) (int32, error) {
 	}
 	if v < 0 {
 		return 0, fmt.Errorf("negative vertex ID %d", v)
+	}
+	// The vertex count is maxID+1 and must itself fit in int32, so the
+	// largest usable ID is MaxInt32-1.
+	if v >= math.MaxInt32 {
+		return 0, fmt.Errorf("vertex ID %d too large", v)
 	}
 	return int32(v), nil
 }

@@ -203,6 +203,40 @@ func (a *AttachmentAccumulator) Matrix() *probgen.Matrix {
 	return m
 }
 
+// BernoulliClassDegreeMoments returns, per degree class j, the exact
+// mean and variance of the class's *total* degree under independent
+// Bernoulli pair sampling from matrix m over dist's vertex layout:
+//
+//	mean[j] = 2·C(n_j,2)·P(j,j) + Σ_{i≠j} n_i·n_j·P(i,j)
+//	var[j]  = 4·C(n_j,2)·P(j,j)(1−P(j,j)) + Σ_{i≠j} n_i·n_j·P(i,j)(1−P(i,j))
+//
+// (a within-class edge adds 2 to the class total, a cross edge adds 1;
+// every candidate pair is an independent indicator). These are the
+// analytic moments the statistical verification suite tests sampled
+// degree totals against.
+func BernoulliClassDegreeMoments(dist *degseq.Distribution, m *probgen.Matrix) (mean, variance []float64) {
+	k := dist.NumClasses()
+	mean = make([]float64, k)
+	variance = make([]float64, k)
+	for j := 0; j < k; j++ {
+		nj := float64(dist.Classes[j].Count)
+		within := nj * (nj - 1) / 2
+		pjj := m.At(j, j)
+		mean[j] = 2 * within * pjj
+		variance[j] = 4 * within * pjj * (1 - pjj)
+		for i := 0; i < k; i++ {
+			if i == j {
+				continue
+			}
+			pairs := float64(dist.Classes[i].Count) * nj
+			pij := m.At(i, j)
+			mean[j] += pairs * pij
+			variance[j] += pairs * pij * (1 - pij)
+		}
+	}
+	return mean, variance
+}
+
 // Assortativity returns the degree assortativity coefficient (Newman):
 // the Pearson correlation of the degrees at either end of each edge.
 // Returns 0 for degenerate inputs (no edges, or zero variance).

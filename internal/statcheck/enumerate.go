@@ -1,0 +1,254 @@
+package statcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/directed"
+	"nullgraph/internal/graph"
+)
+
+// enumeration guards: state spaces are meant to be *small* (the point
+// is an exact target distribution), so refuse inputs that could blow
+// up instead of grinding.
+const (
+	maxEnumVertices = 12
+	maxEnumStates   = 200000
+)
+
+// Space is an exactly enumerated sampler state space: every state's
+// canonical signature, with a lookup index. States are sorted by
+// signature so a Space built twice from the same input is identical.
+type Space struct {
+	// Name labels the space in reports.
+	Name string
+	// States holds one canonical signature per state.
+	States []string
+	// Index maps a signature back to its position in States.
+	Index map[string]int
+}
+
+// newSpace sorts, indexes and validates a signature list.
+func newSpace(name string, sigs []string) (*Space, error) {
+	sort.Strings(sigs)
+	idx := make(map[string]int, len(sigs))
+	for i, s := range sigs {
+		if _, dup := idx[s]; dup {
+			return nil, fmt.Errorf("statcheck: duplicate state signature in space %q", name)
+		}
+		idx[s] = i
+	}
+	return &Space{Name: name, States: sigs, Index: idx}, nil
+}
+
+// NumStates returns the size of the space.
+func (s *Space) NumStates() int { return len(s.States) }
+
+// SignatureOfEdges returns the canonical signature of a simple graph:
+// its canonical edge keys, sorted, packed little-endian. Two edge
+// lists have equal signatures iff they are the same edge set.
+func SignatureOfEdges(edges []graph.Edge) string {
+	keys := make([]uint64, len(edges))
+	for i, e := range edges {
+		keys[i] = e.Key()
+	}
+	return packKeys(keys)
+}
+
+// SignatureOfArcs is the directed analog (arc keys are ordered pairs,
+// so orientation is part of the signature).
+func SignatureOfArcs(arcs []directed.Arc) string {
+	keys := make([]uint64, len(arcs))
+	for i, a := range arcs {
+		keys[i] = a.Key()
+	}
+	return packKeys(keys)
+}
+
+func packKeys(keys []uint64) string {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sig := make([]byte, 0, len(keys)*8)
+	for _, k := range keys {
+		for b := 0; b < 8; b++ {
+			sig = append(sig, byte(k>>(8*b)))
+		}
+	}
+	return string(sig)
+}
+
+// EnumerateSimpleGraphs enumerates every labeled simple graph whose
+// degree sequence is dist expanded in class order (the generators'
+// vertex layout), returning the space of canonical signatures.
+//
+// The backtracking invariant makes each graph appear exactly once: at
+// every step the lowest-numbered vertex u with remaining degree is
+// saturated completely, by choosing its neighbor set among the
+// higher-numbered vertices with remaining degree in one increasing
+// sweep. Choosing u's full neighborhood at once (rather than one edge
+// at a time) is what removes edge-ordering duplicates.
+func EnumerateSimpleGraphs(dist *degseq.Distribution, name string) (*Space, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	degrees := dist.ToDegrees()
+	n := len(degrees)
+	if n > maxEnumVertices {
+		return nil, fmt.Errorf("statcheck: %d vertices exceed the enumeration limit %d", n, maxEnumVertices)
+	}
+	if dist.NumStubs()%2 != 0 {
+		return nil, fmt.Errorf("statcheck: odd stub total %d is not realizable", dist.NumStubs())
+	}
+
+	res := append([]int64(nil), degrees...)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	edges := make([]graph.Edge, 0, dist.NumEdges())
+	var sigs []string
+
+	var saturate func() error
+	var choose func(u int, need int, cand []int, start int) error
+
+	saturate = func() error {
+		u := -1
+		for v := 0; v < n; v++ {
+			if res[v] > 0 {
+				u = v
+				break
+			}
+		}
+		if u == -1 {
+			if len(sigs) >= maxEnumStates {
+				return fmt.Errorf("statcheck: state space exceeds %d states", maxEnumStates)
+			}
+			sigs = append(sigs, SignatureOfEdges(edges))
+			return nil
+		}
+		// u is the lowest unsaturated vertex, so every candidate is
+		// above it (lower vertices have res == 0).
+		cand := make([]int, 0, n-u-1)
+		for v := u + 1; v < n; v++ {
+			if res[v] > 0 && !adj[u][v] {
+				cand = append(cand, v)
+			}
+		}
+		return choose(u, int(res[u]), cand, 0)
+	}
+
+	choose = func(u, need int, cand []int, start int) error {
+		if need == 0 {
+			return saturate()
+		}
+		for i := start; i <= len(cand)-need; i++ {
+			v := cand[i]
+			adj[u][v], adj[v][u] = true, true
+			res[u]--
+			res[v]--
+			edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+			if err := choose(u, need-1, cand, i+1); err != nil {
+				return err
+			}
+			edges = edges[:len(edges)-1]
+			res[u]++
+			res[v]++
+			adj[u][v], adj[v][u] = false, false
+		}
+		return nil
+	}
+
+	if err := saturate(); err != nil {
+		return nil, err
+	}
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("statcheck: degree sequence has no simple realization")
+	}
+	return newSpace(name, sigs)
+}
+
+// EnumerateSimpleDigraphs enumerates every labeled simple digraph (no
+// self-arcs, no duplicate arcs) realizing the joint (out, in) degree
+// distribution in class order. Same exactly-once argument as the
+// undirected enumerator, on the out side: the lowest vertex with
+// remaining out-degree picks its full target set per step.
+func EnumerateSimpleDigraphs(d *directed.JointDistribution, name string) (*Space, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.OutStubs() != d.InStubs() {
+		return nil, fmt.Errorf("statcheck: out stubs %d != in stubs %d", d.OutStubs(), d.InStubs())
+	}
+	out, in := d.ToJointDegrees()
+	n := len(out)
+	if n > maxEnumVertices {
+		return nil, fmt.Errorf("statcheck: %d vertices exceed the enumeration limit %d", n, maxEnumVertices)
+	}
+
+	outRes := append([]int64(nil), out...)
+	inRes := append([]int64(nil), in...)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	arcs := make([]directed.Arc, 0, d.NumArcs())
+	var sigs []string
+
+	var saturate func() error
+	var choose func(u int, need int, cand []int, start int) error
+
+	saturate = func() error {
+		u := -1
+		for v := 0; v < n; v++ {
+			if outRes[v] > 0 {
+				u = v
+				break
+			}
+		}
+		if u == -1 {
+			if len(sigs) >= maxEnumStates {
+				return fmt.Errorf("statcheck: state space exceeds %d states", maxEnumStates)
+			}
+			sigs = append(sigs, SignatureOfArcs(arcs))
+			return nil
+		}
+		// Unlike the undirected case, in-stubs below u are still live,
+		// so candidates span all vertices except u itself.
+		cand := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u && inRes[v] > 0 && !adj[u][v] {
+				cand = append(cand, v)
+			}
+		}
+		return choose(u, int(outRes[u]), cand, 0)
+	}
+
+	choose = func(u, need int, cand []int, start int) error {
+		if need == 0 {
+			return saturate()
+		}
+		for i := start; i <= len(cand)-need; i++ {
+			v := cand[i]
+			adj[u][v] = true
+			outRes[u]--
+			inRes[v]--
+			arcs = append(arcs, directed.Arc{From: int32(u), To: int32(v)})
+			if err := choose(u, need-1, cand, i+1); err != nil {
+				return err
+			}
+			arcs = arcs[:len(arcs)-1]
+			outRes[u]++
+			inRes[v]++
+			adj[u][v] = false
+		}
+		return nil
+	}
+
+	if err := saturate(); err != nil {
+		return nil, err
+	}
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("statcheck: joint sequence has no simple realization")
+	}
+	return newSpace(name, sigs)
+}

@@ -1,0 +1,159 @@
+package statcheck
+
+import (
+	"testing"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/directed"
+	"nullgraph/internal/graph"
+)
+
+func mustCounts(t *testing.T, counts map[int64]int64) *degseq.Distribution {
+	t.Helper()
+	dist, err := degseq.FromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dist
+}
+
+// TestEnumerateSimpleGraphsCounts pins the enumerator against known
+// state-space sizes.
+func TestEnumerateSimpleGraphsCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts map[int64]int64
+		want   int
+	}{
+		// Perfect matchings of K6: 5·3·1.
+		{"k6-matchings", map[int64]int64{1: 6}, 15},
+		// Labeled 2-regular graphs on 5 vertices = 5-cycles: 4!/2.
+		{"c5-cycles", map[int64]int64{2: 5}, 12},
+		// Degrees {1,1,2,2,2}: 6 labeled 4-paths + (triangle ∪ edge).
+		{"p5-paths", map[int64]int64{1: 2, 2: 3}, 7},
+		// K4: the unique 3-regular graph on 4 vertices.
+		{"k4", map[int64]int64{3: 4}, 1},
+		// Single edge between two degree-1 vertices.
+		{"one-edge", map[int64]int64{1: 2}, 1},
+		// 4-cycles on 4 labeled vertices: 3.
+		{"c4", map[int64]int64{2: 4}, 3},
+	}
+	for _, c := range cases {
+		space, err := EnumerateSimpleGraphs(mustCounts(t, c.counts), c.name)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if space.NumStates() != c.want {
+			t.Errorf("%s: %d states, want %d", c.name, space.NumStates(), c.want)
+		}
+		// Index must invert States.
+		for i, sig := range space.States {
+			if space.Index[sig] != i {
+				t.Errorf("%s: index broken at %d", c.name, i)
+			}
+		}
+	}
+}
+
+func TestEnumerateSimpleGraphsStateDegrees(t *testing.T) {
+	// Every enumerated state of {1,1,2,2,2} must realize the sequence.
+	dist := mustCounts(t, map[int64]int64{1: 2, 2: 3})
+	space, err := EnumerateSimpleGraphs(dist, "p5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := dist.ToDegrees()
+	for _, sig := range space.States {
+		deg := make([]int64, len(wantDeg))
+		if len(sig)%8 != 0 {
+			t.Fatalf("signature length %d not a multiple of 8", len(sig))
+		}
+		for off := 0; off < len(sig); off += 8 {
+			var k uint64
+			for b := 0; b < 8; b++ {
+				k |= uint64(sig[off+b]) << (8 * b)
+			}
+			e := graph.EdgeFromKey(k)
+			deg[e.U]++
+			deg[e.V]++
+		}
+		for v := range deg {
+			if deg[v] != wantDeg[v] {
+				t.Fatalf("state degree mismatch at vertex %d: %d != %d", v, deg[v], wantDeg[v])
+			}
+		}
+	}
+}
+
+func TestEnumerateSimpleGraphsErrors(t *testing.T) {
+	// Non-realizable: one odd-degree vertex alone.
+	if _, err := EnumerateSimpleGraphs(mustCounts(t, map[int64]int64{1: 1, 2: 2}), "odd"); err == nil {
+		t.Error("odd stub total accepted")
+	}
+	// Not realizable as a simple graph: degree exceeds n-1.
+	if _, err := EnumerateSimpleGraphs(mustCounts(t, map[int64]int64{3: 2}), "too-dense"); err == nil {
+		t.Error("degree > n-1 accepted")
+	}
+	// Vertex limit guard.
+	if _, err := EnumerateSimpleGraphs(mustCounts(t, map[int64]int64{1: 100}), "huge"); err == nil {
+		t.Error("100 vertices accepted past the enumeration limit")
+	}
+}
+
+func TestEnumerateSimpleDigraphsCounts(t *testing.T) {
+	// out=in=1 on n vertices ⇒ derangements of S_n: 0, 1, 2, 9, 44.
+	wants := map[int64]int{2: 1, 3: 2, 4: 9, 5: 44}
+	for n, want := range wants {
+		space, err := EnumerateSimpleDigraphs(derangementJoint(n), "derangements")
+		if err != nil {
+			t.Errorf("n=%d: %v", n, err)
+			continue
+		}
+		if space.NumStates() != want {
+			t.Errorf("n=%d: %d states, want %d", n, space.NumStates(), want)
+		}
+	}
+	// out=in=2 on 3 vertices: both arcs between every vertex pair — one
+	// state (the complete digraph K3*).
+	d := &directed.JointDistribution{Classes: []directed.JointClass{{Out: 2, In: 2, Count: 3}}}
+	space, err := EnumerateSimpleDigraphs(d, "k3-complete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.NumStates() != 1 {
+		t.Errorf("complete digraph space: %d states, want 1", space.NumStates())
+	}
+}
+
+func TestEnumerateSimpleDigraphsErrors(t *testing.T) {
+	// Unbalanced stubs.
+	bad := &directed.JointDistribution{Classes: []directed.JointClass{{Out: 2, In: 1, Count: 3}}}
+	if _, err := EnumerateSimpleDigraphs(bad, "unbalanced"); err == nil {
+		t.Error("unbalanced joint sequence accepted")
+	}
+	// No simple realization: out-degree exceeds n-1 (with loops barred).
+	dense := &directed.JointDistribution{Classes: []directed.JointClass{{Out: 2, In: 2, Count: 2}}}
+	if _, err := EnumerateSimpleDigraphs(dense, "dense"); err == nil {
+		t.Error("out-degree > n-1 accepted")
+	}
+	// Vertex limit guard.
+	if _, err := EnumerateSimpleDigraphs(derangementJoint(50), "huge"); err == nil {
+		t.Error("50 vertices accepted past the enumeration limit")
+	}
+}
+
+func TestSignatureCanonicalization(t *testing.T) {
+	// Edge order and endpoint order must not matter.
+	a := SignatureOfEdges([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	b := SignatureOfEdges([]graph.Edge{{U: 3, V: 2}, {U: 1, V: 0}})
+	if a != b {
+		t.Error("signature depends on edge/endpoint order")
+	}
+	// Arc signatures are orientation-sensitive.
+	fwd := SignatureOfArcs([]directed.Arc{{From: 0, To: 1}})
+	rev := SignatureOfArcs([]directed.Arc{{From: 1, To: 0}})
+	if fwd == rev {
+		t.Error("arc signature lost orientation")
+	}
+}

@@ -1,0 +1,237 @@
+package statcheck
+
+import (
+	"fmt"
+	"math"
+
+	"nullgraph/internal/rng"
+)
+
+// Config sizes and seeds a statistical check run.
+type Config struct {
+	// Samples is the draw budget per attempt; <= 0 uses the check's
+	// documented default budget.
+	Samples int
+	// Alpha is the per-attempt significance level; <= 0 uses 1e-3.
+	Alpha float64
+	// MaxAttempts bounds the multi-seed retry: a check fails only when
+	// every attempt independently rejects at Alpha, so under a true
+	// null the flake rate is Alpha^MaxAttempts while a genuine bias —
+	// which rejects with probability approaching 1 per attempt —
+	// still fails deterministically. <= 0 uses 3.
+	MaxAttempts int
+	// Seed derives every attempt's sample seeds.
+	Seed uint64
+	// Workers is the sampler parallel width; <= 0 means GOMAXPROCS.
+	// Deterministic runs (goldens, CI gates) should pin 1.
+	Workers int
+}
+
+func (c Config) alpha() float64 {
+	if c.Alpha <= 0 {
+		return 1e-3
+	}
+	return c.Alpha
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 3
+	}
+	return c.MaxAttempts
+}
+
+func (c Config) samples(def int) int {
+	if c.Samples <= 0 {
+		return def
+	}
+	return c.Samples
+}
+
+// AttemptSeed derives attempt a's base seed from the configured seed;
+// SampleSeed derives draw i's seed within an attempt. Exported so
+// external drivers can reproduce any single draw of a reported run.
+func AttemptSeed(seed uint64, attempt int) uint64 {
+	return rng.Mix64(seed) + 0x9e3779b97f4a7c15*uint64(attempt+1)
+}
+
+// SampleSeed derives the i-th draw's seed within an attempt.
+func SampleSeed(attemptSeed uint64, i int) uint64 {
+	return rng.Mix64(attemptSeed) + 2654435761*uint64(i+1)
+}
+
+// Attempt records one seeded test attempt.
+type Attempt struct {
+	// Seed is the attempt's base seed (sample i ran under
+	// SampleSeed(Seed, i)).
+	Seed uint64 `json:"seed"`
+	// Stat is the attempt's test statistic (chi-square value, or the
+	// largest |z| for moment checks).
+	Stat float64 `json:"stat"`
+	// Dof is the statistic's degrees of freedom (component count for
+	// moment checks).
+	Dof int `json:"dof"`
+	// P is the attempt's p-value.
+	P float64 `json:"p"`
+}
+
+// CheckResult is the verdict of one statistical check.
+type CheckResult struct {
+	// Name identifies the check (see Checks).
+	Name string `json:"name"`
+	// Kind is the statistic family: "uniformity",
+	// "bernoulli-marginals", or "class-moments".
+	Kind string `json:"kind"`
+	// States is the exact state-space size for uniformity checks (0
+	// otherwise).
+	States int `json:"states,omitempty"`
+	// Cells is the marginal/component count for non-uniformity checks
+	// (0 otherwise).
+	Cells int `json:"cells,omitempty"`
+	// Samples is the per-attempt draw budget used.
+	Samples int `json:"samples"`
+	// Alpha is the per-attempt significance level.
+	Alpha float64 `json:"alpha"`
+	// Attempts lists every attempt run, in order; the check passes as
+	// soon as one attempt's P >= Alpha.
+	Attempts []Attempt `json:"attempts"`
+	// Pass is the verdict.
+	Pass bool `json:"pass"`
+}
+
+// P returns the final attempt's p-value (the deciding one).
+func (r *CheckResult) P() float64 {
+	if len(r.Attempts) == 0 {
+		return math.NaN()
+	}
+	return r.Attempts[len(r.Attempts)-1].P
+}
+
+// runAttempts drives the retry policy: attempts run under derived
+// seeds until one accepts (P >= alpha) or the budget is exhausted.
+func runAttempts(res *CheckResult, cfg Config, attempt func(seed uint64) (Attempt, error)) (*CheckResult, error) {
+	alpha := cfg.alpha()
+	res.Alpha = alpha
+	for a := 0; a < cfg.maxAttempts(); a++ {
+		att, err := attempt(AttemptSeed(cfg.Seed, a))
+		if err != nil {
+			return nil, fmt.Errorf("statcheck: %s attempt %d: %w", res.Name, a, err)
+		}
+		res.Attempts = append(res.Attempts, att)
+		if att.P >= alpha {
+			res.Pass = true
+			return res, nil
+		}
+	}
+	res.Pass = false
+	return res, nil
+}
+
+// CheckUniformity draws `samples` states via draw (one canonical
+// signature per call) and chi-squares the observed state counts
+// against the uniform distribution over space. A draw outside the
+// space is a correctness error, not a statistical rejection.
+//
+// draw receives the attempt's base seed and the draw index; stateless
+// samplers derive SampleSeed(attemptSeed, i), while session-style
+// samplers (a reused engine running its batch schedule) key the
+// session on attemptSeed and the sample on i.
+func CheckUniformity(name string, space *Space, defaultSamples int, cfg Config, draw func(attemptSeed uint64, i int) (string, error)) (*CheckResult, error) {
+	samples := cfg.samples(defaultSamples)
+	res := &CheckResult{Name: name, Kind: "uniformity", States: space.NumStates(), Samples: samples}
+	return runAttempts(res, cfg, func(seed uint64) (Attempt, error) {
+		counts := make([]int64, space.NumStates())
+		for i := 0; i < samples; i++ {
+			sig, err := draw(seed, i)
+			if err != nil {
+				return Attempt{}, err
+			}
+			idx, ok := space.Index[sig]
+			if !ok {
+				return Attempt{}, fmt.Errorf("sample %d left the enumerated space %q (%d states)", i, space.Name, space.NumStates())
+			}
+			counts[idx]++
+		}
+		stat, dof, p, err := ChiSquareUniform(counts)
+		if err != nil {
+			return Attempt{}, err
+		}
+		return Attempt{Seed: seed, Stat: stat, Dof: dof, P: p}, nil
+	})
+}
+
+// CheckBernoulliMarginals draws `samples` graphs via draw, which must
+// set hit[k] for every marginal k that occurred in the sample, and
+// tests the per-marginal success counts against probs (each strictly
+// inside (0,1)) with the K-cell binomial chi-square.
+func CheckBernoulliMarginals(name string, probs []float64, defaultSamples int, cfg Config, draw func(attemptSeed uint64, i int, hit []bool) error) (*CheckResult, error) {
+	samples := cfg.samples(defaultSamples)
+	res := &CheckResult{Name: name, Kind: "bernoulli-marginals", Cells: len(probs), Samples: samples}
+	return runAttempts(res, cfg, func(seed uint64) (Attempt, error) {
+		successes := make([]int64, len(probs))
+		hit := make([]bool, len(probs))
+		for i := 0; i < samples; i++ {
+			clear(hit)
+			if err := draw(seed, i, hit); err != nil {
+				return Attempt{}, err
+			}
+			for k, h := range hit {
+				if h {
+					successes[k]++
+				}
+			}
+		}
+		stat, dof, p, err := BernoulliMarginalsStat(successes, int64(samples), probs)
+		if err != nil {
+			return Attempt{}, err
+		}
+		return Attempt{Seed: seed, Stat: stat, Dof: dof, P: p}, nil
+	})
+}
+
+// CheckClassMoments draws `samples` observations of per-component
+// totals via draw (which must fill totals, one slot per component) and
+// z-tests each component's sample mean against the analytic mean and
+// variance. The reported statistic is the largest |z|; its p-value is
+// the Šidák-combined two-sided tail over the components (an
+// independence approximation — see DESIGN.md §11). Components with
+// zero variance must match their mean exactly.
+func CheckClassMoments(name string, mean, variance []float64, defaultSamples int, cfg Config, draw func(attemptSeed uint64, i int, totals []float64) error) (*CheckResult, error) {
+	if len(mean) != len(variance) {
+		return nil, fmt.Errorf("statcheck: %d means vs %d variances", len(mean), len(variance))
+	}
+	samples := cfg.samples(defaultSamples)
+	res := &CheckResult{Name: name, Kind: "class-moments", Cells: len(mean), Samples: samples}
+	return runAttempts(res, cfg, func(seed uint64) (Attempt, error) {
+		sums := make([]float64, len(mean))
+		totals := make([]float64, len(mean))
+		for i := 0; i < samples; i++ {
+			clear(totals)
+			if err := draw(seed, i, totals); err != nil {
+				return Attempt{}, err
+			}
+			for k, t := range totals {
+				sums[k] += t
+			}
+		}
+		n := float64(samples)
+		maxZ := 0.0
+		minP := 1.0
+		for k := range mean {
+			if variance[k] <= 0 {
+				if sums[k]/n != mean[k] {
+					return Attempt{}, fmt.Errorf("component %d: zero variance but mean %g != %g", k, sums[k]/n, mean[k])
+				}
+				continue
+			}
+			z := (sums[k]/n - mean[k]) / math.Sqrt(variance[k]/n)
+			if math.Abs(z) > maxZ {
+				maxZ = math.Abs(z)
+			}
+			if p := NormalTwoSidedP(z); p < minP {
+				minP = p
+			}
+		}
+		return Attempt{Seed: seed, Stat: maxZ, Dof: len(mean), P: SidakCombine(minP, len(mean))}, nil
+	})
+}

@@ -1,0 +1,80 @@
+package statcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema is the stable identifier of the JSON report format
+// emitted by cmd/statcheck and the nightly CI job. Any breaking change
+// to the report layout must bump the version suffix.
+const ReportSchema = "nullgraph/statcheck-report/v1"
+
+// Report is the machine-readable outcome of a statcheck run.
+type Report struct {
+	// Schema is always ReportSchema.
+	Schema string `json:"schema"`
+	// Seed is the run's base seed (checks derive attempt seeds from it).
+	Seed uint64 `json:"seed"`
+	// Alpha is the per-attempt significance level used.
+	Alpha float64 `json:"alpha"`
+	// MaxAttempts is the retry budget used.
+	MaxAttempts int `json:"max_attempts"`
+	// Workers is the sampler parallel width (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// SampleOverride is the per-attempt budget forced on every check,
+	// or 0 when each check used its own default.
+	SampleOverride int `json:"sample_override,omitempty"`
+	// Checks holds each check's result, in registry order.
+	Checks []CheckResult `json:"checks"`
+	// Pass is the conjunction of every check's verdict.
+	Pass bool `json:"pass"`
+}
+
+// RunChecks executes the named checks (all registry checks when names
+// is empty) under cfg and assembles the report. Check errors (sampler
+// failures, out-of-space draws) abort the run: they are correctness
+// bugs, not statistical rejections.
+func RunChecks(names []string, cfg Config) (*Report, error) {
+	var selected []Check
+	if len(names) == 0 {
+		selected = Checks()
+	} else {
+		for _, n := range names {
+			c, ok := CheckByName(n)
+			if !ok {
+				return nil, fmt.Errorf("statcheck: unknown check %q (have %v)", n, CheckNames())
+			}
+			selected = append(selected, c)
+		}
+	}
+	rep := &Report{
+		Schema:         ReportSchema,
+		Seed:           cfg.Seed,
+		Alpha:          cfg.alpha(),
+		MaxAttempts:    cfg.maxAttempts(),
+		Workers:        cfg.Workers,
+		SampleOverride: max(cfg.Samples, 0),
+		Pass:           true,
+	}
+	for _, c := range selected {
+		res, err := c.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Checks = append(rep.Checks, *res)
+		if !res.Pass {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON (trailing newline
+// included), the exact bytes the golden-file test locks.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

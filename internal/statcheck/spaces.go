@@ -1,0 +1,369 @@
+package statcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"nullgraph/internal/core"
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/directed"
+	"nullgraph/internal/edgeskip"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/havelhakimi"
+	"nullgraph/internal/metrics"
+	"nullgraph/internal/probgen"
+	"nullgraph/internal/swap"
+)
+
+// swapChainIterations is the per-sample swap budget for undirected
+// uniformity checks. The enumerable spaces have at most 6 vertices, so
+// the chain's diameter is tiny; 30 iterations (the experiments
+// package's long-used budget) is far past mixing on every space below.
+//
+// directedChainIterations is higher because the directed pair sweep is
+// lazy (each legal exchange is proposed with probability 1/2 — see the
+// SwapEngine doc for why that coin is load-bearing): empirically, 30
+// iterations leaves measurable under-mixing on the n=4 derangement
+// space (mean p ≈ 0.37 over 30 seeds), while 60+ restores the uniform
+// p-value profile; 100 leaves margin for long nightly budgets.
+const (
+	swapChainIterations     = 30
+	directedChainIterations = 100
+)
+
+// Check is one named statistical verification, runnable from tests,
+// cmd/statcheck, or the nightly CI job.
+type Check struct {
+	// Name is the stable identifier (-space flag, report entries).
+	Name string
+	// Description says what distributional property the check locks.
+	Description string
+	// DefaultSamples is the per-attempt draw budget when Config.Samples
+	// is unset. See DESIGN.md §11 for how budgets are sized.
+	DefaultSamples int
+	// Run executes the check under cfg.
+	Run func(cfg Config) (*CheckResult, error)
+}
+
+// Checks returns the registry of built-in checks, in report order.
+// Every sampler family the repo ships is represented: the undirected
+// swap chain (three enumerable degree sequences), the public
+// shuffle-session pipeline, the directed swap chain (including the
+// triangle-reversal ergodicity case), edge-skipping Bernoulli
+// marginals, and probgen expected-degree fidelity.
+func Checks() []Check {
+	return []Check{
+		{
+			Name:           "swap-matchings-k6",
+			Description:    "swap-chain uniformity over the 15 perfect matchings of K6 (1-regular, n=6)",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runSwapUniformity(cfg, "swap-matchings-k6", map[int64]int64{1: 6}, 3000)
+			},
+		},
+		{
+			Name:           "swap-cycles-c5",
+			Description:    "swap-chain uniformity over the 12 labeled 5-cycles (2-regular, n=5)",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runSwapUniformity(cfg, "swap-cycles-c5", map[int64]int64{2: 5}, 3000)
+			},
+		},
+		{
+			Name:           "swap-paths-p5",
+			Description:    "swap-chain uniformity over the 7 simple graphs with degrees {1,1,2,2,2}",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runSwapUniformity(cfg, "swap-paths-p5", map[int64]int64{1: 2, 2: 3}, 3000)
+			},
+		},
+		{
+			Name:           "shuffle-sessions-k6",
+			Description:    "uniformity of core.Engine.ShuffleSample batches (session reuse + per-sample seed schedule) over K6 matchings",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runShuffleSessionUniformity(cfg, "shuffle-sessions-k6", map[int64]int64{1: 6}, 3000)
+			},
+		},
+		{
+			Name:           "directed-triangles-n3",
+			Description:    "directed-swap uniformity over the 2 orientations of a directed triangle (ergodicity needs triangle reversal)",
+			DefaultSamples: 2000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runDirectedSwapUniformity(cfg, "directed-triangles-n3", 3, 2000)
+			},
+		},
+		{
+			Name:           "directed-derangements-n4",
+			Description:    "directed-swap uniformity over the 9 derangement digraphs on 4 vertices (out=in=1)",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runDirectedSwapUniformity(cfg, "directed-derangements-n4", 4, 3000)
+			},
+		},
+		{
+			Name:           "edgeskip-marginals",
+			Description:    "edge-skipping per-pair Bernoulli marginals against the analytic P[i][j] (10 pairs, n=5)",
+			DefaultSamples: 4000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runEdgeskipMarginals(cfg, "edgeskip-marginals", nil, 4000)
+			},
+		},
+		{
+			Name:           "probgen-degrees",
+			Description:    "probgen expected-degree fidelity: sampled per-class degree totals match the analytic Bernoulli moments",
+			DefaultSamples: 2000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runProbgenDegreeFidelity(cfg, "probgen-degrees", 2000)
+			},
+		},
+	}
+}
+
+// CheckByName looks a check up in the registry.
+func CheckByName(name string) (Check, bool) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Check{}, false
+}
+
+// CheckNames returns the registry's names, sorted.
+func CheckNames() []string {
+	cs := Checks()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mustDist builds a Distribution from counts; the registry's inputs are
+// compile-time constants, so failure is a programming error.
+func mustDist(counts map[int64]int64) (*degseq.Distribution, error) {
+	dist, err := degseq.FromCounts(counts)
+	if err != nil {
+		return nil, fmt.Errorf("statcheck: bad registry distribution: %w", err)
+	}
+	return dist, nil
+}
+
+// runSwapUniformity checks that the raw swap engine, started from a
+// fixed Havel-Hakimi realization and run for swapChainIterations from
+// an independent seed per draw, samples the enumerated space uniformly.
+// One engine serves every draw (SetSeed + Reset), which is also the
+// reuse idiom the engine documents — so the check covers it.
+func runSwapUniformity(cfg Config, name string, counts map[int64]int64, defaultSamples int) (*CheckResult, error) {
+	dist, err := mustDist(counts)
+	if err != nil {
+		return nil, err
+	}
+	space, err := EnumerateSimpleGraphs(dist, name)
+	if err != nil {
+		return nil, err
+	}
+	start, err := havelhakimi.Generate(dist)
+	if err != nil {
+		return nil, err
+	}
+	el := graph.NewEdgeList(append([]graph.Edge(nil), start.Edges...), start.NumVertices)
+	eng := swap.NewEngine(el, swap.Options{
+		Iterations: swapChainIterations,
+		Workers:    cfg.Workers,
+		Seed:       0, // per-draw via SetSeed
+	})
+	defer eng.Close()
+	return CheckUniformity(name, space, defaultSamples, cfg, func(attemptSeed uint64, i int) (string, error) {
+		copy(el.Edges, start.Edges)
+		eng.SetSeed(SampleSeed(attemptSeed, i))
+		eng.Reset(el)
+		swap.RunEngine(eng)
+		return SignatureOfEdges(el.Edges), nil
+	})
+}
+
+// runShuffleSessionUniformity checks the public pipeline surface: a
+// reused core.Engine whose ShuffleSample batch schedule (sample index →
+// derived seed) produces uniform draws. This locks the session seed
+// schedule itself, not just the underlying chain.
+func runShuffleSessionUniformity(cfg Config, name string, counts map[int64]int64, defaultSamples int) (*CheckResult, error) {
+	dist, err := mustDist(counts)
+	if err != nil {
+		return nil, err
+	}
+	space, err := EnumerateSimpleGraphs(dist, name)
+	if err != nil {
+		return nil, err
+	}
+	start, err := havelhakimi.Generate(dist)
+	if err != nil {
+		return nil, err
+	}
+	el := graph.NewEdgeList(append([]graph.Edge(nil), start.Edges...), start.NumVertices)
+	var eng *core.Engine
+	var engSeed uint64
+	defer func() {
+		if eng != nil {
+			eng.Close()
+		}
+	}()
+	return CheckUniformity(name, space, defaultSamples, cfg, func(attemptSeed uint64, i int) (string, error) {
+		if eng == nil || engSeed != attemptSeed {
+			if eng != nil {
+				eng.Close()
+			}
+			eng = core.NewEngine(core.Options{
+				Workers:        cfg.Workers,
+				Seed:           attemptSeed,
+				SwapIterations: swapChainIterations,
+			})
+			engSeed = attemptSeed
+		}
+		copy(el.Edges, start.Edges)
+		if _, err := eng.ShuffleSample(el, uint64(i), nil); err != nil {
+			return "", err
+		}
+		return SignatureOfEdges(el.Edges), nil
+	})
+}
+
+// derangementJoint is the out=in=1 joint distribution on n vertices; its
+// simple digraphs are exactly the derangements of S_n.
+func derangementJoint(n int64) *directed.JointDistribution {
+	return &directed.JointDistribution{Classes: []directed.JointClass{{Out: 1, In: 1, Count: n}}}
+}
+
+// runDirectedSwapUniformity checks the directed swap chain (pair
+// exchanges + triangle-reversal sweeps) against the enumerated
+// derangement space. n=3 is the ergodicity regression: its two states
+// are connected only through triangle reversal.
+func runDirectedSwapUniformity(cfg Config, name string, n int64, defaultSamples int) (*CheckResult, error) {
+	d := derangementJoint(n)
+	space, err := EnumerateSimpleDigraphs(d, name)
+	if err != nil {
+		return nil, err
+	}
+	start, err := directed.KleitmanWang(d)
+	if err != nil {
+		return nil, err
+	}
+	al := start.Clone()
+	return CheckUniformity(name, space, defaultSamples, cfg, func(attemptSeed uint64, i int) (string, error) {
+		copy(al.Arcs, start.Arcs)
+		directed.SwapArcs(al, directed.SwapOptions{
+			Iterations: directedChainIterations,
+			Workers:    cfg.Workers,
+			Seed:       SampleSeed(attemptSeed, i),
+		})
+		return SignatureOfArcs(al.Arcs), nil
+	})
+}
+
+// edgeskipFixture is the shared input of the marginals check: a 5-vertex
+// distribution with two degree classes and a hand-picked probability
+// matrix strictly inside (0,1), so every one of the 10 vertex pairs is a
+// testable Bernoulli marginal.
+func edgeskipFixture() (*degseq.Distribution, *probgen.Matrix, error) {
+	dist, err := mustDist(map[int64]int64{1: 3, 2: 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := probgen.NewMatrix(2)
+	m.Set(0, 0, 0.25)
+	m.Set(0, 1, 0.5)
+	m.Set(1, 1, 0.75)
+	return dist, m, nil
+}
+
+// runEdgeskipMarginals checks Algorithm IV.2's per-pair Bernoulli
+// marginals: every vertex pair (u, v) must be an edge with exactly
+// probability P[class(u)][class(v)]. perturb, when non-nil, modifies the
+// probability vector the *statistic* expects (not the sampler's input) —
+// the biased-direction tests use it to prove the harness rejects a
+// mismatched model.
+func runEdgeskipMarginals(cfg Config, name string, perturb func(probs []float64), defaultSamples int) (*CheckResult, error) {
+	dist, m, err := edgeskipFixture()
+	if err != nil {
+		return nil, err
+	}
+	n := int(dist.NumVertices())
+	offsets := dist.VertexOffsets(1)
+
+	// Pair index k ↔ vertex pair (u, v), u < v, in lexicographic order.
+	type pair struct{ u, v int32 }
+	var pairs []pair
+	var probs []float64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			ci := degseq.ClassOfVertex(offsets, int64(u))
+			cj := degseq.ClassOfVertex(offsets, int64(v))
+			pairs = append(pairs, pair{int32(u), int32(v)})
+			probs = append(probs, m.At(ci, cj))
+		}
+	}
+	pairIndex := make(map[uint64]int, len(pairs))
+	for k, pr := range pairs {
+		pairIndex[graph.Edge{U: pr.u, V: pr.v}.Key()] = k
+	}
+	if perturb != nil {
+		perturb(probs)
+	}
+
+	gen := edgeskip.NewGenerator(edgeskip.Options{Workers: cfg.Workers})
+	return CheckBernoulliMarginals(name, probs, defaultSamples, cfg, func(attemptSeed uint64, i int, hit []bool) error {
+		el, err := gen.Generate(dist, m, SampleSeed(attemptSeed, i), nil)
+		if err != nil {
+			return err
+		}
+		for _, e := range el.Edges {
+			k, ok := pairIndex[e.Key()]
+			if !ok {
+				return fmt.Errorf("edge %v outside the pair space", e)
+			}
+			hit[k] = true
+		}
+		return nil
+	})
+}
+
+// probgenFixture is the degree-fidelity check's input: three degree
+// classes whose probgen matrix stays strictly inside (0,1).
+func probgenFixture() (*degseq.Distribution, *probgen.Matrix, error) {
+	dist, err := mustDist(map[int64]int64{1: 4, 2: 3, 3: 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := probgen.Generate(dist, 1)
+	m.Clamp()
+	return dist, m, nil
+}
+
+// runProbgenDegreeFidelity samples graphs from probgen's analytic matrix
+// through the edge-skipping generator and z-tests each class's total
+// degree against the exact Bernoulli moments. Because probgen's matrix
+// is constructed so that expected class degrees equal the target
+// degrees (row residuals ≈ 0), this locks expected-degree fidelity of
+// the whole probgen → edgeskip pipeline.
+func runProbgenDegreeFidelity(cfg Config, name string, defaultSamples int) (*CheckResult, error) {
+	dist, m, err := probgenFixture()
+	if err != nil {
+		return nil, err
+	}
+	mean, variance := metrics.BernoulliClassDegreeMoments(dist, m)
+	offsets := dist.VertexOffsets(1)
+	gen := edgeskip.NewGenerator(edgeskip.Options{Workers: cfg.Workers})
+	return CheckClassMoments(name, mean, variance, defaultSamples, cfg, func(attemptSeed uint64, i int, totals []float64) error {
+		el, err := gen.Generate(dist, m, SampleSeed(attemptSeed, i), nil)
+		if err != nil {
+			return err
+		}
+		for _, e := range el.Edges {
+			totals[degseq.ClassOfVertex(offsets, int64(e.U))]++
+			totals[degseq.ClassOfVertex(offsets, int64(e.V))]++
+		}
+		return nil
+	})
+}

@@ -1,0 +1,288 @@
+// Package statcheck is the repo's statistical verification subsystem:
+// machine-checked distribution-level correctness gates for every
+// sampler the paper's claims rest on.
+//
+// The paper's central claim is uniformity — swap chains converge to
+// the uniform distribution over the simple graphs of a fixed degree
+// sequence, and edge-skipping realizes its analytic Bernoulli
+// probabilities exactly — and the literature on degree-preserving
+// randomization (Dutta/Fosdick/Clauset; Greenhill) stresses that swap
+// samplers go wrong in ways only distribution-level tests catch. This
+// package provides the three ingredients such tests need:
+//
+//   - exact enumerators for small state spaces (every simple graph on
+//     a degree sequence, every simple digraph on a joint sequence) so
+//     the target distribution is known, not approximated;
+//   - proper test statistics with real p-values: chi-square
+//     goodness-of-fit via the regularized incomplete gamma function,
+//     the two-sample Kolmogorov-Smirnov statistic, and per-pair
+//     Bernoulli marginal checks — replacing rule-of-thumb thresholds;
+//   - a harness that drives any seeded sampler for N draws and returns
+//     a verdict at a configured significance level, with multi-seed
+//     retry so the CI flake rate is alpha^attempts while a genuine
+//     bias still fails deterministically.
+//
+// See DESIGN.md §11 for the methodology (state spaces, significance
+// levels, retry policy, and budget sizing).
+package statcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x >= 0, accurate to ~1e-12 over
+// the chi-square range (series expansion for x < a+1, Lentz continued
+// fraction otherwise — the classic split).
+func GammaP(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 − P(a, x).
+func GammaQ(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaSeries(a, x)
+	}
+	return gammaContinuedFraction(a, x)
+}
+
+const (
+	gammaMaxIter = 500
+	gammaEps     = 1e-15
+)
+
+// gammaSeries evaluates P(a,x) by its power series
+// P(a,x) = e^{-x} x^a / Γ(a) · Σ_{n>=0} x^n / (a(a+1)...(a+n)).
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by the Lentz-modified
+// continued fraction e^{-x} x^a / Γ(a) · 1/(x+1−a− 1·(1−a)/(x+3−a−…)).
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareP returns the upper-tail p-value P(X > stat) of the
+// chi-square distribution with dof degrees of freedom — the survival
+// function Q(dof/2, stat/2). A non-positive dof or negative statistic
+// returns NaN.
+func ChiSquareP(stat float64, dof int) float64 {
+	if dof <= 0 || stat < 0 {
+		return math.NaN()
+	}
+	return GammaQ(float64(dof)/2, stat/2)
+}
+
+// ChiSquareStat computes the Pearson goodness-of-fit statistic
+// Σ (obs−exp)²/exp over cells with positive expectation, returning the
+// statistic and its degrees of freedom (cells − 1). Cells with
+// non-positive expectation are rejected with an error: a model that
+// predicts zero mass where observations can land needs an exact test,
+// not a chi-square.
+func ChiSquareStat(observed []int64, expected []float64) (stat float64, dof int, err error) {
+	if len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("statcheck: %d observed cells vs %d expected", len(observed), len(expected))
+	}
+	if len(observed) < 2 {
+		return 0, 0, fmt.Errorf("statcheck: chi-square needs >= 2 cells, got %d", len(observed))
+	}
+	for i, e := range expected {
+		if e <= 0 {
+			return 0, 0, fmt.Errorf("statcheck: cell %d has non-positive expectation %g", i, e)
+		}
+		d := float64(observed[i]) - e
+		stat += d * d / e
+	}
+	return stat, len(observed) - 1, nil
+}
+
+// ChiSquareUniform tests observed counts against the uniform
+// distribution over len(observed) cells, returning the statistic, its
+// dof, and the p-value.
+func ChiSquareUniform(observed []int64) (stat float64, dof int, p float64, err error) {
+	var n int64
+	for _, c := range observed {
+		if c < 0 {
+			return 0, 0, 0, fmt.Errorf("statcheck: negative count %d", c)
+		}
+		n += c
+	}
+	if n == 0 {
+		return 0, 0, 0, fmt.Errorf("statcheck: no observations")
+	}
+	expected := make([]float64, len(observed))
+	e := float64(n) / float64(len(observed))
+	for i := range expected {
+		expected[i] = e
+	}
+	stat, dof, err = ChiSquareStat(observed, expected)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return stat, dof, ChiSquareP(stat, dof), nil
+}
+
+// BernoulliMarginalsStat tests K independent Bernoulli marginals: cell
+// k observed successes out of n trials against probability probs[k].
+// The statistic Σ (x_k − n·p_k)² / (n·p_k·(1−p_k)) is asymptotically
+// chi-square with K degrees of freedom (each cell is a squared
+// standardized binomial). Probabilities must lie strictly in (0, 1).
+func BernoulliMarginalsStat(successes []int64, trials int64, probs []float64) (stat float64, dof int, p float64, err error) {
+	if len(successes) != len(probs) {
+		return 0, 0, 0, fmt.Errorf("statcheck: %d cells vs %d probabilities", len(successes), len(probs))
+	}
+	if trials <= 0 {
+		return 0, 0, 0, fmt.Errorf("statcheck: non-positive trial count %d", trials)
+	}
+	if len(probs) == 0 {
+		return 0, 0, 0, fmt.Errorf("statcheck: no marginals to test")
+	}
+	n := float64(trials)
+	for k, pk := range probs {
+		if pk <= 0 || pk >= 1 {
+			return 0, 0, 0, fmt.Errorf("statcheck: marginal %d has degenerate probability %g", k, pk)
+		}
+		x := float64(successes[k])
+		d := x - n*pk
+		stat += d * d / (n * pk * (1 - pk))
+	}
+	dof = len(probs)
+	return stat, dof, ChiSquareP(stat, dof), nil
+}
+
+// NormalTwoSidedP returns the two-sided tail probability
+// P(|Z| > |z|) of a standard normal — erfc(|z|/√2).
+func NormalTwoSidedP(z float64) float64 {
+	return math.Erfc(math.Abs(z) / math.Sqrt2)
+}
+
+// SidakCombine converts the smallest of k dependent-ish per-component
+// p-values into a family-wise p-value under the independence
+// approximation: 1 − (1−minP)^k. Conservative direction for positively
+// correlated components; DESIGN.md §11 documents where it is used.
+func SidakCombine(minP float64, k int) float64 {
+	if k <= 0 {
+		return math.NaN()
+	}
+	if minP < 0 {
+		minP = 0
+	}
+	if minP > 1 {
+		minP = 1
+	}
+	// 1 − (1−p)^k via expm1/log1p so tiny p survive cancellation.
+	return -math.Expm1(float64(k) * math.Log1p(-minP))
+}
+
+// KSTwoSample computes the two-sample Kolmogorov-Smirnov statistic D
+// between samples a and b and its asymptotic p-value (Smirnov
+// approximation with the Stephens small-sample correction). The inputs
+// are not modified.
+func KSTwoSample(a, b []float64) (d, p float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, fmt.Errorf("statcheck: KS needs non-empty samples (%d, %d)", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := float64(len(as)), float64(len(bs))
+	var i, j int
+	for i < len(as) && j < len(bs) {
+		ai, bj := as[i], bs[j]
+		if ai <= bj {
+			i++
+		}
+		if bj <= ai {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	sq := math.Sqrt(ne)
+	return d, kolmogorovQ((sq + 0.12 + 0.11/sq) * d), nil
+}
+
+// kolmogorovQ is the Kolmogorov distribution's survival function
+// Q(λ) = 2 Σ_{j>=1} (−1)^{j−1} e^{−2 j² λ²}.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := math.Exp(-2 * float64(j*j) * lambda * lambda)
+		sum += sign * term
+		if term < 1e-18 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,194 @@
+package statcheck
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChiSquareReferenceValues validates the p-value implementation
+// against closed-form reference values (ISSUE acceptance: >= 5 values
+// to 1e-6). Each reference is exact:
+//
+//	dof=1: P(chi² > x) = erfc(sqrt(x/2))
+//	dof=2: P(chi² > x) = e^{-x/2}
+//	dof=4: P(chi² > x) = e^{-x/2}(1 + x/2)
+//	dof=10: P(chi² > x) = e^{-x/2} Σ_{k=0}^{4} (x/2)^k / k!
+func TestChiSquareReferenceValues(t *testing.T) {
+	cases := []struct {
+		stat float64
+		dof  int
+		want float64
+	}{
+		{1, 1, 0.31731050786291415},             // erfc(1/√2)
+		{4, 1, 0.04550026389635842},             // erfc(√2)
+		{2, 2, 0.36787944117144233},             // e^{-1}
+		{2 * math.Ln10, 2, 0.1},                 // e^{-ln 10}
+		{2, 4, 0.7357588823428847},              // 2e^{-1}
+		{10, 10, 65.375 * math.Exp(-5)},         // e^{-5}·(1+5+12.5+125/6+625/24)
+		{0, 5, 1},                      // zero statistic
+		{23.68479130484058, 14, 0.05}, // the dof=14 5% critical value
+	}
+	for _, c := range cases {
+		got := ChiSquareP(c.stat, c.dof)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("ChiSquareP(%v, %d) = %.12f, want %.12f (|Δ| = %g)",
+				c.stat, c.dof, got, c.want, math.Abs(got-c.want))
+		}
+	}
+}
+
+func TestChiSquarePDegenerate(t *testing.T) {
+	if !math.IsNaN(ChiSquareP(-1, 3)) {
+		t.Error("negative statistic must yield NaN")
+	}
+	if !math.IsNaN(ChiSquareP(1, 0)) {
+		t.Error("zero dof must yield NaN")
+	}
+}
+
+// TestGammaPQComplement locks P + Q = 1 across both evaluation branches
+// (series and continued fraction).
+func TestGammaPQComplement(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 7, 50} {
+		for _, x := range []float64{0.1, 1, 3, 10, 80} {
+			p, q := GammaP(a, x), GammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("P(%v,%v)+Q(%v,%v) = %v, want 1", a, x, a, x, p+q)
+			}
+			if p < 0 || p > 1 || q < 0 || q > 1 {
+				t.Errorf("P=%v Q=%v outside [0,1] at a=%v x=%v", p, q, a, x)
+			}
+		}
+	}
+}
+
+func TestChiSquareStatErrors(t *testing.T) {
+	if _, _, err := ChiSquareStat([]int64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ChiSquareStat([]int64{1}, []float64{1}); err == nil {
+		t.Error("single cell accepted")
+	}
+	if _, _, err := ChiSquareStat([]int64{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("zero expectation accepted")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfectly uniform counts: statistic 0, p-value 1.
+	stat, dof, p, err := ChiSquareUniform([]int64{100, 100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 3 || p != 1 {
+		t.Errorf("got stat=%v dof=%v p=%v, want 0/3/1", stat, dof, p)
+	}
+	// All mass on one of k cells: stat = n(k-1), huge.
+	stat, _, p, err = ChiSquareUniform([]int64{400, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 1200 {
+		t.Errorf("concentrated stat = %v, want 1200", stat)
+	}
+	if p > 1e-100 {
+		t.Errorf("concentrated p = %v, want ~0", p)
+	}
+	if _, _, _, err := ChiSquareUniform([]int64{0, 0}); err == nil {
+		t.Error("empty observation set accepted")
+	}
+	if _, _, _, err := ChiSquareUniform([]int64{3, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestBernoulliMarginalsStat(t *testing.T) {
+	// Exactly expected counts: statistic 0.
+	stat, dof, p, err := BernoulliMarginalsStat([]int64{250, 500}, 1000, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 2 || p != 1 {
+		t.Errorf("got stat=%v dof=%v p=%v, want 0/2/1", stat, dof, p)
+	}
+	// One cell off by 10 sd-units: z² = 100 in that cell.
+	sd := math.Sqrt(1000 * 0.25 * 0.75)
+	stat, _, p, err = BernoulliMarginalsStat([]int64{250 + int64(10*sd), 500}, 1000, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat < 95 || p > 1e-15 {
+		t.Errorf("10-sigma deviation: stat=%v p=%v", stat, p)
+	}
+	for _, bad := range [][]float64{{0, 0.5}, {1, 0.5}, {-0.1, 0.5}} {
+		if _, _, _, err := BernoulliMarginalsStat([]int64{1, 1}, 10, bad); err == nil {
+			t.Errorf("degenerate probability %v accepted", bad[0])
+		}
+	}
+	if _, _, _, err := BernoulliMarginalsStat([]int64{1}, 0, []float64{0.5}); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestNormalTwoSidedP(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 1},
+		{1.959963984540054, 0.05},
+		{-1.959963984540054, 0.05},
+		{3.2905267314918945, 0.001},
+	}
+	for _, c := range cases {
+		if got := NormalTwoSidedP(c.z); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NormalTwoSidedP(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestSidakCombine(t *testing.T) {
+	// k=1: identity.
+	if got := SidakCombine(0.03, 1); math.Abs(got-0.03) > 1e-15 {
+		t.Errorf("k=1 got %v", got)
+	}
+	// Tiny p with large k stays ≈ k·p (no catastrophic cancellation).
+	if got := SidakCombine(1e-12, 10); math.Abs(got-1e-11) > 1e-13 {
+		t.Errorf("tiny p: got %v, want ~1e-11", got)
+	}
+	if got := SidakCombine(0.5, 2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("got %v, want 0.75", got)
+	}
+	if !math.IsNaN(SidakCombine(0.1, 0)) {
+		t.Error("k=0 must yield NaN")
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	// Identical samples: D = 0, p = 1.
+	a := []float64{1, 2, 3, 4, 5}
+	d, p, err := KSTwoSample(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || p != 1 {
+		t.Errorf("identical samples: D=%v p=%v", d, p)
+	}
+	// Disjoint supports: D = 1, p ~ 0.
+	b := make([]float64, 200)
+	c := make([]float64, 200)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = float64(i) + 1000
+	}
+	d, p, err = KSTwoSample(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("disjoint supports: D=%v, want 1", d)
+	}
+	if p > 1e-10 {
+		t.Errorf("disjoint supports: p=%v, want ~0", p)
+	}
+	if _, _, err := KSTwoSample(nil, a); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
