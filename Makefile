@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test test-stat race lint fuzz-smoke bench-swap bench-gen clean
+.PHONY: verify build vet test test-stat race lint fuzz-smoke bench-swap bench-gen bench-all bench-check clean
 
 # verify is the tier-1 gate: everything compiles, vets clean, and every
 # test passes.
@@ -68,5 +68,23 @@ bench-swap:
 bench-gen:
 	$(GO) run ./cmd/benchgen
 
+# bench-all regenerates both committed baselines in place. Run it (and
+# commit the diff) after a deliberate perf change so bench-check keeps
+# gating against current numbers.
+bench-all: bench-swap bench-gen
+
+# bench-check measures fresh *.head.json files and gates them against
+# the committed baselines with cmd/benchcheck: ns/op within ±15%, a
+# hard zero-allocation gate on the swap Step, and the reuse-bytes
+# session contract. This is the CI bench-regression job's entry point.
+bench-check:
+	$(GO) run ./cmd/benchswap -o BENCH_swap.head.json
+	$(GO) run ./cmd/benchgen -o BENCH_generate.head.json
+	$(GO) run ./cmd/benchcheck \
+		-swap-baseline BENCH_swap.json -swap BENCH_swap.head.json \
+		-gen-baseline BENCH_generate.json -gen BENCH_generate.head.json
+
+# clean removes only derived measurement files; BENCH_swap.json and
+# BENCH_generate.json are committed baselines, not build products.
 clean:
-	rm -f BENCH_swap.json BENCH_generate.json
+	rm -f BENCH_swap.head.json BENCH_generate.head.json

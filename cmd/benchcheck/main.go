@@ -1,0 +1,238 @@
+// Command benchcheck gates fresh benchmark measurements against the
+// committed baselines (BENCH_swap.json, BENCH_generate.json at the
+// repo root), replacing ad-hoc CI assertions with one reviewed tool.
+//
+// Three gates, two of them unconditional:
+//
+//   - the swap hot path must not allocate: every fresh Step
+//     measurement's allocs_per_op must be 0, baseline or not;
+//   - the session contract holds: every fresh generate comparison's
+//     reuse_bytes_ratio must stay <= 0.10 (DESIGN.md §9);
+//   - ns/op must stay within -tolerance (default ±15%) of the baseline
+//     measurement with the same configuration. A regression beyond the
+//     band fails; an improvement beyond it is reported as a reminder to
+//     refresh the baseline, and fails only under -strict (improvements
+//     are good news, but a stale baseline stops catching regressions).
+//
+// Usage:
+//
+//	benchcheck -swap-baseline BENCH_swap.json -swap BENCH_swap.head.json \
+//	           -gen-baseline BENCH_generate.json -gen BENCH_generate.head.json
+//
+// Either pair may be omitted to gate only one benchmark. Exit status:
+// 0 all gates pass, 1 a gate failed, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// swapMeasurement mirrors cmd/benchswap's Measurement.
+type swapMeasurement struct {
+	Workers     int     `json:"workers"`
+	Edges       int     `json:"edges"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SwapsPerSec float64 `json:"swaps_per_sec"`
+}
+
+type swapReport struct {
+	Benchmark string            `json:"benchmark"`
+	Results   []swapMeasurement `json:"results"`
+}
+
+// genMeasurement / genComparison mirror cmd/benchgen's document.
+type genMeasurement struct {
+	Mode        string `json:"mode"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type genComparison struct {
+	Workers         int            `json:"workers"`
+	Cold            genMeasurement `json:"cold"`
+	Reuse           genMeasurement `json:"reuse"`
+	ReuseBytesRatio float64        `json:"reuse_bytes_ratio"`
+}
+
+type genReport struct {
+	Benchmark string          `json:"benchmark"`
+	Results   []genComparison `json:"results"`
+}
+
+// maxReuseBytesRatio is the session contract from DESIGN.md §9.
+const maxReuseBytesRatio = 0.10
+
+// outcome accumulates gate results so one run reports every violation
+// instead of stopping at the first.
+type outcome struct {
+	failures []string
+	notes    []string
+}
+
+func (o *outcome) failf(format string, args ...any) {
+	o.failures = append(o.failures, fmt.Sprintf(format, args...))
+}
+
+func (o *outcome) notef(format string, args ...any) {
+	o.notes = append(o.notes, fmt.Sprintf(format, args...))
+}
+
+// checkNs compares one fresh ns/op against its baseline under the
+// tolerance band, filing a failure for regressions and a note for
+// out-of-band improvements.
+func (o *outcome) checkNs(label string, base, fresh int64, tol float64) {
+	if base <= 0 {
+		o.failf("%s: baseline ns/op %d is not positive", label, base)
+		return
+	}
+	delta := float64(fresh-base) / float64(base)
+	switch {
+	case delta > tol:
+		o.failf("%s: ns/op regressed %.1f%% (baseline %d, fresh %d, tolerance ±%.0f%%)",
+			label, delta*100, base, fresh, tol*100)
+	case delta < -tol:
+		o.notef("%s: ns/op improved %.1f%% (baseline %d, fresh %d) — refresh the baseline (make bench-all) so the gate keeps teeth",
+			label, -delta*100, base, fresh)
+	}
+}
+
+// checkSwap gates a fresh swap report: zero allocations everywhere,
+// ns/op within the band of the baseline entry with the same
+// (workers, edges) configuration.
+func checkSwap(o *outcome, baseline, fresh *swapReport, tol float64) {
+	for _, f := range fresh.Results {
+		label := fmt.Sprintf("swap workers=%d edges=%d", f.Workers, f.Edges)
+		if f.AllocsPerOp != 0 {
+			o.failf("%s: Step allocates (%d allocs/op, %d B/op); the hot-path budget is 0",
+				label, f.AllocsPerOp, f.BytesPerOp)
+		}
+		b, ok := findSwap(baseline, f.Workers, f.Edges)
+		if !ok {
+			o.notef("%s: no matching baseline entry; ns/op %d unchecked", label, f.NsPerOp)
+			continue
+		}
+		o.checkNs(label, b.NsPerOp, f.NsPerOp, tol)
+	}
+	if len(fresh.Results) == 0 {
+		o.failf("swap: fresh report has no results")
+	}
+}
+
+func findSwap(rep *swapReport, workers, edges int) (swapMeasurement, bool) {
+	for _, m := range rep.Results {
+		if m.Workers == workers && m.Edges == edges {
+			return m, true
+		}
+	}
+	return swapMeasurement{}, false
+}
+
+// checkGen gates a fresh generate report: the reuse-bytes contract on
+// every comparison, cold and reuse ns/op against the baseline entry
+// with the same worker count.
+func checkGen(o *outcome, baseline, fresh *genReport, tol float64) {
+	for _, f := range fresh.Results {
+		label := fmt.Sprintf("gen workers=%d", f.Workers)
+		if f.ReuseBytesRatio > maxReuseBytesRatio {
+			o.failf("%s: reuse_bytes_ratio %.3f exceeds the %.2f session contract",
+				label, f.ReuseBytesRatio, maxReuseBytesRatio)
+		}
+		b, ok := findGen(baseline, f.Workers)
+		if !ok {
+			o.notef("%s: no matching baseline entry; ns/op unchecked", label)
+			continue
+		}
+		o.checkNs(label+" cold", b.Cold.NsPerOp, f.Cold.NsPerOp, tol)
+		o.checkNs(label+" reuse", b.Reuse.NsPerOp, f.Reuse.NsPerOp, tol)
+	}
+	if len(fresh.Results) == 0 {
+		o.failf("gen: fresh report has no results")
+	}
+}
+
+func findGen(rep *genReport, workers int) (genComparison, bool) {
+	for _, c := range rep.Results {
+		if c.Workers == workers {
+			return c, true
+		}
+	}
+	return genComparison{}, false
+}
+
+func loadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		swapBaseline = flag.String("swap-baseline", "", "committed swap baseline (BENCH_swap.json)")
+		swapFresh    = flag.String("swap", "", "fresh swap measurement to gate")
+		genBaseline  = flag.String("gen-baseline", "", "committed generate baseline (BENCH_generate.json)")
+		genFresh     = flag.String("gen", "", "fresh generate measurement to gate")
+		tolerance    = flag.Float64("tolerance", 0.15, "allowed relative ns/op drift vs baseline")
+		strict       = flag.Bool("strict", false, "also fail on out-of-band improvements (stale baseline)")
+	)
+	flag.Parse()
+	if (*swapFresh == "") != (*swapBaseline == "") || (*genFresh == "") != (*genBaseline == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: -swap/-swap-baseline and -gen/-gen-baseline must be passed in pairs")
+		os.Exit(2)
+	}
+	if *swapFresh == "" && *genFresh == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to check; pass -swap/-swap-baseline and/or -gen/-gen-baseline")
+		os.Exit(2)
+	}
+	if *tolerance <= 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: -tolerance must be positive")
+		os.Exit(2)
+	}
+
+	var o outcome
+	if *swapFresh != "" {
+		var base, fresh swapReport
+		if err := loadJSON(*swapBaseline, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := loadJSON(*swapFresh, &fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		checkSwap(&o, &base, &fresh, *tolerance)
+	}
+	if *genFresh != "" {
+		var base, fresh genReport
+		if err := loadJSON(*genBaseline, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := loadJSON(*genFresh, &fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		checkGen(&o, &base, &fresh, *tolerance)
+	}
+
+	for _, n := range o.notes {
+		fmt.Fprintln(os.Stderr, "benchcheck: note:", n)
+	}
+	for _, f := range o.failures {
+		fmt.Fprintln(os.Stderr, "benchcheck: FAIL:", f)
+	}
+	if len(o.failures) > 0 || (*strict && len(o.notes) > 0) {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchcheck: all gates pass")
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func swapRep(ns, allocs int64) *swapReport {
+	return &swapReport{Results: []swapMeasurement{
+		{Workers: 1, Edges: 1 << 20, NsPerOp: ns, AllocsPerOp: allocs},
+	}}
+}
+
+func genRep(cold, reuse int64, ratio float64) *genReport {
+	return &genReport{Results: []genComparison{{
+		Workers:         1,
+		Cold:            genMeasurement{Mode: "cold", NsPerOp: cold},
+		Reuse:           genMeasurement{Mode: "reuse", NsPerOp: reuse},
+		ReuseBytesRatio: ratio,
+	}}}
+}
+
+func TestCheckSwapGates(t *testing.T) {
+	base := swapRep(100_000_000, 0)
+	cases := []struct {
+		name      string
+		fresh     *swapReport
+		wantFails int
+		wantNotes int
+		mention   string
+	}{
+		{"identical", swapRep(100_000_000, 0), 0, 0, ""},
+		{"within band", swapRep(110_000_000, 0), 0, 0, ""},
+		{"regression", swapRep(120_000_000, 0), 1, 0, "regressed"},
+		{"improvement", swapRep(80_000_000, 0), 0, 1, "refresh the baseline"},
+		{"allocation", swapRep(100_000_000, 3), 1, 0, "allocates"},
+		{"alloc and regression", swapRep(130_000_000, 1), 2, 0, ""},
+		{"empty fresh", &swapReport{}, 1, 0, "no results"},
+	}
+	for _, tc := range cases {
+		var o outcome
+		checkSwap(&o, base, tc.fresh, 0.15)
+		if len(o.failures) != tc.wantFails || len(o.notes) != tc.wantNotes {
+			t.Errorf("%s: failures=%v notes=%v, want %d/%d",
+				tc.name, o.failures, o.notes, tc.wantFails, tc.wantNotes)
+			continue
+		}
+		if tc.mention != "" {
+			all := strings.Join(append(o.failures, o.notes...), "\n")
+			if !strings.Contains(all, tc.mention) {
+				t.Errorf("%s: output %q does not mention %q", tc.name, all, tc.mention)
+			}
+		}
+	}
+}
+
+// TestCheckSwapMissingBaselineConfig: a fresh config the baseline lacks
+// is a note (unchecked), not a failure — new configurations must be
+// addable before their baseline lands.
+func TestCheckSwapMissingBaselineConfig(t *testing.T) {
+	base := swapRep(100_000_000, 0)
+	fresh := &swapReport{Results: []swapMeasurement{
+		{Workers: 8, Edges: 1 << 20, NsPerOp: 50_000_000, AllocsPerOp: 0},
+	}}
+	var o outcome
+	checkSwap(&o, base, fresh, 0.15)
+	if len(o.failures) != 0 || len(o.notes) != 1 {
+		t.Errorf("failures=%v notes=%v, want 0 failures, 1 note", o.failures, o.notes)
+	}
+}
+
+func TestCheckGenGates(t *testing.T) {
+	base := genRep(30_000_000, 25_000_000, 0.001)
+	cases := []struct {
+		name      string
+		fresh     *genReport
+		wantFails int
+		wantNotes int
+	}{
+		{"identical", genRep(30_000_000, 25_000_000, 0.001), 0, 0},
+		{"cold regression", genRep(40_000_000, 25_000_000, 0.001), 1, 0},
+		{"reuse regression", genRep(30_000_000, 32_000_000, 0.001), 1, 0},
+		{"ratio violation", genRep(30_000_000, 25_000_000, 0.25), 1, 0},
+		{"both improve", genRep(20_000_000, 18_000_000, 0.001), 0, 2},
+	}
+	for _, tc := range cases {
+		var o outcome
+		checkGen(&o, base, tc.fresh, 0.15)
+		if len(o.failures) != tc.wantFails || len(o.notes) != tc.wantNotes {
+			t.Errorf("%s: failures=%v notes=%v, want %d/%d",
+				tc.name, o.failures, o.notes, tc.wantFails, tc.wantNotes)
+		}
+	}
+}
+
+// TestCheckNsBoundary pins the band edges: exactly ±tolerance is inside
+// the band (<= / >=, not < / >).
+func TestCheckNsBoundary(t *testing.T) {
+	var o outcome
+	o.checkNs("edge", 100, 115, 0.15) // exactly +15%
+	o.checkNs("edge", 100, 85, 0.15)  // exactly -15%
+	if len(o.failures) != 0 || len(o.notes) != 0 {
+		t.Errorf("exact-band results flagged: failures=%v notes=%v", o.failures, o.notes)
+	}
+	o.checkNs("bad", 0, 100, 0.15) // degenerate baseline
+	if len(o.failures) != 1 {
+		t.Errorf("non-positive baseline not failed: %v", o.failures)
+	}
+}

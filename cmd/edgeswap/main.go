@@ -10,6 +10,7 @@
 //
 //	edgeswap -in graph.txt -swaps 10 -o shuffled.txt
 //	edgeswap -in graph.txt -mix -o shuffled.txt     # swap until mixed
+//	edgeswap -in graph.txt -adaptive -o shuffled.txt  # adaptive stopping
 //	edgeswap -in digraph.txt -directed -o shuffled.txt
 //	edgeswap -in graph.txt -report report.json      # chain-health report
 package main
@@ -38,6 +39,10 @@ func run() error {
 		in         = flag.String("in", "", "input edge list (\"u v\" lines; - = stdin)")
 		swaps      = flag.Int("swaps", 10, "double-edge swap iterations")
 		mix        = flag.Bool("mix", false, "swap until every edge swapped at least once (overrides -swaps)")
+		adaptive   = flag.Bool("adaptive", false, "stop swapping adaptively when the monitored statistic tests stationary (overrides -swaps)")
+		stopStat   = flag.String("stop-stat", "assortativity", "adaptive statistic: assortativity, triangles or success-rate (with -adaptive; -directed always monitors success-rate)")
+		stopFloor  = flag.Int("stop-floor", 0, "minimum swap iterations before an adaptive stop (0 = default)")
+		stopBudget = flag.Int("stop-budget", 0, "maximum swap iterations for an adaptive run (0 = default)")
 		directed   = flag.Bool("directed", false, "treat the input as a directed arc list")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -54,6 +59,33 @@ func run() error {
 	}
 	if *report != "" && *directed {
 		return fmt.Errorf("-report is not supported with -directed")
+	}
+	if *adaptive && *mix {
+		return fmt.Errorf("-adaptive and -mix are mutually exclusive; pass at most one")
+	}
+	if !*adaptive && (*stopFloor != 0 || *stopBudget != 0) {
+		return fmt.Errorf("-stop-floor and -stop-budget require -adaptive")
+	}
+	if *stopFloor < 0 || *stopBudget < 0 {
+		return fmt.Errorf("-stop-floor and -stop-budget must be >= 0 (got %d, %d)", *stopFloor, *stopBudget)
+	}
+	if *stopBudget > 0 && *stopFloor > *stopBudget {
+		return fmt.Errorf("-stop-floor %d exceeds -stop-budget %d", *stopFloor, *stopBudget)
+	}
+	var policy *nullgraph.StopPolicy
+	if *adaptive {
+		var stat nullgraph.StopStatistic
+		switch *stopStat {
+		case "", "assortativity":
+			stat = nullgraph.StopOnAssortativity
+		case "triangles":
+			stat = nullgraph.StopOnTriangles
+		case "success-rate":
+			stat = nullgraph.StopOnSuccessRate
+		default:
+			return fmt.Errorf("-stop-stat must be assortativity, triangles or success-rate (got %q)", *stopStat)
+		}
+		policy = &nullgraph.StopPolicy{Statistic: stat, Floor: *stopFloor, Budget: *stopBudget}
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -107,7 +139,14 @@ func run() error {
 		Seed:            *seed,
 		SwapIterations:  *swaps,
 		MixUntilSwapped: *mix,
+		StopPolicy:      policy,
 		CollectReport:   *report != "",
+	}
+	stopDesc := func(st *nullgraph.StopReport) string {
+		if st == nil || st.Policy != "adaptive" {
+			return ""
+		}
+		return fmt.Sprintf(" | adaptive stop: %s (%s)", st.Reason, st.Statistic)
 	}
 
 	if *directed {
@@ -131,9 +170,9 @@ func run() error {
 				success += s.Successes
 			}
 			fmt.Fprintf(os.Stderr,
-				"edgeswap: arcs=%d | input loops=%d dup=%d -> output loops=%d dup=%d | %d/%d proposals committed over %d iterations\n",
+				"edgeswap: arcs=%d | input loops=%d dup=%d -> output loops=%d dup=%d | %d/%d proposals committed over %d iterations%s\n",
 				g.NumArcs(), before.SelfLoops, before.DuplicateArcs, after.SelfLoops, after.DuplicateArcs,
-				success, total, len(res.SwapIterations))
+				success, total, len(res.SwapIterations), stopDesc(res.Stop))
 		}
 		return nil
 	}
@@ -163,9 +202,9 @@ func run() error {
 			success += s.Successes
 		}
 		fmt.Fprintf(os.Stderr,
-			"edgeswap: m=%d | input loops=%d multi=%d -> output loops=%d multi=%d | %d/%d proposals committed over %d iterations\n",
+			"edgeswap: m=%d | input loops=%d multi=%d -> output loops=%d multi=%d | %d/%d proposals committed over %d iterations%s\n",
 			g.NumEdges(), before.SelfLoops, before.MultiEdges, after.SelfLoops, after.MultiEdges,
-			success, total, len(res.SwapIterations))
+			success, total, len(res.SwapIterations), stopDesc(res.Stop))
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 //	nullgen -powerlaw 100000 -gamma 2.1 -dmax 1000 -swaps 10 -o graph.txt
 //	nullgen -dataset as20 -swaps 10 -o as20-null.txt
 //	nullgen -dist degrees.txt -mix -o graph.txt
+//	nullgen -powerlaw 100000 -adaptive -o graph.txt  # adaptive stopping
 //	nullgen -powerlaw 100000 -report report.json   # chain-health report
 //
 // Invalid flag combinations exit with status 2; runtime failures exit
@@ -47,6 +48,10 @@ type config struct {
 	MaxVerts   int64
 	Swaps      int
 	Mix        bool
+	Adaptive   bool
+	StopStat   string
+	StopFloor  int
+	StopBudget int
 	Workers    int
 	Seed       uint64
 	Out        string
@@ -93,6 +98,21 @@ func validateConfig(c config) error {
 	if c.Joint != "" && c.Report != "" {
 		return errors.New("-report is not supported with -joint (directed pipeline)")
 	}
+	if c.Adaptive && c.Mix {
+		return errors.New("-adaptive and -mix are mutually exclusive; pass at most one")
+	}
+	if !c.Adaptive && (c.StopFloor != 0 || c.StopBudget != 0) {
+		return errors.New("-stop-floor and -stop-budget require -adaptive")
+	}
+	if c.StopFloor < 0 || c.StopBudget < 0 {
+		return fmt.Errorf("-stop-floor and -stop-budget must be >= 0 (got %d, %d)", c.StopFloor, c.StopBudget)
+	}
+	if c.StopBudget > 0 && c.StopFloor > c.StopBudget {
+		return fmt.Errorf("-stop-floor %d exceeds -stop-budget %d", c.StopFloor, c.StopBudget)
+	}
+	if _, err := parseStopStat(c.StopStat); err != nil {
+		return err
+	}
 	if c.Timeout < 0 {
 		return fmt.Errorf("-timeout must be >= 0 (got %v)", c.Timeout)
 	}
@@ -124,6 +144,10 @@ func main() {
 	flag.Int64Var(&c.MaxVerts, "max-vertices", 0, "cap for dataset analog sizes (0 = package default)")
 	flag.IntVar(&c.Swaps, "swaps", 10, "double-edge swap iterations for mixing")
 	flag.BoolVar(&c.Mix, "mix", false, "swap until every edge has swapped at least once (overrides -swaps)")
+	flag.BoolVar(&c.Adaptive, "adaptive", false, "stop swapping adaptively when the monitored statistic tests stationary (overrides -swaps)")
+	flag.StringVar(&c.StopStat, "stop-stat", "assortativity", "adaptive statistic: assortativity, triangles or success-rate (with -adaptive; -joint always monitors success-rate)")
+	flag.IntVar(&c.StopFloor, "stop-floor", 0, "minimum swap iterations before an adaptive stop (0 = default)")
+	flag.IntVar(&c.StopBudget, "stop-budget", 0, "maximum swap iterations for an adaptive run (0 = default)")
 	flag.IntVar(&c.Workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Uint64Var(&c.Seed, "seed", 1, "random seed")
 	flag.StringVar(&c.Out, "o", "-", "output edge list path (- = stdout)")
@@ -178,6 +202,7 @@ func run(ctx context.Context, c config) error {
 		Seed:            c.Seed,
 		SwapIterations:  c.Swaps,
 		MixUntilSwapped: c.Mix,
+		StopPolicy:      c.stopPolicy(),
 		CollectReport:   c.Report != "",
 	})
 	if err != nil {
@@ -204,11 +229,46 @@ func run(ctx context.Context, c config) error {
 	if !c.Quiet {
 		stats := nullgraph.ComputeStats(res.Graph, c.Workers)
 		q := nullgraph.Quality(res.Graph, dist, c.Workers)
-		fmt.Fprintf(os.Stderr, "nullgen: n=%d m=%d d_max=%d |D|=%d | edge err %+.2f%% d_max err %+.2f%% | %d swap iterations\n",
+		fmt.Fprintf(os.Stderr, "nullgen: n=%d m=%d d_max=%d |D|=%d | edge err %+.2f%% d_max err %+.2f%% | %d swap iterations%s\n",
 			stats.NumVertices, stats.NumEdges, stats.MaxDegree, stats.UniqueDegrees,
-			q.Edges*100, q.MaxDegree*100, len(res.SwapIterations))
+			q.Edges*100, q.MaxDegree*100, len(res.SwapIterations), stopDesc(res.Stop))
 	}
 	return nil
+}
+
+// stopPolicy maps the adaptive flags onto a StopPolicy; validateConfig
+// has already vetted every field, so parseStopStat cannot fail here.
+func (c config) stopPolicy() *nullgraph.StopPolicy {
+	if !c.Adaptive {
+		return nil
+	}
+	stat, err := parseStopStat(c.StopStat)
+	if err != nil {
+		panic("nullgen: stop policy built before validateConfig: " + err.Error())
+	}
+	return &nullgraph.StopPolicy{Statistic: stat, Floor: c.StopFloor, Budget: c.StopBudget}
+}
+
+// parseStopStat resolves the -stop-stat flag; "" means the default.
+func parseStopStat(s string) (nullgraph.StopStatistic, error) {
+	switch s {
+	case "", "assortativity":
+		return nullgraph.StopOnAssortativity, nil
+	case "triangles":
+		return nullgraph.StopOnTriangles, nil
+	case "success-rate":
+		return nullgraph.StopOnSuccessRate, nil
+	}
+	return 0, fmt.Errorf("-stop-stat must be assortativity, triangles or success-rate (got %q)", s)
+}
+
+// stopDesc renders the stop outcome for the summary line; fixed-budget
+// runs say nothing (the iteration count already tells the story).
+func stopDesc(st *nullgraph.StopReport) string {
+	if st == nil || st.Policy != "adaptive" {
+		return ""
+	}
+	return fmt.Sprintf(" | adaptive stop: %s (%s)", st.Reason, st.Statistic)
 }
 
 func loadDistribution(c config) (*nullgraph.DegreeDistribution, error) {
@@ -246,6 +306,7 @@ func generateDirected(ctx context.Context, c config) error {
 		Seed:            c.Seed,
 		SwapIterations:  c.Swaps,
 		MixUntilSwapped: c.Mix,
+		StopPolicy:      c.stopPolicy(),
 	})
 	if err != nil {
 		return err
@@ -263,8 +324,8 @@ func generateDirected(ctx context.Context, c config) error {
 		return err
 	}
 	if !c.Quiet {
-		fmt.Fprintf(os.Stderr, "nullgen: digraph n=%d arcs=%d (target %d) | %d swap iterations\n",
-			res.Graph.NumVertices, res.Graph.NumArcs(), dist.NumArcs(), len(res.SwapIterations))
+		fmt.Fprintf(os.Stderr, "nullgen: digraph n=%d arcs=%d (target %d) | %d swap iterations%s\n",
+			res.Graph.NumVertices, res.Graph.NumArcs(), dist.NumArcs(), len(res.SwapIterations), stopDesc(res.Stop))
 	}
 	return nil
 }

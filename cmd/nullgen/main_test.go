@@ -45,6 +45,16 @@ func TestValidateConfig(t *testing.T) {
 		{"report with powerlaw ok", func(c *config) { c.Report = "r.json" }, ""},
 		{"negative timeout", func(c *config) { c.Timeout = -time.Second }, "-timeout"},
 		{"positive timeout ok", func(c *config) { c.Timeout = 30 * time.Second }, ""},
+		{"adaptive ok", func(c *config) { c.Adaptive = true }, ""},
+		{"adaptive with knobs ok", func(c *config) { c.Adaptive = true; c.StopFloor = 8; c.StopBudget = 64 }, ""},
+		{"adaptive with stat ok", func(c *config) { c.Adaptive = true; c.StopStat = "success-rate" }, ""},
+		{"adaptive plus mix", func(c *config) { c.Adaptive = true; c.Mix = true }, "mutually exclusive"},
+		{"stop floor without adaptive", func(c *config) { c.StopFloor = 8 }, "require -adaptive"},
+		{"stop budget without adaptive", func(c *config) { c.StopBudget = 64 }, "require -adaptive"},
+		{"negative stop floor", func(c *config) { c.Adaptive = true; c.StopFloor = -1 }, ">= 0"},
+		{"floor above budget", func(c *config) { c.Adaptive = true; c.StopFloor = 65; c.StopBudget = 64 }, "exceeds"},
+		{"bad stop stat", func(c *config) { c.Adaptive = true; c.StopStat = "modularity" }, "-stop-stat"},
+		{"adaptive joint ok", func(c *config) { c.PowerLaw = 0; c.Joint = "j.txt"; c.Adaptive = true }, ""},
 	}
 	for _, tc := range cases {
 		c := valid()

@@ -46,6 +46,11 @@ type DirectedResult struct {
 	Graph          *Digraph
 	SwapIterations []directed.SwapIterStats
 	Mixed          bool
+	// Stop records how the swap phase ended; with Options.StopPolicy it
+	// carries the adaptive monitor's outcome and checkpoint trail. The
+	// directed chain always monitors the swap success rate (no graph
+	// statistic is wired), whatever StopPolicy.Statistic says.
+	Stop *StopReport
 }
 
 // directedOptions maps the shared Options onto the directed pipeline,
@@ -65,6 +70,7 @@ func directedOptions(opt Options) (directed.Options, error) {
 		Seed:            opt.Seed,
 		SwapIterations:  opt.SwapIterations,
 		MixUntilSwapped: opt.MixUntilSwapped,
+		StopPolicy:      opt.StopPolicy,
 	}, nil
 }
 
@@ -97,7 +103,7 @@ func GenerateDirectedContext(ctx context.Context, dist *JointDistribution, opt O
 	if err != nil {
 		return nil, ctxError(ctx, err)
 	}
-	return &DirectedResult{Graph: res.Graph, SwapIterations: res.Swaps.PerIteration, Mixed: res.Mixed}, nil
+	return &DirectedResult{Graph: res.Graph, SwapIterations: res.Swaps.PerIteration, Mixed: res.Mixed, Stop: res.Stop}, nil
 }
 
 // ShuffleDirected mixes an existing digraph in place, preserving every
@@ -129,7 +135,7 @@ func ShuffleDirectedContext(ctx context.Context, g *Digraph, opt Options) (*Dire
 	if err != nil {
 		return nil, ctxError(ctx, err)
 	}
-	return &DirectedResult{Graph: res.Graph, SwapIterations: res.Swaps.PerIteration, Mixed: res.Mixed}, nil
+	return &DirectedResult{Graph: res.Graph, SwapIterations: res.Swaps.PerIteration, Mixed: res.Mixed, Stop: res.Stop}, nil
 }
 
 // KleitmanWang deterministically realizes a joint degree distribution

@@ -58,6 +58,37 @@ func TestShuffleDirectedFacade(t *testing.T) {
 	}
 }
 
+// TestShuffleDirectedAdaptive drives the directed adaptive stopper: the
+// outcome must be adaptive on the success-rate trace (the directed
+// chain's only wired statistic) with degrees preserved.
+func TestShuffleDirectedAdaptive(t *testing.T) {
+	g := digraphCycle(300)
+	outBefore, inBefore := g.Degrees(1)
+	res, err := ShuffleDirected(g, Options{
+		Seed:       5,
+		StopPolicy: &StopPolicy{Floor: 6, Budget: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stop
+	if st == nil || st.Policy != "adaptive" {
+		t.Fatalf("Stop = %+v, want adaptive", st)
+	}
+	if st.Statistic != "success-rate" {
+		t.Errorf("directed adaptive statistic = %q, want success-rate", st.Statistic)
+	}
+	if st.Iterations != len(res.SwapIterations) || st.Iterations < 6 || st.Iterations > 64 {
+		t.Errorf("iterations %d (stats %d) outside [6, 64]", st.Iterations, len(res.SwapIterations))
+	}
+	outAfter, inAfter := g.Degrees(1)
+	for v := range outBefore {
+		if outBefore[v] != outAfter[v] || inBefore[v] != inAfter[v] {
+			t.Fatalf("degrees changed at %d", v)
+		}
+	}
+}
+
 func TestKleitmanWangFacade(t *testing.T) {
 	dist := JointFromDegrees([]int64{1, 1, 1}, []int64{1, 1, 1})
 	g, err := KleitmanWang(dist)

@@ -1,0 +1,212 @@
+package converge
+
+import (
+	"math"
+	"testing"
+
+	"nullgraph/internal/rng"
+)
+
+// drive feeds the monitor a synthetic chain: eval values come from the
+// monitor's own eval closure, cheap signals from sr/es. Returns the
+// iteration (1-based) at which the monitor fired, or 0 if it ran out of
+// maxIter.
+func drive(m *Monitor, maxIter int, sr func(it int) float64, es func(it int) float64) int {
+	for it := 1; it <= maxIter; it++ {
+		if m.Observe(sr(it), es(it)) {
+			return it
+		}
+	}
+	return 0
+}
+
+func constf(v float64) func(int) float64 { return func(int) float64 { return v } }
+
+func TestNeverFiresBeforeFloor(t *testing.T) {
+	for _, floor := range []int{5, 17, 30} {
+		m := NewMonitor(Policy{Floor: floor, Budget: 10 * floor, Growth: 1.05, Hysteresis: 1}, func() float64 { return 1.0 })
+		fired := drive(m, 10*floor, constf(0.5), constf(1))
+		if fired == 0 {
+			t.Fatalf("floor %d: monitor never fired on a constant trace", floor)
+		}
+		if fired <= floor {
+			t.Fatalf("floor %d: fired at iteration %d, inside the floor", floor, fired)
+		}
+		out := m.Outcome()
+		if out.Reason != "converged" {
+			t.Fatalf("floor %d: reason %q, want converged", floor, out.Reason)
+		}
+		if out.Iterations != fired {
+			t.Fatalf("floor %d: outcome iterations %d != fired %d", floor, out.Iterations, fired)
+		}
+	}
+}
+
+func TestStopLagsDecidingCheckpoint(t *testing.T) {
+	// The fire iteration must be strictly after the checkpoint that
+	// established convergence: the returned state postdates everything
+	// the diagnostic saw.
+	m := NewMonitor(Policy{Floor: 10, Budget: 500, Growth: 1.05, Hysteresis: 2}, func() float64 { return 3.14 })
+	fired := drive(m, 500, constf(0.4), constf(1))
+	if fired == 0 {
+		t.Fatal("monitor never fired")
+	}
+	cps := m.Outcome().Checkpoints
+	last := cps[len(cps)-1]
+	if !last.Converged {
+		t.Fatal("last checkpoint not converged")
+	}
+	if fired <= last.Iteration {
+		t.Fatalf("fired at %d, not after deciding checkpoint at %d", fired, last.Iteration)
+	}
+}
+
+func TestBudgetCapsDivergentTrace(t *testing.T) {
+	// A trace that keeps trending never passes the Geweke test; the
+	// budget must end the run with reason "budget".
+	k := 0
+	m := NewMonitor(Policy{Floor: 4, Budget: 64, Hysteresis: 2}, func() float64 { k++; return float64(k * k) })
+	fired := drive(m, 1000, func(it int) float64 { return 1 / float64(it) }, constf(0))
+	if fired != 64 {
+		t.Fatalf("fired at %d, want budget 64", fired)
+	}
+	out := m.Outcome()
+	if out.Reason != "budget" {
+		t.Fatalf("reason %q, want budget", out.Reason)
+	}
+}
+
+func TestHysteresisFiltersOneOffConvergence(t *testing.T) {
+	// Trace alternates: stretches of constant values (converged
+	// checkpoints) interrupted by jumps that reset the streak. With a
+	// high hysteresis the monitor must wait for a long enough stretch.
+	mk := func(hyst int) int {
+		k := 0
+		eval := func() float64 {
+			k++
+			if k%3 == 0 { // every third checkpoint jumps
+				return float64(100 * k)
+			}
+			return 1.0
+		}
+		m := NewMonitor(Policy{Floor: 4, Budget: 2000, Growth: 1.02, Hysteresis: hyst, Z: 1.5}, eval)
+		return drive(m, 2000, constf(0.5), constf(1))
+	}
+	lo, hi := mk(1), mk(3)
+	if lo == 0 {
+		t.Fatal("hysteresis 1 never fired")
+	}
+	if hi != 0 && hi <= lo {
+		t.Fatalf("hysteresis 3 fired at %d, not later than hysteresis 1 at %d", hi, lo)
+	}
+}
+
+func TestMinEverSwappedGuard(t *testing.T) {
+	// Identical constant traces; the ever-swapped guard alone separates
+	// the two runs.
+	run := func(minES float64, es float64) int {
+		m := NewMonitor(Policy{Floor: 4, Budget: 300, Growth: 1.05, Hysteresis: 1, MinEverSwapped: minES}, constFloat(1))
+		return drive(m, 300, constf(0.5), constf(es))
+	}
+	without := run(0, 0.2)
+	blocked := run(0.9, 0.2)
+	passed := run(0.9, 0.95)
+	if without == 0 || passed == 0 {
+		t.Fatal("unguarded or satisfied run never fired")
+	}
+	if blocked != 300 {
+		t.Fatalf("guarded run fired at %d, want budget 300", blocked)
+	}
+	if m := run(0.9, 0.95); m == 0 {
+		t.Fatal("guard satisfied but never fired")
+	}
+}
+
+func constFloat(v float64) func() float64 { return func() float64 { return v } }
+
+func TestNilEvalForcesSuccessRateTrace(t *testing.T) {
+	m := NewMonitor(Policy{Floor: 4, Budget: 200, Growth: 1.1, Hysteresis: 1}, nil)
+	if m.Policy().Statistic != SuccessRate {
+		t.Fatalf("statistic %v, want SuccessRate", m.Policy().Statistic)
+	}
+	// Plateaued success rate converges.
+	fired := drive(m, 200, constf(0.31), constf(0))
+	if fired == 0 {
+		t.Fatal("success-rate monitor never fired on plateaued rate")
+	}
+	out := m.Outcome()
+	if out.Statistic != "success-rate" {
+		t.Fatalf("outcome statistic %q", out.Statistic)
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	k := 0
+	eval := func() float64 {
+		k++
+		return math.Sin(float64(k) / 3)
+	}
+	m := NewMonitor(Policy{Floor: 6, Budget: 400, Growth: 1.2}, eval)
+	first := drive(m, 400, constf(0.5), constf(1))
+	out1 := m.Outcome()
+	k = 0
+	m.Reset()
+	second := drive(m, 400, constf(0.5), constf(1))
+	out2 := m.Outcome()
+	if first != second {
+		t.Fatalf("reset run fired at %d, first at %d", second, first)
+	}
+	if len(out1.Checkpoints) != len(out2.Checkpoints) {
+		t.Fatalf("checkpoint counts differ: %d vs %d", len(out1.Checkpoints), len(out2.Checkpoints))
+	}
+	for i := range out1.Checkpoints {
+		if out1.Checkpoints[i] != out2.Checkpoints[i] {
+			t.Fatalf("checkpoint %d differs after reset", i)
+		}
+	}
+}
+
+func TestGewekeZProperties(t *testing.T) {
+	if !math.IsNaN(gewekeZ([]float64{1, 2, 3})) {
+		t.Fatal("short trace should yield NaN")
+	}
+	if z := gewekeZ([]float64{5, 5, 5, 5, 5, 5, 5, 5}); z != 0 {
+		t.Fatalf("constant trace z = %v, want 0", z)
+	}
+	// A strong trend must produce a large |z|.
+	trend := make([]float64, 40)
+	for i := range trend {
+		trend[i] = float64(i)
+	}
+	if z := gewekeZ(trend); math.Abs(z) < 3 {
+		t.Fatalf("trending trace z = %v, want |z| >= 3", z)
+	}
+	// Stationary noise should usually give a modest |z|.
+	src := rng.New(77)
+	noise := make([]float64, 64)
+	for i := range noise {
+		noise[i] = src.Float64()
+	}
+	if z := gewekeZ(noise); math.Abs(z) > 4 {
+		t.Fatalf("stationary noise z = %v, unexpectedly extreme", z)
+	}
+}
+
+func TestCheckpointScheduleIsGeometricAndMonotonic(t *testing.T) {
+	m := NewMonitor(Policy{Floor: 4, Budget: 100000, Growth: 1.5, Hysteresis: 1000000}, constFloat(1))
+	drive(m, 5000, constf(0.5), constf(1))
+	cps := m.Outcome().Checkpoints
+	if len(cps) < 8 {
+		t.Fatalf("only %d checkpoints over 5000 iterations", len(cps))
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i].Iteration <= cps[i-1].Iteration {
+			t.Fatalf("checkpoint iterations not increasing: %d then %d", cps[i-1].Iteration, cps[i].Iteration)
+		}
+	}
+	// Geometric spacing: the number of checkpoints is logarithmic, not
+	// linear, in the iteration count.
+	if len(cps) > 40 {
+		t.Fatalf("%d checkpoints over 5000 iterations: schedule is not geometric", len(cps))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"nullgraph/internal/converge"
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/graph"
 	"nullgraph/internal/hashtable"
@@ -34,6 +35,16 @@ type Options struct {
 	// every edge has been in a successful swap (bounded by
 	// MaxSwapIterations), the paper's empirical mixing signal.
 	MixUntilSwapped bool
+	// StopPolicy, when non-nil, replaces the fixed swap budget with the
+	// adaptive convergence monitor of internal/converge: the chain runs
+	// until the monitored statistic's checkpoint trace passes a
+	// Geweke-style stationarity test (with hysteresis), bounded below by
+	// StopPolicy.Floor and above by StopPolicy.Budget. It takes
+	// precedence over MixUntilSwapped and SwapIterations. Ever-swapped
+	// tracking is forced on (the monitor records it, and
+	// StopPolicy.MinEverSwapped may gate on it). A nil StopPolicy keeps
+	// the fixed-scan path bit-identical to previous releases.
+	StopPolicy *converge.Policy
 	// MaxSwapIterations bounds MixUntilSwapped; <= 0 means 128.
 	MaxSwapIterations int
 	// Probing selects the hash-table probing strategy for swaps.
@@ -93,6 +104,12 @@ type Result struct {
 	// Mixed reports whether every edge swapped at least once (only
 	// meaningful with MixUntilSwapped).
 	Mixed bool
+	// Stop records why the swap phase ended: policy "fixed" with reason
+	// "scans"/"mixed"/"budget" on the default path, or the adaptive
+	// monitor's outcome (reason "converged" or "budget" plus the
+	// checkpoint trail) when Options.StopPolicy is set. The same record
+	// lands in the RunReport's stop section when a Recorder is attached.
+	Stop *obs.StopReport
 }
 
 // FromDistribution generates a uniformly random simple graph matching
@@ -110,6 +127,13 @@ func FromDistribution(dist *degseq.Distribution, opt Options) (*Result, error) {
 func recordPhases(opt Options, p PhaseTimes) {
 	if obs.Enabled && opt.Recorder != nil {
 		opt.Recorder.SetPhases(int64(p.Probabilities), int64(p.EdgeGeneration), int64(p.Swapping))
+	}
+}
+
+// recordStop folds the stopping decision into the run report.
+func recordStop(opt Options, st *obs.StopReport) {
+	if obs.Enabled && opt.Recorder != nil && st != nil {
+		opt.Recorder.SetStop(st)
 	}
 }
 
@@ -152,7 +176,7 @@ func (o Options) swapOptions() swap.Options {
 		Workers:      o.Workers,
 		Seed:         o.Seed + 0x5eed,
 		Probing:      o.Probing,
-		TrackSwapped: o.TrackSwapStats || o.MixUntilSwapped,
+		TrackSwapped: o.TrackSwapStats || o.MixUntilSwapped || o.StopPolicy != nil,
 		Recorder:     o.Recorder,
 	}
 }

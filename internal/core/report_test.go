@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"nullgraph/internal/converge"
 	"nullgraph/internal/obs"
 )
 
@@ -69,6 +70,59 @@ func TestRunReportGolden(t *testing.T) {
 	}
 	if decoded.Schema != obs.SchemaVersion {
 		t.Errorf("golden schema = %q, want %q", decoded.Schema, obs.SchemaVersion)
+	}
+}
+
+// TestRunReportGoldenAdaptive pins the adaptive-stop section of the v2
+// schema the same way: an adaptive Workers=1 run's full report —
+// including the stop reason and checkpoint trail — must not drift.
+func TestRunReportGoldenAdaptive(t *testing.T) {
+	d := mustDist(t, map[int64]int64{2: 400, 5: 40, 9: 10})
+	rec := obs.NewRecorder()
+	_, err := FromDistribution(d, Options{
+		Workers:  1,
+		Seed:     42,
+		Recorder: rec,
+		StopPolicy: &converge.Policy{
+			Floor:  6,
+			Budget: 48,
+			Growth: 1.2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+	rep.Phases = nil
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "runreport_adaptive_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("adaptive RunReport JSON drifted from golden file (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	var decoded obs.RunReport
+	if err := json.Unmarshal(want, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Stop == nil || decoded.Stop.Policy != "adaptive" {
+		t.Fatalf("golden stop section missing or not adaptive: %+v", decoded.Stop)
+	}
+	if decoded.Stop.Iterations < 6 {
+		t.Errorf("adaptive run stopped at %d iterations, inside the floor", decoded.Stop.Iterations)
+	}
+	if len(decoded.Stop.Checkpoints) == 0 {
+		t.Error("adaptive golden has no checkpoints")
 	}
 }
 

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"time"
 
+	"nullgraph/internal/converge"
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/edgeskip"
 	"nullgraph/internal/graph"
+	"nullgraph/internal/metrics"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/par"
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/swap"
@@ -55,6 +58,68 @@ type Engine struct {
 	// changed distribution invalidates the cache.
 	prob    *probgen.Matrix
 	probKey []degseq.Class
+
+	// mon is the adaptive convergence monitor, constructed on first use
+	// and rearmed (Reset) per sample; monEl is the edge list its eval
+	// closure reads, rebound by runSwaps before each adaptive run.
+	mon   *converge.Monitor
+	monEl *graph.EdgeList
+}
+
+// monitorStopper adapts the converge monitor to the swap engine's
+// Stopper interface, converting IterStats into the monitor's cheap
+// signals. It lives on the session Engine so steady-state adaptive runs
+// allocate nothing per sample.
+type monitorStopper struct {
+	mon *converge.Monitor
+}
+
+func (s monitorStopper) Observe(_ int, stats swap.IterStats) bool {
+	sr := 0.0
+	if stats.Attempts > 0 {
+		sr = float64(stats.Successes) / float64(stats.Attempts)
+	}
+	return s.mon.Observe(sr, stats.EverSwapped)
+}
+
+// monitor returns the session's convergence monitor for the configured
+// policy, building it on first use. The eval closure reads e.monEl so
+// one monitor serves every sample the session runs.
+func (e *Engine) monitor() *converge.Monitor {
+	if e.mon != nil {
+		return e.mon
+	}
+	pol := *e.opt.StopPolicy
+	var eval func() float64
+	switch pol.Statistic {
+	case converge.SuccessRate:
+		eval = nil
+	case converge.Triangles:
+		eval = func() float64 {
+			return float64(graph.BuildCSR(e.monEl, e.opt.Workers).CountTriangles(e.opt.Workers))
+		}
+	default:
+		eval = func() float64 { return metrics.Assortativity(e.monEl, e.opt.Workers) }
+	}
+	e.mon = converge.NewMonitor(pol, eval)
+	return e.mon
+}
+
+// fixedStopReport summarizes a fixed-budget (or mixed-heuristic) run
+// for the v2 report's stop section.
+func fixedStopReport(opt Options, res swap.Result, mixed bool) *obs.StopReport {
+	reason := "scans"
+	if opt.MixUntilSwapped {
+		reason = "budget"
+		if mixed {
+			reason = "mixed"
+		}
+	}
+	return &obs.StopReport{
+		Policy:     "fixed",
+		Reason:     reason,
+		Iterations: len(res.PerIteration),
+	}
 }
 
 // NewEngine prepares a session for the given pipeline options. The
@@ -116,7 +181,8 @@ func (e *Engine) probabilities(dist *degseq.Distribution, stop *par.Stop) (*prob
 
 // runSwaps mixes el on the session's swap engine, constructing it on
 // first use and rebinding it (seed, stop, buffers) on every later call.
-func (e *Engine) runSwaps(el *graph.EdgeList, seed uint64, stop *par.Stop) (swap.Result, bool) {
+// The returned StopReport records how the run ended (fixed or adaptive).
+func (e *Engine) runSwaps(el *graph.EdgeList, seed uint64, stop *par.Stop) (swap.Result, bool, *obs.StopReport) {
 	if e.mix == nil {
 		sopt := e.opt.swapOptions()
 		sopt.Seed = seed + 0x5eed
@@ -128,11 +194,21 @@ func (e *Engine) runSwaps(el *graph.EdgeList, seed uint64, stop *par.Stop) (swap
 		e.mix.SetStop(stop)
 		e.mix.Reset(el)
 	}
+	if e.opt.StopPolicy != nil {
+		mon := e.monitor()
+		mon.Reset()
+		e.monEl = el
+		res, _ := swap.RunEngineStopper(e.mix, mon.Policy().Budget, monitorStopper{mon})
+		e.monEl = nil
+		out := mon.Outcome()
+		return res, false, &out
+	}
 	if e.opt.MixUntilSwapped {
-		return swap.RunEngineUntilMixed(e.mix, e.opt.maxSwapIterations())
+		res, mixed := swap.RunEngineUntilMixed(e.mix, e.opt.maxSwapIterations())
+		return res, mixed, fixedStopReport(e.opt, res, mixed)
 	}
 	res := swap.RunEngine(e.mix)
-	return res, false
+	return res, false, fixedStopReport(e.opt, res, false)
 }
 
 // GenerateSample runs the full pipeline (Algorithm IV.1) for the
@@ -172,13 +248,14 @@ func (e *Engine) GenerateSample(dist *degseq.Distribution, sample uint64, stop *
 	res.Graph = el
 
 	start = time.Now()
-	res.Swaps, res.Mixed = e.runSwaps(el, seed, stop)
+	res.Swaps, res.Mixed, res.Stop = e.runSwaps(el, seed, stop)
 	res.Phases.Swapping = time.Since(start)
 	if res.Swaps.Stopped {
 		// The generated edge list is valid but under-mixed; the sample
 		// is abandoned rather than returned partially uniform.
 		return nil, par.ErrStopped
 	}
+	recordStop(e.opt, res.Stop)
 	recordPhases(e.opt, res.Phases)
 	return res, nil
 }
@@ -201,11 +278,12 @@ func (e *Engine) ShuffleSample(el *graph.EdgeList, sample uint64, stop *par.Stop
 	seed := SampleSeed(e.opt.Seed, sample)
 	res := &Result{Graph: el}
 	start := time.Now()
-	res.Swaps, res.Mixed = e.runSwaps(el, seed, stop)
+	res.Swaps, res.Mixed, res.Stop = e.runSwaps(el, seed, stop)
 	res.Phases.Swapping = time.Since(start)
 	if res.Swaps.Stopped {
 		return nil, par.ErrStopped
 	}
+	recordStop(e.opt, res.Stop)
 	recordPhases(e.opt, res.Phases)
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"nullgraph/internal/converge"
+	"nullgraph/internal/obs"
 	"nullgraph/internal/par"
 	"nullgraph/internal/rng"
 )
@@ -15,6 +17,14 @@ type Options struct {
 	SwapIterations    int
 	MixUntilSwapped   bool
 	MaxSwapIterations int
+	// StopPolicy, when non-nil, replaces the fixed swap budget with the
+	// adaptive convergence monitor. The directed chain has no wired
+	// graph-statistic evaluator, so the monitored trace is always the
+	// swap success rate regardless of StopPolicy.Statistic; Floor,
+	// Budget, and the stationarity knobs apply as in the undirected
+	// pipeline. Takes precedence over MixUntilSwapped and
+	// SwapIterations; the outcome lands in Result.Stop.
+	StopPolicy *converge.Policy
 	// Stop, when non-nil, cancels cooperatively: between pipeline phases
 	// and between swap iterations. A tripped flag makes Generate and
 	// Shuffle return par.ErrStopped; Shuffle's arc list stays valid
@@ -48,6 +58,9 @@ type Result struct {
 	Phases        PhaseTimes
 	Swaps         SwapResult
 	Mixed         bool
+	// Stop records how the swap phase ended — fixed-budget reason or
+	// the adaptive monitor's outcome with its checkpoint trail.
+	Stop *obs.StopReport
 }
 
 // Generate draws a uniformly random simple digraph matching the joint
@@ -91,15 +104,56 @@ func Generate(d *JointDistribution, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// monitorStopper adapts the converge monitor to the directed Stopper
+// interface, mirroring the undirected session's adapter.
+type monitorStopper struct {
+	mon *converge.Monitor
+}
+
+func (s monitorStopper) Observe(_ int, stats SwapIterStats) bool {
+	sr := 0.0
+	if stats.Attempts > 0 {
+		sr = float64(stats.Successes) / float64(stats.Attempts)
+	}
+	return s.mon.Observe(sr, stats.EverSwapped)
+}
+
+// fixedStop summarizes a fixed-budget (or mixed-heuristic) directed run.
+func fixedStop(opt Options, res SwapResult, mixed bool) *obs.StopReport {
+	reason := "scans"
+	if opt.MixUntilSwapped {
+		reason = "budget"
+		if mixed {
+			reason = "mixed"
+		}
+	}
+	return &obs.StopReport{
+		Policy:     "fixed",
+		Reason:     reason,
+		Iterations: len(res.PerIteration),
+	}
+}
+
 // runSwaps drives the mixing phase shared by Generate and Shuffle,
 // reporting whether the stop flag interrupted it.
 func (res *Result) runSwaps(al *ArcList, opt Options) bool {
 	sopt := SwapOptions{Workers: opt.Workers, Seed: rng.Mix64(opt.Seed) + 0xd15eed, Stop: opt.Stop}
-	if opt.MixUntilSwapped {
+	switch {
+	case opt.StopPolicy != nil:
+		// nil eval forces the monitor onto the success-rate trace; the
+		// monitor also wants the ever-swapped signal, so tracking is on.
+		mon := converge.NewMonitor(*opt.StopPolicy, nil)
+		sopt.TrackSwapped = true
+		res.Swaps, _ = SwapArcsStopper(al, sopt, mon.Policy().Budget, monitorStopper{mon})
+		out := mon.Outcome()
+		res.Stop = &out
+	case opt.MixUntilSwapped:
 		res.Swaps, res.Mixed = SwapArcsUntilMixed(al, sopt, opt.maxSwapIterations())
-	} else {
+		res.Stop = fixedStop(opt, res.Swaps, res.Mixed)
+	default:
 		sopt.Iterations = opt.SwapIterations
 		res.Swaps = SwapArcs(al, sopt)
+		res.Stop = fixedStop(opt, res.Swaps, false)
 	}
 	return res.Swaps.Stopped
 }

@@ -292,6 +292,37 @@ func SwapArcs(al *ArcList, opt SwapOptions) SwapResult {
 	return result
 }
 
+// Stopper receives each iteration's statistics and reports whether the
+// run should stop after that iteration — the directed analog of the
+// undirected swap.Stopper. Implementations must not retain stats.
+type Stopper interface {
+	Observe(iteration int, stats SwapIterStats) bool
+}
+
+// SwapArcsStopper swaps until st requests a stop or maxIterations is
+// reached, reporting whether the stopper fired. A nil stopper degrades
+// to a fixed maxIterations run.
+func SwapArcsStopper(al *ArcList, opt SwapOptions, maxIterations int, st Stopper) (SwapResult, bool) {
+	eng := NewSwapEngine(al, opt)
+	var result SwapResult
+	for it := 0; it < maxIterations; it++ {
+		if opt.Stop.Stopped() {
+			result.Stopped = true
+			return result, false
+		}
+		stats := eng.Step()
+		result.PerIteration = append(result.PerIteration, stats)
+		result.TotalSuccesses += stats.Successes
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, stats)
+		}
+		if st != nil && st.Observe(it, stats) {
+			return result, true
+		}
+	}
+	return result, false
+}
+
 // SwapArcsUntilMixed swaps until every arc has swapped at least once or
 // maxIterations is reached.
 func SwapArcsUntilMixed(al *ArcList, opt SwapOptions, maxIterations int) (SwapResult, bool) {

@@ -357,10 +357,32 @@ func TestRunMixingTime(t *testing.T) {
 			t.Errorf("%s: tau = %v < 1", row.Dataset, row.Tau)
 		}
 	}
+	if len(res.Adaptive) != 2 {
+		t.Fatalf("adaptive rows = %d", len(res.Adaptive))
+	}
+	for _, row := range res.Adaptive {
+		if row.FixedIters != res.FixedBudget {
+			t.Errorf("%s: fixed iterations = %d, want %d", row.Dataset, row.FixedIters, res.FixedBudget)
+		}
+		// The monitor may only stop inside [floor, budget].
+		if row.AdaptiveIters < 1 || row.AdaptiveIters > float64(res.AdaptiveBudget) {
+			t.Errorf("%s: adaptive iterations = %v outside [1, %d]", row.Dataset, row.AdaptiveIters, res.AdaptiveBudget)
+		}
+		if row.Reason != "converged" && row.Reason != "budget" {
+			t.Errorf("%s: adaptive stop reason = %q", row.Dataset, row.Reason)
+		}
+		if row.FixedSwapMs <= 0 || row.AdaptiveSwapMs <= 0 {
+			t.Errorf("%s: non-positive swap wall time (fixed %v ms, adaptive %v ms)",
+				row.Dataset, row.FixedSwapMs, row.AdaptiveSwapMs)
+		}
+	}
 	var buf bytes.Buffer
 	res.Render(&buf)
 	if !strings.Contains(buf.String(), "relaxation") {
 		t.Error("render missing columns")
+	}
+	if !strings.Contains(buf.String(), "adaptive stop") {
+		t.Error("render missing the fixed-vs-adaptive comparison")
 	}
 }
 

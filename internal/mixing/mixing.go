@@ -126,15 +126,42 @@ func Autocorrelation(series []float64, maxLag int) []float64 {
 	return acf
 }
 
+// MinSeriesLen is the shortest series the integrated-autocorrelation
+// estimator accepts: below 3 points there is no lag the ACF can be
+// estimated at with maxLag = n/3.
+const MinSeriesLen = 3
+
 // IntegratedTime estimates the integrated autocorrelation time
 // τ = 1 + 2·Σ ρ(k), truncating the sum at the first non-positive ρ
 // (Geyer's initial positive sequence, simplified). τ ≈ 1 means
-// consecutive samples are already independent.
+// consecutive samples are already independent. Degenerate inputs are
+// lenient: series shorter than MinSeriesLen and constant (zero-
+// variance) series both return 1 — convenient for online monitors that
+// poll from the first checkpoint. Callers that want the degenerate
+// cases surfaced should use IntegratedTimeChecked.
 func IntegratedTime(series []float64) float64 {
-	maxLag := len(series) / 3
-	if maxLag < 1 {
+	if len(series) < MinSeriesLen {
 		return 1
 	}
+	return integratedTime(series)
+}
+
+// IntegratedTimeChecked is IntegratedTime with the too-short case
+// reported as an error instead of the silent τ = 1: estimating an
+// autocorrelation time from fewer than MinSeriesLen points is not a
+// small-sample estimate, it is no estimate at all. A constant series
+// still returns τ = 1 without error (its ACF is identically zero
+// beyond lag 0, so "already independent" is the honest summary).
+func IntegratedTimeChecked(series []float64) (float64, error) {
+	if len(series) < MinSeriesLen {
+		return 0, fmt.Errorf("mixing: series of %d points is too short for an autocorrelation-time estimate (need >= %d)",
+			len(series), MinSeriesLen)
+	}
+	return integratedTime(series), nil
+}
+
+func integratedTime(series []float64) float64 {
+	maxLag := len(series) / 3
 	acf := Autocorrelation(series, maxLag)
 	tau := 1.0
 	for lag := 1; lag < len(acf); lag++ {

@@ -1,23 +1,33 @@
 package mixing
 
 import (
+	"math"
 	"testing"
 
 	"nullgraph/internal/graph"
-	"nullgraph/internal/lfr"
+	"nullgraph/internal/rng"
 )
 
+// clusteredGraph builds a deterministic clustered start — a ring of
+// small cliques — without the higher-level generators, which would
+// cycle back into this package through the adaptive stopper
+// (lfr → core → converge → mixing).
 func clusteredGraph(t testing.TB) *graph.EdgeList {
 	t.Helper()
-	res, err := lfr.Generate(lfr.Config{
-		NumVertices: 1500, DegreeGamma: 2.3, MinDegree: 4, MaxDegree: 40,
-		CommunityGamma: 1.8, MinCommunity: 30, MaxCommunity: 200,
-		Mu: 0.1, SwapIterations: 2, Seed: 5, Workers: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
+	const cliques, size = 250, 6
+	var edges []graph.Edge
+	for c := 0; c < cliques; c++ {
+		base := int32(c * size)
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, graph.Edge{U: base + int32(i), V: base + int32(j)})
+			}
+		}
+		// Link to the next clique so the graph is connected.
+		next := int32(((c + 1) % cliques) * size)
+		edges = append(edges, graph.Edge{U: base, V: next + 1})
 	}
-	return res.Graph
+	return graph.NewEdgeList(edges, cliques*size)
 }
 
 func TestRecordTrajectoryShape(t *testing.T) {
@@ -97,6 +107,76 @@ func TestIntegratedTimeOrdering(t *testing.T) {
 	}
 	if got := IntegratedTime([]float64{1}); got != 1 {
 		t.Errorf("tiny series τ = %v", got)
+	}
+}
+
+// ar1Series draws n points of x_t = phi·x_{t-1} + ε_t with uniform
+// innovations; its exact autocorrelation is ρ(k) = phi^k, so the true
+// integrated time is τ = (1+phi)/(1−phi) regardless of the innovation
+// distribution.
+func ar1Series(n int, phi float64, seed uint64) []float64 {
+	src := rng.New(seed)
+	series := make([]float64, n)
+	x := 0.0
+	// Discard a warm-up so the chain starts at stationarity.
+	for i := 0; i < 200; i++ {
+		x = phi*x + (src.Float64()*2 - 1)
+	}
+	for i := range series {
+		x = phi*x + (src.Float64()*2 - 1)
+		series[i] = x
+	}
+	return series
+}
+
+// TestIntegratedTimeAR1 checks the estimator against the one process
+// whose τ is known in closed form: AR(1) with τ = (1+φ)/(1−φ). The
+// truncated-positive-sequence estimator is biased slightly low (it
+// drops the tail past the first noise-induced sign flip), so ±20% is
+// the right acceptance band at this length.
+func TestIntegratedTimeAR1(t *testing.T) {
+	cases := []struct {
+		phi  float64
+		seed uint64
+	}{
+		{0.3, 11},
+		{0.6, 12},
+	}
+	for _, tc := range cases {
+		series := ar1Series(30000, tc.phi, tc.seed)
+		want := (1 + tc.phi) / (1 - tc.phi)
+		got, err := IntegratedTimeChecked(series)
+		if err != nil {
+			t.Fatalf("phi=%v: %v", tc.phi, err)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.20 {
+			t.Errorf("phi=%v: τ̂ = %.3f, true τ = %.3f (off by %.0f%%)", tc.phi, got, want, rel*100)
+		}
+	}
+}
+
+// TestIntegratedTimeDegenerate pins the two degenerate inputs: constant
+// traces estimate τ = 1 in both variants (no error — a zero-variance
+// series is "already independent"), and too-short series error out of
+// the checked variant while the lenient one returns 1.
+func TestIntegratedTimeDegenerate(t *testing.T) {
+	konst := []float64{7, 7, 7, 7, 7, 7, 7, 7}
+	if got := IntegratedTime(konst); got != 1 {
+		t.Errorf("constant series τ = %v, want 1", got)
+	}
+	if got, err := IntegratedTimeChecked(konst); err != nil || got != 1 {
+		t.Errorf("constant series checked = (%v, %v), want (1, nil)", got, err)
+	}
+	for _, short := range [][]float64{nil, {1}, {1, 2}} {
+		if _, err := IntegratedTimeChecked(short); err == nil {
+			t.Errorf("len %d series did not error", len(short))
+		}
+		if got := IntegratedTime(short); got != 1 {
+			t.Errorf("lenient short series τ = %v, want 1", got)
+		}
+	}
+	if got, err := IntegratedTimeChecked([]float64{1, 2, 3}); err != nil || got < 1 {
+		t.Errorf("len 3 series = (%v, %v), want a τ >= 1 and no error", got, err)
 	}
 }
 

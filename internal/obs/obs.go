@@ -185,6 +185,12 @@ func (r *Recorder) SetPhases(probabilities, edgeGeneration, swapping int64) {
 	}
 }
 
+// SetStop installs the stopping-decision section (schema v2). The
+// pointer is stored as-is; callers hand over ownership.
+func (r *Recorder) SetStop(st *StopReport) {
+	r.report.Stop = st
+}
+
 // Report returns the aggregated run report. The pointer aliases the
 // recorder's state: read it only after the run is finished (or between
 // Steps), and treat it as invalidated by the next StartRun.

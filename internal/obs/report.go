@@ -10,7 +10,8 @@ import (
 // (regression dashboards, CI deltas) should reject reports whose schema
 // field they do not recognize; additive changes bump the trailing
 // version. The schema is documented in DESIGN.md §8.
-const SchemaVersion = "nullgraph/run-report/v1"
+// v2 added the stop section (adaptive stopping decisions).
+const SchemaVersion = "nullgraph/run-report/v2"
 
 // IterationReport is one swap iteration's acceptance accounting.
 // Attempts = Successes + the three rejection counters + proposals
@@ -75,6 +76,52 @@ type PhaseReport struct {
 	SwappingNs       int64 `json:"swapping_ns"`
 }
 
+// StopCheckpoint is one adaptive-stopping diagnostic evaluation; see
+// internal/converge for the semantics of each field.
+type StopCheckpoint struct {
+	// Iteration is the number of completed swap iterations at
+	// evaluation time.
+	Iteration int `json:"iteration"`
+	// Stat is the checkpoint trace value (the monitored statistic, or
+	// the windowed mean success rate on the success-rate trace).
+	Stat float64 `json:"stat"`
+	// SuccessRate is the mean success rate since the last checkpoint.
+	SuccessRate float64 `json:"success_rate"`
+	// EverSwapped is the ever-swapped fraction at this iteration (0
+	// when untracked).
+	EverSwapped float64 `json:"ever_swapped"`
+	// Z is the Geweke equality-of-means statistic over the checkpoint
+	// trace so far (0 until enough samples exist).
+	Z float64 `json:"z"`
+	// Tau is the integrated autocorrelation time of the checkpoint
+	// trace so far (1 when too short to estimate).
+	Tau float64 `json:"tau"`
+	// Converged reports whether every enabled criterion held here.
+	Converged bool `json:"converged"`
+}
+
+// StopReport records why and when the swap phase stopped — the v2
+// schema addition. Fixed-scan runs carry policy "fixed" and no
+// checkpoints; adaptive runs (Options.StopPolicy) carry the full
+// diagnostic trail.
+type StopReport struct {
+	// Policy is "adaptive" for monitor-driven runs, "fixed" otherwise.
+	Policy string `json:"policy"`
+	// Statistic names the checkpoint trace of adaptive runs.
+	Statistic string `json:"statistic,omitempty"`
+	// Reason is "converged" (diagnostic fired), "budget" (adaptive cap
+	// ran out), "scans" (fixed budget completed), or "mixed" (the
+	// ever-swapped heuristic ended a MixUntilSwapped run).
+	Reason string `json:"reason"`
+	// Iterations is the number of completed swap iterations.
+	Iterations int `json:"iterations"`
+	// Floor and Budget echo the effective adaptive policy bounds.
+	Floor  int `json:"floor,omitempty"`
+	Budget int `json:"budget,omitempty"`
+	// Checkpoints is the diagnostic trail of adaptive runs.
+	Checkpoints []StopCheckpoint `json:"checkpoints,omitempty"`
+}
+
 // RunReport is the serializable aggregate of one run's chain-health
 // observability: per-iteration acceptance splits, the run-wide
 // hash-table probe-length histogram, the edge-skip space accounting,
@@ -101,6 +148,9 @@ type RunReport struct {
 	EdgeSkip *EdgeSkipReport `json:"edge_skip,omitempty"`
 	// Phases is present when the core pipeline drove the run.
 	Phases *PhaseReport `json:"phases,omitempty"`
+	// Stop records the stopping decision (schema v2); present when the
+	// core pipeline drove the swap phase.
+	Stop *StopReport `json:"stop,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON with a trailing newline.

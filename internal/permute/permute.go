@@ -53,7 +53,7 @@ func FisherYates[T any](r *rng.Source, data []T) {
 //
 //nullgraph:hotpath
 func FillTargets(h []int32, seed uint64, w, begin, end int) {
-	var src rng.Source
+	var src rng.Block
 	src.Reseed(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
 	n := len(h)
 	for i := begin; i < end; i++ {
@@ -68,7 +68,7 @@ func FillTargets(h []int32, seed uint64, w, begin, end int) {
 //
 //nullgraph:hotpath
 func FillTargetsStop(h []int32, seed uint64, w, begin, end int, stop *par.Stop) {
-	var src rng.Source
+	var src rng.Block
 	src.Reseed(rng.Mix64(seed) ^ rng.Mix64(uint64(w)+0x51ed270b))
 	n := len(h)
 	//nullgraph:cancelable

@@ -1,0 +1,143 @@
+package rng
+
+import "testing"
+
+// TestBlockMatchesSourceSequence is the contract that makes Block a
+// drop-in for Source in hot loops: for the same seed, the batched and
+// unbatched generators must emit the identical uint64 stream. The range
+// deliberately crosses several refill boundaries and a mid-buffer
+// Reseed.
+func TestBlockMatchesSourceSequence(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		src := New(seed)
+		var blk Block
+		blk.Reseed(seed)
+		for i := 0; i < 5*BlockLen+7; i++ {
+			want, got := src.Uint64(), blk.Uint64()
+			if want != got {
+				t.Fatalf("seed %#x draw %d: Source=%#x Block=%#x", seed, i, want, got)
+			}
+		}
+		// Reseeding mid-buffer must discard buffered draws.
+		src.Reseed(seed ^ 0x1234)
+		blk.Reseed(seed ^ 0x1234)
+		for i := 0; i < BlockLen+3; i++ {
+			want, got := src.Uint64(), blk.Uint64()
+			if want != got {
+				t.Fatalf("seed %#x post-reseed draw %d: Source=%#x Block=%#x", seed, i, want, got)
+			}
+		}
+	}
+}
+
+// TestBlockDerivedDrawsMatchSource pins the derived draws (Bool,
+// Float64, Float64Open, Uint64n) to their Source counterparts —
+// including variate-consumption order, so a mixed call pattern stays in
+// lockstep.
+func TestBlockDerivedDrawsMatchSource(t *testing.T) {
+	src := New(99)
+	var blk Block
+	blk.Reseed(99)
+	bounds := []uint64{1, 2, 3, 7, 1 << 20, 1<<64 - 1}
+	for i := 0; i < 4 * BlockLen; i++ {
+		if want, got := src.Bool(), blk.Bool(); want != got {
+			t.Fatalf("draw %d: Bool mismatch", i)
+		}
+		if want, got := src.Float64(), blk.Float64(); want != got {
+			t.Fatalf("draw %d: Float64 mismatch: %v vs %v", i, want, got)
+		}
+		if want, got := src.Float64Open(), blk.Float64Open(); want != got {
+			t.Fatalf("draw %d: Float64Open mismatch: %v vs %v", i, want, got)
+		}
+		n := bounds[i%len(bounds)]
+		if want, got := src.Uint64n(n), blk.Uint64n(n); want != got {
+			t.Fatalf("draw %d: Uint64n(%d) mismatch: %d vs %d", i, n, want, got)
+		}
+	}
+}
+
+// TestBlockUint64nBounds exercises the Lemire rejection tail with small
+// bounds where the biased region is comparatively large.
+func TestBlockUint64nBounds(t *testing.T) {
+	var blk Block
+	blk.Reseed(7)
+	for _, n := range []uint64{1, 2, 3, 5, 6, 10} {
+		for i := 0; i < 2000; i++ {
+			if v := blk.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestFloat64OpenStrictlyInside(t *testing.T) {
+	var blk Block
+	blk.Reseed(3)
+	for i := 0; i < 1_000_000; i++ {
+		f := blk.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open = %v outside (0,1)", f)
+		}
+	}
+}
+
+func BenchmarkSourceUint64(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += src.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkBlockUint64(b *testing.B) {
+	var blk Block
+	blk.Reseed(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += blk.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkSourceBool(b *testing.B) {
+	src := New(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if src.Bool() {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkBlockBool(b *testing.B) {
+	var blk Block
+	blk.Reseed(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if blk.Bool() {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkSourceUint64n(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += src.Uint64n(uint64(i) | 1)
+	}
+	_ = sink
+}
+
+func BenchmarkBlockUint64n(b *testing.B) {
+	var blk Block
+	blk.Reseed(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += blk.Uint64n(uint64(i) | 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,133 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeometricPOneAlwaysZero: p = 1 (success certain) means zero
+// failures before the first success, and no variate is consumed.
+func TestGeometricPOneAlwaysZero(t *testing.T) {
+	src := New(11)
+	ref := New(11)
+	for i := 0; i < 1000; i++ {
+		if l := src.Geometric(1); l != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", l)
+		}
+		if l := src.Geometric(1.5); l != 0 {
+			t.Fatalf("Geometric(1.5) = %d, want 0", l)
+		}
+	}
+	// Variate-free: the stream is untouched.
+	if src.Uint64() != ref.Uint64() {
+		t.Fatal("Geometric(p>=1) consumed a variate")
+	}
+}
+
+// TestGeometricTinyPClamps: as p → 0 the skip length diverges; once the
+// inversion ratio exceeds MaxInt64/2 — including the +Inf produced when
+// log1p(-p) underflows to -0 for subnormal p — the result must clamp
+// rather than overflow int64 conversion.
+func TestGeometricTinyPClamps(t *testing.T) {
+	src := New(5)
+	// Subnormal p: log1p(-p) underflows to -0, ratio is +Inf.
+	for i := 0; i < 100; i++ {
+		l := src.Geometric(5e-324)
+		if l != math.MaxInt64/2 {
+			t.Fatalf("Geometric(5e-324) = %d, want clamp %d", l, int64(math.MaxInt64/2))
+		}
+		if l < 0 || l > math.MaxInt64/2 {
+			t.Fatalf("Geometric(5e-324) = %d escaped clamp range", l)
+		}
+	}
+	// Small-but-normal p: huge but finite ratios must stay in range and
+	// never go negative, whatever the variate.
+	for _, p := range []float64{1e-300, 1e-18, 1e-9} {
+		for i := 0; i < 10_000; i++ {
+			l := src.Geometric(p)
+			if l < 0 || l > math.MaxInt64/2 {
+				t.Fatalf("Geometric(%g) = %d out of [0, MaxInt64/2]", p, l)
+			}
+		}
+	}
+}
+
+func TestGeometricPanicsOnNonPositive(t *testing.T) {
+	for _, p := range []float64{0, -0.5, math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%g) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewGeometricSkip(0) did not panic")
+			}
+		}()
+		NewGeometricSkip(0)
+	}()
+}
+
+// TestGeometricSkipPairedIdentity is the regression gate for the
+// hoisted edgeskip draw: across 1e6 paired draws at several p, the
+// branchless GeometricSkip form must return the exact value
+// Source.Geometric returns for the same consumed variate — not merely
+// the same distribution. Both the Block and Source entry points are
+// checked.
+func TestGeometricSkipPairedIdentity(t *testing.T) {
+	const draws = 1_000_000
+	for _, p := range []float64{0.9, 0.5, 0.1, 1e-3, 1e-6} {
+		g := NewGeometricSkip(p)
+		ref := New(2026)
+		viaSrc := New(2026)
+		var viaBlk Block
+		viaBlk.Reseed(2026)
+		for i := 0; i < draws; i++ {
+			want := ref.Geometric(p)
+			if got := g.Next(viaSrc); got != want {
+				t.Fatalf("p=%g draw %d: Next=%d Geometric=%d", p, i, got, want)
+			}
+			if got := g.NextBlock(&viaBlk); got != want {
+				t.Fatalf("p=%g draw %d: NextBlock=%d Geometric=%d", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestGeometricSkipPGEOne: for p >= 1 the hoisted form returns 0 via
+// log(U)/-Inf = -0 — it consumes a variate where Source.Geometric does
+// not, which is fine for edgeskip (p = 1 never reaches the chunk loop)
+// but worth pinning so the difference stays documented.
+func TestGeometricSkipPGEOne(t *testing.T) {
+	g := NewGeometricSkip(1)
+	src := New(8)
+	for i := 0; i < 1000; i++ {
+		if l := g.Next(src); l != 0 {
+			t.Fatalf("GeometricSkip(p=1) draw = %d, want 0", l)
+		}
+	}
+}
+
+func BenchmarkGeometricPerDraw(b *testing.B) {
+	src := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += src.Geometric(0.3)
+	}
+	_ = sink
+}
+
+func BenchmarkGeometricSkipHoisted(b *testing.B) {
+	g := NewGeometricSkip(0.3)
+	src := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += g.Next(src)
+	}
+	_ = sink
+}

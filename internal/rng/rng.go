@@ -12,7 +12,10 @@
 // splitmix64 seeding, and passes BigCrush.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // SplitMix64 is a tiny counter-based generator used to expand one seed
 // into many well-separated seeds. Zero value is usable: the first Next
@@ -112,11 +115,18 @@ func (r *Source) Float64() float64 {
 // Float64Open returns a uniform float64 in (0, 1); it never returns 0,
 // which makes it safe as the argument of log() in inversion sampling.
 //
+// The rejection loop looks dead but is not: the low end is safe
+// (u>>11 == 0 gives 2^-54), but when u>>11 == 2^53-1 the sum
+// float64(2^53-1)+0.5 lands exactly halfway between 2^53-1 and 2^53 and
+// round-to-nearest-even picks 2^53, so f == 1.0 with probability 2^-53.
+// Any change here must keep the retry, or bit-reproducibility of every
+// inversion-sampled stream breaks one draw in 9e15.
+//
 //nullgraph:hotpath
 func (r *Source) Float64Open() float64 {
 	for {
 		f := (float64(r.Uint64()>>11) + 0.5) * (1.0 / (1 << 53))
-		if f > 0 && f < 1 {
+		if f < 1 {
 			return f
 		}
 	}
@@ -153,20 +163,14 @@ func (r *Source) Uint64n(n uint64) uint64 {
 	return hi
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// is a compiler intrinsic (one MULQ on amd64); the previous hand-rolled
+// 32×32 decomposition cost ~12 ALU ops per bounded draw and blew the
+// inlining budget of every caller. The product is identical bit-for-bit.
 //
 //nullgraph:hotpath
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	aLo, aHi := a&mask32, a>>32
-	bLo, bHi := b&mask32, b>>32
-	t := aHi*bLo + (aLo*bLo)>>32
-	lo1 := t & mask32
-	hi1 := t >> 32
-	lo1 += aLo * bHi
-	hi = aHi*bHi + hi1 + lo1>>32
-	lo = a * b
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Bool returns a fair coin flip.
@@ -180,6 +184,18 @@ func (r *Source) Bool() bool { return r.Uint64()&1 == 1 }
 // p <= 0: a zero success probability has no finite skip.
 //
 // Uses inversion: floor(log(U)/log(1-p)) with U in (0,1).
+//
+// Edge cases, pinned by tests in geometric_test.go:
+//   - p = 1 (and anything above): always 0, no variate is consumed.
+//   - p → 0: log1p(-p) → -0 ⁻ and the ratio grows without bound; once it
+//     exceeds MaxInt64/2 (including the +Inf produced when log1p(-p)
+//     underflows to -0 for subnormal p) the result clamps to MaxInt64/2.
+//     The clamp keeps `begin + skip` arithmetic overflow-free for any
+//     int64 begin, at the cost of truncating a tail that is unreachable
+//     in practice: for p = 1e-12 the clamp triggers with probability
+//     under exp(-4.6e6).
+//   - The ratio can round to a small negative value when U is close
+//     to 1; negative results clamp to 0.
 //
 //nullgraph:hotpath
 func (r *Source) Geometric(p float64) int64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nullgraph/internal/converge"
 	"nullgraph/internal/core"
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/directed"
@@ -83,6 +84,14 @@ func Checks() []Check {
 			DefaultSamples: 3000,
 			Run: func(cfg Config) (*CheckResult, error) {
 				return runShuffleSessionUniformity(cfg, "shuffle-sessions-k6", map[int64]int64{1: 6}, 3000)
+			},
+		},
+		{
+			Name:           "shuffle-adaptive-p5",
+			Description:    "uniformity of adaptive-stop ShuffleSample runs (converge monitor, floor = fixed-scan budget) over the {1,1,2,2,2} space",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runAdaptiveShuffleUniformity(cfg, "shuffle-adaptive-p5", map[int64]int64{1: 2, 2: 3}, 3000)
 			},
 		},
 		{
@@ -225,6 +234,69 @@ func runShuffleSessionUniformity(cfg Config, name string, counts map[int64]int64
 		copy(el.Edges, start.Edges)
 		if _, err := eng.ShuffleSample(el, uint64(i), nil); err != nil {
 			return "", err
+		}
+		return SignatureOfEdges(el.Edges), nil
+	})
+}
+
+// runAdaptiveShuffleUniformity is the adaptive stopper's uniformity
+// gate: ShuffleSample draws with a StopPolicy whose Floor equals the
+// fixed-scan budget must stay uniform even though each sample's total
+// iteration count now depends on its own trace. The floor guarantees
+// every sample is past mixing before the monitor may fire (the
+// converge tests pin that the stopper never fires inside the floor);
+// the draw itself re-asserts it so a floor regression fails loudly
+// here too. Growth is dense (1.05) so checkpoints — and hence
+// state-dependent stop opportunities — are as frequent as the
+// schedule allows, the adversarial setting for stopping-time bias.
+func runAdaptiveShuffleUniformity(cfg Config, name string, counts map[int64]int64, defaultSamples int) (*CheckResult, error) {
+	dist, err := mustDist(counts)
+	if err != nil {
+		return nil, err
+	}
+	space, err := EnumerateSimpleGraphs(dist, name)
+	if err != nil {
+		return nil, err
+	}
+	start, err := havelhakimi.Generate(dist)
+	if err != nil {
+		return nil, err
+	}
+	el := graph.NewEdgeList(append([]graph.Edge(nil), start.Edges...), start.NumVertices)
+	var eng *core.Engine
+	var engSeed uint64
+	defer func() {
+		if eng != nil {
+			eng.Close()
+		}
+	}()
+	return CheckUniformity(name, space, defaultSamples, cfg, func(attemptSeed uint64, i int) (string, error) {
+		if eng == nil || engSeed != attemptSeed {
+			if eng != nil {
+				eng.Close()
+			}
+			eng = core.NewEngine(core.Options{
+				Workers: cfg.Workers,
+				Seed:    attemptSeed,
+				StopPolicy: &converge.Policy{
+					Floor:  swapChainIterations,
+					Budget: 2 * swapChainIterations,
+					Growth: 1.05,
+				},
+			})
+			engSeed = attemptSeed
+		}
+		copy(el.Edges, start.Edges)
+		res, err := eng.ShuffleSample(el, uint64(i), nil)
+		if err != nil {
+			return "", err
+		}
+		if res.Stop == nil || res.Stop.Policy != "adaptive" {
+			return "", fmt.Errorf("adaptive draw missing stop report: %+v", res.Stop)
+		}
+		if res.Stop.Iterations < swapChainIterations {
+			return "", fmt.Errorf("stopper fired at iteration %d, inside the floor %d",
+				res.Stop.Iterations, swapChainIterations)
 		}
 		return SignatureOfEdges(el.Edges), nil
 	})

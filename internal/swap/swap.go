@@ -255,7 +255,7 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		permute.FillTargets(eng.h, eng.permSeed, w, r.Begin, r.End)
 	}
 	eng.sweepBody = func(w int, r par.Range) {
-		var src rng.Source
+		var src rng.Block
 		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
 		edges := eng.el.Edges
 		wtr := eng.writers[w]
@@ -323,7 +323,7 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		permute.FillTargetsStop(eng.h, eng.permSeed, w, r.Begin, r.End, eng.stop)
 	}
 	eng.sweepStopBody = func(w int, r par.Range) {
-		var src rng.Source
+		var src rng.Block
 		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
 		edges := eng.el.Edges
 		wtr := eng.writers[w]
@@ -402,7 +402,7 @@ func (eng *Engine) bindInstrumentedBodies() {
 		}
 	}
 	eng.sweepBody = func(w int, r par.Range) {
-		var src rng.Source
+		var src rng.Block
 		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
 		edges := eng.el.Edges
 		wtr := eng.writers[w]
@@ -668,9 +668,21 @@ func (eng *Engine) step() (IterStats, bool) {
 	return stats, false
 }
 
+// Stopper decides, after each completed iteration, whether the chain
+// has run long enough. Observe is called with the 0-based iteration
+// index and that iteration's statistics; returning true ends the run.
+// The swap layer knows nothing about convergence policy — adaptive
+// monitors (internal/converge) plug in here via an adapter, keeping
+// this package free of any dependency on diagnostics.
+type Stopper interface {
+	Observe(it int, stats IterStats) bool
+}
+
 // runLoop drives eng for the given iteration budget, optionally
-// stopping when fully mixed.
-func runLoop(eng *Engine, iterations int, stopWhenMixed bool) (Result, bool) {
+// stopping when fully mixed or when a Stopper (if non-nil) fires. The
+// boolean reports whether the mixed/stopper condition ended the run
+// before the budget.
+func runLoop(eng *Engine, iterations int, stopWhenMixed bool, st Stopper) (Result, bool) {
 	result := Result{PerIteration: make([]IterStats, 0, iterations)}
 	for it := 0; it < iterations; it++ {
 		stats, stopped := eng.step()
@@ -686,6 +698,9 @@ func runLoop(eng *Engine, iterations int, stopWhenMixed bool) (Result, bool) {
 		if stopWhenMixed && stats.EverSwapped >= 1.0 {
 			return result, true
 		}
+		if st != nil && st.Observe(it, stats) {
+			return result, true
+		}
 	}
 	return result, false
 }
@@ -695,7 +710,7 @@ func runLoop(eng *Engine, iterations int, stopWhenMixed bool) (Result, bool) {
 func Run(el *graph.EdgeList, opt Options) Result {
 	eng := NewEngine(el, opt)
 	defer eng.Close()
-	result, _ := runLoop(eng, opt.Iterations, false)
+	result, _ := runLoop(eng, opt.Iterations, false, nil)
 	return result
 }
 
@@ -707,13 +722,13 @@ func RunUntilMixed(el *graph.EdgeList, opt Options, maxIterations int) (Result, 
 	opt.TrackSwapped = true
 	eng := NewEngine(el, opt)
 	defer eng.Close()
-	return runLoop(eng, maxIterations, true)
+	return runLoop(eng, maxIterations, true, nil)
 }
 
 // RunEngine performs eng.opt.Iterations iterations on an existing
 // (possibly Reset) engine, reusing all of its buffers.
 func RunEngine(eng *Engine) Result {
-	result, _ := runLoop(eng, eng.opt.Iterations, false)
+	result, _ := runLoop(eng, eng.opt.Iterations, false, nil)
 	return result
 }
 
@@ -723,5 +738,13 @@ func RunEngineUntilMixed(eng *Engine, maxIterations int) (Result, bool) {
 	if eng.swapped == nil && len(eng.el.Edges) > 0 {
 		panic("swap: RunEngineUntilMixed requires TrackSwapped")
 	}
-	return runLoop(eng, maxIterations, true)
+	return runLoop(eng, maxIterations, true, nil)
+}
+
+// RunEngineStopper drives eng until the stopper fires or maxIterations
+// complete, whichever is first. It returns the statistics and whether
+// the stopper ended the run (false means the budget ran out or the
+// cooperative stop flag canceled the run).
+func RunEngineStopper(eng *Engine, maxIterations int, st Stopper) (Result, bool) {
+	return runLoop(eng, maxIterations, false, st)
 }

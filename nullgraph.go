@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"nullgraph/internal/chunglu"
+	"nullgraph/internal/converge"
 	"nullgraph/internal/core"
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/edgeskip"
@@ -79,8 +80,42 @@ type SwapStats = swap.IterStats
 // RunReport is the serializable chain-health report collected when
 // Options.CollectReport is set: per-iteration swap acceptance and
 // rejection splits, hash-probe histograms, edge-skip sample-space
-// accounting, and phase wall times. See internal/obs for the schema.
+// accounting, phase wall times, and (schema v2) the stopping decision.
+// See internal/obs for the schema.
 type RunReport = obs.RunReport
+
+// StopPolicy configures the adaptive mixing stopper: instead of a fixed
+// iteration count, the swap chain monitors a cheap scalar statistic
+// (degree assortativity by default) at geometrically spaced checkpoints
+// and stops once a Geweke-style stationarity test passes with
+// hysteresis, bounded below by Floor and above by Budget. The zero
+// value picks sensible defaults for every field. See internal/converge
+// for the diagnostic's design.
+type StopPolicy = converge.Policy
+
+// StopStatistic selects which scalar trace a StopPolicy monitors.
+type StopStatistic = converge.Statistic
+
+// Stop statistics a StopPolicy can monitor.
+const (
+	// StopOnAssortativity monitors degree assortativity (the default):
+	// a global, swap-sensitive second-order statistic.
+	StopOnAssortativity = converge.Assortativity
+	// StopOnTriangles monitors the triangle count — more expensive per
+	// checkpoint, sensitive to local clustering decay.
+	StopOnTriangles = converge.Triangles
+	// StopOnSuccessRate monitors only the swap success rate, the
+	// cheapest signal (no graph scan at checkpoints).
+	StopOnSuccessRate = converge.SuccessRate
+)
+
+// StopReport records how a run's swap phase ended — the policy kind,
+// reason, iteration count, and (for adaptive runs) the checkpoint
+// trail the decision was based on.
+type StopReport = obs.StopReport
+
+// StopCheckpoint is one entry of an adaptive run's checkpoint trail.
+type StopCheckpoint = obs.StopCheckpoint
 
 // LFRConfig configures the LFR-like hierarchical benchmark generator.
 type LFRConfig = lfr.Config
@@ -106,6 +141,14 @@ type Options struct {
 	// of at least one successful swap (the paper's empirical mixing
 	// signal) instead of a fixed iteration count, bounded by 128.
 	MixUntilSwapped bool
+	// StopPolicy, when non-nil, replaces the fixed swap budget with the
+	// adaptive convergence monitor: the chain runs until the monitored
+	// statistic's checkpoint trace tests stationary, never fewer than
+	// StopPolicy.Floor iterations and never more than StopPolicy.Budget.
+	// Takes precedence over SwapIterations and MixUntilSwapped. The
+	// outcome is reported in Result.Stop. A nil StopPolicy keeps the
+	// fixed-iteration path bit-identical to previous releases.
+	StopPolicy *StopPolicy
 	// RefineProbabilities, when > 0, runs that many iterative
 	// proportional fitting passes over the attachment-probability
 	// matrix before edge generation, tightening expected-degree
@@ -123,6 +166,7 @@ func (o Options) core() core.Options {
 		Seed:            o.Seed,
 		SwapIterations:  o.SwapIterations,
 		MixUntilSwapped: o.MixUntilSwapped,
+		StopPolicy:      o.StopPolicy,
 		TrackSwapStats:  true,
 		RefinePasses:    o.RefineProbabilities,
 	}
@@ -149,10 +193,15 @@ type Result struct {
 	// Report holds the chain-health report when Options.CollectReport
 	// was set, nil otherwise.
 	Report *RunReport
+	// Stop records how the swap phase ended: policy "fixed" with the
+	// scan count on the default path, or the adaptive monitor's outcome
+	// (reason "converged" or "budget" plus its checkpoint trail) when
+	// Options.StopPolicy is set.
+	Stop *StopReport
 }
 
 func wrapResult(out *core.Result, rec *obs.Recorder) *Result {
-	res := &Result{Graph: out.Graph, SwapIterations: out.Swaps.PerIteration, Mixed: out.Mixed}
+	res := &Result{Graph: out.Graph, SwapIterations: out.Swaps.PerIteration, Mixed: out.Mixed, Stop: out.Stop}
 	if rec != nil {
 		res.Report = rec.Report()
 	}

@@ -68,6 +68,51 @@ func TestMixUntilSwapped(t *testing.T) {
 	}
 }
 
+// TestAdaptiveStopPolicy exercises the public StopPolicy path: the run
+// must report an adaptive outcome, respect the floor and budget, and
+// agree with the per-iteration stats it returned.
+func TestAdaptiveStopPolicy(t *testing.T) {
+	dist, err := DistributionFromCounts(map[int64]int64{2: 1000, 5: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(dist, Options{
+		Seed:       5,
+		Workers:    1,
+		StopPolicy: &StopPolicy{Floor: 6, Budget: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stop
+	if st == nil || st.Policy != "adaptive" {
+		t.Fatalf("Stop = %+v, want adaptive", st)
+	}
+	if st.Iterations != len(res.SwapIterations) {
+		t.Errorf("Stop.Iterations = %d, SwapIterations = %d", st.Iterations, len(res.SwapIterations))
+	}
+	if st.Iterations < 6 || st.Iterations > 64 {
+		t.Errorf("iterations %d outside [floor 6, budget 64]", st.Iterations)
+	}
+	if st.Reason != "converged" && st.Reason != "budget" {
+		t.Errorf("unexpected stop reason %q", st.Reason)
+	}
+	if len(st.Checkpoints) == 0 {
+		t.Error("adaptive run recorded no checkpoints")
+	}
+	if rep := res.Graph.CheckSimplicity(); !rep.IsSimple() {
+		t.Fatalf("not simple: %+v", rep)
+	}
+	// Fixed-budget runs must say so too.
+	res, err = Generate(dist, Options{Seed: 5, Workers: 1, SwapIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop == nil || res.Stop.Policy != "fixed" || res.Stop.Iterations != 3 {
+		t.Errorf("fixed run Stop = %+v", res.Stop)
+	}
+}
+
 func TestBaselinesExported(t *testing.T) {
 	dist, err := DistributionFromCounts(map[int64]int64{1: 200, 50: 4})
 	if err != nil {
