@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test test-stat race lint fuzz-smoke bench-swap bench-gen bench-all bench-check clean
+.PHONY: verify build vet test test-stat race lint fuzz-smoke bench-swap bench-gen bench-all bench-check smoke-serve clean
 
 # verify is the tier-1 gate: everything compiles, vets clean, and every
 # test passes.
@@ -84,7 +84,28 @@ bench-check:
 		-swap-baseline BENCH_swap.json -swap BENCH_swap.head.json \
 		-gen-baseline BENCH_generate.json -gen BENCH_generate.head.json
 
+# smoke-serve is the serving smoke gate (DESIGN.md §13): start
+# nullgraphd sized for the load, fire 200 requests at concurrency 16
+# with loadgen, and gate the emitted BENCH_serve.json with benchcheck's
+# absolute -serve gate (zero non-2xx, zero deadline misses, zero
+# payload verification failures). The server is always torn down, and
+# its log surfaces on failure.
+smoke-serve:
+	$(GO) build -o nullgraphd.smoke ./cmd/nullgraphd
+	./nullgraphd.smoke -addr 127.0.0.1:18080 -max-concurrent 16 -max-queue 64 \
+		>nullgraphd.smoke.log 2>&1 & echo $$! > nullgraphd.smoke.pid
+	sleep 1
+	$(GO) run ./cmd/loadgen -url http://127.0.0.1:18080 \
+		-requests 200 -concurrency 16 -o BENCH_serve.json \
+		|| { cat nullgraphd.smoke.log; kill `cat nullgraphd.smoke.pid`; exit 1; }
+	curl -sf http://127.0.0.1:18080/metrics | grep -E 'nullgraphd_(phase_seconds|stop_decisions)_total' \
+		|| { echo "smoke-serve: /metrics missing RunReport series"; kill `cat nullgraphd.smoke.pid`; exit 1; }
+	kill `cat nullgraphd.smoke.pid`
+	$(GO) run ./cmd/benchcheck -serve BENCH_serve.json
+	rm -f nullgraphd.smoke nullgraphd.smoke.pid
+
 # clean removes only derived measurement files; BENCH_swap.json and
 # BENCH_generate.json are committed baselines, not build products.
 clean:
-	rm -f BENCH_swap.head.json BENCH_generate.head.json
+	rm -f BENCH_swap.head.json BENCH_generate.head.json \
+		BENCH_serve.json nullgraphd.smoke nullgraphd.smoke.pid nullgraphd.smoke.log

@@ -17,10 +17,14 @@
 // Usage:
 //
 //	benchcheck -swap-baseline BENCH_swap.json -swap BENCH_swap.head.json \
-//	           -gen-baseline BENCH_generate.json -gen BENCH_generate.head.json
+//	           -gen-baseline BENCH_generate.json -gen BENCH_generate.head.json \
+//	           -serve BENCH_serve.json
 //
-// Either pair may be omitted to gate only one benchmark. Exit status:
-// 0 all gates pass, 1 a gate failed, 2 usage error.
+// Either pair may be omitted to gate only one benchmark. The -serve
+// gate (cmd/loadgen's report) is absolute and needs no baseline: zero
+// non-2xx responses, zero deadline misses, zero payload verification
+// failures. Exit status: 0 all gates pass, 1 a gate failed, 2 usage
+// error.
 package main
 
 import (
@@ -63,6 +67,23 @@ type genComparison struct {
 type genReport struct {
 	Benchmark string          `json:"benchmark"`
 	Results   []genComparison `json:"results"`
+}
+
+// serveResults / serveReport mirror cmd/loadgen's document. The serve
+// gate is absolute (no baseline): under the smoke load a healthy
+// server has zero non-2xx responses, zero deadline misses, and zero
+// payload verification failures on any hardware.
+type serveResults struct {
+	Requests       int `json:"requests"`
+	Succeeded      int `json:"succeeded"`
+	Non2xx         int `json:"non_2xx"`
+	DeadlineMisses int `json:"deadline_misses"`
+	VerifyFailures int `json:"verify_failures"`
+}
+
+type serveReport struct {
+	Benchmark string       `json:"benchmark"`
+	Results   serveResults `json:"results"`
 }
 
 // maxReuseBytesRatio is the session contract from DESIGN.md §9.
@@ -156,6 +177,28 @@ func checkGen(o *outcome, baseline, fresh *genReport, tol float64) {
 	}
 }
 
+// checkServe gates a fresh loadgen report (DESIGN.md §13): every
+// request succeeded, nothing timed out, every payload verified.
+func checkServe(o *outcome, fresh *serveReport) {
+	r := fresh.Results
+	if r.Requests <= 0 {
+		o.failf("serve: report has no requests")
+		return
+	}
+	if r.Non2xx != 0 {
+		o.failf("serve: %d of %d requests returned non-2xx", r.Non2xx, r.Requests)
+	}
+	if r.DeadlineMisses != 0 {
+		o.failf("serve: %d deadline misses (504)", r.DeadlineMisses)
+	}
+	if r.VerifyFailures != 0 {
+		o.failf("serve: %d responses failed payload verification", r.VerifyFailures)
+	}
+	if r.Succeeded != r.Requests {
+		o.failf("serve: only %d of %d requests succeeded", r.Succeeded, r.Requests)
+	}
+}
+
 func findGen(rep *genReport, workers int) (genComparison, bool) {
 	for _, c := range rep.Results {
 		if c.Workers == workers {
@@ -182,6 +225,7 @@ func main() {
 		swapFresh    = flag.String("swap", "", "fresh swap measurement to gate")
 		genBaseline  = flag.String("gen-baseline", "", "committed generate baseline (BENCH_generate.json)")
 		genFresh     = flag.String("gen", "", "fresh generate measurement to gate")
+		serveFresh   = flag.String("serve", "", "fresh loadgen measurement to gate (BENCH_serve.json; absolute, no baseline)")
 		tolerance    = flag.Float64("tolerance", 0.15, "allowed relative ns/op drift vs baseline")
 		strict       = flag.Bool("strict", false, "also fail on out-of-band improvements (stale baseline)")
 	)
@@ -190,8 +234,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck: -swap/-swap-baseline and -gen/-gen-baseline must be passed in pairs")
 		os.Exit(2)
 	}
-	if *swapFresh == "" && *genFresh == "" {
-		fmt.Fprintln(os.Stderr, "benchcheck: nothing to check; pass -swap/-swap-baseline and/or -gen/-gen-baseline")
+	if *swapFresh == "" && *genFresh == "" && *serveFresh == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: nothing to check; pass -swap/-swap-baseline, -gen/-gen-baseline and/or -serve")
 		os.Exit(2)
 	}
 	if *tolerance <= 0 {
@@ -223,6 +267,14 @@ func main() {
 			os.Exit(2)
 		}
 		checkGen(&o, &base, &fresh, *tolerance)
+	}
+	if *serveFresh != "" {
+		var fresh serveReport
+		if err := loadJSON(*serveFresh, &fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		checkServe(&o, &fresh)
 	}
 
 	for _, n := range o.notes {

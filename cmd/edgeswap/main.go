@@ -19,11 +19,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"nullgraph"
+	"nullgraph/internal/atomicfile"
 	"nullgraph/internal/obs"
 )
 
@@ -46,7 +48,8 @@ func run() error {
 		directed   = flag.Bool("directed", false, "treat the input as a directed arc list")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 1, "random seed")
-		out        = flag.String("o", "-", "output path (- = stdout)")
+		out        = flag.String("o", "-", "output path (- = stdout); files are written atomically (temp + rename)")
+		binary     = flag.Bool("binary", false, "write the compact binary edge-list format instead of text")
 		quiet      = flag.Bool("q", false, "suppress the summary line on stderr")
 		report     = flag.String("report", "", "write a chain-health RunReport (JSON) to this path (- = stdout)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -59,6 +62,9 @@ func run() error {
 	}
 	if *report != "" && *directed {
 		return fmt.Errorf("-report is not supported with -directed")
+	}
+	if *binary && *directed {
+		return fmt.Errorf("-binary is not supported with -directed (no binary arc-list format)")
 	}
 	if *adaptive && *mix {
 		return fmt.Errorf("-adaptive and -mix are mutually exclusive; pass at most one")
@@ -120,19 +126,15 @@ func run() error {
 		defer f.Close()
 		r = f
 	}
-	// The output file is created only after the mix succeeds, so an
-	// interrupted run (-timeout, SIGINT) leaves no partial output.
-	writeOut := func(write func(w *os.File) error) error {
-		w := os.Stdout
-		if *out != "-" {
-			f, err := os.Create(*out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
+	// The output file is written only after the mix succeeds, and file
+	// saves are atomic (temp + fsync + rename via atomicfile), so an
+	// interrupted run — graceful -timeout/SIGINT or a hard kill
+	// mid-write — can never leave a truncated output behind.
+	writeOut := func(write func(w io.Writer) error) error {
+		if *out == "-" {
+			return write(os.Stdout)
 		}
-		return write(w)
+		return atomicfile.Write(*out, write)
 	}
 	opt := nullgraph.Options{
 		Workers:         *workers,
@@ -159,7 +161,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := writeOut(func(w *os.File) error { return nullgraph.WriteDigraph(w, g) }); err != nil {
+		if err := writeOut(func(w io.Writer) error { return nullgraph.WriteDigraph(w, g) }); err != nil {
 			return err
 		}
 		if !*quiet {
@@ -186,7 +188,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := writeOut(func(w *os.File) error { return nullgraph.WriteGraph(w, g) }); err != nil {
+	if err := writeOut(func(w io.Writer) error {
+		if *binary {
+			return nullgraph.WriteGraphBinary(w, g)
+		}
+		return nullgraph.WriteGraph(w, g)
+	}); err != nil {
 		return err
 	}
 	if *report != "" && res.Report != nil {

@@ -14,11 +14,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"nullgraph"
+	"nullgraph/internal/atomicfile"
 )
 
 func main() {
@@ -34,7 +36,8 @@ func main() {
 		swaps    = flag.Int("swaps", 4, "swap iterations per layer subgraph")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		out      = flag.String("o", "-", "output edge list (- = stdout)")
+		out      = flag.String("o", "-", "output edge list (- = stdout); files are written atomically (temp + rename)")
+		binary   = flag.Bool("binary", false, "write the compact binary edge-list format instead of text")
 		commOut  = flag.String("communities", "", "write the planted community of each vertex here")
 		quiet    = flag.Bool("q", false, "suppress the summary line on stderr")
 		timeout  = flag.Duration("timeout", 0, "abandon the run after this long (e.g. 30s; 0 = no limit); SIGINT/SIGTERM also stop it gracefully")
@@ -66,34 +69,33 @@ func main() {
 		fatal(err)
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
+	writeGraph := func(w io.Writer) error {
+		if *binary {
+			return nullgraph.WriteGraphBinary(w, res.Graph)
+		}
+		return nullgraph.WriteGraph(w, res.Graph)
+	}
+	if *out == "-" {
+		if err := writeGraph(os.Stdout); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := nullgraph.WriteGraph(w, res.Graph); err != nil {
+	} else if err := atomicfile.Write(*out, writeGraph); err != nil {
 		fatal(err)
 	}
 
 	if *commOut != "" {
-		f, err := os.Create(*commOut)
-		if err != nil {
-			fatal(err)
-		}
-		bw := bufio.NewWriter(f)
-		for ci, members := range res.Communities {
-			for _, v := range members {
-				fmt.Fprintf(bw, "%d %d\n", v, ci)
+		err := atomicfile.Write(*commOut, func(w io.Writer) error {
+			bw := bufio.NewWriter(w)
+			for ci, members := range res.Communities {
+				for _, v := range members {
+					if _, err := fmt.Fprintf(bw, "%d %d\n", v, ci); err != nil {
+						return err
+					}
+				}
 			}
-		}
-		if err := bw.Flush(); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+			return bw.Flush()
+		})
+		if err != nil {
 			fatal(err)
 		}
 	}

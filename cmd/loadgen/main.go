@@ -1,0 +1,245 @@
+// Command loadgen load-tests a running nullgraphd and emits
+// BENCH_serve.json, the serving entry of the repo's benchmark family
+// (cmd/benchcheck gates it with -serve). It drives a concurrent mix of
+// generation requests across several fingerprints, verifies every
+// payload parses back into a graph of the expected shape, and reports
+// throughput, latency percentiles, and failure-mode counts:
+//
+//	nullgraphd -addr :8080 &
+//	loadgen -url http://localhost:8080 -requests 200 -concurrency 16
+//
+// The output is deliberately absolute, not baseline-relative: a
+// healthy server under this load must produce zero non-2xx responses,
+// zero deadline misses, and zero verification failures, whatever the
+// hardware — so the CI smoke gate needs no committed baseline file.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nullgraph"
+	"nullgraph/internal/atomicfile"
+)
+
+type config struct {
+	URL         string
+	Requests    int
+	Concurrency int
+	Keys        int
+	Vertices    int64
+	MaxDegree   int64
+	Gamma       float64
+	Swaps       int
+	DeadlineMs  int
+	Seed        uint64
+	Out         string
+}
+
+// report is the BENCH_serve.json document. cmd/benchcheck's -serve
+// gate reads the results block; keep field names stable.
+type report struct {
+	Benchmark string `json:"benchmark"`
+	Config    struct {
+		Requests    int     `json:"requests"`
+		Concurrency int     `json:"concurrency"`
+		Keys        int     `json:"keys"`
+		Vertices    int64   `json:"vertices"`
+		MaxDegree   int64   `json:"max_degree"`
+		Gamma       float64 `json:"gamma"`
+		Swaps       int     `json:"swaps"`
+		DeadlineMs  int     `json:"deadline_ms"`
+	} `json:"config"`
+	Results results `json:"results"`
+}
+
+type results struct {
+	Requests       int     `json:"requests"`
+	Succeeded      int     `json:"succeeded"`
+	Non2xx         int     `json:"non_2xx"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	QueueRejects   int     `json:"queue_rejections"`
+	VerifyFailures int     `json:"verify_failures"`
+	TotalSeconds   float64 `json:"total_seconds"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+func main() {
+	var c config
+	flag.StringVar(&c.URL, "url", "http://localhost:8080", "nullgraphd base URL")
+	flag.IntVar(&c.Requests, "requests", 200, "total requests to send")
+	flag.IntVar(&c.Concurrency, "concurrency", 16, "concurrent in-flight requests")
+	flag.IntVar(&c.Keys, "keys", 4, "distinct seeds (one engine-pool fingerprint each)")
+	flag.Int64Var(&c.Vertices, "n", 20_000, "vertices of the test distribution")
+	flag.Int64Var(&c.MaxDegree, "maxdeg", 100, "maximum degree of the test distribution")
+	flag.Float64Var(&c.Gamma, "gamma", 2.1, "power-law exponent of the test distribution")
+	flag.IntVar(&c.Swaps, "swaps", 10, "swap iterations per request")
+	flag.IntVar(&c.DeadlineMs, "deadline-ms", 30_000, "per-request deadline sent to the server")
+	flag.Uint64Var(&c.Seed, "seed", 1, "base seed; request i uses seed+i%keys")
+	flag.StringVar(&c.Out, "o", "BENCH_serve.json", `output path ("-" = stdout)`)
+	flag.Parse()
+	if c.Requests <= 0 || c.Concurrency <= 0 || c.Keys <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -requests, -concurrency and -keys must be positive")
+		os.Exit(2)
+	}
+
+	dist, err := nullgraph.PowerLawDistribution(c.Vertices, 1, c.MaxDegree, c.Gamma, 12345)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	var db bytes.Buffer
+	if err := nullgraph.WriteDistribution(&db, dist); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	body := db.String()
+	wantVertices := 0
+	for _, cl := range dist.Classes {
+		wantVertices += int(cl.Count)
+	}
+
+	client := &http.Client{Timeout: time.Duration(c.DeadlineMs)*time.Millisecond + 30*time.Second}
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+		res       results
+	)
+	record := func(ms float64, code int, verifyOK bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		latencies = append(latencies, ms)
+		switch {
+		case code == http.StatusOK && verifyOK:
+			res.Succeeded++
+		case code == http.StatusOK:
+			res.VerifyFailures++
+		case code == http.StatusTooManyRequests:
+			res.QueueRejects++
+			res.Non2xx++
+		case code == http.StatusGatewayTimeout:
+			res.DeadlineMisses++
+			res.Non2xx++
+		default:
+			res.Non2xx++
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(c.Requests) {
+					return
+				}
+				seed := c.Seed + uint64(i)%uint64(c.Keys)
+				url := fmt.Sprintf("%s/v1/generate?seed=%d&swaps=%d&deadline_ms=%d",
+					c.URL, seed, c.Swaps, c.DeadlineMs)
+				t0 := time.Now()
+				resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+				if err != nil {
+					record(time.Since(t0).Seconds()*1e3, 0, false)
+					continue
+				}
+				code := resp.StatusCode
+				ok := false
+				if code == http.StatusOK {
+					g, gerr := nullgraph.ReadGraphBinary(resp.Body)
+					ok = gerr == nil && g.NumVertices == wantVertices && len(g.Edges) > 0
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				record(time.Since(t0).Seconds()*1e3, code, ok)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res.Requests = c.Requests
+	res.TotalSeconds = time.Since(start).Seconds()
+	if res.TotalSeconds > 0 {
+		res.ThroughputRPS = float64(c.Requests) / res.TotalSeconds
+	}
+	sort.Float64s(latencies)
+	res.P50Ms = percentile(latencies, 0.50)
+	res.P90Ms = percentile(latencies, 0.90)
+	res.P99Ms = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		res.MaxMs = latencies[n-1]
+	}
+
+	var rep report
+	rep.Benchmark = "serve"
+	rep.Config.Requests = c.Requests
+	rep.Config.Concurrency = c.Concurrency
+	rep.Config.Keys = c.Keys
+	rep.Config.Vertices = c.Vertices
+	rep.Config.MaxDegree = c.MaxDegree
+	rep.Config.Gamma = c.Gamma
+	rep.Config.Swaps = c.Swaps
+	rep.Config.DeadlineMs = c.DeadlineMs
+	rep.Results = res
+
+	if err := writeReport(c.Out, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d requests, %d ok, %d non-2xx (%d deadline, %d queue), %d verify failures, %.1f req/s, p50 %.1fms p99 %.1fms\n",
+		res.Requests, res.Succeeded, res.Non2xx, res.DeadlineMisses, res.QueueRejects,
+		res.VerifyFailures, res.ThroughputRPS, res.P50Ms, res.P99Ms)
+	if res.Succeeded != res.Requests {
+		os.Exit(1)
+	}
+}
+
+// percentile returns the nearest-rank percentile of sorted ms values.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func writeReport(path string, rep *report) error {
+	if path == "-" {
+		return encode(os.Stdout, rep)
+	}
+	return atomicfile.Write(path, func(w io.Writer) error { return encode(w, rep) })
+}
+
+func encode(w io.Writer, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

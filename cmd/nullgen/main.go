@@ -25,12 +25,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"nullgraph"
+	"nullgraph/internal/atomicfile"
 	"nullgraph/internal/datasets"
 	"nullgraph/internal/obs"
 )
@@ -55,6 +57,7 @@ type config struct {
 	Workers    int
 	Seed       uint64
 	Out        string
+	Binary     bool
 	Report     string
 	Pprof      string
 	CPUProfile string
@@ -116,6 +119,9 @@ func validateConfig(c config) error {
 	if c.Timeout < 0 {
 		return fmt.Errorf("-timeout must be >= 0 (got %v)", c.Timeout)
 	}
+	if c.Binary && c.Joint != "" {
+		return errors.New("-binary is not supported with -joint (no binary arc-list format)")
+	}
 	return nil
 }
 
@@ -150,7 +156,8 @@ func main() {
 	flag.IntVar(&c.StopBudget, "stop-budget", 0, "maximum swap iterations for an adaptive run (0 = default)")
 	flag.IntVar(&c.Workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Uint64Var(&c.Seed, "seed", 1, "random seed")
-	flag.StringVar(&c.Out, "o", "-", "output edge list path (- = stdout)")
+	flag.StringVar(&c.Out, "o", "-", "output edge list path (- = stdout); files are written atomically (temp + rename)")
+	flag.BoolVar(&c.Binary, "binary", false, "write the compact binary edge-list format instead of text")
 	flag.StringVar(&c.Report, "report", "", "write a chain-health RunReport (JSON) to this path (- = stdout)")
 	flag.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -209,16 +216,7 @@ func run(ctx context.Context, c config) error {
 		return err
 	}
 
-	w := os.Stdout
-	if c.Out != "-" {
-		f, err := os.Create(c.Out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := nullgraph.WriteGraph(w, res.Graph); err != nil {
+	if err := saveGraph(c, res.Graph); err != nil {
 		return err
 	}
 	if c.Report != "" && res.Report != nil {
@@ -234,6 +232,24 @@ func run(ctx context.Context, c config) error {
 			q.Edges*100, q.MaxDegree*100, len(res.SwapIterations), stopDesc(res.Stop))
 	}
 	return nil
+}
+
+// saveGraph writes the generated graph in the configured format.
+// Stdout streams directly; file outputs go through atomicfile, so an
+// interrupted or killed save can never leave a truncated file behind —
+// in particular no partial binary edge list for ReadGraphBinary to
+// reject later.
+func saveGraph(c config, g *nullgraph.Graph) error {
+	write := func(w io.Writer) error {
+		if c.Binary {
+			return nullgraph.WriteGraphBinary(w, g)
+		}
+		return nullgraph.WriteGraph(w, g)
+	}
+	if c.Out == "-" {
+		return write(os.Stdout)
+	}
+	return atomicfile.Write(c.Out, write)
 }
 
 // stopPolicy maps the adaptive flags onto a StopPolicy; validateConfig
@@ -311,16 +327,12 @@ func generateDirected(ctx context.Context, c config) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if c.Out != "-" {
-		of, err := os.Create(c.Out)
-		if err != nil {
+	writeArcs := func(w io.Writer) error { return nullgraph.WriteDigraph(w, res.Graph) }
+	if c.Out == "-" {
+		if err := writeArcs(os.Stdout); err != nil {
 			return err
 		}
-		defer of.Close()
-		w = of
-	}
-	if err := nullgraph.WriteDigraph(w, res.Graph); err != nil {
+	} else if err := atomicfile.Write(c.Out, writeArcs); err != nil {
 		return err
 	}
 	if !c.Quiet {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nullgraph"
+)
+
+// TestSaveGraphBinaryRoundTrip locks the -binary save path: the file on
+// disk must reload bit-identically through ReadGraphBinary, and the
+// atomic write must leave no staging files next to it.
+func TestSaveGraphBinaryRoundTrip(t *testing.T) {
+	g := nullgraph.NewGraph([]nullgraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.bin")
+	if err := saveGraph(config{Out: path, Binary: true}, g); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := nullgraph.ReadGraphBinary(f)
+	if err != nil {
+		t.Fatalf("reload of -binary output: %v", err)
+	}
+	if back.NumVertices != g.NumVertices || len(back.Edges) != len(g.Edges) {
+		t.Fatalf("shape changed: (%d,%d) vs (%d,%d)", back.NumVertices, len(back.Edges), g.NumVertices, len(g.Edges))
+	}
+	for i := range g.Edges {
+		if back.Edges[i] != g.Edges[i] {
+			t.Fatalf("edge %d changed", i)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("staging leftovers: %v", ents)
+	}
+
+	// Text mode reloads through the text reader.
+	tpath := filepath.Join(dir, "graph.txt")
+	if err := saveGraph(config{Out: tpath, Binary: false}, g); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if _, err := nullgraph.ReadGraph(tf); err != nil {
+		t.Fatalf("reload of text output: %v", err)
+	}
+}

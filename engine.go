@@ -3,11 +3,20 @@ package nullgraph
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 
 	"nullgraph/internal/core"
 	"nullgraph/internal/obs"
 	"nullgraph/internal/par"
 )
+
+// ErrEngineBusy reports a concurrent call on a single Engine session.
+// An Engine is a single-session object: it owns one set of pipeline
+// buffers and one sample counter, so overlapping Generate/Shuffle calls
+// would race on them. The guard turns that misuse into this error —
+// check with errors.Is. Callers that need concurrency hold one Engine
+// per goroutine (or pool engines, as cmd/nullgraphd does).
+var ErrEngineBusy = core.ErrEngineBusy
 
 // Engine is a reusable generation session. Where Generate and Shuffle
 // build and tear down every pipeline buffer per call, an Engine owns
@@ -30,14 +39,32 @@ import (
 // keep samples must copy them out. Shuffle mixes the caller's graph in
 // place, as the package-level Shuffle does.
 //
-// An Engine is not safe for concurrent use. Close releases the worker
-// pool; the engine must not be used afterwards.
+// An Engine is not safe for concurrent use: overlapping
+// Generate/Shuffle calls fail fast with ErrEngineBusy rather than
+// racing on the session's buffers. Close releases the worker pool; the
+// engine must not be used afterwards.
 type Engine struct {
 	opt    Options
 	eng    *core.Engine
 	rec    *obs.Recorder
 	sample uint64
+
+	// busy serializes calls: the sample counter and every engine-owned
+	// buffer belong to at most one in-flight call.
+	busy atomic.Bool
 }
+
+// acquire claims the session for one call; an overlapping call gets
+// ErrEngineBusy instead of a data race on the sample counter and
+// scratch buffers.
+func (e *Engine) acquire() error {
+	if !e.busy.CompareAndSwap(false, true) {
+		return ErrEngineBusy
+	}
+	return nil
+}
+
+func (e *Engine) release() { e.busy.Store(false) }
 
 // NewEngine prepares a session for the given options. Options are
 // fixed for the session; in particular Options.CollectReport attaches
@@ -73,6 +100,10 @@ func (e *Engine) GenerateContext(ctx context.Context, dist *DegreeDistribution) 
 	if err := ctxEntryErr(ctx); err != nil {
 		return nil, err
 	}
+	if err := e.acquire(); err != nil {
+		return nil, err
+	}
+	defer e.release()
 	stop, release := par.WatchContext(ctx)
 	defer release()
 	out, err := e.eng.GenerateSample(dist, e.sample, stop)
@@ -100,6 +131,10 @@ func (e *Engine) ShuffleContext(ctx context.Context, g *Graph) (*Result, error) 
 	if err := ctxEntryErr(ctx); err != nil {
 		return nil, err
 	}
+	if err := e.acquire(); err != nil {
+		return nil, err
+	}
+	defer e.release()
 	stop, release := par.WatchContext(ctx)
 	defer release()
 	out, err := e.eng.ShuffleSample(g, e.sample, stop)

@@ -1,0 +1,81 @@
+// Package atomicfile writes files atomically: content goes to a
+// temporary file in the destination's directory, is fsynced, and only
+// then renamed over the destination. A crash, SIGKILL, watchdog exit,
+// or write error at any point leaves either the old file or no file —
+// never a truncated one.
+//
+// The CLIs use it for every file they save, so their hard-timeout and
+// signal paths can never leave a partial binary edge list behind for
+// graph.ReadEdgeListBinary (or any other reader) to choke on later.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with the bytes produced by write.
+//
+// The content is staged in a hidden temp file next to path (same
+// filesystem, so the final rename is atomic), flushed with fsync, and
+// renamed over path only after every byte is durably on disk; the
+// directory is then fsynced (best-effort) so the rename itself survives
+// a crash. If write returns an error, or any syscall fails, the temp
+// file is removed and path is left untouched.
+//
+// write receives a plain *os.File-backed io.Writer; callers that batch
+// small writes should wrap it in a bufio.Writer and flush before
+// returning (the library's Write* helpers already do).
+func Write(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: staging %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	// CreateTemp's 0600 is right for a private staging file but wrong
+	// for the published one; match os.Create's default before the
+	// rename makes it visible.
+	if err = f.Chmod(0o644); err != nil {
+		return fmt.Errorf("atomicfile: chmod %s: %w", tmp, err)
+	}
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: fsync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: publish %s: %w", path, err)
+	}
+	// Make the rename durable. Failure here is not worth failing the
+	// run over: the file is already complete and visible, only its
+	// directory entry might not survive an immediate power loss.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteTo writes to w when it is non-nil (the caller's stdout path), or
+// atomically to path otherwise — the shape every CLI save path has.
+func WriteTo(w io.Writer, path string, write func(w io.Writer) error) error {
+	if w != nil {
+		return write(w)
+	}
+	return Write(path, write)
+}

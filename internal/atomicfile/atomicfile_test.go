@@ -1,0 +1,185 @@
+package atomicfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func readDirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	want := []byte("hello atomic world")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := w.Write(want)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content mismatch: %q", got)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 {
+		t.Fatalf("staging leftovers: %v", names)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("published mode %v, want 0644", info.Mode().Perm())
+	}
+}
+
+// TestWriteErrorLeavesTargetUntouched: a mid-write failure must neither
+// create the target nor clobber a pre-existing one, and must clean up
+// its staging file.
+func TestWriteErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	old := []byte("previous complete output")
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	err := Write(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("partial gar")); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected error back, got %v", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("target clobbered by failed write: %q", got)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 {
+		t.Fatalf("staging leftovers after failure: %v", names)
+	}
+}
+
+func TestWriteToStdoutPath(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, "", func(w io.Writer) error {
+		_, err := io.WriteString(w, "to stdout")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "to stdout" {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+// TestKillMidWriteLeavesNoPartialTarget is the satellite's lock: a
+// subprocess is SIGKILLed while streaming into an atomicfile.Write —
+// the moral equivalent of the CLIs' hard watchdog or a kill -9 mid-save
+// — and the target path must afterwards either not exist or (when it
+// pre-existed) hold its old bytes, never a truncated new file.
+func TestKillMidWriteLeavesNoPartialTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "graph.bin")
+	old := []byte("complete old graph file")
+	if err := os.WriteFile(target, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ready := filepath.Join(dir, "ready")
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperKillMidWrite$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"ATOMICFILE_KILL_HELPER=1",
+		"ATOMICFILE_TARGET="+target,
+		"ATOMICFILE_READY="+ready,
+	)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the helper has provably written payload bytes into its
+	// staging file, then kill it cold.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(ready); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("helper never signalled readiness; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // expected to report the kill; the assertions below are the test
+
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatalf("target unreadable after kill: %v", err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("kill mid-write corrupted the target: got %d bytes, want the %d old bytes", len(got), len(old))
+	}
+}
+
+// TestHelperKillMidWrite is the subprocess body of the kill test: it
+// streams payload into an atomic write forever (signalling once bytes
+// are in flight) and is killed by the parent mid-stream.
+func TestHelperKillMidWrite(t *testing.T) {
+	if os.Getenv("ATOMICFILE_KILL_HELPER") != "1" {
+		t.Skip("helper process for TestKillMidWriteLeavesNoPartialTarget")
+	}
+	target := os.Getenv("ATOMICFILE_TARGET")
+	ready := os.Getenv("ATOMICFILE_READY")
+	chunk := bytes.Repeat([]byte{0xAB}, 1<<12)
+	err := Write(target, func(w io.Writer) error {
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		if err := os.WriteFile(ready, nil, 0o644); err != nil {
+			return err
+		}
+		for { // stream until killed
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	// Only reachable if the parent failed to kill us; surface the state.
+	t.Fatalf("helper survived: write returned %v", err)
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+)
+
+// TestEngineBusyDeterministic locks the guard's semantics without any
+// timing dependence: a held session rejects both entry points with
+// ErrEngineBusy, and a released session serves them again.
+func TestEngineBusyDeterministic(t *testing.T) {
+	eng := NewEngine(Options{Workers: 1, Seed: 7, SwapIterations: 2})
+	defer eng.Close()
+	dist := degseq.FromDegrees([]int64{2, 2, 2, 2})
+
+	if err := eng.acquire(); err != nil {
+		t.Fatalf("acquire on idle engine: %v", err)
+	}
+	if _, err := eng.GenerateSample(dist, 0, nil); !errors.Is(err, ErrEngineBusy) {
+		t.Fatalf("GenerateSample on held engine: got %v, want ErrEngineBusy", err)
+	}
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}}, 4)
+	if _, err := eng.ShuffleSample(el, 0, nil); !errors.Is(err, ErrEngineBusy) {
+		t.Fatalf("ShuffleSample on held engine: got %v, want ErrEngineBusy", err)
+	}
+	eng.release()
+	if _, err := eng.GenerateSample(dist, 0, nil); err != nil {
+		t.Fatalf("GenerateSample after release: %v", err)
+	}
+}
+
+// TestEngineBusyErrorDoesNotLeaveHeld checks that calls rejected by
+// input validation release the guard: a bad distribution must not wedge
+// the session.
+func TestEngineBusyErrorDoesNotLeaveHeld(t *testing.T) {
+	eng := NewEngine(Options{Workers: 1, Seed: 7, SwapIterations: 2})
+	defer eng.Close()
+	if _, err := eng.ShuffleSample(nil, 0, nil); err == nil {
+		t.Fatal("nil edge list accepted")
+	}
+	dist := degseq.FromDegrees([]int64{2, 2, 2, 2})
+	if _, err := eng.GenerateSample(dist, 0, nil); err != nil {
+		t.Fatalf("engine wedged after validation error: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,6 +19,13 @@ import (
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/swap"
 )
+
+// ErrEngineBusy reports a concurrent call on a single Engine session.
+// An Engine owns one set of phase scratch buffers, so overlapping
+// GenerateSample/ShuffleSample calls would race on them; the guard
+// turns that misuse into this error instead. Callers that need
+// concurrency hold one Engine per goroutine (or a serve.Pool).
+var ErrEngineBusy = errors.New("core: engine busy: an Engine session supports one call at a time")
 
 // Options configures the full pipeline.
 type Options struct {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"nullgraph/internal/converge"
@@ -52,6 +53,12 @@ type Engine struct {
 	pool *par.Pool
 	gen  *edgeskip.Generator
 	mix  *swap.Engine
+
+	// busy guards the session's scratch against concurrent misuse:
+	// GenerateSample/ShuffleSample hold it for the duration of a call,
+	// and an overlapping call fails fast with ErrEngineBusy instead of
+	// silently racing on the shared buffers.
+	busy atomic.Bool
 
 	// prob caches the probability matrix of the last distribution;
 	// probKey is a snapshot of its classes, compared per call so a
@@ -211,6 +218,18 @@ func (e *Engine) runSwaps(el *graph.EdgeList, seed uint64, stop *par.Stop) (swap
 	return res, false, fixedStopReport(e.opt, res, false)
 }
 
+// acquire claims the session for one call, failing fast with
+// ErrEngineBusy when another call holds it. release is the paired
+// deferred unlock.
+func (e *Engine) acquire() error {
+	if !e.busy.CompareAndSwap(false, true) {
+		return ErrEngineBusy
+	}
+	return nil
+}
+
+func (e *Engine) release() { e.busy.Store(false) }
+
 // GenerateSample runs the full pipeline (Algorithm IV.1) for the
 // sample-th member of the batch. The returned Result aliases
 // engine-owned buffers and is valid until the next call.
@@ -218,7 +237,13 @@ func (e *Engine) runSwaps(el *graph.EdgeList, seed uint64, stop *par.Stop) (swap
 // When stop trips mid-run, GenerateSample returns par.ErrStopped; no
 // graph is returned and the engine remains reusable. A stop observed
 // before any work leaves everything untouched.
+//
+// An overlapping call on the same Engine returns ErrEngineBusy.
 func (e *Engine) GenerateSample(dist *degseq.Distribution, sample uint64, stop *par.Stop) (*Result, error) {
+	if err := e.acquire(); err != nil {
+		return nil, err
+	}
+	defer e.release()
 	if err := dist.Validate(); err != nil {
 		return nil, err
 	}
@@ -268,7 +293,13 @@ func (e *Engine) GenerateSample(dist *degseq.Distribution, sample uint64, stop *
 // are preserved (and simplicity, for simple inputs), with all swaps
 // committed before the stop kept. A stop observed before any work
 // leaves el untouched.
+//
+// An overlapping call on the same Engine returns ErrEngineBusy.
 func (e *Engine) ShuffleSample(el *graph.EdgeList, sample uint64, stop *par.Stop) (*Result, error) {
+	if err := e.acquire(); err != nil {
+		return nil, err
+	}
+	defer e.release()
 	if err := validateEdgeList(el); err != nil {
 		return nil, err
 	}

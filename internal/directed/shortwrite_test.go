@@ -1,0 +1,68 @@
+package directed
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+var errDiskFull = errors.New("short write: disk full")
+
+// failAfter accepts exactly n bytes then fails, emulating a full disk
+// mid-save; see the internal/graph mirror for the rationale.
+type failAfter struct {
+	n     int
+	wrote int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.wrote+len(p) <= f.n {
+		f.wrote += len(p)
+		return len(p), nil
+	}
+	k := f.n - f.wrote
+	if k < 0 {
+		k = 0
+	}
+	f.wrote += k
+	return k, errDiskFull
+}
+
+// TestWriteArcListTextShortWrites asserts the directed writer
+// propagates a failure at every possible byte offset — a digraph save
+// that reports success must have written every arc.
+func TestWriteArcListTextShortWrites(t *testing.T) {
+	al := &ArcList{Arcs: []Arc{{From: 0, To: 1}, {From: 12, To: 3456}, {From: 2, To: 0}}, NumVertices: 3457}
+	var full bytes.Buffer
+	if err := WriteArcListText(&full, al); err != nil {
+		t.Fatal(err)
+	}
+	total := full.Len()
+	for cut := 0; cut < total; cut++ {
+		if err := WriteArcListText(&failAfter{n: cut}, al); err == nil {
+			t.Fatalf("arc write succeeding with only %d of %d bytes accepted: dropped error", cut, total)
+		}
+	}
+	if err := WriteArcListText(&failAfter{n: total}, al); err != nil {
+		t.Fatalf("arc write failing with full capacity: %v", err)
+	}
+}
+
+// TestWriteJointShortWrites covers the joint-distribution writer the
+// same way.
+func TestWriteJointShortWrites(t *testing.T) {
+	d := &JointDistribution{Classes: []JointClass{{Out: 1, In: 2, Count: 3}, {Out: 4, In: 0, Count: 7}}}
+	var full bytes.Buffer
+	if err := WriteJoint(&full, d); err != nil {
+		t.Fatal(err)
+	}
+	total := full.Len()
+	for cut := 0; cut < total; cut++ {
+		if err := WriteJoint(&failAfter{n: cut}, d); err == nil {
+			t.Fatalf("joint write succeeding with only %d of %d bytes accepted: dropped error", cut, total)
+		}
+	}
+	if err := WriteJoint(&failAfter{n: total}, d); err != nil {
+		t.Fatalf("joint write failing with full capacity: %v", err)
+	}
+}

@@ -98,6 +98,31 @@ func FuzzReadEdgeListBinary(f *testing.F) {
 	}
 	f.Add(valid.Bytes())
 	f.Add([]byte{})
+	// Empty graphs: zero edges with and without vertices.
+	f.Add(binaryHeader(binaryMagic, 0, 0))
+	f.Add(binaryHeader(binaryMagic, 5, 0))
+	// A larger valid graph exercises the chunked-growth stream path past
+	// a single append.
+	{
+		big := make([]Edge, 300)
+		for i := range big {
+			big[i] = Edge{U: int32(i), V: int32((i + 1) % 400)}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeListBinary(&buf, NewEdgeList(big, 400)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Endpoints at the top of the int32 ID range (NumVertices = MaxInt32).
+	{
+		var buf bytes.Buffer
+		top := NewEdgeList([]Edge{{0, 1<<31 - 2}, {1<<31 - 2, 3}}, 1<<31-1)
+		if err := WriteEdgeListBinary(&buf, top); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	// Truncated headers: cut inside each of the three header words.
 	f.Add(valid.Bytes()[:7])
 	f.Add(valid.Bytes()[:16])
@@ -144,6 +169,9 @@ func FuzzReadEdgeListBinary(f *testing.F) {
 		var buf bytes.Buffer
 		if err := WriteEdgeListBinary(&buf, el); err != nil {
 			t.Fatalf("write after successful read: %v", err)
+		}
+		if int64(buf.Len()) != BinaryEdgeListSize(el) {
+			t.Fatalf("wrote %d bytes, BinaryEdgeListSize says %d", buf.Len(), BinaryEdgeListSize(el))
 		}
 		back, err := ReadEdgeListBinary(bytes.NewReader(buf.Bytes()))
 		if err != nil {

@@ -78,13 +78,21 @@ const binaryMagic = uint64(0x4e554c4c47524632) // "NULLGRF2"
 // WriteEdgeListBinary writes a compact little-endian binary encoding:
 // magic, n, m, then m packed 64-bit edges in list order. Roughly 8 bytes
 // per edge versus ~14 for text, and parse-free to reload.
+//
+// Every underlying Write error — including short writes surfaced at the
+// buffered flush — is propagated, so a caller that gets nil back knows
+// all 24+8m bytes reached w (TestWriteEdgeListBinaryShortWrites
+// enumerates every failure offset). Durability is the caller's job:
+// CLI save paths route through internal/atomicfile, which fsyncs before
+// renaming the file into place.
 func WriteEdgeListBinary(w io.Writer, el *EdgeList) error {
 	bw := bufio.NewWriter(w)
-	header := []uint64{binaryMagic, uint64(el.NumVertices), uint64(len(el.Edges))}
-	for _, h := range header {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
-			return err
-		}
+	var hdr [binaryHeaderBytes]byte
+	binary.LittleEndian.PutUint64(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(el.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(el.Edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
 	}
 	buf := make([]byte, 8)
 	for _, e := range el.Edges {
@@ -96,6 +104,14 @@ func WriteEdgeListBinary(w io.Writer, el *EdgeList) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// BinaryEdgeListSize returns the exact encoded size of an edge list in
+// the binary format: the fixed header plus 8 bytes per edge. Servers
+// use it to set Content-Length so clients can detect truncation at the
+// transport layer too.
+func BinaryEdgeListSize(el *EdgeList) int64 {
+	return binaryHeaderBytes + 8*int64(len(el.Edges))
 }
 
 // binaryChunkEdges caps how many edges' worth of buffer is allocated on

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// errDiskFull is the injected failure of the short-write harness.
+var errDiskFull = errors.New("short write: disk full")
+
+// failAfter is an io.Writer that accepts exactly n bytes and then
+// fails, emulating a full disk or a killed pipe at byte offset n. The
+// partial-accept behaviour (k < len(p) with an error) is the hardest
+// case for callers to propagate correctly.
+type failAfter struct {
+	n     int
+	wrote int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.wrote+len(p) <= f.n {
+		f.wrote += len(p)
+		return len(p), nil
+	}
+	k := f.n - f.wrote
+	if k < 0 {
+		k = 0
+	}
+	f.wrote += k
+	return k, errDiskFull
+}
+
+// TestWriteEdgeListBinaryShortWrites enumerates every byte offset at
+// which the destination can fail and asserts the writer reports an
+// error for each — no Write error anywhere in the encoder may be
+// dropped, because a silently-short binary file is exactly the
+// corruption ReadEdgeListBinary exists to reject.
+func TestWriteEdgeListBinaryShortWrites(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}, 4)
+	var full bytes.Buffer
+	if err := WriteEdgeListBinary(&full, el); err != nil {
+		t.Fatal(err)
+	}
+	total := full.Len()
+	if want := int(BinaryEdgeListSize(el)); total != want {
+		t.Fatalf("encoded size %d, BinaryEdgeListSize says %d", total, want)
+	}
+	for cut := 0; cut < total; cut++ {
+		if err := WriteEdgeListBinary(&failAfter{n: cut}, el); err == nil {
+			t.Fatalf("write succeeding with only %d of %d bytes accepted: dropped error", cut, total)
+		}
+	}
+	// Exactly enough capacity must succeed.
+	if err := WriteEdgeListBinary(&failAfter{n: total}, el); err != nil {
+		t.Fatalf("write failing with exactly %d bytes of capacity: %v", total, err)
+	}
+}
+
+// TestWriteEdgeListTextShortWrites is the text-format mirror.
+func TestWriteEdgeListTextShortWrites(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {10, 200}, {3000, 2}}, 3001)
+	var full bytes.Buffer
+	if err := WriteEdgeListText(&full, el); err != nil {
+		t.Fatal(err)
+	}
+	total := full.Len()
+	for cut := 0; cut < total; cut++ {
+		if err := WriteEdgeListText(&failAfter{n: cut}, el); err == nil {
+			t.Fatalf("text write succeeding with only %d of %d bytes accepted: dropped error", cut, total)
+		}
+	}
+	if err := WriteEdgeListText(&failAfter{n: total}, el); err != nil {
+		t.Fatalf("text write failing with full capacity: %v", err)
+	}
+}

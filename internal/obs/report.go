@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+
+	"nullgraph/internal/atomicfile"
 )
 
 // SchemaVersion identifies the RunReport JSON schema. Consumers
@@ -164,18 +166,12 @@ func (r *RunReport) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteReportFile writes the report to path ("-" = stdout).
+// WriteReportFile writes the report to path ("-" = stdout). File
+// outputs are atomic (temp + fsync + rename), so a killed run never
+// leaves a truncated report.
 func WriteReportFile(path string, r *RunReport) error {
 	if path == "-" {
 		return r.WriteJSON(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, func(w io.Writer) error { return r.WriteJSON(w) })
 }

@@ -1,0 +1,63 @@
+// Package serve implements nullgraphd's service layer: a pool of
+// nullgraph.Engine sessions keyed by degree-distribution fingerprint,
+// an admission gate with bounded queueing, per-request deadlines, and
+// a Prometheus-text metrics surface fed by the library's RunReport v2
+// observability. cmd/nullgraphd is a thin flag-parsing wrapper around
+// this package; cmd/loadgen drives it. DESIGN.md §13 documents the
+// architecture.
+package serve
+
+import (
+	"nullgraph"
+)
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset = uint64(14695981039346656037)
+	fnv64Prime  = uint64(1099511628211)
+)
+
+// hash64 folds one 64-bit word into an FNV-1a state byte by byte.
+func hash64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnv64Prime
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint identifies an engine-compatible (distribution, options)
+// pair. Two requests share a pooled session — and therefore draw
+// distinct samples of one batch — exactly when their fingerprints are
+// equal: the same degree classes in the same order and the same
+// generation options. Hashing the full class list keeps collisions
+// across genuinely different distributions vanishingly rare (64-bit
+// FNV-1a); a collision would only merge two pools, costing probability
+// -matrix cache churn, never correctness, because every request carries
+// its own distribution to GenerateContext.
+func Fingerprint(dist *nullgraph.DegreeDistribution, opt nullgraph.Options) uint64 {
+	h := fnv64Offset
+	h = hash64(h, uint64(opt.Workers))
+	h = hash64(h, opt.Seed)
+	h = hash64(h, uint64(opt.SwapIterations))
+	var mix uint64
+	if opt.MixUntilSwapped {
+		mix = 1
+	}
+	h = hash64(h, mix)
+	h = hash64(h, uint64(opt.RefineProbabilities))
+	if p := opt.StopPolicy; p != nil {
+		h = hash64(h, 1)
+		h = hash64(h, uint64(p.Statistic))
+		h = hash64(h, uint64(p.Floor))
+		h = hash64(h, uint64(p.Budget))
+	} else {
+		h = hash64(h, 0)
+	}
+	for _, c := range dist.Classes {
+		h = hash64(h, uint64(c.Degree))
+		h = hash64(h, uint64(c.Count))
+	}
+	return h
+}

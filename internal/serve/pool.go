@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nullgraph"
+)
+
+// ErrPoolClosed reports an Acquire on a closed pool.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Pool checks nullgraph.Engine sessions in and out, keyed by request
+// fingerprint. Each key owns a batch: the pool allocates every lease a
+// distinct sample index from the key's monotone counter and positions
+// the engine with SetSample before handing it out, so concurrent
+// requests on one fingerprint draw distinct, deterministic members of
+// one seed's batch — never the same graph, regardless of which pooled
+// engine serves which request.
+//
+// Idle engines are retained per key up to a cap so steady traffic on a
+// fingerprint reuses warm sessions (cached probability matrix, swap
+// scratch, worker pool) instead of rebuilding them per request.
+type Pool struct {
+	// maxIdlePerKey caps retained idle engines per fingerprint;
+	// checkins beyond it close the engine instead.
+	maxIdlePerKey int
+
+	mu     sync.Mutex
+	keys   map[uint64]*poolKey
+	closed bool
+}
+
+// poolKey is one fingerprint's state: its warm engines and its batch
+// sample counter.
+type poolKey struct {
+	idle []*nullgraph.Engine
+	// nextSample is the next unissued sample index of this key's batch.
+	// Monotone: indices are never reissued, even when a request is
+	// canceled, so two responses can never carry the same sample.
+	nextSample uint64
+}
+
+// NewPool returns a pool retaining at most maxIdlePerKey engines per
+// fingerprint (<= 0 defaults to 4).
+func NewPool(maxIdlePerKey int) *Pool {
+	if maxIdlePerKey <= 0 {
+		maxIdlePerKey = 4
+	}
+	return &Pool{maxIdlePerKey: maxIdlePerKey, keys: make(map[uint64]*poolKey)}
+}
+
+// Lease is one checked-out engine positioned at one sample index. The
+// holder has exclusive use of Engine until Release; the engine-busy
+// guard backs this up, so a pool bug would surface as ErrEngineBusy
+// rather than a race.
+type Lease struct {
+	// Engine is the session, already positioned at Sample.
+	Engine *nullgraph.Engine
+	// Sample is the batch index this lease was issued.
+	Sample uint64
+
+	pool     *Pool
+	key      uint64
+	released bool
+}
+
+// Acquire checks out an engine for the fingerprint, creating one with
+// opt if no idle session exists. The returned lease's engine is
+// positioned at the lease's sample index.
+func (p *Pool) Acquire(fp uint64, opt nullgraph.Options) (*Lease, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	ks := p.keys[fp]
+	if ks == nil {
+		ks = &poolKey{}
+		p.keys[fp] = ks
+	}
+	sample := ks.nextSample
+	ks.nextSample++
+	var eng *nullgraph.Engine
+	if n := len(ks.idle); n > 0 {
+		eng = ks.idle[n-1]
+		ks.idle[n-1] = nil
+		ks.idle = ks.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if eng == nil {
+		eng = nullgraph.NewEngine(opt)
+	}
+	eng.SetSample(sample)
+	return &Lease{Engine: eng, Sample: sample, pool: p, key: fp}, nil
+}
+
+// Release returns the lease's engine to the pool. healthy = false (the
+// request hit an unexpected engine error) closes the session instead
+// of recycling it; canceled and deadline-exceeded requests are healthy
+// — cancellation is cooperative and leaves the engine reusable.
+// Idempotent: a second Release is a no-op.
+func (l *Lease) Release(healthy bool) {
+	if l.released {
+		return
+	}
+	l.released = true
+	if !healthy {
+		l.Engine.Close()
+		return
+	}
+	p := l.pool
+	p.mu.Lock()
+	ks := p.keys[l.key]
+	if p.closed || ks == nil || len(ks.idle) >= p.maxIdlePerKey {
+		p.mu.Unlock()
+		l.Engine.Close()
+		return
+	}
+	ks.idle = append(ks.idle, l.Engine)
+	p.mu.Unlock()
+}
+
+// Stats reports the pool's current idle-session and key counts.
+func (p *Pool) Stats() (keys, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ks := range p.keys {
+		idle += len(ks.idle)
+	}
+	return len(p.keys), idle
+}
+
+// Close closes every idle engine and fails further Acquires. Leases
+// still out close their engines on Release (the pool no longer
+// accepts checkins).
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	var engines []*nullgraph.Engine
+	for _, ks := range p.keys {
+		engines = append(engines, ks.idle...)
+		ks.idle = nil
+	}
+	p.mu.Unlock()
+	for _, e := range engines {
+		e.Close()
+	}
+	return nil
+}
+
+// String describes the pool for logs.
+func (p *Pool) String() string {
+	keys, idle := p.Stats()
+	return fmt.Sprintf("serve.Pool{keys: %d, idle: %d}", keys, idle)
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nullgraph"
+)
+
+// hashGraph digests a graph's shape and edges (order-sensitive — edge
+// order is part of the deterministic output).
+func hashGraph(g *nullgraph.Graph) uint64 {
+	h := fnv64Offset
+	h = hash64(h, uint64(g.NumVertices))
+	for _, e := range g.Edges {
+		h = hash64(h, uint64(uint32(e.U))<<32|uint64(uint32(e.V)))
+	}
+	return h
+}
+
+// testDistribution builds a small graphical distribution that differs
+// per index, so each fingerprint has genuinely different work.
+func testDistribution(t testing.TB, i int) *nullgraph.DegreeDistribution {
+	t.Helper()
+	dist, err := nullgraph.DistributionFromCounts(map[int64]int64{
+		1: int64(6 + 2*i),
+		2: 4,
+		3: int64(2 + 2*(i%2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nullgraph.Validate(dist); err != nil {
+		t.Fatal(err)
+	}
+	return dist
+}
+
+// TestPoolConcurrentDeterminism is the satellite race test: N
+// goroutines hammer M fingerprints, checking engines in and out under
+// load. Every response is hashed while the lease is held and then
+// compared against the one-shot reference for its (seed, sample) — if
+// any request ever observed another session's graph (shared buffer,
+// duplicated sample, crossed engine) the hash comparison or the
+// distinct-sample check fails. Run under -race this also proves the
+// pool's locking.
+func TestPoolConcurrentDeterminism(t *testing.T) {
+	const (
+		numKeys       = 4
+		numGoroutines = 8
+		rounds        = 6
+	)
+	dists := make([]*nullgraph.DegreeDistribution, numKeys)
+	opts := make([]nullgraph.Options, numKeys)
+	fps := make([]uint64, numKeys)
+	for i := range dists {
+		dists[i] = testDistribution(t, i)
+		opts[i] = nullgraph.Options{Workers: 1, Seed: 1000 + uint64(i), SwapIterations: 4}
+		fps[i] = Fingerprint(dists[i], opts[i])
+	}
+	for i := 0; i < numKeys; i++ {
+		for j := i + 1; j < numKeys; j++ {
+			if fps[i] == fps[j] {
+				t.Fatalf("fingerprints %d and %d collide", i, j)
+			}
+		}
+	}
+
+	pool := NewPool(2)
+	defer pool.Close()
+
+	type sampleObs struct {
+		key    int
+		sample uint64
+		hash   uint64
+	}
+	var (
+		mu      sync.Mutex
+		results []sampleObs
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < numGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % numKeys
+				lease, err := pool.Acquire(fps[k], opts[k])
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				res, err := lease.Engine.Generate(dists[k])
+				if err != nil {
+					lease.Release(false)
+					t.Errorf("generate: %v", err)
+					return
+				}
+				// Hash before release: the Result aliases engine buffers.
+				h := hashGraph(res.Graph)
+				sample := lease.Sample
+				lease.Release(true)
+				mu.Lock()
+				results = append(results, sampleObs{key: k, sample: sample, hash: h})
+				mu.Unlock()
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Per key: every sample index issued at most once, and every
+	// response bit-identical to its independent one-shot reference.
+	seen := make(map[int]map[uint64]bool)
+	for _, obs := range results {
+		if seen[obs.key] == nil {
+			seen[obs.key] = make(map[uint64]bool)
+		}
+		if seen[obs.key][obs.sample] {
+			t.Fatalf("key %d issued sample %d twice", obs.key, obs.sample)
+		}
+		seen[obs.key][obs.sample] = true
+
+		ref := opts[obs.key]
+		ref.Seed = nullgraph.SampleSeed(opts[obs.key].Seed, obs.sample)
+		want, err := nullgraph.Generate(dists[obs.key], ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hashGraph(want.Graph); got != obs.hash {
+			t.Fatalf("key %d sample %d: pooled response differs from one-shot reference — a request observed another session's state", obs.key, obs.sample)
+		}
+	}
+}
+
+// TestPoolCanceledLeaseReusable locks the cancellation contract: a
+// request whose context ends leaves the engine in a reusable state,
+// the lease checks back in healthy, and the next lease on the key
+// still produces the deterministic sample for its index.
+func TestPoolCanceledLeaseReusable(t *testing.T) {
+	dist := testDistribution(t, 0)
+	opt := nullgraph.Options{Workers: 1, Seed: 7, SwapIterations: 4}
+	fp := Fingerprint(dist, opt)
+	pool := NewPool(2)
+	defer pool.Close()
+
+	// Pre-canceled context: deterministic no-work path.
+	lease, err := pool.Acquire(fp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lease.Engine.GenerateContext(ctx, dist); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled generate: err = %v, want context.Canceled", err)
+	}
+	lease.Release(true)
+
+	// Mid-run cancellation on a larger job (opportunistic: on a machine
+	// fast enough to finish inside the deadline the call just succeeds,
+	// which exercises the same checkin path).
+	big, err := nullgraph.PowerLawDistribution(200_000, 1, 400, 2.1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigOpt := nullgraph.Options{Workers: 1, Seed: 7, SwapIterations: 64}
+	bigFP := Fingerprint(big, bigOpt)
+	bl, err := pool.Acquire(bigFP, bigOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tctx, tcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	_, gerr := bl.Engine.GenerateContext(tctx, big)
+	tcancel()
+	if gerr != nil && !errors.Is(gerr, context.DeadlineExceeded) {
+		t.Fatalf("mid-run cancel: err = %v, want context.DeadlineExceeded or nil", gerr)
+	}
+	bl.Release(true)
+
+	// The canceled engine (now idle in the pool) must serve the next
+	// lease correctly. Samples 0 (consumed by the canceled lease) and 1
+	// remain deterministic per index.
+	next, err := pool.Acquire(fp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Sample != 1 {
+		t.Fatalf("sample after canceled lease = %d, want 1 (indices are never reissued)", next.Sample)
+	}
+	res, err := next.Engine.Generate(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hashGraph(res.Graph)
+	next.Release(true)
+	ref := opt
+	ref.Seed = nullgraph.SampleSeed(opt.Seed, 1)
+	want, err := nullgraph.Generate(dist, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashGraph(want.Graph) != got {
+		t.Fatal("post-cancel sample 1 differs from its one-shot reference")
+	}
+}
+
+// TestPoolIdleCapAndClose pins the retention cap and shutdown: at most
+// maxIdlePerKey engines are parked per key, Close fails further
+// Acquires, and Release after Close closes the engine instead of
+// leaking it into a dead pool.
+func TestPoolIdleCapAndClose(t *testing.T) {
+	dist := testDistribution(t, 1)
+	opt := nullgraph.Options{Workers: 1, Seed: 3, SwapIterations: 2}
+	fp := Fingerprint(dist, opt)
+	pool := NewPool(1)
+
+	a, err := pool.Acquire(fp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Acquire(fp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Release(true)
+	b.Release(true) // over the cap: closed, not parked
+	if _, idle := pool.Stats(); idle != 1 {
+		t.Fatalf("idle = %d, want 1 (cap)", idle)
+	}
+
+	c, err := pool.Acquire(fp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Acquire(fp, opt); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("acquire after close: err = %v, want ErrPoolClosed", err)
+	}
+	c.Release(true) // pool closed: engine must be closed, not parked
+	if _, idle := pool.Stats(); idle != 0 {
+		t.Fatalf("idle after close = %d, want 0", idle)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"nullgraph/internal/chunglu"
 	"nullgraph/internal/converge"
@@ -181,12 +182,31 @@ func (o Options) recorder() *obs.Recorder {
 	return nil
 }
 
+// PhaseTimes records the wall time each pipeline phase spent on a run:
+// probability generation (Section IV-A), edge-skipping (Section IV-B),
+// and double-edge swapping (Section III-A) — the quantities Figure 6
+// plots and cmd/nullgraphd aggregates into its /metrics endpoint.
+// Phases a run did not execute (e.g. Shuffle never generates) are zero.
+type PhaseTimes struct {
+	Probabilities  time.Duration
+	EdgeGeneration time.Duration
+	Swapping       time.Duration
+}
+
+// Total returns the end-to-end pipeline time.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Probabilities + p.EdgeGeneration + p.Swapping
+}
+
 // Result is the output of Generate or Shuffle.
 type Result struct {
 	// Graph is the generated (or shuffled-in-place) simple graph.
 	Graph *Graph
 	// SwapIterations reports each mixing iteration's statistics.
 	SwapIterations []SwapStats
+	// Phases records per-phase wall time — always populated, unlike the
+	// RunReport, which costs instrumentation and must be opted into.
+	Phases PhaseTimes
 	// Mixed reports whether every edge swapped at least once (only
 	// meaningful with Options.MixUntilSwapped).
 	Mixed bool
@@ -201,7 +221,17 @@ type Result struct {
 }
 
 func wrapResult(out *core.Result, rec *obs.Recorder) *Result {
-	res := &Result{Graph: out.Graph, SwapIterations: out.Swaps.PerIteration, Mixed: out.Mixed, Stop: out.Stop}
+	res := &Result{
+		Graph:          out.Graph,
+		SwapIterations: out.Swaps.PerIteration,
+		Phases: PhaseTimes{
+			Probabilities:  out.Phases.Probabilities,
+			EdgeGeneration: out.Phases.EdgeGeneration,
+			Swapping:       out.Phases.Swapping,
+		},
+		Mixed: out.Mixed,
+		Stop:  out.Stop,
+	}
 	if rec != nil {
 		res.Report = rec.Report()
 	}
@@ -412,6 +442,20 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeListText(r) }
 
 // WriteGraph writes a text edge list.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeListText(w, g) }
+
+// ReadGraphBinary reads the library's binary edge-list format (the
+// format WriteGraphBinary emits, and the payload cmd/nullgraphd
+// streams). The header is validated rather than trusted, so truncated
+// or corrupt inputs fail with a descriptive error instead of a bad
+// graph or an allocation bomb.
+func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadEdgeListBinary(r) }
+
+// WriteGraphBinary writes the compact binary edge-list encoding: a
+// fixed 24-byte header (magic, vertex count, edge count) followed by
+// one packed 64-bit word per edge — ~8 bytes/edge versus ~14 for text,
+// parse-free to reload, and self-describing enough that readers detect
+// truncation.
+func WriteGraphBinary(w io.Writer, g *Graph) error { return graph.WriteEdgeListBinary(w, g) }
 
 // ReadDistribution parses "degree count" lines.
 func ReadDistribution(r io.Reader) (*DegreeDistribution, error) { return degseq.Read(r) }
