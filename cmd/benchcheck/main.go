@@ -34,14 +34,24 @@ import (
 	"os"
 )
 
-// swapMeasurement mirrors cmd/benchswap's Measurement.
+// swapMeasurement mirrors cmd/benchswap's Measurement. Space is empty
+// in the committed baseline and in fresh simple-space measurements —
+// the pre-matrix document shape — so the simple-space Step gates
+// against BENCH_swap.json unchanged.
 type swapMeasurement struct {
 	Workers     int     `json:"workers"`
 	Edges       int     `json:"edges"`
+	Space       string  `json:"space,omitempty"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	SwapsPerSec float64 `json:"swaps_per_sec"`
+}
+
+// simpleSpace reports whether a measurement's space tag names the
+// default simple cell (the 0-alloc hot path the baseline tracks).
+func simpleSpace(space string) bool {
+	return space == "" || space == "simple" || space == "simple-stub"
 }
 
 type swapReport struct {
@@ -123,17 +133,29 @@ func (o *outcome) checkNs(label string, base, fresh int64, tol float64) {
 	}
 }
 
-// checkSwap gates a fresh swap report: zero allocations everywhere,
-// ns/op within the band of the baseline entry with the same
-// (workers, edges) configuration.
+// checkSwap gates a fresh swap report: the simple-space Step must not
+// allocate (the hot-path budget of DESIGN.md), and ns/op must stay
+// within the band of the baseline entry with the same
+// (workers, edges, space) configuration. Non-simple spaces carry an
+// explicit space tag and never match the simple-cell baseline; the
+// vertex-labeled cells run a map-backed serial chain, so their
+// allocations are reported as a note rather than gated.
 func checkSwap(o *outcome, baseline, fresh *swapReport, tol float64) {
 	for _, f := range fresh.Results {
 		label := fmt.Sprintf("swap workers=%d edges=%d", f.Workers, f.Edges)
-		if f.AllocsPerOp != 0 {
-			o.failf("%s: Step allocates (%d allocs/op, %d B/op); the hot-path budget is 0",
-				label, f.AllocsPerOp, f.BytesPerOp)
+		if !simpleSpace(f.Space) {
+			label += " space=" + f.Space
 		}
-		b, ok := findSwap(baseline, f.Workers, f.Edges)
+		if f.AllocsPerOp != 0 {
+			if simpleSpace(f.Space) {
+				o.failf("%s: Step allocates (%d allocs/op, %d B/op); the hot-path budget is 0",
+					label, f.AllocsPerOp, f.BytesPerOp)
+			} else {
+				o.notef("%s: Step allocates (%d allocs/op, %d B/op); only the simple cell is alloc-gated",
+					label, f.AllocsPerOp, f.BytesPerOp)
+			}
+		}
+		b, ok := findSwap(baseline, f.Workers, f.Edges, f.Space)
 		if !ok {
 			o.notef("%s: no matching baseline entry; ns/op %d unchecked", label, f.NsPerOp)
 			continue
@@ -145,13 +167,23 @@ func checkSwap(o *outcome, baseline, fresh *swapReport, tol float64) {
 	}
 }
 
-func findSwap(rep *swapReport, workers, edges int) (swapMeasurement, bool) {
+func findSwap(rep *swapReport, workers, edges int, space string) (swapMeasurement, bool) {
 	for _, m := range rep.Results {
-		if m.Workers == workers && m.Edges == edges {
+		if m.Workers == workers && m.Edges == edges && spaceEq(m.Space, space) {
 			return m, true
 		}
 	}
 	return swapMeasurement{}, false
+}
+
+// spaceEq compares space tags, treating every spelling of the simple
+// cell (including the baseline's field-less pre-matrix documents) as
+// equal.
+func spaceEq(a, b string) bool {
+	if simpleSpace(a) && simpleSpace(b) {
+		return true
+	}
+	return a == b
 }
 
 // checkGen gates a fresh generate report: the reuse-bytes contract on

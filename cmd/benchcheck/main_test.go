@@ -69,6 +69,52 @@ func TestCheckSwapMissingBaselineConfig(t *testing.T) {
 	}
 }
 
+// TestCheckSwapSpaceMatching: the simple-space fresh entry (tagged or
+// field-less) gates against the pre-matrix baseline unchanged; a
+// non-simple space never matches it, and only the simple cell is
+// alloc-gated.
+func TestCheckSwapSpaceMatching(t *testing.T) {
+	base := swapRep(100_000_000, 0) // pre-matrix document: no space field
+	cases := []struct {
+		name      string
+		fresh     *swapReport
+		wantFails int
+		wantNotes int
+		mention   string
+	}{
+		{"tagged simple regresses vs untagged baseline", &swapReport{Results: []swapMeasurement{
+			{Workers: 1, Edges: 1 << 20, Space: "simple", NsPerOp: 130_000_000},
+		}}, 1, 0, "regressed"},
+		{"simple-stub alias matches too", &swapReport{Results: []swapMeasurement{
+			{Workers: 1, Edges: 1 << 20, Space: "simple-stub", NsPerOp: 100_000_000},
+		}}, 0, 0, ""},
+		{"non-simple space skips the simple baseline", &swapReport{Results: []swapMeasurement{
+			{Workers: 1, Edges: 1 << 20, Space: "multigraph-stub", NsPerOp: 300_000_000},
+		}}, 0, 1, "no matching baseline"},
+		{"vertex-labeled allocations are a note, not a gate", &swapReport{Results: []swapMeasurement{
+			{Workers: 1, Edges: 1 << 20, Space: "loopy-vertex", NsPerOp: 300_000_000, AllocsPerOp: 7},
+		}}, 0, 2, "only the simple cell is alloc-gated"},
+		{"simple-space allocation still hard-fails", &swapReport{Results: []swapMeasurement{
+			{Workers: 1, Edges: 1 << 20, Space: "simple", NsPerOp: 100_000_000, AllocsPerOp: 1},
+		}}, 1, 0, "budget is 0"},
+	}
+	for _, tc := range cases {
+		var o outcome
+		checkSwap(&o, base, tc.fresh, 0.15)
+		if len(o.failures) != tc.wantFails || len(o.notes) != tc.wantNotes {
+			t.Errorf("%s: failures=%v notes=%v, want %d/%d",
+				tc.name, o.failures, o.notes, tc.wantFails, tc.wantNotes)
+			continue
+		}
+		if tc.mention != "" {
+			all := strings.Join(append(o.failures, o.notes...), "\n")
+			if !strings.Contains(all, tc.mention) {
+				t.Errorf("%s: output %q does not mention %q", tc.name, all, tc.mention)
+			}
+		}
+	}
+}
+
 func TestCheckGenGates(t *testing.T) {
 	base := genRep(30_000_000, 25_000_000, 0.001)
 	cases := []struct {

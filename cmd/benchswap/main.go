@@ -9,6 +9,11 @@
 //
 //	benchswap                      # 1M-edge ring, writes BENCH_swap.json
 //	benchswap -edges 262144 -o -   # smaller graph, JSON to stdout
+//	benchswap -space loopy-vertex  # measure a non-default sampling space
+//
+// The committed baseline tracks the default simple space; non-simple
+// measurements carry a "space" field so benchcheck never compares them
+// against the simple-cell baseline.
 package main
 
 import (
@@ -25,10 +30,14 @@ import (
 	"nullgraph/internal/swap"
 )
 
-// Measurement is one benchmark configuration's result.
+// Measurement is one benchmark configuration's result. Space is empty
+// for the default simple cell so the committed BENCH_swap.json keeps
+// its pre-matrix shape and benchcheck compares the simple-space Step
+// against it unchanged.
 type Measurement struct {
 	Workers     int     `json:"workers"`
 	Edges       int     `json:"edges"`
+	Space       string  `json:"space,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -52,12 +61,12 @@ func ring(n int) *graph.EdgeList {
 }
 
 // measure runs Step under testing.Benchmark for one worker count.
-func measure(edges, workers int) Measurement {
+func measure(edges, workers int, space graph.Space) Measurement {
 	var successes int64
 	var n int
 	res := testing.Benchmark(func(b *testing.B) {
 		el := ring(edges)
-		eng := swap.NewEngine(el, swap.Options{Workers: workers, Seed: 1})
+		eng := swap.NewEngine(el, swap.Options{Workers: workers, Seed: 1, Space: space})
 		defer eng.Close()
 		eng.Step() // warm-up: buffers materialize on first use
 		successes, n = 0, 0
@@ -75,6 +84,9 @@ func measure(edges, workers int) Measurement {
 		NsPerOp:     res.NsPerOp(),
 		AllocsPerOp: res.AllocsPerOp(),
 		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if space != graph.SimpleStub {
+		m.Space = space.String()
 	}
 	if res.T > 0 {
 		m.SwapsPerSec = float64(successes) / res.T.Seconds()
@@ -100,10 +112,16 @@ func main() {
 		reportPath = flag.String("report", "", "also write a chain-health RunReport (JSON, from a separate instrumented run) to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
 		timeout    = flag.Duration("timeout", 0, "abort with an error if the benchmark exceeds this (e.g. 5m; 0 = no limit)")
+		spaceName  = flag.String("space", "simple", "sampling space to benchmark; the committed baseline tracks the simple cell")
 	)
 	flag.Parse()
 	if *edges < 2 {
 		fmt.Fprintln(os.Stderr, "benchswap: -edges must be >= 2")
+		os.Exit(2)
+	}
+	space, err := graph.ParseSpace(*spaceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchswap:", err)
 		os.Exit(2)
 	}
 	// testing.Benchmark has no cancellation hook; -timeout is a hard
@@ -129,10 +147,10 @@ func main() {
 		configs = append(configs, 0) // 0 = all procs
 	}
 	for _, workers := range configs {
-		m := measure(*edges, workers)
+		m := measure(*edges, workers, space)
 		report.Results = append(report.Results, m)
-		fmt.Fprintf(os.Stderr, "benchswap: workers=%d edges=%d ns/op=%d allocs/op=%d B/op=%d swaps/sec=%.0f\n",
-			m.Workers, m.Edges, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SwapsPerSec)
+		fmt.Fprintf(os.Stderr, "benchswap: workers=%d edges=%d space=%s ns/op=%d allocs/op=%d B/op=%d swaps/sec=%.0f\n",
+			m.Workers, m.Edges, space, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.SwapsPerSec)
 	}
 
 	if *reportPath != "" {

@@ -1,16 +1,19 @@
 // Command edgeswap uniformly mixes an existing edge list with parallel
 // double-edge swaps (the paper's Algorithm III.1), preserving every
-// vertex's degree while randomizing the topology. Non-simple inputs
-// (self-loops, multi-edges) are progressively simplified by the chain.
-// With -directed the input is treated as an arc list and mixed with
-// double-arc swaps plus triangle reversals, preserving in- AND
-// out-degrees.
+// vertex's degree while randomizing the topology. In the default simple
+// space, non-simple inputs (self-loops, multi-edges) are first made
+// simple by a bounded targeted pass; -space selects one of the other
+// sampling-space cells (loopy/multigraph × stub/vertex-labeled)
+// instead, whose inputs must already satisfy the cell. With -directed
+// the input is treated as an arc list and mixed with double-arc swaps
+// plus triangle reversals, preserving in- AND out-degrees.
 //
 // Usage:
 //
 //	edgeswap -in graph.txt -swaps 10 -o shuffled.txt
 //	edgeswap -in graph.txt -mix -o shuffled.txt     # swap until mixed
 //	edgeswap -in graph.txt -adaptive -o shuffled.txt  # adaptive stopping
+//	edgeswap -in multi.txt -space multigraph-stub -o shuffled.txt
 //	edgeswap -in digraph.txt -directed -o shuffled.txt
 //	edgeswap -in graph.txt -report report.json      # chain-health report
 package main
@@ -45,6 +48,7 @@ func run() error {
 		stopStat   = flag.String("stop-stat", "assortativity", "adaptive statistic: assortativity, triangles or success-rate (with -adaptive; -directed always monitors success-rate)")
 		stopFloor  = flag.Int("stop-floor", 0, "minimum swap iterations before an adaptive stop (0 = default)")
 		stopBudget = flag.Int("stop-budget", 0, "maximum swap iterations for an adaptive run (0 = default)")
+		spaceName  = flag.String("space", "simple", "sampling space: simple, loopy-stub, loopy-vertex, multigraph-stub or multigraph-vertex")
 		directed   = flag.Bool("directed", false, "treat the input as a directed arc list")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -65,6 +69,13 @@ func run() error {
 	}
 	if *binary && *directed {
 		return fmt.Errorf("-binary is not supported with -directed (no binary arc-list format)")
+	}
+	space, err := nullgraph.ParseSpace(*spaceName)
+	if err != nil {
+		return err
+	}
+	if *directed && space != nullgraph.SpaceSimple {
+		return fmt.Errorf("-space is not supported with -directed (the space matrix is undirected)")
 	}
 	if *adaptive && *mix {
 		return fmt.Errorf("-adaptive and -mix are mutually exclusive; pass at most one")
@@ -137,6 +148,7 @@ func run() error {
 		return atomicfile.Write(*out, write)
 	}
 	opt := nullgraph.Options{
+		Space:           space,
 		Workers:         *workers,
 		Seed:            *seed,
 		SwapIterations:  *swaps,
@@ -179,7 +191,14 @@ func run() error {
 		return nil
 	}
 
-	g, err := nullgraph.ReadGraph(r)
+	// The default simple space reads any input (defects are simplified
+	// before the chain runs); non-simple cells validate membership at
+	// read time so a bad input fails before any work.
+	read := func(rd io.Reader) (*nullgraph.Graph, error) { return nullgraph.ReadGraph(rd) }
+	if space != nullgraph.SpaceSimple {
+		read = func(rd io.Reader) (*nullgraph.Graph, error) { return nullgraph.ReadGraphInSpace(rd, space) }
+	}
+	g, err := read(r)
 	if err != nil {
 		return err
 	}
@@ -208,10 +227,14 @@ func run() error {
 			total += s.Attempts
 			success += s.Successes
 		}
+		simplified := ""
+		if res.Simplify != nil {
+			simplified = fmt.Sprintf(" | simplified %d defects in %d swaps", res.Simplify.InitialDefects, res.Simplify.Swaps)
+		}
 		fmt.Fprintf(os.Stderr,
-			"edgeswap: m=%d | input loops=%d multi=%d -> output loops=%d multi=%d | %d/%d proposals committed over %d iterations%s\n",
-			g.NumEdges(), before.SelfLoops, before.MultiEdges, after.SelfLoops, after.MultiEdges,
-			success, total, len(res.SwapIterations), stopDesc(res.Stop))
+			"edgeswap: space=%s m=%d | input loops=%d multi=%d -> output loops=%d multi=%d | %d/%d proposals committed over %d iterations%s%s\n",
+			space, g.NumEdges(), before.SelfLoops, before.MultiEdges, after.SelfLoops, after.MultiEdges,
+			success, total, len(res.SwapIterations), simplified, stopDesc(res.Stop))
 	}
 	return nil
 }

@@ -40,6 +40,7 @@ import (
 // config carries the parsed flags, decoupled from the flag package so
 // the validation rules are unit-testable.
 type config struct {
+	Space      string
 	DistFile   string
 	Joint      string
 	Dataset    string
@@ -83,6 +84,13 @@ func validateConfig(c config) error {
 	}
 	if c.Swaps < 0 {
 		return fmt.Errorf("-swaps must be >= 0 (got %d)", c.Swaps)
+	}
+	space, err := nullgraph.ParseSpace(c.Space)
+	if err != nil {
+		return err
+	}
+	if c.Joint != "" && space != nullgraph.SpaceSimple {
+		return errors.New("-space is not supported with -joint (the space matrix is undirected)")
 	}
 	if c.PowerLaw != 0 {
 		if c.PowerLaw < 0 {
@@ -140,6 +148,7 @@ func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 
 func main() {
 	var c config
+	flag.StringVar(&c.Space, "space", "simple", "sampling space for the mixing chain: simple, loopy-stub, loopy-vertex, multigraph-stub or multigraph-vertex")
 	flag.StringVar(&c.DistFile, "dist", "", "read the degree distribution from this file (\"degree count\" lines)")
 	flag.StringVar(&c.Joint, "joint", "", "generate a DIGRAPH from this joint distribution file (\"out in count\" lines)")
 	flag.Int64Var(&c.PowerLaw, "powerlaw", 0, "sample a power-law distribution over this many vertices")
@@ -205,6 +214,7 @@ func run(ctx context.Context, c config) error {
 		return err
 	}
 	res, err := nullgraph.GenerateContext(ctx, dist, nullgraph.Options{
+		Space:           c.space(),
 		Workers:         c.Workers,
 		Seed:            c.Seed,
 		SwapIterations:  c.Swaps,
@@ -250,6 +260,15 @@ func saveGraph(c config, g *nullgraph.Graph) error {
 		return write(os.Stdout)
 	}
 	return atomicfile.Write(c.Out, write)
+}
+
+// space resolves the -space flag; validateConfig has already vetted it.
+func (c config) space() nullgraph.Space {
+	sp, err := nullgraph.ParseSpace(c.Space)
+	if err != nil {
+		panic("nullgen: space resolved before validateConfig: " + err.Error())
+	}
+	return sp
 }
 
 // stopPolicy maps the adaptive flags onto a StopPolicy; validateConfig

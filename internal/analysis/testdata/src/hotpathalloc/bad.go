@@ -16,6 +16,22 @@ func mapOps(t *table, k uint64) int {
 	return t.m[k] // want `map access`
 }
 
+type multiset struct {
+	counts map[uint64]int
+}
+
+// acceptByCount is a swap acceptance policy that consults live
+// multiplicities from a map — the vertex-labeled cells' serial
+// machinery, which must never leak into an annotated parallel kernel.
+//
+//nullgraph:hotpath
+func acceptByCount(ms *multiset, gk, hk uint64) bool {
+	if ms.counts[gk] > 0 { // want `map access`
+		return false
+	}
+	return ms.counts[hk] == 0 // want `map access`
+}
+
 // mapLife makes, ranges, and deletes.
 //
 //nullgraph:hotpath

@@ -39,6 +39,42 @@ func allowedLookup(m map[int]int, k int) int {
 	return m[k] //nullgraph:allow hotpathalloc cold slow-path lookup, measured irrelevant
 }
 
+// writer is a slice-backed probe table standing in for the swap
+// engine's iteration-frozen hash table.
+type writer struct {
+	slots []uint64
+}
+
+//nullgraph:hotpath
+func (w *writer) testAndSet(k uint64) bool {
+	i := int(k % uint64(len(w.slots)))
+	for w.slots[i] != 0 {
+		if w.slots[i] == k {
+			return true
+		}
+		if i++; i == len(w.slots) {
+			i = 0
+		}
+	}
+	w.slots[i] = k
+	return false
+}
+
+// acceptPolicy mirrors internal/swap's per-space acceptance shape —
+// loop rejection plus table probes on concrete types, no maps, no
+// boxing — which must stay silent under the analyzer.
+//
+//nullgraph:hotpath
+func acceptPolicy(w *writer, gu, gv, hu, hv int32, gk, hk uint64) bool {
+	if gu == gv || hu == hv {
+		return false
+	}
+	if w.testAndSet(gk) {
+		return false
+	}
+	return !w.testAndSet(hk)
+}
+
 // plainWork exercises allocation-free constructs the analyzer must not
 // flag: slices, arithmetic, calls with concrete params, stack structs.
 //

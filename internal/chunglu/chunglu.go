@@ -11,6 +11,11 @@
 //     with the naive pairwise probabilities min(1, w_i·w_j/2m) —
 //     guaranteed simple, biased for skewed distributions.
 //
+// A fourth variant, GenerateSimplified, replaces the erased model's
+// edge deletion with degree-preserving Sjöstrand targeted swaps
+// (internal/simplify), fixing the "swaps eventually simplify" hope the
+// O(m) output used to rely on.
+//
 // Per the paper's timing analysis, the O(m) models sample from "a
 // weighted list, requiring O(log(n)) time for a binary search for each
 // sampled vertex"; that CDF sampler is the default here, with Walker's
@@ -24,6 +29,7 @@ import (
 	"nullgraph/internal/par"
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/rng"
+	"nullgraph/internal/simplify"
 )
 
 // SamplerKind selects how the O(m) model draws weighted vertices.
@@ -97,6 +103,18 @@ func GenerateOM(dist *degseq.Distribution, opt Options) *graph.EdgeList {
 // was removed.
 func GenerateErased(dist *degseq.Distribution, opt Options) (*graph.EdgeList, graph.Simplicity) {
 	return GenerateOM(dist, opt).Simplify()
+}
+
+// GenerateSimplified draws the O(m) model and drives it to a simple
+// graph with Sjöstrand targeted swaps (internal/simplify). Unlike
+// GenerateErased, which discards every defective edge and biases the
+// output degree distribution downward, this preserves the realized
+// degree sequence exactly; the returned Result reports the defect and
+// swap counts, with Result.Simple false only when the realized
+// sequence admits no simple graph at all.
+func GenerateSimplified(dist *degseq.Distribution, opt Options) (*graph.EdgeList, simplify.Result) {
+	el := GenerateOM(dist, opt)
+	return el, simplify.Run(el, opt.Seed)
 }
 
 // GenerateBernoulli draws the Bernoulli ("O(n²) edgeskip") Chung-Lu

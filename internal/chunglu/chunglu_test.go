@@ -2,6 +2,7 @@ package chunglu
 
 import (
 	"math"
+	"slices"
 	"testing"
 
 	"nullgraph/internal/degseq"
@@ -113,6 +114,36 @@ func TestGenerateErased(t *testing.T) {
 	// Erasure strictly reduces edges below m.
 	if int64(el.NumEdges()) >= d.NumEdges() {
 		t.Errorf("erased edges %d, want < %d", el.NumEdges(), d.NumEdges())
+	}
+}
+
+func TestGenerateSimplified(t *testing.T) {
+	// Skewed enough that hub-hub collisions are certain, but with ample
+	// leaf capacity so the realized sequence stays simple-graphical —
+	// unlike the {1:100, 80:2} fixture above, whose realized hubs
+	// exceed what Erdős–Gallai allows and can never fully simplify.
+	d := mustDist(t, map[int64]int64{1: 400, 40: 6})
+	raw := GenerateOM(d, Options{Workers: 2, Seed: 3})
+	el, res := GenerateSimplified(d, Options{Workers: 2, Seed: 3})
+	if res.InitialDefects == 0 {
+		t.Fatal("extreme skew produced no defects to simplify")
+	}
+	if !res.Simple {
+		t.Fatalf("simplification left %d residual defects", res.ResidualDefects)
+	}
+	if got := el.CheckSimplicity(); !got.IsSimple() {
+		t.Errorf("simplified output not simple: %+v", got)
+	}
+	// Unlike erasure, simplification preserves the realized degree
+	// sequence (and hence the edge count) of the O(m) draw exactly.
+	if int64(el.NumEdges()) != d.NumEdges() {
+		t.Errorf("simplified edges %d, want %d", el.NumEdges(), d.NumEdges())
+	}
+	if got, want := el.Degrees(1), raw.Degrees(1); !slices.Equal(got, want) {
+		t.Error("simplification changed the realized degree sequence")
+	}
+	if res.Swaps > res.InitialDefects {
+		t.Errorf("swap count %d exceeds the Sjöstrand bound of %d", res.Swaps, res.InitialDefects)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"nullgraph/internal/obs"
 	"nullgraph/internal/par"
 	"nullgraph/internal/probgen"
+	"nullgraph/internal/simplify"
 	"nullgraph/internal/swap"
 )
 
@@ -29,6 +30,16 @@ var ErrEngineBusy = errors.New("core: engine busy: an Engine session supports on
 
 // Options configures the full pipeline.
 type Options struct {
+	// Space selects the sampling-space cell (graph.Space) the pipeline
+	// targets. The zero value is graph.SimpleStub, the paper's regime,
+	// and keeps every path bit-identical to the pre-matrix pipeline.
+	// Non-simple cells change the swap chain's acceptance policy (see
+	// internal/swap) and make ShuffleSample validate its input against
+	// the cell; the simple cells instead accept non-simple input and
+	// run the targeted simplification pass (internal/simplify) before
+	// swapping, replacing the historical "swaps eventually simplify"
+	// behavior with a bounded deterministic one.
+	Space graph.Space
 	// Workers is the parallel width for every phase; <= 0 means
 	// GOMAXPROCS.
 	Workers int
@@ -109,6 +120,9 @@ type Result struct {
 	Phases PhaseTimes
 	// Swaps summarizes the mixing phase.
 	Swaps swap.Result
+	// Simplify reports the targeted simplification pass, present only
+	// when ShuffleSample ran one (simple space, non-simple input).
+	Simplify *simplify.Result
 	// Mixed reports whether every edge swapped at least once (only
 	// meaningful with MixUntilSwapped).
 	Mixed bool
@@ -142,6 +156,32 @@ func recordPhases(opt Options, p PhaseTimes) {
 func recordStop(opt Options, st *obs.StopReport) {
 	if obs.Enabled && opt.Recorder != nil && st != nil {
 		opt.Recorder.SetStop(st)
+	}
+}
+
+// recordSpace stamps the sampling space into the run report.
+func recordSpace(opt Options) {
+	if obs.Enabled && opt.Recorder != nil {
+		opt.Recorder.SetSpace(opt.Space.String())
+	}
+}
+
+// recordSimplify folds the simplification pass (nil when none ran —
+// clearing any section a previous sample on the same recorder left)
+// into the run report.
+func recordSimplify(opt Options, s *simplify.Result) {
+	if obs.Enabled && opt.Recorder != nil {
+		if s == nil {
+			opt.Recorder.SetSimplify(nil)
+			return
+		}
+		opt.Recorder.SetSimplify(&obs.SimplifyReport{
+			InitialDefects:  s.InitialDefects,
+			ResidualDefects: s.ResidualDefects,
+			Swaps:           s.Swaps,
+			Neutral:         s.Neutral,
+			Simple:          s.Simple,
+		})
 	}
 }
 
@@ -180,6 +220,7 @@ func FromEdgeList(el *graph.EdgeList, opt Options) (*Result, error) {
 // Mixer.
 func (o Options) swapOptions() swap.Options {
 	return swap.Options{
+		Space:        o.Space,
 		Iterations:   o.SwapIterations,
 		Workers:      o.Workers,
 		Seed:         o.Seed + 0x5eed,

@@ -5,8 +5,10 @@ import (
 	"io"
 	"math"
 
+	"nullgraph/internal/chunglu"
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/edgeskip"
+	"nullgraph/internal/graph"
 	"nullgraph/internal/metrics"
 	"nullgraph/internal/probgen"
 	"nullgraph/internal/rng"
@@ -23,6 +25,11 @@ const (
 	VariantRefined AblationVariant = "heuristic+IPF"
 	// VariantChungLu is the naive clamped min(1, w_i·w_j/2m) matrix.
 	VariantChungLu AblationVariant = "naive Chung-Lu"
+	// VariantOMSimplify is the O(m) Chung-Lu multigraph driven simple by
+	// Sjöstrand targeted swaps instead of edge erasure — no probability
+	// matrix involved, so its residual-L1 column is blank. Its output is
+	// asserted simple: a residual defect fails the experiment.
+	VariantOMSimplify AblationVariant = "O(m)+simplify"
 )
 
 // AblationCell is one (dataset, variant) measurement.
@@ -34,6 +41,10 @@ type AblationCell struct {
 	// % over trials).
 	EdgesPct     float64
 	MaxDegreePct float64
+	// SimplifySwaps is the mean number of targeted simplification swaps
+	// applied (VariantOMSimplify only; zero for the matrix variants,
+	// whose edge-skipping output is simple by construction).
+	SimplifySwaps float64
 }
 
 // AblationResult isolates the probability-generation design choice: the
@@ -48,7 +59,7 @@ type AblationResult struct {
 // RunAblation measures each variant on the quality datasets.
 func RunAblation(cfg Config) (*AblationResult, error) {
 	res := &AblationResult{
-		Variants: []AblationVariant{VariantHeuristic, VariantRefined, VariantChungLu},
+		Variants: []AblationVariant{VariantHeuristic, VariantRefined, VariantChungLu, VariantOMSimplify},
 		Cells:    map[string]map[AblationVariant]AblationCell{},
 		Trials:   cfg.trials(),
 	}
@@ -60,26 +71,55 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		res.Datasets = append(res.Datasets, spec.Name)
 		res.Cells[spec.Name] = map[AblationVariant]AblationCell{}
 		for _, variant := range res.Variants {
-			matrix := variantMatrix(variant, dist, cfg.Workers)
-			cell := AblationCell{ResidualL1: residualL1(dist, matrix)}
-			for t := 0; t < res.Trials; t++ {
-				el, err := edgeskip.Generate(dist, matrix, edgeskip.Options{
-					Workers: cfg.Workers,
-					Seed:    rng.Mix64(cfg.Seed) ^ rng.Mix64(uint64(t)*53+uint64(len(variant))),
-				})
-				if err != nil {
-					return nil, fmt.Errorf("%s on %s: %w", variant, spec.Name, err)
-				}
-				q := metrics.Quality(el, dist, cfg.Workers)
-				cell.EdgesPct += math.Abs(q.Edges) * 100
-				cell.MaxDegreePct += math.Abs(q.MaxDegree) * 100
+			cell, err := runAblationVariant(variant, spec.Name, dist, cfg, res.Trials)
+			if err != nil {
+				return nil, err
 			}
-			cell.EdgesPct /= float64(res.Trials)
-			cell.MaxDegreePct /= float64(res.Trials)
 			res.Cells[spec.Name][variant] = cell
 		}
 	}
 	return res, nil
+}
+
+// runAblationVariant measures one (dataset, variant) cell. The matrix
+// variants share the edge-skipping generator; VariantOMSimplify runs
+// the O(m) multigraph through the Sjöstrand pass and asserts the
+// result is simple.
+func runAblationVariant(variant AblationVariant, dataset string, dist *degseq.Distribution, cfg Config, trials int) (AblationCell, error) {
+	var cell AblationCell
+	var matrix *probgen.Matrix
+	if variant == VariantOMSimplify {
+		cell.ResidualL1 = math.NaN() // no probability matrix to measure
+	} else {
+		matrix = variantMatrix(variant, dist, cfg.Workers)
+		cell.ResidualL1 = residualL1(dist, matrix)
+	}
+	for t := 0; t < trials; t++ {
+		seed := rng.Mix64(cfg.Seed) ^ rng.Mix64(uint64(t)*53+uint64(len(variant)))
+		var el *graph.EdgeList
+		if variant == VariantOMSimplify {
+			out, sres := chunglu.GenerateSimplified(dist, chunglu.Options{Workers: cfg.Workers, Seed: seed})
+			if !sres.Simple || !graph.MultisetOf(out).IsSimple() {
+				return cell, fmt.Errorf("%s on %s trial %d: output not simple (%d residual defects after %d swaps)",
+					variant, dataset, t, sres.ResidualDefects, sres.Swaps)
+			}
+			cell.SimplifySwaps += float64(sres.Swaps)
+			el = out
+		} else {
+			var err error
+			el, err = edgeskip.Generate(dist, matrix, edgeskip.Options{Workers: cfg.Workers, Seed: seed})
+			if err != nil {
+				return cell, fmt.Errorf("%s on %s: %w", variant, dataset, err)
+			}
+		}
+		q := metrics.Quality(el, dist, cfg.Workers)
+		cell.EdgesPct += math.Abs(q.Edges) * 100
+		cell.MaxDegreePct += math.Abs(q.MaxDegree) * 100
+	}
+	cell.EdgesPct /= float64(trials)
+	cell.MaxDegreePct /= float64(trials)
+	cell.SimplifySwaps /= float64(trials)
+	return cell, nil
 }
 
 func variantMatrix(v AblationVariant, dist *degseq.Distribution, workers int) *probgen.Matrix {
@@ -103,12 +143,20 @@ func residualL1(dist *degseq.Distribution, m *probgen.Matrix) float64 {
 
 // Render prints the comparison.
 func (r *AblationResult) Render(w io.Writer) {
-	header(w, fmt.Sprintf("Ablation — probability generation variants through identical edge-skipping (%d trials)", r.Trials))
-	fmt.Fprintf(w, "%-12s %-16s %14s %12s %12s\n", "dataset", "variant", "residual L1", "edges %err", "d_max %err")
+	header(w, fmt.Sprintf("Ablation — probability generation variants through identical edge-skipping, plus the simplified O(m) baseline (%d trials)", r.Trials))
+	fmt.Fprintf(w, "%-12s %-16s %14s %12s %12s %14s\n", "dataset", "variant", "residual L1", "edges %err", "d_max %err", "simplify swaps")
 	for _, d := range r.Datasets {
 		for _, v := range r.Variants {
 			c := r.Cells[d][v]
-			fmt.Fprintf(w, "%-12s %-16s %14.2f %12.3f %12.3f\n", d, v, c.ResidualL1, c.EdgesPct, c.MaxDegreePct)
+			l1 := "-"
+			if !math.IsNaN(c.ResidualL1) {
+				l1 = fmt.Sprintf("%.2f", c.ResidualL1)
+			}
+			swaps := "-"
+			if v == VariantOMSimplify {
+				swaps = fmt.Sprintf("%.1f", c.SimplifySwaps)
+			}
+			fmt.Fprintf(w, "%-12s %-16s %14s %12.3f %12.3f %14s\n", d, v, l1, c.EdgesPct, c.MaxDegreePct, swaps)
 		}
 	}
 }

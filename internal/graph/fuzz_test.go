@@ -41,6 +41,12 @@ func FuzzReadEdgeListText(f *testing.F) {
 	f.Add("\x000 1\n")
 	// Missing trailing newline on the last edge.
 	f.Add("0 1\n2 3")
+	// Non-simple inputs — self-loops, parallel edges, duplicated loops —
+	// are legal text (the permissive reader accepts them; space
+	// membership is checked downstream by ValidateInSpace).
+	f.Add("0 0\n1 1\n0 1\n0 1\n")
+	f.Add("2 2\n2 2\n")
+	f.Add("0 1\n1 0\n0 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		el, err := ReadEdgeListText(strings.NewReader(input))
 		if err != nil {
@@ -138,6 +144,18 @@ func FuzzReadEdgeListBinary(f *testing.F) {
 	f.Add(append(binaryHeader(binaryMagic, 2, 1), valid.Bytes()[24:32]...))
 	// Valid header, payload truncated mid-edge.
 	f.Add(valid.Bytes()[:len(valid.Bytes())-3])
+	// Non-simple payloads: self-loops, parallel edges (both
+	// orientations), and a duplicated loop. The binary reader is
+	// space-agnostic — these must round-trip; ReadEdgeListBinaryInSpace
+	// layers the membership check on top.
+	{
+		var buf bytes.Buffer
+		multi := NewEdgeList([]Edge{{0, 0}, {1, 1}, {0, 1}, {1, 0}, {0, 1}, {2, 2}, {2, 2}}, 3)
+		if err := WriteEdgeListBinary(&buf, multi); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Seekable path: the header's edge count is validated against the
 		// bytes actually present before anything is allocated.

@@ -72,6 +72,37 @@ func parseVertex(s string) (int32, error) {
 	return int32(v), nil
 }
 
+// ReadEdgeListTextInSpace parses a text edge list and validates the
+// result against the sampling space: reading a loopy or multigraph
+// input is an explicit opt-in via the space argument, and input that
+// does not satisfy the space's invariants (loops outside loopy cells,
+// multi-edges outside multigraph cells) fails with a descriptive error
+// instead of flowing silently into a sampler that assumes otherwise.
+// ReadEdgeListText remains the permissive historical entry point.
+func ReadEdgeListTextInSpace(r io.Reader, space Space) (*EdgeList, error) {
+	el, err := ReadEdgeListText(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateInSpace(el, space); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// ReadEdgeListBinaryInSpace is ReadEdgeListBinary plus the same
+// explicit space-membership validation as ReadEdgeListTextInSpace.
+func ReadEdgeListBinaryInSpace(r io.Reader, space Space) (*EdgeList, error) {
+	el, err := ReadEdgeListBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateInSpace(el, space); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
 // binaryMagic identifies the library's binary edge-list format.
 const binaryMagic = uint64(0x4e554c4c47524632) // "NULLGRF2"
 

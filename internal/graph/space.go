@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Space selects one cell of the null-model space matrix of
+// Dutta–Fosdick–Clauset (arXiv:2105.12120): which graphs are legal
+// states ({simple, loopy, multigraph}) crossed with what "uniform"
+// means over them ({stub-labeled, vertex-labeled}).
+//
+//   - Simple graphs admit neither self-loops nor multi-edges. Every
+//     simple graph on a degree sequence has the same number of stub
+//     labelings (∏ d_v!), so the stub- and vertex-labeled uniform
+//     distributions coincide: SimpleStub and SimpleVertex are two
+//     names for one sampling regime, kept distinct so the matrix is
+//     explicit in reports and fingerprints.
+//   - Loopy graphs admit self-loops but not multi-edges.
+//   - Multigraphs admit both (the configuration-model state space).
+//
+// Stub-labeled uniformity weights each graph by its number of stub
+// matchings, ∏ d_v! / (∏_{u<v} w_uv! · ∏_v 2^{w_vv} w_vv!); vertex-
+// labeled uniformity weights every legal graph equally. The swap
+// engine's acceptance policy realizes the difference (see
+// internal/swap).
+//
+// The zero value is SimpleStub — the paper's original regime — so all
+// pre-matrix code, serialized options, and fingerprints keep their
+// historical meaning.
+type Space uint8
+
+const (
+	// SimpleStub is the default: uniform simple graphs (the paper's
+	// regime; stub- and vertex-labeled uniformity coincide here).
+	SimpleStub Space = iota
+	// SimpleVertex is the vertex-labeled simple cell. Identical in
+	// distribution and dynamics to SimpleStub; see the Space doc.
+	SimpleVertex
+	// LoopyStub samples loopy graphs (loops allowed, no multi-edges)
+	// with stub-labeled weights.
+	LoopyStub
+	// LoopyVertex samples loopy graphs uniformly (vertex-labeled).
+	LoopyVertex
+	// MultigraphStub samples loopy multigraphs with stub-labeled
+	// weights — the configuration-model distribution.
+	MultigraphStub
+	// MultigraphVertex samples loopy multigraphs uniformly.
+	MultigraphVertex
+
+	numSpaces = iota
+)
+
+// Spaces returns every cell of the matrix in declaration order.
+func Spaces() []Space {
+	return []Space{SimpleStub, SimpleVertex, LoopyStub, LoopyVertex, MultigraphStub, MultigraphVertex}
+}
+
+// AllowsLoops reports whether self-loops are legal states in the space.
+func (s Space) AllowsLoops() bool { return s >= LoopyStub }
+
+// AllowsMulti reports whether multi-edges are legal states in the space.
+func (s Space) AllowsMulti() bool { return s == MultigraphStub || s == MultigraphVertex }
+
+// VertexLabeled reports whether the space targets the vertex-labeled
+// (uniform-over-graphs) distribution rather than the stub-labeled one.
+func (s Space) VertexLabeled() bool {
+	return s == SimpleVertex || s == LoopyVertex || s == MultigraphVertex
+}
+
+// Valid reports whether s names a cell of the matrix.
+func (s Space) Valid() bool { return s < numSpaces }
+
+// spaceNames is the canonical CLI/report spelling per cell.
+var spaceNames = [numSpaces]string{
+	SimpleStub:       "simple",
+	SimpleVertex:     "simple-vertex",
+	LoopyStub:        "loopy-stub",
+	LoopyVertex:      "loopy-vertex",
+	MultigraphStub:   "multigraph-stub",
+	MultigraphVertex: "multigraph-vertex",
+}
+
+// String returns the canonical spelling ("simple", "loopy-stub", ...).
+func (s Space) String() string {
+	if !s.Valid() {
+		return fmt.Sprintf("space(%d)", uint8(s))
+	}
+	return spaceNames[s]
+}
+
+// ParseSpace resolves a CLI spelling to its cell. The canonical names
+// are those of String; "simple-stub" and "multi-stub"/"multi-vertex"
+// are accepted aliases.
+func ParseSpace(name string) (Space, error) {
+	switch name {
+	case "", "simple", "simple-stub":
+		return SimpleStub, nil
+	case "simple-vertex":
+		return SimpleVertex, nil
+	case "loopy-stub":
+		return LoopyStub, nil
+	case "loopy-vertex":
+		return LoopyVertex, nil
+	case "multigraph-stub", "multi-stub":
+		return MultigraphStub, nil
+	case "multigraph-vertex", "multi-vertex":
+		return MultigraphVertex, nil
+	}
+	return SimpleStub, fmt.Errorf("graph: unknown sampling space %q (want simple, simple-vertex, loopy-stub, loopy-vertex, multigraph-stub or multigraph-vertex)", name)
+}
+
+// SpaceNames returns the canonical spellings, for flag help text.
+func SpaceNames() []string {
+	names := make([]string, 0, numSpaces)
+	for _, s := range Spaces() {
+		names = append(names, s.String())
+	}
+	return names
+}
+
+// SatisfiesSpace reports whether el is a legal state of space.
+func (el *EdgeList) SatisfiesSpace(space Space) bool {
+	return ValidateInSpace(el, space) == nil
+}
+
+// ValidateInSpace returns a descriptive error when el is not a legal
+// state of space: loops outside loopy/multigraph cells, multi-edges
+// (including duplicated self-loops) outside multigraph cells. It is
+// the explicit opt-in gate the readers and CLIs use so non-simple
+// input is either embraced (matching space) or rejected loudly, never
+// silently "hoped away". O(m) via the multiplicity view.
+func ValidateInSpace(el *EdgeList, space Space) error {
+	ms := MultisetOf(el)
+	if ms.Loops() > 0 && !space.AllowsLoops() {
+		return fmt.Errorf("graph: input has %d self-loop(s), illegal in space %s", ms.Loops(), space)
+	}
+	if ms.MultiExcess() > 0 && !space.AllowsMulti() {
+		return fmt.Errorf("graph: input has %d multi-edge instance(s), illegal in space %s", ms.MultiExcess(), space)
+	}
+	return nil
+}
+
+// Multiset is the multiplicity view of an edge list: canonical edge
+// key → instance count. It is the storage the vertex-labeled swap
+// acceptance policies and the simplification pass share: membership,
+// multiplicities and loop counts in O(1) per lookup, built in O(m).
+type Multiset struct {
+	counts map[uint64]int32
+	// loops and extra cache the defect totals so IsSimple is O(1).
+	loops int
+	extra int
+}
+
+// NewMultiset returns an empty multiset with capacity for m edges.
+func NewMultiset(m int) *Multiset {
+	return &Multiset{counts: make(map[uint64]int32, m)}
+}
+
+// MultisetOf builds the multiset of an edge list.
+func MultisetOf(el *EdgeList) *Multiset {
+	ms := NewMultiset(len(el.Edges))
+	for _, e := range el.Edges {
+		ms.AddEdge(e)
+	}
+	return ms
+}
+
+// Reset empties the multiset, keeping its allocated capacity.
+func (ms *Multiset) Reset() {
+	clear(ms.counts)
+	ms.loops, ms.extra = 0, 0
+}
+
+// Count returns the multiplicity of the canonical key k.
+func (ms *Multiset) Count(k uint64) int32 { return ms.counts[k] }
+
+// CountEdge returns the multiplicity of e (orientation-insensitive).
+func (ms *Multiset) CountEdge(e Edge) int32 { return ms.counts[e.Key()] }
+
+// AddEdge inserts one instance of e and returns its new multiplicity.
+func (ms *Multiset) AddEdge(e Edge) int32 {
+	k := e.Key()
+	c := ms.counts[k] + 1
+	ms.counts[k] = c
+	if e.IsLoop() {
+		ms.loops++
+	}
+	if c > 1 {
+		ms.extra++
+	}
+	return c
+}
+
+// RemoveEdge removes one instance of e. Removing an absent edge is a
+// programming error and panics.
+func (ms *Multiset) RemoveEdge(e Edge) {
+	k := e.Key()
+	c := ms.counts[k]
+	if c <= 0 {
+		panic("graph: Multiset.RemoveEdge of absent edge")
+	}
+	if c == 1 {
+		delete(ms.counts, k)
+	} else {
+		ms.counts[k] = c - 1
+	}
+	if e.IsLoop() {
+		ms.loops--
+	}
+	if c > 1 {
+		ms.extra--
+	}
+}
+
+// Loops returns the number of self-loop instances.
+func (ms *Multiset) Loops() int { return ms.loops }
+
+// MultiExcess returns the number of edge instances beyond the first
+// per canonical key — a duplicated self-loop counts here too, because
+// two loop instances at one vertex are a multi-edge in the loopy (no
+// multi-edge) spaces.
+func (ms *Multiset) MultiExcess() int { return ms.extra }
+
+// Defects returns Loops() + MultiExcess(): the quantity the Sjöstrand
+// simplification pass drives to zero.
+func (ms *Multiset) Defects() int { return ms.loops + ms.extra }
+
+// IsSimple reports no loops and no multi-edges, in O(1).
+func (ms *Multiset) IsSimple() bool { return ms.loops == 0 && ms.extra == 0 }
+
+// Canonicalize rewrites el in place into its canonical presentation:
+// every edge oriented U <= V and the list sorted by key. Orientation
+// and order are MCMC state for the swap engine, so this is for
+// comparison, hashing and serialization of *final* outputs only.
+func (el *EdgeList) Canonicalize() {
+	for i, e := range el.Edges {
+		el.Edges[i] = e.Canonical()
+	}
+	sort.Slice(el.Edges, func(i, j int) bool { return el.Edges[i].Key() < el.Edges[j].Key() })
+}
+
+// LogStubLabelings returns the natural log of the number of stub
+// matchings realizing el's multigraph:
+//
+//	∏_v d_v! / (∏_{u<v} w_uv! · ∏_v 2^{w_vv} w_vv!)
+//
+// Statcheck uses the relative weights (the ∏ d_v! numerator is shared
+// by every state of a degree sequence) to build the stub-labeled
+// target distribution for exact-enumeration gates; logs keep tiny
+// spaces away from overflow without pulling in big.Int.
+func (el *EdgeList) LogStubLabelings() float64 {
+	deg := make(map[int32]int64)
+	counts := make(map[uint64]int64, len(el.Edges))
+	for _, e := range el.Edges {
+		deg[e.U]++
+		deg[e.V]++
+		counts[e.Key()]++
+	}
+	var lg float64
+	for _, d := range deg {
+		lg += logFactorial(d)
+	}
+	for k, w := range counts {
+		e := EdgeFromKey(k)
+		lg -= logFactorial(w)
+		if e.IsLoop() {
+			lg -= float64(w) * math.Ln2
+		}
+	}
+	return lg
+}
+
+func logFactorial(n int64) float64 {
+	var s float64
+	for i := int64(2); i <= n; i++ {
+		s += math.Log(float64(i))
+	}
+	return s
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpacePredicates(t *testing.T) {
+	cases := []struct {
+		s              Space
+		loops, multi   bool
+		vertex         bool
+		name, reparsed string
+	}{
+		{SimpleStub, false, false, false, "simple", "simple"},
+		{SimpleVertex, false, false, true, "simple-vertex", "simple-vertex"},
+		{LoopyStub, true, false, false, "loopy-stub", "loopy-stub"},
+		{LoopyVertex, true, false, true, "loopy-vertex", "loopy-vertex"},
+		{MultigraphStub, true, true, false, "multigraph-stub", "multigraph-stub"},
+		{MultigraphVertex, true, true, true, "multigraph-vertex", "multigraph-vertex"},
+	}
+	if len(cases) != len(Spaces()) {
+		t.Fatalf("matrix has %d cells, test covers %d", len(Spaces()), len(cases))
+	}
+	for _, c := range cases {
+		if c.s.AllowsLoops() != c.loops || c.s.AllowsMulti() != c.multi || c.s.VertexLabeled() != c.vertex {
+			t.Errorf("%s: predicates (loops=%v multi=%v vertex=%v)", c.s, c.s.AllowsLoops(), c.s.AllowsMulti(), c.s.VertexLabeled())
+		}
+		if c.s.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.s.String(), c.name)
+		}
+		got, err := ParseSpace(c.reparsed)
+		if err != nil || got != c.s {
+			t.Errorf("ParseSpace(%q) = %v, %v", c.reparsed, got, err)
+		}
+	}
+	// The zero value is the paper's historical regime.
+	var zero Space
+	if zero != SimpleStub {
+		t.Fatalf("zero Space = %v, want SimpleStub", zero)
+	}
+	if _, err := ParseSpace("bogus"); err == nil {
+		t.Fatal("ParseSpace accepted bogus name")
+	}
+	for _, alias := range []string{"", "simple-stub", "multi-stub", "multi-vertex"} {
+		if _, err := ParseSpace(alias); err != nil {
+			t.Errorf("ParseSpace(%q): %v", alias, err)
+		}
+	}
+}
+
+func TestValidateInSpace(t *testing.T) {
+	simple := FromEdges([]Edge{{0, 1}, {1, 2}})
+	loopy := FromEdges([]Edge{{0, 0}, {1, 2}})
+	multi := FromEdges([]Edge{{0, 1}, {1, 0}, {2, 2}})
+	dupLoop := FromEdges([]Edge{{0, 0}, {0, 0}, {1, 2}})
+
+	type want struct{ simple, loopy, multi, dupLoop bool }
+	cases := map[Space]want{
+		SimpleStub:       {true, false, false, false},
+		SimpleVertex:     {true, false, false, false},
+		LoopyStub:        {true, true, false, false},
+		LoopyVertex:      {true, true, false, false},
+		MultigraphStub:   {true, true, true, true},
+		MultigraphVertex: {true, true, true, true},
+	}
+	for space, w := range cases {
+		for _, c := range []struct {
+			el *EdgeList
+			ok bool
+		}{{simple, w.simple}, {loopy, w.loopy}, {multi, w.multi}, {dupLoop, w.dupLoop}} {
+			err := ValidateInSpace(c.el, space)
+			if (err == nil) != c.ok {
+				t.Errorf("space %s, input %v: err = %v, want ok=%v", space, c.el.Edges, err, c.ok)
+			}
+			if c.el.SatisfiesSpace(space) != c.ok {
+				t.Errorf("space %s, input %v: SatisfiesSpace mismatch", space, c.el.Edges)
+			}
+		}
+	}
+}
+
+func TestMultisetCounts(t *testing.T) {
+	ms := NewMultiset(8)
+	ms.AddEdge(Edge{0, 1})
+	ms.AddEdge(Edge{1, 0}) // same key, other orientation
+	ms.AddEdge(Edge{2, 2})
+	ms.AddEdge(Edge{2, 2})
+	ms.AddEdge(Edge{3, 4})
+	if got := ms.CountEdge(Edge{0, 1}); got != 2 {
+		t.Fatalf("Count(0,1) = %d, want 2", got)
+	}
+	if ms.Loops() != 2 || ms.MultiExcess() != 2 {
+		t.Fatalf("loops=%d extra=%d, want 2, 2", ms.Loops(), ms.MultiExcess())
+	}
+	if ms.IsSimple() {
+		t.Fatal("IsSimple on defective multiset")
+	}
+	ms.RemoveEdge(Edge{2, 2})
+	ms.RemoveEdge(Edge{2, 2})
+	ms.RemoveEdge(Edge{0, 1})
+	if !ms.IsSimple() || ms.Defects() != 0 {
+		t.Fatalf("after removals: loops=%d extra=%d", ms.Loops(), ms.MultiExcess())
+	}
+	if got := ms.Count(Edge{1, 0}.Key()); got != 1 {
+		t.Fatalf("Count after removal = %d, want 1", got)
+	}
+	ms.Reset()
+	if ms.Count(Edge{3, 4}.Key()) != 0 || ms.Defects() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemoveEdge of absent edge did not panic")
+		}
+	}()
+	ms.RemoveEdge(Edge{9, 9})
+}
+
+func TestMultisetOfMatchesCheckSimplicity(t *testing.T) {
+	el := FromEdges([]Edge{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {3, 4}, {4, 3}})
+	ms := MultisetOf(el)
+	rep := el.CheckSimplicity()
+	if ms.Loops() != rep.SelfLoops {
+		t.Errorf("loops %d vs CheckSimplicity %d", ms.Loops(), rep.SelfLoops)
+	}
+	// CheckSimplicity's MultiEdges excludes loop keys; this input has no
+	// duplicated loops, so the counts must agree.
+	if ms.MultiExcess() != rep.MultiEdges {
+		t.Errorf("extra %d vs CheckSimplicity %d", ms.MultiExcess(), rep.MultiEdges)
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	el := FromEdges([]Edge{{3, 1}, {2, 0}, {1, 3}})
+	el.Canonicalize()
+	want := []Edge{{0, 2}, {1, 3}, {1, 3}}
+	for i, e := range want {
+		if el.Edges[i] != e {
+			t.Fatalf("canonical edges = %v, want %v", el.Edges, want)
+		}
+	}
+}
+
+// TestLogStubLabelings pins hand-computed matching counts: the number
+// of stub matchings of G is ∏ d_v! / (∏ w_uv! ∏_v 2^{w_vv} w_vv!).
+func TestLogStubLabelings(t *testing.T) {
+	cases := []struct {
+		edges []Edge
+		want  float64 // exact matching count
+	}{
+		// Triangle: degrees 2,2,2 → (2!)³ / 1 = 8.
+		{[]Edge{{0, 1}, {1, 2}, {0, 2}}, 8},
+		// Doubled edge: degrees 2,2 → (2!)² / 2! = 2.
+		{[]Edge{{0, 1}, {0, 1}}, 2},
+		// Single loop: degree 2 → 2! / 2 = 1.
+		{[]Edge{{0, 0}}, 1},
+		// Loop + simple edge at same vertex: degrees 3,1 → 3!·1!/2 = 3.
+		{[]Edge{{0, 0}, {0, 1}}, 3},
+	}
+	for _, c := range cases {
+		el := FromEdges(c.edges)
+		got := math.Exp(el.LogStubLabelings())
+		if math.Abs(got-c.want) > 1e-9*c.want {
+			t.Errorf("%v: labelings = %g, want %g", c.edges, got, c.want)
+		}
+	}
+}
+
+func TestReadInSpace(t *testing.T) {
+	loopyText := "0 0\n1 2\n"
+	if _, err := ReadEdgeListTextInSpace(strings.NewReader(loopyText), SimpleStub); err == nil {
+		t.Fatal("simple-space read accepted a loop")
+	}
+	el, err := ReadEdgeListTextInSpace(strings.NewReader(loopyText), LoopyStub)
+	if err != nil || len(el.Edges) != 2 {
+		t.Fatalf("loopy-space read: %v", err)
+	}
+
+	multi := FromEdges([]Edge{{0, 1}, {1, 0}, {2, 2}})
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, multi); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEdgeListBinaryInSpace(bytes.NewReader(buf.Bytes()), LoopyStub); err == nil {
+		t.Fatal("loopy-space binary read accepted a multi-edge")
+	}
+	back, err := ReadEdgeListBinaryInSpace(bytes.NewReader(buf.Bytes()), MultigraphStub)
+	if err != nil {
+		t.Fatalf("multigraph-space binary read: %v", err)
+	}
+	if !back.EqualAsSets(multi) {
+		t.Fatal("binary round-trip changed the multigraph")
+	}
+}

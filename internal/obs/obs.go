@@ -191,6 +191,17 @@ func (r *Recorder) SetStop(st *StopReport) {
 	r.report.Stop = st
 }
 
+// SetSpace records the sampling space's canonical spelling (schema v3).
+func (r *Recorder) SetSpace(space string) {
+	r.report.Space = space
+}
+
+// SetSimplify installs the simplification section (schema v3). The
+// pointer is stored as-is; callers hand over ownership.
+func (r *Recorder) SetSimplify(s *SimplifyReport) {
+	r.report.Simplify = s
+}
+
 // Report returns the aggregated run report. The pointer aliases the
 // recorder's state: read it only after the run is finished (or between
 // Steps), and treat it as invalidated by the next StartRun.

@@ -13,7 +13,8 @@ import (
 // field they do not recognize; additive changes bump the trailing
 // version. The schema is documented in DESIGN.md §8.
 // v2 added the stop section (adaptive stopping decisions).
-const SchemaVersion = "nullgraph/run-report/v2"
+// v3 added the sampling-space field and the simplification section.
+const SchemaVersion = "nullgraph/run-report/v3"
 
 // IterationReport is one swap iteration's acceptance accounting.
 // Attempts = Successes + the three rejection counters + proposals
@@ -124,6 +125,26 @@ type StopReport struct {
 	Checkpoints []StopCheckpoint `json:"checkpoints,omitempty"`
 }
 
+// SimplifyReport records one targeted-simplification pass (schema v3;
+// internal/simplify): the defect counts before and after, and the swap
+// budget spent. Swaps <= InitialDefects always holds — each reducing
+// swap removes at least one defect — so the section doubles as an
+// auditable witness of the termination bound.
+type SimplifyReport struct {
+	// InitialDefects is self-loop instances plus multi-edge excess
+	// instances before the pass.
+	InitialDefects int `json:"initial_defects"`
+	// ResidualDefects is the same count after the pass; nonzero only
+	// when the realized degree sequence admits no simple graph.
+	ResidualDefects int `json:"residual_defects"`
+	// Swaps is the number of defect-reducing targeted swaps applied.
+	Swaps int `json:"swaps"`
+	// Neutral is the number of defect-neutral unsticking swaps applied.
+	Neutral int `json:"neutral"`
+	// Simple reports whether the edge list was simple after the pass.
+	Simple bool `json:"simple"`
+}
+
 // RunReport is the serializable aggregate of one run's chain-health
 // observability: per-iteration acceptance splits, the run-wide
 // hash-table probe-length histogram, the edge-skip space accounting,
@@ -153,6 +174,12 @@ type RunReport struct {
 	// Stop records the stopping decision (schema v2); present when the
 	// core pipeline drove the swap phase.
 	Stop *StopReport `json:"stop,omitempty"`
+	// Space is the sampling space's canonical spelling (schema v3);
+	// empty reports predate the space matrix and mean "simple".
+	Space string `json:"space,omitempty"`
+	// Simplify records the targeted-simplification pass (schema v3);
+	// present only when the pipeline ran one.
+	Simplify *SimplifyReport `json:"simplify,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON with a trailing newline.

@@ -39,7 +39,7 @@ func TestBlockDerivedDrawsMatchSource(t *testing.T) {
 	var blk Block
 	blk.Reseed(99)
 	bounds := []uint64{1, 2, 3, 7, 1 << 20, 1<<64 - 1}
-	for i := 0; i < 4 * BlockLen; i++ {
+	for i := 0; i < 4*BlockLen; i++ {
 		if want, got := src.Bool(), blk.Bool(); want != got {
 			t.Fatalf("draw %d: Bool mismatch", i)
 		}

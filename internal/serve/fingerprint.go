@@ -27,17 +27,28 @@ func hash64(h, v uint64) uint64 {
 	return h
 }
 
+// fingerprintVersion is folded into every fingerprint first, so adding
+// a field to the hashed option set (or changing field order) bumps it
+// and retires every stale pool key at once instead of silently
+// colliding with pre-change fingerprints. Version 2 added the sampling
+// space.
+const fingerprintVersion = 2
+
 // Fingerprint identifies an engine-compatible (distribution, options)
 // pair. Two requests share a pooled session — and therefore draw
 // distinct samples of one batch — exactly when their fingerprints are
 // equal: the same degree classes in the same order and the same
-// generation options. Hashing the full class list keeps collisions
-// across genuinely different distributions vanishingly rare (64-bit
-// FNV-1a); a collision would only merge two pools, costing probability
-// -matrix cache churn, never correctness, because every request carries
-// its own distribution to GenerateContext.
+// generation options (including the sampling space — engines hold
+// space-specific chain state, so two spaces must never share one).
+// Hashing the full class list keeps collisions across genuinely
+// different distributions vanishingly rare (64-bit FNV-1a); a collision
+// would only merge two pools, costing probability-matrix cache churn,
+// never correctness, because every request carries its own distribution
+// to GenerateContext.
 func Fingerprint(dist *nullgraph.DegreeDistribution, opt nullgraph.Options) uint64 {
 	h := fnv64Offset
+	h = hash64(h, fingerprintVersion)
+	h = hash64(h, uint64(opt.Space))
 	h = hash64(h, uint64(opt.Workers))
 	h = hash64(h, opt.Seed)
 	h = hash64(h, uint64(opt.SwapIterations))

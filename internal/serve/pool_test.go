@@ -212,6 +212,67 @@ func TestPoolCanceledLeaseReusable(t *testing.T) {
 	}
 }
 
+// TestFingerprintSeparatesSpaces locks the space axis of the pool key:
+// every pair of distinct sampling spaces fingerprints differently (an
+// engine holds space-specific chain state, so two spaces must never
+// share a session), and at the pool level a warm engine parked under
+// one space is never handed to a request for another — while the same
+// space does reuse it.
+func TestFingerprintSeparatesSpaces(t *testing.T) {
+	dist := testDistribution(t, 2)
+	spaces := []nullgraph.Space{
+		nullgraph.SpaceSimple, nullgraph.SpaceSimpleVertex,
+		nullgraph.SpaceLoopyStub, nullgraph.SpaceLoopyVertex,
+		nullgraph.SpaceMultigraphStub, nullgraph.SpaceMultigraphVertex,
+	}
+	base := nullgraph.Options{Workers: 1, Seed: 5, SwapIterations: 2}
+	fps := make([]uint64, len(spaces))
+	for i, sp := range spaces {
+		opt := base
+		opt.Space = sp
+		fps[i] = Fingerprint(dist, opt)
+	}
+	for i := range fps {
+		for j := i + 1; j < len(fps); j++ {
+			if fps[i] == fps[j] {
+				t.Fatalf("spaces %s and %s share a fingerprint; their engines would be pooled together", spaces[i], spaces[j])
+			}
+		}
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	simple := base
+	simple.Space = nullgraph.SpaceSimple
+	loopy := base
+	loopy.Space = nullgraph.SpaceLoopyStub
+
+	a, err := pool.Acquire(Fingerprint(dist, simple), simple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := a.Engine
+	a.Release(true) // parked under the simple key
+
+	b, err := pool.Acquire(Fingerprint(dist, loopy), loopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Engine == warm {
+		t.Fatal("a loopy-space request received the simple-space engine")
+	}
+	b.Release(true)
+
+	c, err := pool.Acquire(Fingerprint(dist, simple), simple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine != warm {
+		t.Fatal("a same-space request did not reuse the warm engine")
+	}
+	c.Release(true)
+}
+
 // TestPoolIdleCapAndClose pins the retention cap and shutdown: at most
 // maxIdlePerKey engines are parked per key, Close fails further
 // Acquires, and Release after Close closes the engine instead of

@@ -1,0 +1,144 @@
+package simplify_test
+
+import (
+	"testing"
+
+	"nullgraph/internal/chunglu"
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/simplify"
+)
+
+func degreesOf(el *graph.EdgeList) []int64 { return el.Degrees(1) }
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimpleInputUntouched(t *testing.T) {
+	el := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	before := append([]graph.Edge(nil), el.Edges...)
+	res := simplify.Run(el, 7)
+	if !res.Simple || res.Swaps != 0 || res.Neutral != 0 || res.InitialDefects != 0 {
+		t.Fatalf("simple input: %+v", res)
+	}
+	for i := range before {
+		if el.Edges[i] != before[i] {
+			t.Fatal("simple input was modified")
+		}
+	}
+}
+
+// TestHandCases pins small defect configurations that one targeted
+// swap must resolve.
+func TestHandCases(t *testing.T) {
+	cases := [][]graph.Edge{
+		// Loop plus a disjoint edge: (0,0),(1,2) → (0,1),(0,2).
+		{{U: 0, V: 0}, {U: 1, V: 2}},
+		// Double edge plus a disjoint edge.
+		{{U: 0, V: 1}, {U: 0, V: 1}, {U: 2, V: 3}},
+		// Two loops at distinct vertices: one swap → double edge? No:
+		// (0,0),(1,1) → (0,1),(0,1) is still defective, so the pass
+		// needs the second partner edge to finish.
+		{{U: 0, V: 0}, {U: 1, V: 1}, {U: 2, V: 3}},
+	}
+	for ci, edges := range cases {
+		el := graph.FromEdges(append([]graph.Edge(nil), edges...))
+		degBefore := degreesOf(el)
+		res := simplify.Run(el, uint64(ci)+1)
+		if !res.Simple {
+			t.Errorf("case %d: not simple after pass: %+v (edges %v)", ci, res, el.Edges)
+		}
+		if res.Swaps > res.InitialDefects {
+			t.Errorf("case %d: %d swaps exceeds defect bound %d", ci, res.Swaps, res.InitialDefects)
+		}
+		if !equalInt64(degreesOf(el), degBefore) {
+			t.Errorf("case %d: degree sequence changed", ci)
+		}
+	}
+}
+
+// TestNonGraphicalResidual: degrees (3,1) on two vertices admit no
+// simple graph, so the pass must stop with a residual instead of
+// spinning.
+func TestNonGraphicalResidual(t *testing.T) {
+	el := graph.FromEdges([]graph.Edge{{U: 0, V: 0}, {U: 0, V: 1}})
+	res := simplify.Run(el, 3)
+	if res.Simple || res.ResidualDefects == 0 {
+		t.Fatalf("non-graphical input reported simple: %+v", res)
+	}
+	if !equalInt64(degreesOf(el), []int64{3, 1}) {
+		t.Fatal("degree sequence changed")
+	}
+}
+
+// TestChungLuSimplification is the wiring target: O(m) Chung-Lu output
+// is a loopy multigraph, and the pass must reach a simple graph within
+// the defect bound, preserving realized degrees, across seeds and
+// degree shapes.
+func TestChungLuSimplification(t *testing.T) {
+	dists := []*degseq.Distribution{
+		{Classes: []degseq.Class{{Degree: 6, Count: 200}}},
+		{Classes: []degseq.Class{{Degree: 2, Count: 300}, {Degree: 12, Count: 30}, {Degree: 40, Count: 4}}},
+	}
+	for di, dist := range dists {
+		for seed := uint64(1); seed <= 5; seed++ {
+			el := chunglu.GenerateOM(dist, chunglu.Options{Seed: seed, Workers: 2})
+			degBefore := degreesOf(el)
+			res := simplify.Run(el, seed)
+			if res.InitialDefects == 0 {
+				t.Fatalf("dist %d seed %d: expected defective Chung-Lu output", di, seed)
+			}
+			if !res.Simple {
+				t.Errorf("dist %d seed %d: residual %d defects: %+v", di, seed, res.ResidualDefects, res)
+			}
+			if res.Swaps > res.InitialDefects {
+				t.Errorf("dist %d seed %d: %d swaps exceeds Sjöstrand bound %d",
+					di, seed, res.Swaps, res.InitialDefects)
+			}
+			if !equalInt64(degreesOf(el), degBefore) {
+				t.Errorf("dist %d seed %d: degree sequence changed", di, seed)
+			}
+			if rep := el.CheckSimplicity(); !rep.IsSimple() {
+				t.Errorf("dist %d seed %d: CheckSimplicity disagrees: %+v", di, seed, rep)
+			}
+		}
+	}
+}
+
+// TestDeterministic: fixed (input, seed) must yield identical output.
+func TestDeterministic(t *testing.T) {
+	dist := &degseq.Distribution{Classes: []degseq.Class{{Degree: 8, Count: 100}}}
+	a := chunglu.GenerateOM(dist, chunglu.Options{Seed: 42})
+	b := chunglu.GenerateOM(dist, chunglu.Options{Seed: 42})
+	ra := simplify.Run(a, 99)
+	rb := simplify.Run(b, 99)
+	if ra != rb {
+		t.Fatalf("results differ: %+v vs %+v", ra, rb)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+	c := chunglu.GenerateOM(dist, chunglu.Options{Seed: 42})
+	simplify.Run(c, 100)
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different simplify seeds produced identical rewirings")
+	}
+}

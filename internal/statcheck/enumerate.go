@@ -2,6 +2,7 @@ package statcheck
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"nullgraph/internal/degseq"
@@ -165,6 +166,176 @@ func EnumerateSimpleGraphs(dist *degseq.Distribution, name string) (*Space, erro
 		return nil, fmt.Errorf("statcheck: degree sequence has no simple realization")
 	}
 	return newSpace(name, sigs)
+}
+
+// SpaceEnumeration is an exactly enumerated sampling-space cell: the
+// state space plus the cell's target distribution and a representative
+// start state, everything a uniformity gate needs.
+type SpaceEnumeration struct {
+	// Space is the enumerated state space (canonical signatures).
+	Space *Space
+	// StubProbs is the stub-labeled target distribution over
+	// Space.States — state probability proportional to its stub-matching
+	// count ∏d_v!/(∏w_uv!·∏2^ℓ·ℓ!) — present for stub-labeled cells and
+	// nil for vertex-labeled ones, whose target is uniform.
+	StubProbs []float64
+	// Start is a representative member of the cell (an independent
+	// copy), usable as a chain's start state.
+	Start *graph.EdgeList
+}
+
+// EnumerateSpaceGraphs enumerates every labeled graph of the
+// sampling-space cell (self-loops and edge multiplicities as the cell
+// allows) realizing dist in class order. Signatures include edge
+// multiplicity — a doubled edge contributes its key twice — so distinct
+// multigraphs never collide.
+//
+// The exactly-once argument extends EnumerateSimpleGraphs's: at every
+// step the lowest-numbered vertex u with remaining degree is saturated
+// completely, by choosing its loop count first and then the
+// multiplicity of each edge to a higher-numbered vertex in one
+// increasing sweep. Every edge incident to u is placed at u's step
+// (edges from lower vertices landed earlier and already consumed u's
+// residual), so a graph's decomposition into steps is unique.
+func EnumerateSpaceGraphs(dist *degseq.Distribution, sp graph.Space, name string) (*SpaceEnumeration, error) {
+	if !sp.Valid() {
+		return nil, fmt.Errorf("statcheck: invalid space %d", int(sp))
+	}
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	degrees := dist.ToDegrees()
+	n := len(degrees)
+	if n > maxEnumVertices {
+		return nil, fmt.Errorf("statcheck: %d vertices exceed the enumeration limit %d", n, maxEnumVertices)
+	}
+	if dist.NumStubs()%2 != 0 {
+		return nil, fmt.Errorf("statcheck: odd stub total %d is not realizable", dist.NumStubs())
+	}
+	allowLoops, allowMulti := sp.AllowsLoops(), sp.AllowsMulti()
+
+	res := append([]int64(nil), degrees...)
+	edges := make([]graph.Edge, 0, dist.NumEdges())
+	var (
+		sigs  []string
+		logW  = map[string]float64{}
+		start []graph.Edge
+	)
+
+	var saturate func() error
+	var choose func(u int, need int64, v int) error
+
+	saturate = func() error {
+		u := -1
+		for v := 0; v < n; v++ {
+			if res[v] > 0 {
+				u = v
+				break
+			}
+		}
+		if u == -1 {
+			if len(sigs) >= maxEnumStates {
+				return fmt.Errorf("statcheck: state space exceeds %d states", maxEnumStates)
+			}
+			el := graph.NewEdgeList(append([]graph.Edge(nil), edges...), n)
+			sig := SignatureOfEdges(edges)
+			if _, dup := logW[sig]; dup {
+				return fmt.Errorf("statcheck: enumerator produced state %q twice", name)
+			}
+			logW[sig] = el.LogStubLabelings()
+			sigs = append(sigs, sig)
+			if start == nil {
+				start = el.Edges
+			}
+			return nil
+		}
+		maxLoops := int64(0)
+		if allowLoops {
+			maxLoops = res[u] / 2
+			if !allowMulti && maxLoops > 1 {
+				maxLoops = 1
+			}
+		}
+		orig := res[u]
+		for l := int64(0); l <= maxLoops; l++ {
+			for k := int64(0); k < l; k++ {
+				edges = append(edges, graph.Edge{U: int32(u), V: int32(u)})
+			}
+			// u's residual is consumed here in full (the remainder goes to
+			// higher vertices via choose), so zero it before descending.
+			res[u] = 0
+			if err := choose(u, orig-2*l, u+1); err != nil {
+				return err
+			}
+			res[u] = orig
+			edges = edges[:len(edges)-int(l)]
+		}
+		return nil
+	}
+
+	choose = func(u int, need int64, v int) error {
+		if need == 0 {
+			return saturate()
+		}
+		if v >= n {
+			return nil // dead end: u cannot be saturated on this branch
+		}
+		maxW := res[v]
+		if maxW > need {
+			maxW = need
+		}
+		if !allowMulti && maxW > 1 {
+			maxW = 1
+		}
+		for w := int64(0); w <= maxW; w++ {
+			res[v] -= w
+			for k := int64(0); k < w; k++ {
+				edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+			}
+			if err := choose(u, need-w, v+1); err != nil {
+				return err
+			}
+			edges = edges[:len(edges)-int(w)]
+			res[v] += w
+		}
+		return nil
+	}
+
+	if err := saturate(); err != nil {
+		return nil, err
+	}
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("statcheck: degree sequence has no realization in space %s", sp)
+	}
+	space, err := newSpace(name, sigs)
+	if err != nil {
+		return nil, err
+	}
+	enum := &SpaceEnumeration{
+		Space: space,
+		Start: graph.NewEdgeList(start, n),
+	}
+	if !sp.VertexLabeled() {
+		// Normalize the stub-matching weights into probabilities in the
+		// sorted state order, max-shifted for stability.
+		maxLog := math.Inf(-1)
+		for _, lw := range logW {
+			if lw > maxLog {
+				maxLog = lw
+			}
+		}
+		probs := make([]float64, len(space.States))
+		sum := 0.0
+		for i, sig := range space.States {
+			probs[i] = math.Exp(logW[sig] - maxLog)
+			sum += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= sum
+		}
+		enum.StubProbs = probs
+	}
+	return enum, nil
 }
 
 // EnumerateSimpleDigraphs enumerates every labeled simple digraph (no

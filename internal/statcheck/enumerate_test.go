@@ -1,6 +1,8 @@
 package statcheck
 
 import (
+	"math"
+	"sort"
 	"testing"
 
 	"nullgraph/internal/degseq"
@@ -98,6 +100,134 @@ func TestEnumerateSimpleGraphsErrors(t *testing.T) {
 	// Vertex limit guard.
 	if _, err := EnumerateSimpleGraphs(mustCounts(t, map[int64]int64{1: 100}), "huge"); err == nil {
 		t.Error("100 vertices accepted past the enumeration limit")
+	}
+}
+
+// TestEnumerateSpaceGraphsCounts pins the space-matrix enumerator
+// against hand-counted cells.
+func TestEnumerateSpaceGraphsCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts map[int64]int64
+		space  graph.Space
+		want   int
+	}{
+		// Degrees {1,1,2,2} loopy: 2 paths, 2 single-loop states, 1
+		// double-loop state.
+		{"loopy-1122", map[int64]int64{1: 2, 2: 2}, graph.LoopyStub, 5},
+		// Degrees {2,2,2} loopy: triangle + all-loops (the classic
+		// disconnected pair — enumerable even though no swap chain
+		// connects it).
+		{"loopy-222", map[int64]int64{2: 3}, graph.LoopyStub, 2},
+		// Degrees {2,2,2} multigraph: triangle, 3× (loop + doubled
+		// edge), all-loops.
+		{"multi-222", map[int64]int64{2: 3}, graph.MultigraphStub, 5},
+		// Degrees {1,1,2,2} multigraph: the 5 loopy states + the doubled
+		// edge between the degree-2 vertices.
+		{"multi-1122", map[int64]int64{1: 2, 2: 2}, graph.MultigraphStub, 6},
+		// Degrees {3,3} multigraph: triple edge, or one edge + two loops.
+		{"multi-33", map[int64]int64{3: 2}, graph.MultigraphStub, 2},
+	}
+	for _, c := range cases {
+		enum, err := EnumerateSpaceGraphs(mustCounts(t, c.counts), c.space, c.name)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if enum.Space.NumStates() != c.want {
+			t.Errorf("%s: %d states, want %d", c.name, enum.Space.NumStates(), c.want)
+		}
+		// The representative start must be a member of the space.
+		if !enum.Start.SatisfiesSpace(c.space) {
+			t.Errorf("%s: start state outside its space", c.name)
+		}
+		if _, ok := enum.Space.Index[SignatureOfEdges(enum.Start.Edges)]; !ok {
+			t.Errorf("%s: start state not among the enumerated states", c.name)
+		}
+	}
+}
+
+// TestEnumerateSpaceGraphsSimpleAgrees: with loops and multi-edges
+// disallowed the general enumerator must reproduce the simple one.
+func TestEnumerateSpaceGraphsSimpleAgrees(t *testing.T) {
+	dist := mustCounts(t, map[int64]int64{1: 2, 2: 3})
+	want, err := EnumerateSimpleGraphs(dist, "p5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range []graph.Space{graph.SimpleStub, graph.SimpleVertex} {
+		enum, err := EnumerateSpaceGraphs(dist, sp, "p5-general")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enum.Space.NumStates() != want.NumStates() {
+			t.Fatalf("%s: %d states, want %d", sp, enum.Space.NumStates(), want.NumStates())
+		}
+		for i, sig := range enum.Space.States {
+			if want.States[i] != sig {
+				t.Fatalf("%s: state %d differs from the simple enumerator", sp, i)
+			}
+		}
+		// Simple states all carry the same stub-matching count, so the
+		// stub target degenerates to uniform.
+		if sp == graph.SimpleStub {
+			for i, p := range enum.StubProbs {
+				if diff := p - 1/float64(want.NumStates()); diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("simple stub target not uniform at state %d: %v", i, p)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateSpaceGraphsStubWeights pins the stub-labeled target
+// distributions against hand computation: state weight
+// ∏d_v!/(∏w!·∏2^ℓ), so loops and doubled edges are penalized.
+func TestEnumerateSpaceGraphsStubWeights(t *testing.T) {
+	sortedProbs := func(enum *SpaceEnumeration) []float64 {
+		ps := append([]float64(nil), enum.StubProbs...)
+		sort.Float64s(ps)
+		return ps
+	}
+	approx := func(got, want []float64) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Loopy {1,1,2,2}: weights 4,4 (paths), 2,2 (one loop), 1 (two
+	// loops); total 13.
+	enum, err := EnumerateSpaceGraphs(mustCounts(t, map[int64]int64{1: 2, 2: 2}), graph.LoopyStub, "loopy-w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1.0 / 13, 2.0 / 13, 2.0 / 13, 4.0 / 13, 4.0 / 13}; !approx(sortedProbs(enum), want) {
+		t.Errorf("loopy {1,1,2,2} stub target = %v, want %v (sorted)", sortedProbs(enum), want)
+	}
+
+	// Multigraph {2,2,2}: triangle 8, loop+doubled-edge 2 each (×3),
+	// all-loops 1; total 15.
+	enum, err = EnumerateSpaceGraphs(mustCounts(t, map[int64]int64{2: 3}), graph.MultigraphStub, "multi-w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1.0 / 15, 2.0 / 15, 2.0 / 15, 2.0 / 15, 8.0 / 15}; !approx(sortedProbs(enum), want) {
+		t.Errorf("multigraph {2,2,2} stub target = %v, want %v (sorted)", sortedProbs(enum), want)
+	}
+
+	// Vertex-labeled cells have a uniform target: no probs attached.
+	enum, err = EnumerateSpaceGraphs(mustCounts(t, map[int64]int64{2: 3}), graph.MultigraphVertex, "multi-v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum.StubProbs != nil {
+		t.Error("vertex-labeled enumeration carries stub probabilities")
 	}
 }
 

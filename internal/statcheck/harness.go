@@ -80,7 +80,7 @@ type CheckResult struct {
 	// Name identifies the check (see Checks).
 	Name string `json:"name"`
 	// Kind is the statistic family: "uniformity",
-	// "bernoulli-marginals", or "class-moments".
+	// "weighted-uniformity", "bernoulli-marginals", or "class-moments".
 	Kind string `json:"kind"`
 	// States is the exact state-space size for uniformity checks (0
 	// otherwise).
@@ -157,6 +157,43 @@ func CheckUniformity(name string, space *Space, defaultSamples int, cfg Config, 
 			return Attempt{}, err
 		}
 		return Attempt{Seed: seed, Stat: stat, Dof: dof, P: p}, nil
+	})
+}
+
+// CheckWeightedUniformity is CheckUniformity against a non-uniform
+// exact target: probs[i] is the target probability of state i (aligned
+// with space.States, summing to 1). The stub-labeled cells use it —
+// their target over distinct graphs weights each state by its
+// stub-matching count, so "uniform over stub matchings" is non-uniform
+// over graphs as soon as loops or multi-edges appear.
+func CheckWeightedUniformity(name string, space *Space, probs []float64, defaultSamples int, cfg Config, draw func(attemptSeed uint64, i int) (string, error)) (*CheckResult, error) {
+	if len(probs) != space.NumStates() {
+		return nil, fmt.Errorf("statcheck: %d target probabilities vs %d states", len(probs), space.NumStates())
+	}
+	samples := cfg.samples(defaultSamples)
+	res := &CheckResult{Name: name, Kind: "weighted-uniformity", States: space.NumStates(), Samples: samples}
+	return runAttempts(res, cfg, func(seed uint64) (Attempt, error) {
+		counts := make([]int64, space.NumStates())
+		for i := 0; i < samples; i++ {
+			sig, err := draw(seed, i)
+			if err != nil {
+				return Attempt{}, err
+			}
+			idx, ok := space.Index[sig]
+			if !ok {
+				return Attempt{}, fmt.Errorf("sample %d left the enumerated space %q (%d states)", i, space.Name, space.NumStates())
+			}
+			counts[idx]++
+		}
+		expected := make([]float64, len(probs))
+		for k, p := range probs {
+			expected[k] = p * float64(samples)
+		}
+		stat, dof, err := ChiSquareStat(counts, expected)
+		if err != nil {
+			return Attempt{}, err
+		}
+		return Attempt{Seed: seed, Stat: stat, Dof: dof, P: ChiSquareP(stat, dof)}, nil
 	})
 }
 

@@ -30,6 +30,13 @@ import (
 const (
 	swapChainIterations     = 30
 	directedChainIterations = 100
+	// spaceChainIterations is the budget of the loopy/multigraph cell
+	// gates. The vertex-labeled chains are serial Metropolis-Hastings
+	// sweeps with m/2 proposals per iteration, so on the 3-edge fixtures
+	// one iteration is a single proposal; 60 iterations keeps even those
+	// chains far past mixing on the ≤ 6-state spaces below while staying
+	// cheap enough for the tier-2 budget.
+	spaceChainIterations = 60
 )
 
 // Check is one named statistical verification, runnable from tests,
@@ -76,6 +83,38 @@ func Checks() []Check {
 			DefaultSamples: 3000,
 			Run: func(cfg Config) (*CheckResult, error) {
 				return runSwapUniformity(cfg, "swap-paths-p5", map[int64]int64{1: 2, 2: 3}, 3000)
+			},
+		},
+		{
+			Name:           "space-loopy-stub",
+			Description:    "loopy stub-labeled chain against the stub-matching-weighted target over the 5 loopy graphs with degrees {2,2,1,1}",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runSpaceChainUniformity(cfg, "space-loopy-stub", map[int64]int64{2: 2, 1: 2}, graph.LoopyStub, 3000)
+			},
+		},
+		{
+			Name:           "space-loopy-vertex",
+			Description:    "loopy vertex-labeled MH chain uniformity over the 5 loopy graphs with degrees {2,2,1,1}",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runSpaceChainUniformity(cfg, "space-loopy-vertex", map[int64]int64{2: 2, 1: 2}, graph.LoopyVertex, 3000)
+			},
+		},
+		{
+			Name:           "space-multigraph-stub",
+			Description:    "configuration-model chain against the stub-matching-weighted target over the 5 multigraphs with degrees {2,2,2}",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runSpaceChainUniformity(cfg, "space-multigraph-stub", map[int64]int64{2: 3}, graph.MultigraphStub, 3000)
+			},
+		},
+		{
+			Name:           "space-multigraph-vertex",
+			Description:    "multigraph vertex-labeled MH chain uniformity over the 5 multigraphs with degrees {2,2,2}",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runSpaceChainUniformity(cfg, "space-multigraph-vertex", map[int64]int64{2: 3}, graph.MultigraphVertex, 3000)
 			},
 		},
 		{
@@ -192,6 +231,45 @@ func runSwapUniformity(cfg Config, name string, counts map[int64]int64, defaultS
 		swap.RunEngine(eng)
 		return SignatureOfEdges(el.Edges), nil
 	})
+}
+
+// runSpaceChainUniformity is the per-cell gate of the space matrix:
+// the cell's swap chain, started from an enumerated member and run for
+// spaceChainIterations from an independent seed per draw, must sample
+// the cell's exact target — uniform over distinct graphs for the
+// vertex-labeled cells, stub-matching-weighted for the stub-labeled
+// ones. The degree sequences are chosen so the double-edge-swap chain
+// is irreducible on the cell (loopy spaces are disconnected for some
+// sequences, e.g. all-degree-2 ones whose all-loop state is isolated).
+func runSpaceChainUniformity(cfg Config, name string, counts map[int64]int64, sp graph.Space, defaultSamples int) (*CheckResult, error) {
+	dist, err := mustDist(counts)
+	if err != nil {
+		return nil, err
+	}
+	enum, err := EnumerateSpaceGraphs(dist, sp, name)
+	if err != nil {
+		return nil, err
+	}
+	start := enum.Start
+	el := graph.NewEdgeList(append([]graph.Edge(nil), start.Edges...), start.NumVertices)
+	eng := swap.NewEngine(el, swap.Options{
+		Space:      sp,
+		Iterations: spaceChainIterations,
+		Workers:    cfg.Workers,
+		Seed:       0, // per-draw via SetSeed
+	})
+	defer eng.Close()
+	draw := func(attemptSeed uint64, i int) (string, error) {
+		copy(el.Edges, start.Edges)
+		eng.SetSeed(SampleSeed(attemptSeed, i))
+		eng.Reset(el)
+		swap.RunEngine(eng)
+		return SignatureOfEdges(el.Edges), nil
+	}
+	if enum.StubProbs != nil {
+		return CheckWeightedUniformity(name, enum.Space, enum.StubProbs, defaultSamples, cfg, draw)
+	}
+	return CheckUniformity(name, enum.Space, defaultSamples, cfg, draw)
 }
 
 // runShuffleSessionUniformity checks the public pipeline surface: a

@@ -100,6 +100,85 @@ func TestStatcheckRejectsZeroIterationSwap(t *testing.T) {
 	}
 }
 
+// spaceChainDraw builds a per-draw closure running the cell's chain
+// from an enumerated start, mirroring runSpaceChainUniformity.
+func spaceChainDraw(t *testing.T, counts map[int64]int64, sp graph.Space) (*SpaceEnumeration, func(attemptSeed uint64, i int) (string, error), func()) {
+	t.Helper()
+	dist := mustCounts(t, counts)
+	enum, err := EnumerateSpaceGraphs(dist, sp, "biased-"+sp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := enum.Start
+	el := graph.NewEdgeList(append([]graph.Edge(nil), start.Edges...), start.NumVertices)
+	eng := swap.NewEngine(el, swap.Options{Space: sp, Iterations: spaceChainIterations, Workers: 1})
+	draw := func(attemptSeed uint64, i int) (string, error) {
+		copy(el.Edges, start.Edges)
+		eng.SetSeed(SampleSeed(attemptSeed, i))
+		eng.Reset(el)
+		swap.RunEngine(eng)
+		return SignatureOfEdges(el.Edges), nil
+	}
+	return enum, draw, eng.Close
+}
+
+// TestStatcheckRejectsMislabeledSpaceChains locks rejection in BOTH
+// labeling directions on the loopy {1,1,2,2} cell, whose stub target
+// (4,4,2,2,1)/13 is far from uniform: a correct stub-labeled chain
+// tested against the uniform (vertex-labeled) target must fail, and a
+// correct vertex-labeled chain tested against the stub-weighted target
+// must fail. Together with the passing per-cell gates this shows the
+// harness distinguishes the two labelings, not merely that chains
+// "look mixed".
+func TestStatcheckRejectsMislabeledSpaceChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 statistical suite")
+	}
+	cfg := Config{Seed: 11, Workers: 1, Samples: 2000}
+
+	// Direction 1: stub chain vs uniform target.
+	enum, draw, done := spaceChainDraw(t, map[int64]int64{1: 2, 2: 2}, graph.LoopyStub)
+	res, err := CheckUniformity("stub-chain-vs-uniform", enum.Space, 2000, cfg, draw)
+	done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Errorf("stub-labeled chain passed the uniform gate (p=%v); the labelings are indistinguishable", res.P())
+	}
+
+	// Direction 2: vertex chain vs stub-weighted target. The weighted
+	// target comes from a stub-labeled enumeration of the same cell.
+	weighted, werr := EnumerateSpaceGraphs(mustCounts(t, map[int64]int64{1: 2, 2: 2}), graph.LoopyStub, "weighted-target")
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	enum2, draw2, done2 := spaceChainDraw(t, map[int64]int64{1: 2, 2: 2}, graph.LoopyVertex)
+	res, err = CheckWeightedUniformity("vertex-chain-vs-stub", enum2.Space, weighted.StubProbs, 2000, cfg, draw2)
+	done2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Errorf("vertex-labeled chain passed the stub-weighted gate (p=%v)", res.P())
+	}
+}
+
+// TestStatcheckWeightedUniformityValidates: a probability vector that
+// does not match the state space is a usage error.
+func TestStatcheckWeightedUniformityValidates(t *testing.T) {
+	dist := mustCounts(t, map[int64]int64{1: 6})
+	space, err := EnumerateSimpleGraphs(dist, "k6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CheckWeightedUniformity("bad", space, []float64{0.5, 0.5}, 10, Config{Seed: 1},
+		func(uint64, int) (string, error) { return "", nil })
+	if err == nil {
+		t.Fatal("mismatched probability vector accepted")
+	}
+}
+
 // TestStatcheckRejectsPerturbedEdgeskip locks rejection for the
 // Bernoulli-marginal family: the true edge-skipping sampler tested
 // against a perturbed probability model must fail.

@@ -19,14 +19,14 @@ func TestChiSquareReferenceValues(t *testing.T) {
 		dof  int
 		want float64
 	}{
-		{1, 1, 0.31731050786291415},             // erfc(1/√2)
-		{4, 1, 0.04550026389635842},             // erfc(√2)
-		{2, 2, 0.36787944117144233},             // e^{-1}
-		{2 * math.Ln10, 2, 0.1},                 // e^{-ln 10}
-		{2, 4, 0.7357588823428847},              // 2e^{-1}
-		{10, 10, 65.375 * math.Exp(-5)},         // e^{-5}·(1+5+12.5+125/6+625/24)
-		{0, 5, 1},                      // zero statistic
-		{23.68479130484058, 14, 0.05}, // the dof=14 5% critical value
+		{1, 1, 0.31731050786291415},     // erfc(1/√2)
+		{4, 1, 0.04550026389635842},     // erfc(√2)
+		{2, 2, 0.36787944117144233},     // e^{-1}
+		{2 * math.Ln10, 2, 0.1},         // e^{-ln 10}
+		{2, 4, 0.7357588823428847},      // 2e^{-1}
+		{10, 10, 65.375 * math.Exp(-5)}, // e^{-5}·(1+5+12.5+125/6+625/24)
+		{0, 5, 1},                       // zero statistic
+		{23.68479130484058, 14, 0.05},   // the dof=14 5% critical value
 	}
 	for _, c := range cases {
 		got := ChiSquareP(c.stat, c.dof)

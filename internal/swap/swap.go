@@ -51,6 +51,18 @@ import (
 
 // Options configures a swap run.
 type Options struct {
+	// Space selects the cell of the sampling-space matrix the chain
+	// targets (see graph.Space and policy.go). The zero value is
+	// graph.SimpleStub — the paper's regime — and leaves every code
+	// path bit-identical to the pre-matrix engine. Stub-labeled cells
+	// run the parallel kernel with a per-space acceptance rule; the
+	// vertex-labeled loopy/multigraph cells run a serial exact
+	// Metropolis–Hastings sweep (Workers is ignored there). The caller
+	// is responsible for the input being a legal state of the space;
+	// the simple cells additionally tolerate non-simple input, which
+	// the chain progressively simplifies (the historical behavior —
+	// internal/simplify does it deterministically instead).
+	Space graph.Space
 	// Iterations is the number of full permute-and-sweep passes.
 	Iterations int
 	// Workers is the parallel width; <= 0 means GOMAXPROCS.
@@ -105,6 +117,9 @@ type Options struct {
 func (o Options) Validate() error {
 	if o.Iterations < 0 {
 		return fmt.Errorf("swap: negative iteration count %d", o.Iterations)
+	}
+	if !o.Space.Valid() {
+		return fmt.Errorf("swap: invalid sampling space %v", o.Space)
 	}
 	return nil
 }
@@ -170,6 +185,18 @@ type Engine struct {
 	table    *hashtable.EdgeSet
 	writers  []*hashtable.Writer
 
+	// Space-derived configuration, fixed at construction. vertexMH
+	// selects the serial Metropolis–Hastings step (policy.go); useTable
+	// is false for cells whose acceptance rule never consults the edge
+	// table (multigraph-stub accepts every proposal), which skips the
+	// register and clear phases entirely. accept is the stub-cell
+	// acceptance policy the parallel sweep bodies dispatch through; ms
+	// is the live multiplicity view the vertex-labeled step reads.
+	vertexMH bool
+	useTable bool
+	accept   func(wtr *hashtable.Writer, g, h graph.Edge) bool
+	ms       *graph.Multiset
+
 	// stop is the attached cooperative cancellation flag (nil when the
 	// run is uncancelable, which keeps the hot path to nil checks).
 	stop *par.Stop
@@ -232,6 +259,20 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		p = opt.Pool.Workers()
 	}
 	eng := &Engine{el: el, opt: opt, p: p}
+	switch opt.Space {
+	case graph.LoopyVertex, graph.MultigraphVertex:
+		// Serial exact-MH cells: no table, no permutation.
+		eng.vertexMH = true
+	case graph.MultigraphStub:
+		// Every proposal is accepted, so the register/clear phases and
+		// the table itself are dead weight; only permute-and-commit runs.
+	case graph.LoopyStub:
+		eng.useTable = true
+		eng.accept = acceptLoopyStub
+	default: // SimpleStub, SimpleVertex: one regime, see graph.Space.
+		eng.useTable = true
+		eng.accept = acceptSimple
+	}
 	if opt.Pool != nil {
 		eng.pool = opt.Pool
 	} else {
@@ -259,28 +300,14 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
 		edges := eng.el.Edges
 		wtr := eng.writers[w]
+		accept := eng.accept
 		swapped := eng.swapped
 		var local, newly int64
 		for k := r.Begin; k < r.End; k++ {
 			i, j := 2*k, 2*k+1
 			e, f := edges[i], edges[j]
-			var g, hh graph.Edge
-			if src.Bool() {
-				g = graph.Edge{U: e.U, V: f.U}
-				hh = graph.Edge{U: e.V, V: f.V}
-			} else {
-				g = graph.Edge{U: e.U, V: f.V}
-				hh = graph.Edge{U: e.V, V: f.U}
-			}
-			if g.IsLoop() || hh.IsLoop() {
-				continue
-			}
-			if wtr.TestAndSet(g.Key()) {
-				continue
-			}
-			if wtr.TestAndSet(hh.Key()) {
-				// g stays registered: harmless for correctness (it only
-				// suppresses re-proposals of g this iteration).
+			g, hh := rewirePair(e, f, src.Bool())
+			if !accept(wtr, g, hh) {
 				continue
 			}
 			edges[i], edges[j] = g, hh
@@ -327,6 +354,7 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
 		edges := eng.el.Edges
 		wtr := eng.writers[w]
+		accept := eng.accept
 		stop := eng.stop
 		swapped := eng.swapped
 		var local, newly int64
@@ -337,23 +365,8 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 			}
 			i, j := 2*k, 2*k+1
 			e, f := edges[i], edges[j]
-			var g, hh graph.Edge
-			if src.Bool() {
-				g = graph.Edge{U: e.U, V: f.U}
-				hh = graph.Edge{U: e.V, V: f.V}
-			} else {
-				g = graph.Edge{U: e.U, V: f.V}
-				hh = graph.Edge{U: e.V, V: f.U}
-			}
-			if g.IsLoop() || hh.IsLoop() {
-				continue
-			}
-			if wtr.TestAndSet(g.Key()) {
-				continue
-			}
-			if wtr.TestAndSet(hh.Key()) {
-				// g stays registered: harmless for correctness (it only
-				// suppresses re-proposals of g this iteration).
+			g, hh := rewirePair(e, f, src.Bool())
+			if !accept(wtr, g, hh) {
 				continue
 			}
 			edges[i], edges[j] = g, hh
@@ -373,9 +386,73 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 		eng.newly[w].V = newly
 	}
 
+	if opt.Space == graph.MultigraphStub {
+		// Accept-all sweeps: no acceptance state at all, so the bodies
+		// never touch writers (which don't exist for this cell).
+		eng.sweepBody = func(w int, r par.Range) {
+			var src rng.Block
+			src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
+			edges := eng.el.Edges
+			swapped := eng.swapped
+			var local, newly int64
+			for k := r.Begin; k < r.End; k++ {
+				i, j := 2*k, 2*k+1
+				g, hh := rewirePair(edges[i], edges[j], src.Bool())
+				edges[i], edges[j] = g, hh
+				if swapped != nil {
+					if swapped[i] == 0 {
+						swapped[i] = 1
+						newly++
+					}
+					if swapped[j] == 0 {
+						swapped[j] = 1
+						newly++
+					}
+				}
+				local++
+			}
+			eng.successes[w].V = local
+			eng.newly[w].V = newly
+		}
+		eng.sweepStopBody = func(w int, r par.Range) {
+			var src rng.Block
+			src.Reseed(sweepWorkerSeed(eng.sweepSeed, w))
+			edges := eng.el.Edges
+			stop := eng.stop
+			swapped := eng.swapped
+			var local, newly int64
+			//nullgraph:cancelable
+			for k := r.Begin; k < r.End; k++ {
+				if (k-r.Begin)&2047 == 0 && stop.Stopped() {
+					break
+				}
+				i, j := 2*k, 2*k+1
+				g, hh := rewirePair(edges[i], edges[j], src.Bool())
+				edges[i], edges[j] = g, hh
+				if swapped != nil {
+					if swapped[i] == 0 {
+						swapped[i] = 1
+						newly++
+					}
+					if swapped[j] == 0 {
+						swapped[j] = 1
+						newly++
+					}
+				}
+				local++
+			}
+			eng.successes[w].V = local
+			eng.newly[w].V = newly
+		}
+	}
+
 	if obs.Enabled && opt.Recorder != nil {
 		eng.rec = opt.Recorder
-		eng.bindInstrumentedBodies()
+		// Probe-level instrumentation exists for the simple cells only;
+		// the other cells still flush per-iteration chain statistics.
+		if opt.Space == graph.SimpleStub || opt.Space == graph.SimpleVertex {
+			eng.bindInstrumentedBodies()
+		}
 	}
 	eng.SetStop(opt.Stop)
 
@@ -461,7 +538,20 @@ func (eng *Engine) bindInstrumentedBodies() {
 func (eng *Engine) bind(el *graph.EdgeList) {
 	eng.el = el
 	m := len(el.Edges)
-	if m >= 2 {
+	if eng.vertexMH {
+		// The serial MH step reads multiplicities instead of a frozen
+		// table and proposes positions directly, so the multiset is the
+		// only per-edge-list state it needs.
+		if eng.ms == nil {
+			eng.ms = graph.MultisetOf(el)
+		} else {
+			eng.ms.Reset()
+			for _, e := range el.Edges {
+				eng.ms.AddEdge(e)
+			}
+		}
+	}
+	if m >= 2 && eng.useTable {
 		// Worst case insertions per iteration: m initial edges + 2 new
 		// edges per proposing pair = 2m, the table's exact capacity.
 		// Counting-only writers: at >= m inserts into <= 8m slots the
@@ -481,6 +571,14 @@ func (eng *Engine) bind(el *graph.EdgeList) {
 			eng.table = hashtable.New(capacity, eng.opt.Probing)
 			eng.writers = eng.table.NewCountingWriters(eng.p)
 		}
+		for _, w := range eng.writers {
+			w.Reset()
+		}
+	}
+	if m >= 2 && !eng.vertexMH {
+		// Permutation target buffer — every parallel cell permutes, with
+		// or without a table; the serial MH step proposes positions
+		// directly and needs none.
 		if cap(eng.h) < m {
 			grown := m
 			if eng.h != nil {
@@ -489,9 +587,6 @@ func (eng *Engine) bind(el *graph.EdgeList) {
 			eng.h = make([]int32, grown)
 		}
 		eng.h = eng.h[:m]
-		for _, w := range eng.writers {
-			w.Reset()
-		}
 	}
 	if eng.opt.TrackSwapped {
 		if cap(eng.swapped) < m {
@@ -562,6 +657,10 @@ func (eng *Engine) Step() IterStats {
 // abandoned iteration, so the next Step (or a Reset) finds the same
 // clean state a completed iteration leaves.
 func (eng *Engine) clearTable() {
+	if eng.table == nil {
+		// Table-less cells (multigraph-stub) have nothing to restore.
+		return
+	}
 	eng.pool.Run(eng.table.NumSlots(), eng.clearBody)
 	for _, w := range eng.writers {
 		w.Reset()
@@ -578,6 +677,9 @@ func (eng *Engine) clearTable() {
 //
 //nullgraph:hotpath
 func (eng *Engine) step() (IterStats, bool) {
+	if eng.vertexMH {
+		return eng.stepVertex()
+	}
 	m := len(eng.el.Edges)
 	it := eng.iteration
 	eng.iteration++
@@ -594,15 +696,18 @@ func (eng *Engine) step() (IterStats, bool) {
 		return IterStats{}, true
 	}
 
-	// Phase 1: register the current edge set.
-	if polled {
-		pool.Run(m, eng.registerStopBody)
-	} else {
-		pool.Run(m, eng.registerBody)
-	}
-	if stop.Stopped() {
-		eng.clearTable()
-		return IterStats{}, true
+	// Phase 1: register the current edge set (skipped for cells whose
+	// acceptance rule never consults the table).
+	if eng.useTable {
+		if polled {
+			pool.Run(m, eng.registerStopBody)
+		} else {
+			pool.Run(m, eng.registerBody)
+		}
+		if stop.Stopped() {
+			eng.clearTable()
+			return IterStats{}, true
+		}
 	}
 
 	// Phase 2: permute. The swapped flags ride along under the same
@@ -658,8 +763,10 @@ func (eng *Engine) step() (IterStats, bool) {
 	// parallel sweep (the measured winner at swap occupancy; see the
 	// hashtable package doc), with the deterministic load check at this
 	// quiescent point.
-	eng.table.CheckLoad(eng.writers)
-	eng.clearTable()
+	if eng.useTable {
+		eng.table.CheckLoad(eng.writers)
+		eng.clearTable()
+	}
 	if eng.rec != nil {
 		// Quiescent point: all workers joined, so aggregating and
 		// resetting their cells races with nothing.

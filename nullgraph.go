@@ -50,6 +50,7 @@ import (
 	"nullgraph/internal/metrics"
 	"nullgraph/internal/obs"
 	"nullgraph/internal/par"
+	"nullgraph/internal/simplify"
 	"nullgraph/internal/swap"
 )
 
@@ -77,6 +78,53 @@ type QualityError = metrics.QualityError
 
 // SwapStats reports one double-edge swap iteration.
 type SwapStats = swap.IterStats
+
+// Space selects the sampling-space cell the pipeline targets — one of
+// the six {simple, loopy, multigraph} × {stub-labeled, vertex-labeled}
+// null-model spaces of Fosdick et al. (arXiv:1608.00607). The zero
+// value, SpaceSimple, is the paper's regime and keeps every entry point
+// bit-identical to previous releases. See internal/graph for the cell
+// semantics and internal/swap for the per-cell chains.
+type Space = graph.Space
+
+// The six sampling-space cells.
+const (
+	// SpaceSimple is the simple stub-labeled space — no self-loops, no
+	// multi-edges — the paper's regime and the default. The simple
+	// vertex-labeled cell is distributionally identical (every simple
+	// graph carries the same ∏ d_v! stub labelings), so both spellings
+	// run the same chain.
+	SpaceSimple = graph.SimpleStub
+	// SpaceSimpleVertex is the simple vertex-labeled cell; an alias
+	// regime of SpaceSimple (see above).
+	SpaceSimpleVertex = graph.SimpleVertex
+	// SpaceLoopyStub allows self-loops (stub-labeled).
+	SpaceLoopyStub = graph.LoopyStub
+	// SpaceLoopyVertex allows self-loops (vertex-labeled; serial
+	// Metropolis-Hastings chain).
+	SpaceLoopyVertex = graph.LoopyVertex
+	// SpaceMultigraphStub allows self-loops and multi-edges
+	// (stub-labeled; the configuration model — every proposal accepts).
+	SpaceMultigraphStub = graph.MultigraphStub
+	// SpaceMultigraphVertex allows self-loops and multi-edges
+	// (vertex-labeled; serial Metropolis-Hastings chain).
+	SpaceMultigraphVertex = graph.MultigraphVertex
+)
+
+// ParseSpace resolves a space's command-line spelling ("simple",
+// "loopy-stub", "multigraph-vertex", ...). The empty string is
+// SpaceSimple.
+func ParseSpace(s string) (Space, error) { return graph.ParseSpace(s) }
+
+// SpaceNames lists the canonical spellings ParseSpace accepts, in cell
+// order.
+func SpaceNames() []string { return graph.SpaceNames() }
+
+// SimplifyStats reports the targeted simplification pass Shuffle runs
+// on non-simple input in a simple space (internal/simplify, after
+// Sjöstrand arXiv:1904.06999): defect counts before and after, and the
+// swap budget spent. Swaps <= InitialDefects always holds.
+type SimplifyStats = simplify.Result
 
 // RunReport is the serializable chain-health report collected when
 // Options.CollectReport is set: per-iteration swap acceptance and
@@ -129,6 +177,13 @@ type Layer = lfr.Layer
 
 // Options configures Generate and Shuffle.
 type Options struct {
+	// Space selects the sampling-space cell. The zero value is
+	// SpaceSimple (the paper's regime, bit-identical to previous
+	// releases). Non-simple cells change Shuffle's swap chain to the
+	// cell's exact MCMC and make it validate its input against the
+	// cell; Generate's output is simple by construction, so non-simple
+	// cells only relabel its mixing chain's target.
+	Space Space
 	// Workers is the number of parallel workers; <= 0 means GOMAXPROCS.
 	Workers int
 	// Seed fixes all randomness for a given worker count.
@@ -163,6 +218,7 @@ type Options struct {
 
 func (o Options) core() core.Options {
 	return core.Options{
+		Space:           o.Space,
 		Workers:         o.Workers,
 		Seed:            o.Seed,
 		SwapIterations:  o.SwapIterations,
@@ -210,6 +266,9 @@ type Result struct {
 	// Mixed reports whether every edge swapped at least once (only
 	// meaningful with Options.MixUntilSwapped).
 	Mixed bool
+	// Simplify reports the targeted simplification pass, present only
+	// when Shuffle ran one (simple space, non-simple input).
+	Simplify *SimplifyStats
 	// Report holds the chain-health report when Options.CollectReport
 	// was set, nil otherwise.
 	Report *RunReport
@@ -229,8 +288,9 @@ func wrapResult(out *core.Result, rec *obs.Recorder) *Result {
 			EdgeGeneration: out.Phases.EdgeGeneration,
 			Swapping:       out.Phases.Swapping,
 		},
-		Mixed: out.Mixed,
-		Stop:  out.Stop,
+		Simplify: out.Simplify,
+		Mixed:    out.Mixed,
+		Stop:     out.Stop,
 	}
 	if rec != nil {
 		res.Report = rec.Report()
@@ -271,11 +331,13 @@ func GenerateContext(ctx context.Context, dist *DegreeDistribution, opt Options)
 
 // Shuffle mixes an existing graph in place with parallel double-edge
 // swaps, preserving every vertex's degree; given enough iterations the
-// result is a uniform sample of the simple graphs with that degree
-// sequence. Non-simple inputs are progressively simplified. The graph
-// must be non-nil with in-range endpoints; empty and single-edge inputs
-// are valid no-ops. Equivalent to ShuffleContext with a background
-// context.
+// result is a uniform sample of the graphs in Options.Space with that
+// degree sequence. In the simple cells (the default) non-simple inputs
+// are first made simple by a targeted bounded pass (Result.Simplify);
+// in the loopy and multigraph cells the input must already satisfy the
+// cell. The graph must be non-nil with in-range endpoints; empty and
+// single-edge inputs are valid no-ops. Equivalent to ShuffleContext
+// with a background context.
 func Shuffle(g *Graph, opt Options) (*Result, error) {
 	return ShuffleContext(context.Background(), g, opt)
 }
@@ -442,6 +504,22 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeListText(r) }
 
 // WriteGraph writes a text edge list.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeListText(w, g) }
+
+// ReadGraphInSpace is ReadGraph plus membership validation: the parsed
+// edge list must satisfy the given sampling space (no loops and no
+// multi-edges for the simple cells, no multi-edges for the loopy
+// cells), erroring with the first violation otherwise. It is the
+// explicit opt-in gate for feeding non-simple input to the loopy and
+// multigraph chains.
+func ReadGraphInSpace(r io.Reader, space Space) (*Graph, error) {
+	return graph.ReadEdgeListTextInSpace(r, space)
+}
+
+// ReadGraphBinaryInSpace is ReadGraphBinary plus the same membership
+// validation as ReadGraphInSpace.
+func ReadGraphBinaryInSpace(r io.Reader, space Space) (*Graph, error) {
+	return graph.ReadEdgeListBinaryInSpace(r, space)
+}
 
 // ReadGraphBinary reads the library's binary edge-list format (the
 // format WriteGraphBinary emits, and the payload cmd/nullgraphd

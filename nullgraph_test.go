@@ -54,6 +54,57 @@ func TestShufflePreservesDegrees(t *testing.T) {
 	}
 }
 
+// TestSpaceMatrixInvariants drives every cell of the sampling-space
+// matrix through the public API across seeds × workers and checks the
+// output is a legal state of its cell — simple cells must also pass
+// the simplicity check, and Shuffle must preserve degrees exactly in
+// every cell.
+func TestSpaceMatrixInvariants(t *testing.T) {
+	dist, err := DistributionFromCounts(map[int64]int64{2: 120, 5: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaces := []Space{SpaceSimple, SpaceSimpleVertex, SpaceLoopyStub, SpaceLoopyVertex, SpaceMultigraphStub, SpaceMultigraphVertex}
+	for _, space := range spaces {
+		for _, seed := range []uint64{3, 17} {
+			for _, workers := range []int{1, 4} {
+				opt := Options{Seed: seed, Workers: workers, SwapIterations: 4, Space: space}
+				res, err := Generate(dist, opt)
+				if err != nil {
+					t.Fatalf("%v seed=%d workers=%d: %v", space, seed, workers, err)
+				}
+				if !res.Graph.SatisfiesSpace(space) {
+					t.Errorf("%v seed=%d workers=%d: Generate output violates its space", space, seed, workers)
+				}
+				if (space == SpaceSimple || space == SpaceSimpleVertex) && !res.Graph.CheckSimplicity().IsSimple() {
+					t.Errorf("%v seed=%d workers=%d: simple-cell output not simple", space, seed, workers)
+				}
+
+				// Shuffle from a ring (simple, hence legal in every cell)
+				// must stay in-space and preserve degrees exactly.
+				var edges []Edge
+				for i := int32(0); i < 200; i++ {
+					edges = append(edges, Edge{U: i, V: (i + 1) % 200})
+				}
+				g := NewGraph(edges, 200)
+				before := g.Degrees(1)
+				if _, err := Shuffle(g, opt); err != nil {
+					t.Fatalf("%v seed=%d workers=%d: Shuffle: %v", space, seed, workers, err)
+				}
+				if !g.SatisfiesSpace(space) {
+					t.Errorf("%v seed=%d workers=%d: Shuffle output violates its space", space, seed, workers)
+				}
+				after := g.Degrees(1)
+				for v := range before {
+					if before[v] != after[v] {
+						t.Fatalf("%v seed=%d workers=%d: degree of %d changed", space, seed, workers, v)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestMixUntilSwapped(t *testing.T) {
 	dist, err := DistributionFromCounts(map[int64]int64{2: 1000, 5: 40})
 	if err != nil {
