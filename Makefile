@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test test-stat race lint fuzz-smoke bench-swap bench-gen bench-all bench-check smoke-serve clean
+.PHONY: verify build vet test test-stat race race-serve lint lint-fix-schemas fuzz-smoke bench-swap bench-gen bench-all bench-check smoke-serve clean
 
 # verify is the tier-1 gate: everything compiles, vets clean, and every
 # test passes.
@@ -36,18 +36,35 @@ test-stat:
 race:
 	$(GO) test -race -short ./...
 
+# race-serve re-runs the service and convergence layers' full (un-short)
+# tests under the race detector: these two packages carry the module's
+# cross-goroutine protocols (engine pool leases, admission gate,
+# checkpoint monitors), and -short skips some of their heavier
+# concurrency tests.
+race-serve:
+	$(GO) test -race ./internal/serve ./internal/converge
+
 # lint runs the repo's own analyzer suite (cmd/nullvet: rngshare,
-# hotpathalloc, stoppoll, atomicalign, errpropagate — see DESIGN.md §10)
-# plus staticcheck when installed. staticcheck and govulncheck are not
-# vendored; CI installs pinned versions, and locally the steps are
-# skipped with a notice when the binaries are absent.
+# hotpathalloc, stoppoll, atomicalign, errpropagate, fingerprintcomplete,
+# schemaver, goroutinejoin, ctxflow — see DESIGN.md §10 and §15) with the
+# committed known-debt baseline, plus staticcheck when installed.
+# staticcheck and govulncheck are not vendored; CI installs pinned
+# versions, and locally the steps are skipped with a notice when the
+# binaries are absent.
 lint:
-	$(GO) run ./cmd/nullvet ./...
+	$(GO) run ./cmd/nullvet -baseline .nullvet-baseline ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# lint-fix-schemas regenerates internal/analysis/schemas.lock from the
+# //nullgraph:schema structs. Run it (and commit the diff) after a
+# deliberate report-schema change — the schemaver analyzer fails `lint`
+# until the version constant and the lock move together.
+lint-fix-schemas:
+	$(GO) run ./cmd/nullvet -update-schemas
 
 # fuzz-smoke gives each fuzz target a short randomized burst on top of
 # its checked-in seed corpus; CI runs it so the harnesses themselves

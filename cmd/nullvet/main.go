@@ -1,20 +1,34 @@
 // nullvet is the repo's custom static-analysis driver: a multichecker
 // running the internal/analysis suite (rngshare, hotpathalloc,
-// stoppoll, atomicalign, errpropagate) over the module's packages with
-// full type information. `make lint` and CI run it on every change; it
-// exits 1 when any invariant is violated, 2 on usage or load errors.
+// stoppoll, atomicalign, errpropagate, fingerprintcomplete, schemaver,
+// goroutinejoin, ctxflow) over the module's packages with full type
+// information. `make lint` and CI run it on every change; it exits 1
+// when any invariant is violated, 2 on usage or load errors.
 //
 // Usage:
 //
-//	nullvet [-only a,b] [-list] [packages]
+//	nullvet [-only a,b] [-list] [-json] [-baseline file]
+//	        [-update-baseline] [-update-schemas] [packages]
 //
 // Packages are directories or the "./..." wildcard (the default),
-// resolved against the enclosing module.
+// resolved against the enclosing module. Whatever subset is requested,
+// the driver loads the whole module first: analyzers with cross-package
+// facts (fingerprintcomplete's //nullgraph:nofingerprint annotations)
+// need the module-wide view even when diagnosing one package.
+//
+// -json emits the findings as a JSON array (file/line/col/analyzer/
+// message) on stdout for CI annotation; -baseline filters findings
+// through a committed known-debt file and fails on stale entries;
+// -update-baseline rewrites that file from the current findings;
+// -update-schemas regenerates internal/analysis/schemas.lock from the
+// //nullgraph:schema structs (see `make lint-fix-schemas`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,21 +37,36 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nullvet [-only a,b] [-list] [packages]\n\npackages are directories or ./... (default)\n\nanalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, factored so tests can invoke it in-process.
+// Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage
+// or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nullvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := fs.String("baseline", "", "known-debt baseline file to filter findings through")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the baseline file from the current findings (requires -baseline)")
+	updateSchemas := fs.Bool("update-schemas", false, "regenerate internal/analysis/schemas.lock from the //nullgraph:schema structs")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nullvet [-only a,b] [-list] [-json] [-baseline file] [-update-baseline] [-update-schemas] [packages]\n\npackages are directories or ./... (default)\n\nanalyzers:\n")
 		for _, a := range analysis.All {
-			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-19s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-19s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := analysis.All
@@ -45,45 +74,160 @@ func main() {
 		var err error
 		analyzers, err = analysis.ByName(*only)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "nullvet: %v\n", err)
+			return 2
 		}
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "nullvet: -update-baseline requires -baseline <file>")
+		return 2
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "nullvet: %v\n", err)
+		return 2
 	}
 	root, modPath, err := analysis.ModuleRoot(cwd)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "nullvet: %v\n", err)
+		return 2
 	}
 
-	dirs, err := resolvePackages(flag.Args(), root)
+	dirs, err := resolvePackages(fs.Args(), root)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "nullvet: %v\n", err)
+		return 2
+	}
+	targets := map[string]bool{}
+	for _, d := range dirs {
+		targets[d] = true
 	}
 
+	// Load the entire module up front: fact gathering must see every
+	// package before any diagnostics run, regardless of the target set.
+	allDirs, err := analysis.PackageDirs(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "nullvet: %v\n", err)
+		return 2
+	}
 	ld := analysis.NewLoader()
-	found := 0
-	for _, dir := range dirs {
+	session := analysis.NewSession(root)
+	var pkgs []*analysis.Package
+	for _, dir := range allDirs {
 		importPath, err := analysis.ImportPathFor(root, modPath, dir)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "nullvet: %v\n", err)
+			return 2
 		}
 		pkg, err := ld.Load(dir, importPath)
 		if err != nil {
-			fatalf("loading %s: %v", importPath, err)
+			fmt.Fprintf(stderr, "nullvet: loading %s: %v\n", importPath, err)
+			return 2
 		}
-		diags := analysis.RunPackage(pkg, analyzers)
-		found += len(diags)
-		if len(diags) > 0 {
-			fmt.Print(analysis.FormatDiagnostics(cwd, diags))
+		pkgs = append(pkgs, pkg)
+		analysis.GatherFacts(session, pkg, analyzers)
+	}
+
+	if *updateSchemas {
+		return runUpdateSchemas(root, pkgs, stderr)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if !targets[pkg.Dir] {
+			continue
+		}
+		diags = append(diags, analysis.RunPackage(session, pkg, analyzers)...)
+	}
+
+	var baseline *analysis.Baseline
+	if *baselinePath != "" && !*updateBaseline {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(stderr, "nullvet: %v\n", err)
+			return 2
+		}
+		if err == nil {
+			baseline, err = analysis.ParseBaseline(string(data))
+			if err != nil {
+				fmt.Fprintf(stderr, "nullvet: %s: %v\n", *baselinePath, err)
+				return 2
+			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "nullvet: %d finding(s)\n", found)
-		os.Exit(1)
+
+	if *updateBaseline {
+		if err := os.WriteFile(*baselinePath, []byte(analysis.FormatBaseline(root, diags)), 0o644); err != nil {
+			fmt.Fprintf(stderr, "nullvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "nullvet: wrote %s (%d finding(s) baselined)\n", *baselinePath, len(diags))
+		return 0
 	}
+
+	kept, suppressed := baseline.Filter(root, diags)
+	stale := baseline.Unused(root, diags)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(analysis.JSONDiagnostics(root, kept)); err != nil {
+			fmt.Fprintf(stderr, "nullvet: %v\n", err)
+			return 2
+		}
+	} else if len(kept) > 0 {
+		fmt.Fprint(stdout, analysis.FormatDiagnostics(cwd, kept))
+	}
+
+	failed := false
+	if len(kept) > 0 {
+		fmt.Fprintf(stderr, "nullvet: %d finding(s)", len(kept))
+		if len(suppressed) > 0 {
+			fmt.Fprintf(stderr, " (%d more suppressed by baseline)", len(suppressed))
+		}
+		fmt.Fprintln(stderr)
+		failed = true
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(stderr, "nullvet: %d stale baseline entr%s (finding fixed but still listed) — shrink %s:\n", len(stale), plural(len(stale), "y", "ies"), *baselinePath)
+		for _, line := range stale {
+			fmt.Fprintf(stderr, "  %s\n", line)
+		}
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runUpdateSchemas regenerates the schemas.lock manifest from every
+// //nullgraph:schema struct in the module.
+func runUpdateSchemas(root string, pkgs []*analysis.Package, stderr io.Writer) int {
+	var manifests []*analysis.SchemaManifest
+	for _, pkg := range pkgs {
+		ms, err := analysis.CollectSchemas(pkg)
+		if err != nil {
+			fmt.Fprintf(stderr, "nullvet: %v\n", err)
+			return 2
+		}
+		manifests = append(manifests, ms...)
+	}
+	path := filepath.Join(root, "internal", "analysis", "schemas.lock")
+	if err := os.WriteFile(path, []byte(analysis.FormatSchemaLock(manifests)), 0o644); err != nil {
+		fmt.Fprintf(stderr, "nullvet: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "nullvet: wrote %s (%d schema(s))\n", path, len(manifests))
+	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // resolvePackages expands the argument list into package directories:
@@ -128,9 +272,4 @@ func resolvePackages(args []string, root string) ([]string, error) {
 		}
 	}
 	return dirs, nil
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "nullvet: "+format+"\n", args...)
-	os.Exit(2)
 }

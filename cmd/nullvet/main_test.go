@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nullgraph/internal/analysis"
+)
+
+// TestUnknownAnalyzerExitsTwo locks the CLI contract: an unknown -only
+// name is a usage error (exit 2, distinct from exit 1 = findings), and
+// stderr names every available analyzer so the caller can fix the
+// invocation without reading source.
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-only", "nosuch"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", code)
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr %q does not name the unknown analyzer", msg)
+	}
+	for _, name := range analysis.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr does not list available analyzer %q:\n%s", name, msg)
+		}
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("usage errors must not write stdout, got %q", stdout.String())
+	}
+}
+
+// TestListAnalyzers pins -list: exit 0 and one line per analyzer.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range analysis.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+	if got, want := strings.Count(out, "\n"), len(analysis.All); got != want {
+		t.Errorf("-list printed %d lines, want %d", got, want)
+	}
+}
+
+// TestUpdateBaselineRequiresPath: -update-baseline without -baseline is
+// a usage error, not a silent no-op.
+func TestUpdateBaselineRequiresPath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-update-baseline"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-update-baseline) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-baseline") {
+		t.Errorf("stderr %q does not point at the missing -baseline flag", stderr.String())
+	}
+}
+
+// TestBadFlagExitsTwo: flag-parse failures are usage errors too.
+func TestBadFlagExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-no-such-flag) = %d, want 2", code)
+	}
+}

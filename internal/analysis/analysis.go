@@ -64,6 +64,11 @@ type Analyzer struct {
 	// AppliesTo, when non-nil, restricts the packages the driver runs
 	// this analyzer on (by import path). Fixture tests bypass it.
 	AppliesTo func(pkgPath string) bool
+	// Facts, when non-nil, runs over every loaded package before any
+	// Run, recording cross-package facts into the session's store (see
+	// FactStore). AppliesTo does not filter fact gathering: the facts a
+	// scoped analyzer needs usually live outside its diagnostic scope.
+	Facts func(pass *Pass)
 	// Run inspects the package behind pass and reports findings.
 	Run func(pass *Pass)
 }
@@ -75,6 +80,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Session is the cross-package state: the fact store and the schema
+	// lock. Never nil under the driver or the fixture harness.
+	Session *Session
 
 	diags *[]Diagnostic
 }
@@ -89,9 +97,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All is the full suite, in the order diagnostics are grouped.
-var All = []*Analyzer{RngShare, HotPathAlloc, StopPoll, AtomicAlign, ErrPropagate}
+var All = []*Analyzer{
+	RngShare, HotPathAlloc, StopPoll, AtomicAlign, ErrPropagate,
+	FingerprintComplete, SchemaVer, GoroutineJoin, CtxFlow,
+}
+
+// Names lists every analyzer's name, in suite order.
+func Names() []string {
+	names := make([]string, len(All))
+	for i, a := range All {
+		names[i] = a.Name
+	}
+	return names
+}
 
 // ByName resolves a comma-separated analyzer list ("rngshare,stoppoll").
+// Unknown names error with the available set, so CLI callers can
+// surface it verbatim.
 func ByName(names string) ([]*Analyzer, error) {
 	var out []*Analyzer
 	for _, name := range strings.Split(names, ",") {
@@ -108,22 +130,23 @@ func ByName(names string) ([]*Analyzer, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+			return nil, fmt.Errorf("unknown analyzer %q (available: %s)", name, strings.Join(Names(), ", "))
 		}
 	}
 	return out, nil
 }
 
-// RunPackage runs analyzers over pkg, honoring AppliesTo restrictions
-// and //nullgraph:allow suppressions, and returns position-sorted
-// diagnostics.
-func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// RunPackage runs analyzers over pkg under session s, honoring
+// AppliesTo restrictions and //nullgraph:allow suppressions, and
+// returns position-sorted diagnostics. Facts must already be gathered
+// (GatherFacts) for analyzers that declare a Facts hook.
+func RunPackage(s *Session, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
 			continue
 		}
-		runOne(pkg, a, &diags)
+		runOne(s, pkg, a, &diags)
 	}
 	diags = filterAllowed(pkg, diags)
 	sortDiagnostics(diags)
@@ -133,21 +156,22 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // runFixture runs a single analyzer without AppliesTo filtering; the
 // test harness uses it so fixtures exercise analyzers whose driver
 // scope excludes the fixture's synthetic import path.
-func runFixture(pkg *Package, a *Analyzer) []Diagnostic {
+func runFixture(s *Session, pkg *Package, a *Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	runOne(pkg, a, &diags)
+	runOne(s, pkg, a, &diags)
 	diags = filterAllowed(pkg, diags)
 	sortDiagnostics(diags)
 	return diags
 }
 
-func runOne(pkg *Package, a *Analyzer, diags *[]Diagnostic) {
+func runOne(s *Session, pkg *Package, a *Analyzer, diags *[]Diagnostic) {
 	a.Run(&Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Session:  s,
 		diags:    diags,
 	})
 }
@@ -184,6 +208,22 @@ func hasDirective(doc *ast.CommentGroup, name string) bool {
 		}
 	}
 	return false
+}
+
+// directiveArgs returns the trimmed text following //nullgraph:<name>
+// in the comment group, and whether the directive is present at all.
+func directiveArgs(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if directiveName(c.Text) != name {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, directivePrefix+name)
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
 }
 
 // directiveName extracts the directive word from a comment's raw text:

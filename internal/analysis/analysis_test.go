@@ -1,8 +1,15 @@
 package analysis
 
 import (
+	"go/token"
+	"strings"
 	"testing"
 )
+
+// pos builds a resolved position for diagnostic-level tests.
+func pos(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}
 
 // TestFixtures runs every analyzer over its want-comment fixture
 // package under testdata/src. Each fixture pair has a bad file whose
@@ -20,6 +27,10 @@ func TestFixtures(t *testing.T) {
 		{StopPoll, "stoppoll"},
 		{AtomicAlign, "atomicalign"},
 		{ErrPropagate, "errpropagate"},
+		{FingerprintComplete, "fingerprintcomplete"},
+		{SchemaVer, "schemaver"},
+		{GoroutineJoin, "goroutinejoin"},
+		{CtxFlow, "ctxflow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -28,7 +39,8 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestByName covers the -only flag's resolver.
+// TestByName covers the -only flag's resolver, including the
+// exit-2-with-available-list contract cmd/nullvet builds on.
 func TestByName(t *testing.T) {
 	got, err := ByName("rngshare, stoppoll")
 	if err != nil {
@@ -37,8 +49,22 @@ func TestByName(t *testing.T) {
 	if len(got) != 2 || got[0] != RngShare || got[1] != StopPoll {
 		t.Fatalf("ByName = %v, want [rngshare stoppoll]", got)
 	}
-	if _, err := ByName("nosuch"); err == nil {
+	_, err = ByName("nosuch")
+	if err == nil {
 		t.Fatal("ByName(nosuch): expected error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ByName(nosuch) error %q does not list analyzer %q", err, name)
+		}
+	}
+}
+
+// TestNames pins the suite size: the serve/converge/space era runs nine
+// analyzers.
+func TestNames(t *testing.T) {
+	if n := len(Names()); n < 9 {
+		t.Fatalf("suite has %d analyzers, want >= 9: %v", n, Names())
 	}
 }
 
@@ -73,9 +99,113 @@ func TestParseWant(t *testing.T) {
 	}
 }
 
+// TestBaselineRoundTrip covers the known-debt file: parse/format
+// round-trip, filtering, and stale-entry detection.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: pos("/mod/a/x.go", 10, 2), Analyzer: "ctxflow", Message: "ctx stored"},
+		{Pos: pos("/mod/b/y.go", 3, 1), Analyzer: "schemaver", Message: "field added"},
+	}
+	text := FormatBaseline("/mod", diags)
+	b, err := ParseBaseline(text)
+	if err != nil {
+		t.Fatalf("ParseBaseline(FormatBaseline(...)): %v", err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("baseline has %d entries, want 2", b.Len())
+	}
+
+	// Both findings suppressed; a new one passes through.
+	extra := append(diags, Diagnostic{Pos: pos("/mod/a/x.go", 99, 1), Analyzer: "ctxflow", Message: "new finding"})
+	kept, suppressed := b.Filter("/mod", extra)
+	if len(kept) != 1 || kept[0].Message != "new finding" {
+		t.Fatalf("Filter kept %v, want only the new finding", kept)
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("Filter suppressed %d, want 2", len(suppressed))
+	}
+
+	// Line numbers must not matter: the same finding on a shifted line
+	// still matches its entry.
+	moved := []Diagnostic{{Pos: pos("/mod/a/x.go", 500, 7), Analyzer: "ctxflow", Message: "ctx stored"}}
+	if kept, _ := b.Filter("/mod", moved); len(kept) != 0 {
+		t.Fatalf("baseline match depends on line numbers: kept %v", kept)
+	}
+
+	// A fixed finding leaves its entry stale.
+	stale := b.Unused("/mod", diags[:1])
+	if len(stale) != 1 || !strings.Contains(stale[0], "schemaver") {
+		t.Fatalf("Unused = %v, want the schemaver entry", stale)
+	}
+
+	// A nil baseline keeps everything.
+	var nilB *Baseline
+	if kept, _ := nilB.Filter("/mod", diags); len(kept) != 2 {
+		t.Fatal("nil baseline must keep all diagnostics")
+	}
+
+	if _, err := ParseBaseline("not a baseline line"); err == nil {
+		t.Fatal("ParseBaseline: malformed line must error")
+	}
+}
+
+// TestSchemaLockRoundTrip covers the generated manifest format.
+func TestSchemaLockRoundTrip(t *testing.T) {
+	manifests := []*SchemaManifest{{
+		Family:  "nullgraph/run-report",
+		Version: "v3",
+		Fields: []SchemaField{
+			{Struct: "nullgraph/internal/obs.RunReport", Name: "Schema", JSON: "schema", Type: "string"},
+			{Struct: "nullgraph/internal/obs.RunReport", Name: "Stop", JSON: "stop,omitempty", Type: "*nullgraph/internal/obs.StopReport"},
+			{Struct: "nullgraph/internal/obs.RunReport", Name: "Untagged", JSON: "", Type: "int"},
+		},
+	}}
+	lock, err := ParseSchemaLock(FormatSchemaLock(manifests))
+	if err != nil {
+		t.Fatalf("ParseSchemaLock(FormatSchemaLock(...)): %v", err)
+	}
+	got, ok := lock.Schemas["nullgraph/run-report"]
+	if !ok {
+		t.Fatal("family missing after round trip")
+	}
+	if got.Version != "v3" || len(got.Fields) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i, f := range got.Fields {
+		if f != manifests[0].Fields[i] {
+			t.Errorf("field %d: got %+v, want %+v", i, f, manifests[0].Fields[i])
+		}
+	}
+
+	if _, err := ParseSchemaLock("field before.any.schema json=\"x\" type=int"); err == nil {
+		t.Fatal("ParseSchemaLock: field before schema must error")
+	}
+	if _, err := ParseSchemaLock("gibberish"); err == nil {
+		t.Fatal("ParseSchemaLock: unknown line must error")
+	}
+}
+
+// TestFactStore covers the cross-package fact map.
+func TestFactStore(t *testing.T) {
+	fs := NewFactStore()
+	if _, ok := fs.Get("nullgraph.Options.CollectReport", "nofingerprint"); ok {
+		t.Fatal("empty store must miss")
+	}
+	fs.Put("nullgraph.Options.CollectReport", "nofingerprint", "diagnostics only")
+	v, ok := fs.Get("nullgraph.Options.CollectReport", "nofingerprint")
+	if !ok || v != "diagnostics only" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	fs.Put("nullgraph.Options.CollectReport", "nofingerprint", "")
+	if v, ok := fs.Get("nullgraph.Options.CollectReport", "nofingerprint"); !ok || v != "" {
+		t.Fatalf("overwrite: Get = %q, %v", v, ok)
+	}
+}
+
 // TestNullvetSelfCheck runs the full suite over the repo itself and
 // requires a clean bill: the annotations in the production packages are
-// live contracts, not decoration. Mirrors `make lint`.
+// live contracts, not decoration. Mirrors `make lint` — including the
+// two-phase driver shape (gather facts everywhere, then diagnose).
 func TestNullvetSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module from source; skipped in -short")
@@ -89,7 +219,8 @@ func TestNullvetSelfCheck(t *testing.T) {
 		t.Fatal(err)
 	}
 	ld := NewLoader()
-	var all []Diagnostic
+	session := NewSession(root)
+	var pkgs []*Package
 	for _, dir := range dirs {
 		importPath, err := ImportPathFor(root, modPath, dir)
 		if err != nil {
@@ -99,7 +230,12 @@ func TestNullvetSelfCheck(t *testing.T) {
 		if err != nil {
 			t.Fatalf("loading %s: %v", importPath, err)
 		}
-		all = append(all, RunPackage(pkg, All)...)
+		pkgs = append(pkgs, pkg)
+		GatherFacts(session, pkg, All)
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, RunPackage(session, pkg, All)...)
 	}
 	if len(all) > 0 {
 		t.Errorf("nullvet is not clean on its own repo (%d findings):\n%s",

@@ -29,7 +29,13 @@ func RunFixture(t *testing.T, ld *Loader, a *Analyzer, fixture string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	diags := runFixture(pkg, a)
+	// The fixture is its own session: facts come from the fixture
+	// package itself, and a schemas.lock next to the fixture sources
+	// stands in for the committed manifest.
+	s := NewSession(dir)
+	s.SchemaLockPath = filepath.Join(dir, "schemas.lock")
+	GatherFacts(s, pkg, []*Analyzer{a})
+	diags := runFixture(s, pkg, a)
 
 	type key struct {
 		file string
@@ -114,11 +120,42 @@ func parseWant(text string) (patterns []string, offset int, ok bool) {
 func FormatDiagnostics(root string, diags []Diagnostic) string {
 	var sb strings.Builder
 	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
-		}
-		fmt.Fprintf(&sb, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		fmt.Fprintf(&sb, "%s:%d:%d: [%s] %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
 	return sb.String()
+}
+
+// relPath makes name root-relative when it lies under root.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+// JSONDiagnostic is one diagnostic in `nullvet -json` output; fields
+// map 1:1 onto GitHub annotation parameters.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONDiagnostics converts diags to their machine-readable form, with
+// files root-relative and slash-separated. The result is never nil, so
+// an empty run serializes as [] rather than null.
+func JSONDiagnostics(root string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:     filepath.ToSlash(relPath(root, d.Pos.Filename)),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
 }

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow keeps cancellation continuous. The module's public contract
+// is the Foo / FooContext pair (Generate/GenerateContext, and so on):
+// the ctx-less name is a convenience wrapper, and everything reachable
+// from a *Context entry point is supposed to stay cancelable all the
+// way down to par.WatchContext. Three edits quietly break that chain,
+// and each is a distinct finding:
+//
+//   - calling context.Background() or context.TODO() inside a function
+//     that already has a context.Context parameter — the chain restarts
+//     from an uncancelable root mid-flight, so the caller's deadline or
+//     Ctrl-C never reaches the work below;
+//   - storing a context.Context into a struct field (by assignment or
+//     composite literal) — a stored ctx outlives the call it scoped and
+//     resurfaces later with a stale deadline (the "do not store Contexts
+//     inside a struct type" rule from the context package, enforced);
+//   - inside a ctx-parameter function, calling a same-module function
+//     or method Foo when a FooContext sibling exists — the wrapper is
+//     for ctx-less callers; a caller holding a ctx must pass it on.
+//
+// The Foo-wrappers themselves (func Foo(...) { return FooContext(
+// context.Background(), ...) }) have no ctx parameter, so the first
+// rule leaves them alone by construction. Suppress deliberate
+// exceptions with //nullgraph:allow ctxflow <reason>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions holding a ctx must thread it: no Background()/TODO() restarts, no ctx stored in struct fields, no ctx-less sibling calls",
+	AppliesTo: func(pkgPath string) bool {
+		return modSegment(pkgPath) == "nullgraph"
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFlowFunc(pass, fd)
+		}
+	}
+}
+
+func checkCtxFlowFunc(pass *Pass, fd *ast.FuncDecl) {
+	hasCtx := funcHasCtxParam(pass.Info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, nn)
+			if fn == nil {
+				return true
+			}
+			if hasCtx {
+				if full := fn.FullName(); full == "context.Background" || full == "context.TODO" {
+					pass.Reportf(nn.Pos(), "%s inside a function with a ctx parameter restarts the cancellation chain: pass the ctx parameter through", full)
+					return true
+				}
+				checkCtxSiblingCall(pass, nn, fn)
+			}
+		case *ast.AssignStmt:
+			checkCtxFieldAssign(pass, nn)
+		case *ast.CompositeLit:
+			checkCtxCompositeLit(pass, nn)
+		}
+		return true
+	})
+}
+
+// funcHasCtxParam reports whether fd declares a context.Context
+// parameter.
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxSiblingCall flags a same-module call to Foo from a ctx-holding
+// function when a FooContext sibling exists and the call passes no ctx.
+func checkCtxSiblingCall(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	if fn.Pkg() == nil || modSegment(fn.Pkg().Path()) != modSegment(pass.Pkg.Path()) {
+		return
+	}
+	if strings.HasSuffix(fn.Name(), "Context") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Already ctx-aware: a ctx parameter anywhere in the signature means
+	// the chain continues through this call.
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			return
+		}
+	}
+	sib := ctxSibling(fn, sig)
+	if sib == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s is called from a function holding a ctx but %s exists: call the Context variant so cancellation keeps flowing", fn.Name(), sib.Name())
+}
+
+// ctxSibling finds fn's <Name>Context counterpart — a package-scope
+// function, or a method on the same receiver type — whose signature
+// takes a context.Context.
+func ctxSibling(fn *types.Func, sig *types.Signature) *types.Func {
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), fn.Name()+"Context")
+	} else {
+		obj = fn.Pkg().Scope().Lookup(fn.Name() + "Context")
+	}
+	sib, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	ssig, ok := sib.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < ssig.Params().Len(); i++ {
+		if isCtxType(ssig.Params().At(i).Type()) {
+			return sib
+		}
+	}
+	return nil
+}
+
+// checkCtxFieldAssign flags `x.Field = ctx` where Field is a struct
+// field of type context.Context.
+func checkCtxFieldAssign(pass *Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			continue
+		}
+		if !isCtxType(selection.Obj().Type()) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "context.Context stored in struct field %s: contexts are call-scoped, pass ctx as a parameter instead", selection.Obj().Name())
+	}
+}
+
+// checkCtxCompositeLit flags `T{Ctx: ctx}` — a composite literal
+// smuggling a Context into a struct field.
+func checkCtxCompositeLit(pass *Pass, cl *ast.CompositeLit) {
+	t := pass.Info.Types[cl].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		vt := pass.Info.Types[kv.Value].Type
+		if vt == nil || !isCtxType(vt) {
+			continue
+		}
+		pass.Reportf(kv.Pos(), "context.Context stored in struct field via composite literal: contexts are call-scoped, pass ctx as a parameter instead")
+	}
+}

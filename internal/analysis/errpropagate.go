@@ -7,11 +7,12 @@ import (
 )
 
 // ErrPropagate bans swallowed errors from this module's own APIs in the
-// binaries (cmd/...) and the pipeline assembly layer (internal/core) —
-// the two places where a dropped error silently turns a failed
-// generation into a plausible-looking output file. Flagged forms, for
-// any call whose callee lives under the nullgraph module and returns an
-// error:
+// binaries (cmd/...), the pipeline assembly layer (internal/core), and
+// the long-running layers added since (internal/serve, internal/converge,
+// internal/simplify) — the places where a dropped error silently turns
+// a failed generation into a plausible-looking output file or metrics
+// page. Flagged forms, for any call whose callee lives under the
+// nullgraph module and returns an error:
 //
 //   - a call used as a bare statement (including `defer` and `go`);
 //   - an error result assigned to the blank identifier.
@@ -22,9 +23,14 @@ import (
 // them is load-bearing. Exemptions: //nullgraph:allow errpropagate.
 var ErrPropagate = &Analyzer{
 	Name: "errpropagate",
-	Doc:  "errors returned by nullgraph APIs must be checked in cmd/ and internal/core",
+	Doc:  "errors returned by nullgraph APIs must be checked in cmd/, internal/core, internal/serve, internal/converge, internal/simplify",
 	AppliesTo: func(pkgPath string) bool {
-		return strings.HasPrefix(pkgPath, "nullgraph/cmd/") || pkgPath == "nullgraph/internal/core"
+		switch pkgPath {
+		case "nullgraph/internal/core", "nullgraph/internal/serve",
+			"nullgraph/internal/converge", "nullgraph/internal/simplify":
+			return true
+		}
+		return strings.HasPrefix(pkgPath, "nullgraph/cmd/")
 	},
 	Run: runErrPropagate,
 }

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FactStore is the cross-package memory of one analysis session. The
+// single-package Pass model (one analyzer, one type-checked package)
+// cannot see another package's syntax — and some invariants live
+// exactly there: the //nullgraph:nofingerprint annotations on
+// nullgraph.Options fields are comments in the root package, consulted
+// while diagnosing internal/serve's fingerprint function. Analyzers
+// that need such facts declare a Facts hook; the driver runs every
+// Facts hook over every loaded package before any Run, so by the time
+// diagnostics are produced the store holds the whole module's facts
+// regardless of which packages the user asked to check.
+//
+// Facts are (object key, fact name) → string. Object keys are
+// fully-qualified dotted names ("nullgraph.Options.CollectReport"); the
+// convention keeps the store greppable in test failures and avoids
+// pinning *types.Object identities across loader boundaries.
+type FactStore struct {
+	m map[string]map[string]string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[string]map[string]string{}}
+}
+
+// Put records fact name = value on the object key, overwriting any
+// previous value.
+func (fs *FactStore) Put(objKey, name, value string) {
+	facts := fs.m[objKey]
+	if facts == nil {
+		facts = map[string]string{}
+		fs.m[objKey] = facts
+	}
+	facts[name] = value
+}
+
+// Get returns the named fact on the object key.
+func (fs *FactStore) Get(objKey, name string) (string, bool) {
+	v, ok := fs.m[objKey][name]
+	return v, ok
+}
+
+// Session carries the cross-package state of one analysis run: the
+// module root (for resolving committed artifacts like the schema lock
+// and the baseline), the fact store, and the lazily parsed schema
+// manifest. Construct one per driver invocation with NewSession, call
+// GatherFacts over every loaded package, then RunPackage per target.
+type Session struct {
+	// Root is the module root directory.
+	Root string
+	// SchemaLockPath locates the schemaver manifest; empty defaults to
+	// Root/internal/analysis/schemas.lock. Fixture tests point it at a
+	// per-fixture lock.
+	SchemaLockPath string
+	// Facts is the session's cross-package fact store.
+	Facts *FactStore
+
+	schemaLock     *SchemaLock
+	schemaLockErr  error
+	schemaLockOnce bool
+}
+
+// NewSession returns a session rooted at the module directory.
+func NewSession(root string) *Session {
+	return &Session{Root: root, Facts: NewFactStore()}
+}
+
+// SchemaLock parses the session's schema manifest once and caches it.
+// A missing lock file is not an error here; it returns an empty lock —
+// schemaver reports the missing entries itself, with a pointer to
+// -update-schemas.
+func (s *Session) SchemaLock() (*SchemaLock, error) {
+	if !s.schemaLockOnce {
+		s.schemaLockOnce = true
+		path := s.SchemaLockPath
+		if path == "" {
+			path = filepath.Join(s.Root, "internal", "analysis", "schemas.lock")
+		}
+		data, err := os.ReadFile(path)
+		switch {
+		case os.IsNotExist(err):
+			s.schemaLock = &SchemaLock{Schemas: map[string]*SchemaManifest{}}
+		case err != nil:
+			s.schemaLockErr = err
+		default:
+			s.schemaLock, s.schemaLockErr = ParseSchemaLock(string(data))
+		}
+	}
+	return s.schemaLock, s.schemaLockErr
+}
+
+// GatherFacts runs every analyzer's Facts hook over pkg, populating the
+// session's store. Facts hooks run over every loaded package — not just
+// the packages diagnostics are requested for — so AppliesTo does not
+// filter here.
+func GatherFacts(s *Session, pkg *Package, analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		if a.Facts == nil {
+			continue
+		}
+		a.Facts(&Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Session:  s,
+		})
+	}
+}
+
+// Baseline is a committed set of known-debt findings tolerated by the
+// driver: new analyzers can land (and start gating new code) before
+// every pre-existing finding is paid down. Entries match on (relative
+// file, analyzer, message) — deliberately no line numbers, so unrelated
+// edits to a file cannot invalidate the baseline — and every entry is a
+// visible line in a committed file, as auditable as a //nullgraph:allow.
+type Baseline struct {
+	entries map[baselineKey]bool
+}
+
+type baselineKey struct {
+	file     string // slash-separated, relative to module root
+	analyzer string
+	message  string
+}
+
+// baselineHeader introduces every generated baseline file.
+const baselineHeader = `# nullvet baseline: known-debt findings tolerated by the driver.
+# One finding per line, "path: [analyzer] message" (no line numbers, so
+# edits elsewhere in a file do not invalidate entries). Regenerate with
+# nullvet -update-baseline; shrink it whenever debt is paid down.`
+
+// ParseBaseline parses the committed baseline format. Blank lines and
+// '#' comments are skipped; anything else must parse.
+func ParseBaseline(data string) (*Baseline, error) {
+	b := &Baseline{entries: map[baselineKey]bool{}}
+	for i, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, err := parseBaselineLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("baseline line %d: %w", i+1, err)
+		}
+		b.entries[k] = true
+	}
+	return b, nil
+}
+
+// parseBaselineLine splits "path: [analyzer] message".
+func parseBaselineLine(line string) (baselineKey, error) {
+	file, rest, ok := strings.Cut(line, ": [")
+	if !ok {
+		return baselineKey{}, fmt.Errorf("want %q, got %q", "path: [analyzer] message", line)
+	}
+	analyzer, msg, ok := strings.Cut(rest, "] ")
+	if !ok {
+		return baselineKey{}, fmt.Errorf("want %q, got %q", "path: [analyzer] message", line)
+	}
+	return baselineKey{file: strings.TrimSpace(file), analyzer: analyzer, message: msg}, nil
+}
+
+// Len reports the number of baseline entries.
+func (b *Baseline) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.entries)
+}
+
+// keyFor maps a diagnostic to its baseline key, with the file made
+// root-relative and slash-separated.
+func baselineKeyFor(root string, d Diagnostic) baselineKey {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return baselineKey{file: file, analyzer: d.Analyzer, message: d.Message}
+}
+
+// Filter splits diags into kept (not in the baseline) and suppressed.
+// A nil baseline keeps everything.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	if b == nil || len(b.entries) == 0 {
+		return diags, nil
+	}
+	for _, d := range diags {
+		if b.entries[baselineKeyFor(root, d)] {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}
+
+// Unused returns the baseline entries no diagnostic in diags matched,
+// formatted as baseline lines — stale debt the driver surfaces so the
+// file shrinks as findings are fixed.
+func (b *Baseline) Unused(root string, diags []Diagnostic) []string {
+	if b == nil {
+		return nil
+	}
+	used := map[baselineKey]bool{}
+	for _, d := range diags {
+		used[baselineKeyFor(root, d)] = true
+	}
+	var stale []string
+	for k := range b.entries {
+		if !used[k] {
+			stale = append(stale, fmt.Sprintf("%s: [%s] %s", k.file, k.analyzer, k.message))
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// FormatBaseline renders diags as a committed baseline file (header,
+// sorted, deduplicated, trailing newline).
+func FormatBaseline(root string, diags []Diagnostic) string {
+	seen := map[baselineKey]bool{}
+	var lines []string
+	for _, d := range diags {
+		k := baselineKeyFor(root, d)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		lines = append(lines, fmt.Sprintf("%s: [%s] %s", k.file, k.analyzer, k.message))
+	}
+	sort.Strings(lines)
+	return baselineHeader + "\n\n" + strings.Join(append(lines, ""), "\n")
+}

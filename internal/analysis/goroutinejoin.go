@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineJoin enforces the lifecycle discipline of the long-running
+// packages: every `go` statement in internal/serve, internal/par, and
+// cmd/nullgraphd must be provably joined or provably signal-terminated.
+// A generation service restarts engines for hours; an unjoined worker
+// is either a leak (parked forever after its pool is closed) or a race
+// (still mutating shared state after the region "completed"). The par
+// memory-model comments promise specific happens-before edges — this
+// analyzer keeps the code shaped so those promises stay checkable.
+//
+// A goroutine counts as joined when its body (a func literal, or the
+// body of a same-package function/method it names) shows one of:
+//
+//   - a call to (*sync.WaitGroup).Done — the spawner's Add/Wait pair
+//     carries the join;
+//   - a channel receive (bare `<-ch`, a select receive case, or an
+//     assignment from a receive) — the goroutine parks on a signal the
+//     spawner controls (ctx.Done, a quit channel);
+//   - a `for range ch` over a channel — the goroutine exits when the
+//     spawner closes the channel (the Pool worker shape);
+//   - a body that is exactly one send into a channel created in the
+//     same package with `make(chan T, n)` for constant n >= 1 — the
+//     send cannot block, so the goroutine cannot outlive its one
+//     statement (the `go func() { errc <- srv.ListenAndServe() }()`
+//     shape).
+//
+// Evidence inside a nested func literal does not count: a Done call in
+// a goroutine-within-the-goroutine joins the inner one, not this one.
+// Anything else is a finding; restructure to one of the shapes above or
+// suppress with //nullgraph:allow goroutinejoin <reason>.
+var GoroutineJoin = &Analyzer{
+	Name: "goroutinejoin",
+	Doc:  "go statements in serve/par/nullgraphd must be provably joined (WaitGroup Done, channel receive/range, or a single buffered send)",
+	AppliesTo: func(pkgPath string) bool {
+		switch pkgPath {
+		case "nullgraph/internal/serve", "nullgraph/internal/par", "nullgraph/cmd/nullgraphd":
+			return true
+		}
+		return false
+	},
+	Run: runGoroutineJoin,
+}
+
+func runGoroutineJoin(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	buffered := bufferedChanVars(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtJoined(pass, gs, decls, buffered) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine is not provably joined: no WaitGroup Done, channel receive/range, or single buffered send in its body; join it with a WaitGroup or park it on a stop channel")
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes this package's function and method bodies by
+// their *types.Func, so `go pl.worker()` can be checked through the
+// callee's body.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// bufferedChanVars collects variables bound by `ch := make(chan T, n)`
+// with constant n >= 1, anywhere in the package.
+func bufferedChanVars(pass *Pass) map[types.Object]bool {
+	buffered := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || !isBufferedMake(pass.Info, as.Rhs[0]) {
+				return true
+			}
+			buffered[obj] = true
+			return true
+		})
+	}
+	return buffered
+}
+
+// isBufferedMake reports whether e is `make(chan T, n)` with constant
+// n >= 1.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || !isBuiltin(info, call, "make") {
+		return false
+	}
+	if t := info.Types[call.Args[0]].Type; t == nil {
+		return false
+	} else if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	tv := info.Types[call.Args[1]]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	n, ok := constant.Int64Val(tv.Value)
+	return ok && n >= 1
+}
+
+// goStmtJoined decides whether one go statement carries join evidence.
+func goStmtJoined(pass *Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl, buffered map[types.Object]bool) bool {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fn := calleeFunc(pass.Info, gs.Call)
+		if fn == nil {
+			return false
+		}
+		fd, ok := decls[fn]
+		if !ok {
+			// The callee's body lives in another package; its lifecycle
+			// cannot be checked here.
+			return false
+		}
+		body = fd.Body
+	}
+	if bodyIsBufferedSend(pass, body, buffered) {
+		return true
+	}
+	return bodyHasJoinEvidence(pass, body)
+}
+
+// bodyIsBufferedSend reports the single-statement-send shape: the whole
+// body is one send into a known buffered channel.
+func bodyIsBufferedSend(pass *Pass, body *ast.BlockStmt, buffered map[types.Object]bool) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	send, ok := body.List[0].(*ast.SendStmt)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(send.Chan).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	return obj != nil && buffered[obj]
+}
+
+// bodyHasJoinEvidence scans body — without descending into nested func
+// literals — for a WaitGroup Done call, a channel receive, or a range
+// over a channel.
+func bodyHasJoinEvidence(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[nn.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, nn); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVer locks the wire schemas of the serialized reports against a
+// committed manifest. The repo's history shows why: RunReport went
+// v1→v2→v3 and each bump was remembered by hand; nothing machine-checks
+// that a struct edit and a version-string bump travel together.
+//
+// A report's root struct opts in with a //nullgraph:schema directive in
+// its doc comment naming the package's version constant:
+//
+//	// RunReport is ...
+//	//
+//	//nullgraph:schema SchemaVersion
+//	type RunReport struct { ... }
+//
+// The analyzer resolves the constant's value ("nullgraph/run-report/v3"
+// = family "nullgraph/run-report", version "v3"), computes the current
+// schema — every exported field of the root struct and of each
+// same-module named struct reachable through its field types, with JSON
+// tag and type — and diffs it against internal/analysis/schemas.lock:
+//
+//   - a field added, removed, retyped, or re-tagged while the version
+//     string is unchanged is a finding (the silent-v1→v2 bug class);
+//   - a version bump whose lock entry was not regenerated is a finding
+//     pointing at `nullvet -update-schemas` (make lint-fix-schemas);
+//   - a schema family missing from the lock entirely is a finding with
+//     the same pointer, so new reports self-register.
+//
+// The lock is regenerated, never hand-edited: -update-schemas rewrites
+// it from the source of truth (the structs), and the committed diff is
+// the review surface.
+var SchemaVer = &Analyzer{
+	Name: "schemaver",
+	Doc:  "structs marshaled under a //nullgraph:schema directive must bump their version string when fields change (lock: internal/analysis/schemas.lock)",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "nullgraph/internal/obs" || pkgPath == "nullgraph/internal/statcheck"
+	},
+	Run: runSchemaVer,
+}
+
+// SchemaField is one exported field of a schema's reachable struct set.
+type SchemaField struct {
+	// Struct is the owning struct's qualified name
+	// ("nullgraph/internal/obs.RunReport").
+	Struct string
+	// Name is the Go field name.
+	Name string
+	// JSON is the field's full json tag value ("stop,omitempty"; empty
+	// when untagged).
+	JSON string
+	// Type is the field's type with full package-path qualifiers.
+	Type string
+}
+
+func (f SchemaField) key() string { return f.Struct + "." + f.Name }
+
+// SchemaManifest is one schema family's locked (or computed) state.
+type SchemaManifest struct {
+	// Family is the version string minus its trailing version
+	// ("nullgraph/run-report").
+	Family string
+	// Version is the trailing version component ("v3").
+	Version string
+	// Fields lists the reachable exported fields, in BFS/declaration
+	// order. Comparison is order-insensitive.
+	Fields []SchemaField
+}
+
+// SchemaLock is the parsed schemas.lock manifest.
+type SchemaLock struct {
+	Schemas map[string]*SchemaManifest // keyed by Family
+}
+
+// schemaDecl ties a computed manifest to the struct declaration it was
+// computed from, for diagnostic positions.
+type schemaDecl struct {
+	pos      token.Pos
+	manifest *SchemaManifest
+}
+
+// schemaDirectiveErr is a malformed //nullgraph:schema directive.
+type schemaDirectiveErr struct {
+	pos token.Pos
+	msg string
+}
+
+func runSchemaVer(pass *Pass) {
+	decls, errs := collectSchemaDecls(pass.Fset, pass.Files, pass.Pkg, pass.Info)
+	for _, e := range errs {
+		pass.Reportf(e.pos, "%s", e.msg)
+	}
+	if len(decls) == 0 {
+		return
+	}
+	lock, err := pass.Session.SchemaLock()
+	if err != nil {
+		pass.Reportf(decls[0].pos, "cannot read schemas.lock: %v", err)
+		return
+	}
+	for _, d := range decls {
+		diffSchema(pass, d, lock.Schemas[d.manifest.Family])
+	}
+}
+
+// diffSchema reports the drift between a computed schema and its locked
+// counterpart.
+func diffSchema(pass *Pass, d schemaDecl, locked *SchemaManifest) {
+	m := d.manifest
+	if locked == nil {
+		pass.Reportf(d.pos, "schema %s/%s has no entry in schemas.lock; run `nullvet -update-schemas` (make lint-fix-schemas) and commit the lock", m.Family, m.Version)
+		return
+	}
+	if m.Version != locked.Version {
+		if !schemaFieldsEqual(m.Fields, locked.Fields) {
+			// The healthy bump path: fields changed and the version moved
+			// with them — only the lock refresh remains.
+			pass.Reportf(d.pos, "schema %s bumped %s -> %s: run `nullvet -update-schemas` (make lint-fix-schemas) to refresh schemas.lock", m.Family, locked.Version, m.Version)
+		} else {
+			pass.Reportf(d.pos, "schema %s version changed %s -> %s with identical fields: refresh schemas.lock with `nullvet -update-schemas`, or revert the gratuitous bump", m.Family, locked.Version, m.Version)
+		}
+		return
+	}
+	// Same version: any field drift is the silent-mutation bug.
+	cur := map[string]SchemaField{}
+	for _, f := range m.Fields {
+		cur[f.key()] = f
+	}
+	old := map[string]SchemaField{}
+	for _, f := range locked.Fields {
+		old[f.key()] = f
+	}
+	var msgs []string
+	for _, f := range m.Fields {
+		o, ok := old[f.key()]
+		switch {
+		case !ok:
+			msgs = append(msgs, fmt.Sprintf("field %s added", f.key()))
+		case o.Type != f.Type:
+			msgs = append(msgs, fmt.Sprintf("field %s retyped %s -> %s", f.key(), o.Type, f.Type))
+		case o.JSON != f.JSON:
+			msgs = append(msgs, fmt.Sprintf("field %s json tag changed %q -> %q", f.key(), o.JSON, f.JSON))
+		}
+	}
+	for _, f := range locked.Fields {
+		if _, ok := cur[f.key()]; !ok {
+			msgs = append(msgs, fmt.Sprintf("field %s removed", f.key()))
+		}
+	}
+	sort.Strings(msgs)
+	for _, msg := range msgs {
+		pass.Reportf(d.pos, "%s without bumping schema %s/%s: bump the version constant and regenerate schemas.lock (`nullvet -update-schemas`)", msg, m.Family, m.Version)
+	}
+}
+
+func schemaFieldsEqual(a, b []SchemaField) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := map[string]SchemaField{}
+	for _, f := range a {
+		am[f.key()] = f
+	}
+	for _, f := range b {
+		if am[f.key()] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// collectSchemaDecls finds every //nullgraph:schema directive in the
+// package and computes its manifest. Malformed directives come back as
+// positioned errors rather than aborting, so one bad annotation cannot
+// mask drift in another schema.
+func collectSchemaDecls(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]schemaDecl, []schemaDirectiveErr) {
+	var decls []schemaDecl
+	var errs []schemaDirectiveErr
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				constName, ok := directiveArgs(doc, "schema")
+				if !ok {
+					continue
+				}
+				pos := ts.Pos()
+				if constName == "" {
+					errs = append(errs, schemaDirectiveErr{pos, "//nullgraph:schema needs the version constant's name: //nullgraph:schema SchemaVersion"})
+					continue
+				}
+				family, version, err := schemaVersionOf(pkg, constName)
+				if err != nil {
+					errs = append(errs, schemaDirectiveErr{pos, err.Error()})
+					continue
+				}
+				obj := info.Defs[ts.Name]
+				var named *types.Named
+				if obj != nil {
+					named = namedOf(obj.Type())
+				}
+				if named == nil {
+					errs = append(errs, schemaDirectiveErr{pos, "//nullgraph:schema must annotate a named struct type"})
+					continue
+				}
+				if _, ok := named.Underlying().(*types.Struct); !ok {
+					errs = append(errs, schemaDirectiveErr{pos, "//nullgraph:schema must annotate a struct type"})
+					continue
+				}
+				decls = append(decls, schemaDecl{pos: pos, manifest: &SchemaManifest{
+					Family:  family,
+					Version: version,
+					Fields:  schemaFieldsOf(named),
+				}})
+			}
+		}
+	}
+	return decls, errs
+}
+
+// schemaVersionOf resolves the named string constant and splits its
+// value into (family, version) at the last '/'.
+func schemaVersionOf(pkg *types.Package, constName string) (family, version string, err error) {
+	obj := pkg.Scope().Lookup(constName)
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return "", "", fmt.Errorf("//nullgraph:schema %s: no such constant in package %s", constName, pkg.Path())
+	}
+	if c.Val().Kind() != constant.String {
+		return "", "", fmt.Errorf("//nullgraph:schema %s: constant is not a string", constName)
+	}
+	v := constant.StringVal(c.Val())
+	i := strings.LastIndexByte(v, '/')
+	if i <= 0 || i == len(v)-1 {
+		return "", "", fmt.Errorf("//nullgraph:schema %s: value %q is not of the form family/vN", constName, v)
+	}
+	return v[:i], v[i+1:], nil
+}
+
+// schemaFieldsOf walks the exported-field graph from root: the root
+// struct's exported fields, plus — breadth-first — those of every named
+// struct from the same module reachable through field types (behind
+// pointers, slices, arrays, and map values). Standard-library types
+// (time.Duration, etc.) are leaves: their layout is not this module's
+// schema to lock.
+func schemaFieldsOf(root *types.Named) []SchemaField {
+	qual := func(p *types.Package) string { return p.Path() }
+	rootSeg := modSegment(root.Obj().Pkg().Path())
+
+	var fields []SchemaField
+	seen := map[*types.Named]bool{root: true}
+	queue := []*types.Named{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		structName := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			fields = append(fields, SchemaField{
+				Struct: structName,
+				Name:   f.Name(),
+				JSON:   reflect.StructTag(st.Tag(i)).Get("json"),
+				Type:   types.TypeString(f.Type(), qual),
+			})
+			for _, next := range reachableStructs(f.Type(), rootSeg) {
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return fields
+}
+
+// modSegment returns the first path segment of an import path — the
+// module discriminator used to stop the reachability walk at foreign
+// types.
+func modSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// reachableStructs returns the named struct types from the same module
+// segment reachable through t without crossing another named struct.
+func reachableStructs(t types.Type, rootSeg string) []*types.Named {
+	var out []*types.Named
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		t = types.Unalias(t)
+		switch tt := t.(type) {
+		case *types.Named:
+			obj := tt.Obj()
+			if obj.Pkg() != nil && modSegment(obj.Pkg().Path()) == rootSeg {
+				if _, ok := tt.Underlying().(*types.Struct); ok {
+					out = append(out, tt)
+					return
+				}
+			}
+		case *types.Pointer:
+			walk(tt.Elem())
+		case *types.Slice:
+			walk(tt.Elem())
+		case *types.Array:
+			walk(tt.Elem())
+		case *types.Map:
+			walk(tt.Elem())
+		}
+	}
+	walk(t)
+	return out
+}
+
+// CollectSchemas computes every schema manifest declared in pkg; a
+// malformed directive is an error here (the -update-schemas path must
+// not write a lock that silently omits a schema).
+func CollectSchemas(pkg *Package) ([]*SchemaManifest, error) {
+	decls, errs := collectSchemaDecls(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if len(errs) > 0 {
+		e := errs[0]
+		return nil, fmt.Errorf("%s: %s", pkg.Fset.Position(e.pos), e.msg)
+	}
+	var out []*SchemaManifest
+	for _, d := range decls {
+		out = append(out, d.manifest)
+	}
+	return out, nil
+}
+
+// schemaLockHeader introduces the generated lock file.
+const schemaLockHeader = `# nullvet schema manifest: the locked wire schemas of this module's
+# serialized reports. Generated by nullvet -update-schemas (make
+# lint-fix-schemas); do not edit by hand. The schemaver analyzer fails
+# the lint gate when a schema struct drifts from this file without a
+# version-string bump.`
+
+// FormatSchemaLock renders manifests as the committed lock file,
+// deterministically (families sorted, fields in computed order).
+func FormatSchemaLock(manifests []*SchemaManifest) string {
+	sorted := append([]*SchemaManifest(nil), manifests...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Family < sorted[j].Family })
+	var sb strings.Builder
+	sb.WriteString(schemaLockHeader + "\n")
+	for _, m := range sorted {
+		fmt.Fprintf(&sb, "\nschema %s %s\n", m.Family, m.Version)
+		for _, f := range m.Fields {
+			fmt.Fprintf(&sb, "field %s.%s json=%q type=%s\n", f.Struct, f.Name, f.JSON, f.Type)
+		}
+	}
+	return sb.String()
+}
+
+// ParseSchemaLock parses the lock-file format FormatSchemaLock emits.
+func ParseSchemaLock(data string) (*SchemaLock, error) {
+	lock := &SchemaLock{Schemas: map[string]*SchemaManifest{}}
+	var cur *SchemaManifest
+	for i, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "schema "):
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("schemas.lock line %d: want `schema <family> <version>`, got %q", i+1, line)
+			}
+			cur = &SchemaManifest{Family: parts[1], Version: parts[2]}
+			lock.Schemas[cur.Family] = cur
+		case strings.HasPrefix(line, "field "):
+			if cur == nil {
+				return nil, fmt.Errorf("schemas.lock line %d: field before any schema", i+1)
+			}
+			f, err := parseSchemaFieldLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("schemas.lock line %d: %w", i+1, err)
+			}
+			cur.Fields = append(cur.Fields, f)
+		default:
+			return nil, fmt.Errorf("schemas.lock line %d: unrecognized line %q", i+1, line)
+		}
+	}
+	return lock, nil
+}
+
+// parseSchemaFieldLine parses `field <struct>.<name> json="tag" type=T`.
+func parseSchemaFieldLine(line string) (SchemaField, error) {
+	rest := strings.TrimPrefix(line, "field ")
+	qualified, rest, ok := strings.Cut(rest, " json=")
+	if !ok {
+		return SchemaField{}, fmt.Errorf("missing json= in %q", line)
+	}
+	tagQuoted, typ, ok := strings.Cut(rest, " type=")
+	if !ok {
+		return SchemaField{}, fmt.Errorf("missing type= in %q", line)
+	}
+	tag, err := strconv.Unquote(tagQuoted)
+	if err != nil {
+		return SchemaField{}, fmt.Errorf("bad json tag %s: %v", tagQuoted, err)
+	}
+	i := strings.LastIndexByte(qualified, '.')
+	if i <= 0 {
+		return SchemaField{}, fmt.Errorf("bad field name %q", qualified)
+	}
+	return SchemaField{Struct: qualified[:i], Name: qualified[i+1:], JSON: tag, Type: typ}, nil
+}

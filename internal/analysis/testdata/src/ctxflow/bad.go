@@ -1,0 +1,63 @@
+// Deliberately-broken fixture for the ctxflow analyzer. Never compiled
+// into the module.
+package ctxflow
+
+import "context"
+
+// restart drops the caller's ctx on the floor mid-chain.
+func restart(ctx context.Context, n int) error {
+	return step(context.Background(), n) // want `context.Background inside a function with a ctx parameter`
+}
+
+// todoRestart is the TODO spelling of the same bug.
+func todoRestart(ctx context.Context) error {
+	return step(context.TODO(), 0) // want `context.TODO inside a function with a ctx parameter`
+}
+
+func step(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// holder smuggles a ctx past its call scope.
+type holder struct {
+	ctx context.Context
+}
+
+func store(ctx context.Context) *holder {
+	h := &holder{}
+	h.ctx = ctx // want `context.Context stored in struct field ctx`
+	return h
+}
+
+func storeLit(ctx context.Context) holder {
+	return holder{ctx: ctx} // want `stored in struct field via composite literal`
+}
+
+// fetch has a Context sibling; calling the bare name from a ctx-holding
+// function breaks the chain.
+func fetch(n int) error { return nil }
+
+func fetchContext(ctx context.Context, n int) error {
+	_ = ctx
+	return nil
+}
+
+func chain(ctx context.Context) error {
+	return fetch(1) // want `fetch is called from a function holding a ctx but fetchContext exists`
+}
+
+// client covers the method-sibling form.
+type client struct{}
+
+func (c *client) get() error { return nil }
+
+func (c *client) getContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func use(ctx context.Context, c *client) error {
+	return c.get() // want `get is called from a function holding a ctx but getContext exists`
+}

@@ -1,0 +1,39 @@
+// Clean fixture for the ctxflow analyzer: the sanctioned shapes.
+package ctxflow
+
+import "context"
+
+// wrapper is the Foo/FooContext convenience shape: no ctx parameter, so
+// starting the chain at Background is exactly its job.
+func wrapper(n int) error {
+	return wrapped(context.Background(), n)
+}
+
+// wrapped threads its ctx into a ctx-accepting callee.
+func wrapped(ctx context.Context, n int) error {
+	return threaded(ctx, n)
+}
+
+func threaded(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// noSibling calls a helper with no Context variant: nothing to demand.
+func noSibling(ctx context.Context) int {
+	_ = ctx
+	return helper(2)
+}
+
+func helper(n int) int { return n * 2 }
+
+// viaSibling calls the Context variant directly.
+func viaSibling(ctx context.Context) error {
+	return threadedContext(ctx)
+}
+
+func threadedContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,34 @@
+// Deliberately-broken fixture for the fingerprintcomplete analyzer.
+// Never compiled into the module.
+package fingerprintcomplete
+
+// Options mirrors the real nullgraph.Options shape: flat sampling
+// knobs, a nested policy pointer, and one annotated exemption.
+type Options struct {
+	Space   int
+	Workers int
+	// Bare is annotated without a reason — itself a finding.
+	//
+	//nullgraph:nofingerprint
+	Bare bool
+	// Policy is consumed, which pulls its fields into the requirement.
+	Policy *Policy
+}
+
+// Policy has one hashed and one forgotten field.
+type Policy struct {
+	Floor  int
+	Budget int
+}
+
+// Incomplete consumes Space and Policy.Floor but forgets Workers and
+// Policy.Budget, and Bare's annotation is reasonless.
+//
+//nullgraph:fingerprint
+func Incomplete(opt Options) uint64 { // want `Options.Workers is not consumed` `Policy.Budget is not consumed` `Options.Bare is annotated //nullgraph:nofingerprint without a reason`
+	h := uint64(opt.Space)
+	if p := opt.Policy; p != nil {
+		h += uint64(p.Floor)
+	}
+	return h
+}

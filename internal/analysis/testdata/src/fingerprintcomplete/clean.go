@@ -1,0 +1,35 @@
+// Clean fixture for the fingerprintcomplete analyzer: a fingerprint
+// that consumes everything it must, with a reasoned exemption.
+package fingerprintcomplete
+
+// CleanOptions is fully covered: Seed is hashed, Debug is exempt with a
+// stated reason, and the nested distribution is walked transitively.
+type CleanOptions struct {
+	Seed uint64
+	//nullgraph:nofingerprint diagnostics only; never changes what is sampled
+	Debug bool
+	Dist  Distribution
+}
+
+// Distribution exercises the transitive slice-of-structs walk.
+type Distribution struct {
+	Classes []Class
+}
+
+// Class is the leaf pair.
+type Class struct {
+	Degree int64
+	Count  int64
+}
+
+// Complete consumes every required field.
+//
+//nullgraph:fingerprint
+func Complete(opt CleanOptions) uint64 {
+	h := opt.Seed
+	for _, c := range opt.Dist.Classes {
+		h = h*31 + uint64(c.Degree)
+		h = h*31 + uint64(c.Count)
+	}
+	return h
+}

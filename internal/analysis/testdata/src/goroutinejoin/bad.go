@@ -1,0 +1,51 @@
+// Deliberately-broken fixture for the goroutinejoin analyzer. Never
+// compiled into the module.
+package goroutinejoin
+
+// fireAndForget launches a dynamic callee: nothing about its lifecycle
+// is provable from here.
+func fireAndForget(f func()) {
+	go f() // want `not provably joined`
+}
+
+// leakyWorker never parks on anything the spawner controls.
+func leakyWorker(counter *int) {
+	go func() { // want `not provably joined`
+		for {
+			*counter++
+		}
+	}()
+}
+
+// unbufferedSend blocks forever if the receiver went away: a send to an
+// unbuffered channel is not join evidence.
+func unbufferedSend() chan int {
+	ch := make(chan int)
+	go func() { // want `not provably joined`
+		ch <- 1
+	}()
+	return ch
+}
+
+// spin is a same-package callee with no join evidence in its body.
+func spin(n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = total
+}
+
+func spawnSpin() {
+	go spin(1000) // want `not provably joined`
+}
+
+// nestedEvidence shows that evidence inside an inner goroutine joins
+// the inner one only: the outer literal itself never parks.
+func nestedEvidence(done chan struct{}) {
+	go func() { // want `not provably joined`
+		go func() {
+			<-done
+		}()
+	}()
+}

@@ -1,0 +1,65 @@
+// Clean fixture for the goroutinejoin analyzer: one function per
+// accepted join shape.
+package goroutinejoin
+
+import "sync"
+
+// waitGroupJoin is the ForRange shape: Done in the body, Add/Wait in
+// the spawner.
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// selectJoin is the WatchContext shape: the goroutine parks on a select
+// until the spawner signals quit.
+func selectJoin(signal, quit chan struct{}) {
+	go func() {
+		select {
+		case <-signal:
+		case <-quit:
+		}
+	}()
+}
+
+// bareReceiveJoin parks on a single receive.
+func bareReceiveJoin(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// bufferedSendJoin is the nullgraphd shape: the whole body is one send
+// into a buffered channel, so the goroutine cannot outlive it.
+func bufferedSendJoin(work func() error) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- work() }()
+	return errc
+}
+
+// pool is the par.Pool shape: a named same-package method whose body
+// ranges over the task channel (exit on close) and Dones the group.
+type pool struct {
+	tasks chan int
+	wg    sync.WaitGroup
+}
+
+func (p *pool) worker() {
+	for range p.tasks {
+		p.wg.Done()
+	}
+}
+
+func newPool(width int) *pool {
+	p := &pool{tasks: make(chan int, width)}
+	for i := 0; i < width; i++ {
+		go p.worker()
+	}
+	return p
+}

@@ -1,0 +1,55 @@
+// Deliberately-broken fixture for the schemaver analyzer. Never
+// compiled into the module. The lock next to this file (schemas.lock)
+// records the "committed" state each struct drifted from.
+package schemaver
+
+// DriftSchema kept its version while the struct below mutated.
+const DriftSchema = "fixture/drift-report/v1"
+
+// DriftReport drifted in all four ways without a version bump: a field
+// added, one removed, one retyped, one re-tagged.
+//
+//nullgraph:schema DriftSchema
+type DriftReport struct { // want `DriftReport.Added added` `DriftReport.Old removed` `DriftReport.Retyped retyped int -> int64` `DriftReport.Retagged json tag changed "retagged" -> "rt"`
+	Schema   string `json:"schema"`
+	Added    int    `json:"added"`
+	Retyped  int64  `json:"retyped"`
+	Retagged string `json:"rt"`
+}
+
+// BumpedSchema moved v1 -> v2 with the field change, but the lock was
+// not regenerated.
+const BumpedSchema = "fixture/bumped-report/v2"
+
+// BumpedReport is the healthy path caught one step early: bump done,
+// lock refresh missing.
+//
+//nullgraph:schema BumpedSchema
+type BumpedReport struct { // want `schema fixture/bumped-report bumped v1 -> v2`
+	Schema string `json:"schema"`
+	Extra  int    `json:"extra"`
+}
+
+// UnlockedSchema has no entry in the lock at all.
+const UnlockedSchema = "fixture/unlocked-report/v1"
+
+// UnlockedReport must self-register via -update-schemas.
+//
+//nullgraph:schema UnlockedSchema
+type UnlockedReport struct { // want `has no entry in schemas.lock`
+	Schema string `json:"schema"`
+}
+
+// Dangling names a constant that does not exist.
+//
+//nullgraph:schema NoSuchConst
+type Dangling struct { // want `no such constant`
+	Schema string `json:"schema"`
+}
+
+// Bare forgot the constant name entirely.
+//
+//nullgraph:schema
+type Bare struct { // want `needs the version constant's name`
+	Schema string `json:"schema"`
+}

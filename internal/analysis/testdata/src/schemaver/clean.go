@@ -1,0 +1,21 @@
+// Clean fixture for the schemaver analyzer: the struct matches its
+// locked manifest exactly, so nothing fires.
+package schemaver
+
+// CleanSchema is the version constant the directive names.
+const CleanSchema = "fixture/clean-report/v1"
+
+// CleanReport matches schemas.lock field-for-field.
+//
+//nullgraph:schema CleanSchema
+type CleanReport struct {
+	Schema string `json:"schema"`
+	Count  int    `json:"count"`
+	Nested Nested `json:"nested"`
+}
+
+// Nested exercises the reachable-struct walk: its fields are part of
+// the locked schema too.
+type Nested struct {
+	Rate float64 `json:"rate"`
+}

@@ -151,6 +151,13 @@ type SimplifyReport struct {
 // and the pipeline phase times. With Workers == 1 and a fixed seed
 // every counter is bit-reproducible; timings (Phases) are the only
 // nondeterministic fields.
+//
+// The schemaver analyzer locks this struct (and everything reachable
+// from it) against internal/analysis/schemas.lock: changing any field
+// here or in a nested report type requires bumping SchemaVersion and
+// regenerating the lock (`make lint-fix-schemas`).
+//
+//nullgraph:schema SchemaVersion
 type RunReport struct {
 	// Schema is SchemaVersion.
 	Schema string `json:"schema"`

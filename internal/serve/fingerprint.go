@@ -8,6 +8,8 @@
 package serve
 
 import (
+	"math"
+
 	"nullgraph"
 )
 
@@ -31,8 +33,11 @@ func hash64(h, v uint64) uint64 {
 // a field to the hashed option set (or changing field order) bumps it
 // and retires every stale pool key at once instead of silently
 // colliding with pre-change fingerprints. Version 2 added the sampling
-// space.
-const fingerprintVersion = 2
+// space; version 3 completed the StopPolicy coverage (Growth, Z,
+// Hysteresis, SuccessRateTol, MinEverSwapped were previously unhashed,
+// so two requests with different convergence tuning could share a
+// pooled chain).
+const fingerprintVersion = 3
 
 // Fingerprint identifies an engine-compatible (distribution, options)
 // pair. Two requests share a pooled session — and therefore draw
@@ -45,6 +50,13 @@ const fingerprintVersion = 2
 // would only merge two pools, costing probability-matrix cache churn,
 // never correctness, because every request carries its own distribution
 // to GenerateContext.
+//
+// The fingerprintcomplete analyzer holds this function to its contract:
+// every exported field of Options, converge.Policy, and the degree
+// distribution must be folded in here or carry a
+// //nullgraph:nofingerprint annotation at its declaration.
+//
+//nullgraph:fingerprint
 func Fingerprint(dist *nullgraph.DegreeDistribution, opt nullgraph.Options) uint64 {
 	h := fnv64Offset
 	h = hash64(h, fingerprintVersion)
@@ -63,6 +75,11 @@ func Fingerprint(dist *nullgraph.DegreeDistribution, opt nullgraph.Options) uint
 		h = hash64(h, uint64(p.Statistic))
 		h = hash64(h, uint64(p.Floor))
 		h = hash64(h, uint64(p.Budget))
+		h = hash64(h, math.Float64bits(p.Growth))
+		h = hash64(h, math.Float64bits(p.Z))
+		h = hash64(h, uint64(p.Hysteresis))
+		h = hash64(h, math.Float64bits(p.SuccessRateTol))
+		h = hash64(h, math.Float64bits(p.MinEverSwapped))
 	} else {
 		h = hash64(h, 0)
 	}

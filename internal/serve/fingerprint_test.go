@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"nullgraph"
+)
+
+// fingerprintExempt lists the Options fields deliberately left out of
+// the pool fingerprint. It must stay in lockstep with the
+// //nullgraph:nofingerprint annotations the fingerprintcomplete
+// analyzer checks: CollectReport only instruments a run (bit-identity
+// of instrumented vs plain output is locked by the obs parity tests),
+// so sharing a pooled chain across the toggle is correct.
+var fingerprintExempt = map[string]bool{
+	"CollectReport": true,
+}
+
+// mutate nudges a struct field to a different value, covering every
+// kind Options and StopPolicy currently use. A new field with an
+// unhandled kind fails loudly — extending this table is part of adding
+// the field, exactly like extending Fingerprint itself.
+func mutate(t *testing.T, owner string, f reflect.StructField, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.5)
+	case reflect.Pointer:
+		v.Set(reflect.Zero(v.Type()))
+	default:
+		t.Fatalf("%s.%s has kind %s: extend the mutation table (and Fingerprint) for it", owner, f.Name, v.Kind())
+	}
+}
+
+// TestFingerprintCoversAllOptionFields is the white-box completeness
+// lock behind the fingerprintcomplete analyzer: every exported field of
+// Options — and of the StopPolicy it points to — must change the pool
+// fingerprint when it alone changes, except the explicit exemptions.
+// Adding a field to either struct makes this test visit it
+// automatically; forgetting to hash it fails here and in `make lint`.
+func TestFingerprintCoversAllOptionFields(t *testing.T) {
+	dist := testDistribution(t, 0)
+	base := func() nullgraph.Options {
+		return nullgraph.Options{
+			Space:               nullgraph.SpaceSimple,
+			Workers:             1,
+			Seed:                7,
+			SwapIterations:      4,
+			MixUntilSwapped:     false,
+			RefineProbabilities: 0,
+			StopPolicy: &nullgraph.StopPolicy{
+				Statistic:      nullgraph.StopOnAssortativity,
+				Floor:          8,
+				Budget:         64,
+				Growth:         1.4,
+				Z:              1.5,
+				Hysteresis:     2,
+				SuccessRateTol: 0.05,
+				MinEverSwapped: 0.25,
+			},
+		}
+	}
+	ref := Fingerprint(dist, base())
+
+	optType := reflect.TypeOf(nullgraph.Options{})
+	for i := 0; i < optType.NumField(); i++ {
+		f := optType.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		opt := base()
+		v := reflect.ValueOf(&opt).Elem().Field(i)
+		mutate(t, "Options", f, v)
+		got := Fingerprint(dist, opt)
+		if fingerprintExempt[f.Name] {
+			if got != ref {
+				t.Errorf("Options.%s is exempt (//nullgraph:nofingerprint) but changing it changed the fingerprint: the exemption is stale", f.Name)
+			}
+			continue
+		}
+		if got == ref {
+			t.Errorf("Options.%s is not folded into Fingerprint: two pools differing only in it would share a chain", f.Name)
+		}
+	}
+
+	polType := reflect.TypeOf(nullgraph.StopPolicy{})
+	for i := 0; i < polType.NumField(); i++ {
+		f := polType.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		opt := base()
+		v := reflect.ValueOf(opt.StopPolicy).Elem().Field(i)
+		mutate(t, "StopPolicy", f, v)
+		if Fingerprint(dist, opt) == ref {
+			t.Errorf("StopPolicy.%s is not folded into Fingerprint: two pools differing only in it would share a chain", f.Name)
+		}
+	}
+
+	// The degree distribution itself must matter too.
+	other := testDistribution(t, 1)
+	if Fingerprint(other, base()) == ref {
+		t.Error("distribution classes are not folded into Fingerprint")
+	}
+}

@@ -119,7 +119,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.pool)
+	if err := s.metrics.WritePrometheus(w, s.pool); err != nil {
+		// The status line is already on the wire; all we can do is count
+		// the aborted scrape so truncated metrics pages are visible on the
+		// next successful one.
+		s.metrics.ObserveResponse(http.StatusInternalServerError)
+	}
 }
 
 // errQueueFull rejects arrivals beyond the bounded admission queue.

@@ -12,6 +12,12 @@ import (
 const ReportSchema = "nullgraph/statcheck-report/v1"
 
 // Report is the machine-readable outcome of a statcheck run.
+//
+// The schemaver analyzer locks this struct against
+// internal/analysis/schemas.lock: field changes must travel with a
+// ReportSchema bump and a lock regeneration (`make lint-fix-schemas`).
+//
+//nullgraph:schema ReportSchema
 type Report struct {
 	// Schema is always ReportSchema.
 	Schema string `json:"schema"`

@@ -213,6 +213,8 @@ type Options struct {
 	// CollectReport, when true, instruments the run and attaches a
 	// RunReport to the result. Off (the default) the instrumentation
 	// costs nothing: the swap hot path is the same zero-allocation code.
+	//
+	//nullgraph:nofingerprint instrumentation never changes what is sampled (bit-identity locked by obs parity tests), so instrumented and plain requests may share a pooled chain
 	CollectReport bool
 }
 
