@@ -35,6 +35,7 @@ test-stat:
 # can't silently dodge the detector by not being on a list.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/connected
 
 # race-serve re-runs the service and convergence layers' full (un-short)
 # tests under the race detector: these two packages carry the module's
@@ -72,6 +73,7 @@ lint-fix-schemas:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeListBinary -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeListText -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzConnectedSeed -fuzztime=10s ./internal/connected
 
 # bench-swap emits BENCH_swap.json: ns/op, allocs/op, B/op and
 # swaps/sec for one engine Step on a 1M-edge graph. The hot path's

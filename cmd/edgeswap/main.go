@@ -49,6 +49,7 @@ func run() error {
 		stopFloor  = flag.Int("stop-floor", 0, "minimum swap iterations before an adaptive stop (0 = default)")
 		stopBudget = flag.Int("stop-budget", 0, "maximum swap iterations for an adaptive run (0 = default)")
 		spaceName  = flag.String("space", "simple", "sampling space: simple, loopy-stub, loopy-vertex, multigraph-stub or multigraph-vertex")
+		connected  = flag.Bool("connected", false, "keep the graph connected while mixing (Viger–Latapy connectivity-preserving chain; requires a simple -space)")
 		directed   = flag.Bool("directed", false, "treat the input as a directed arc list")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -76,6 +77,14 @@ func run() error {
 	}
 	if *directed && space != nullgraph.SpaceSimple {
 		return fmt.Errorf("-space is not supported with -directed (the space matrix is undirected)")
+	}
+	if *connected {
+		if *directed {
+			return fmt.Errorf("-connected is not supported with -directed (connected sampling is undirected)")
+		}
+		if space != nullgraph.SpaceSimple && space != nullgraph.SpaceSimpleVertex {
+			return fmt.Errorf("-connected requires a simple space (got -space %s)", *spaceName)
+		}
 	}
 	if *adaptive && *mix {
 		return fmt.Errorf("-adaptive and -mix are mutually exclusive; pass at most one")
@@ -149,6 +158,7 @@ func run() error {
 	}
 	opt := nullgraph.Options{
 		Space:           space,
+		Connected:       *connected,
 		Workers:         *workers,
 		Seed:            *seed,
 		SwapIterations:  *swaps,

@@ -29,7 +29,7 @@ func main() { os.Exit(realMain()) }
 // flush) runs before the process exits.
 func realMain() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|fig5|fig6|swapscale|uniformity|ablation|mixingtime|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|fig5|fig6|swapscale|uniformity|ablation|mixingtime|connected|all")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		maxVerts   = flag.Int64("max-vertices", 0, "dataset analog size cap (0 = package default of 150k)")
@@ -85,7 +85,7 @@ func realMain() int {
 	w := os.Stdout
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "swapscale", "uniformity", "ablation", "mixingtime"}
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "swapscale", "uniformity", "ablation", "mixingtime", "connected"}
 	}
 	for _, name := range names {
 		if err := run(name, cfg, w); err != nil {
@@ -136,6 +136,8 @@ func run(name string, cfg experiments.Config, w io.Writer) error {
 		res, err = experiments.RunAblation(cfg)
 	case "mixingtime":
 		res, err = experiments.RunMixingTime(cfg)
+	case "connected":
+		res, err = experiments.RunConnected(cfg)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

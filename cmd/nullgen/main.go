@@ -41,6 +41,7 @@ import (
 // the validation rules are unit-testable.
 type config struct {
 	Space      string
+	Connected  bool
 	DistFile   string
 	Joint      string
 	Dataset    string
@@ -91,6 +92,14 @@ func validateConfig(c config) error {
 	}
 	if c.Joint != "" && space != nullgraph.SpaceSimple {
 		return errors.New("-space is not supported with -joint (the space matrix is undirected)")
+	}
+	if c.Connected {
+		if c.Joint != "" {
+			return errors.New("-connected is not supported with -joint (connected sampling is undirected)")
+		}
+		if space != nullgraph.SpaceSimple && space != nullgraph.SpaceSimpleVertex {
+			return fmt.Errorf("-connected requires a simple space (got -space %s)", c.Space)
+		}
 	}
 	if c.PowerLaw != 0 {
 		if c.PowerLaw < 0 {
@@ -149,6 +158,7 @@ func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 func main() {
 	var c config
 	flag.StringVar(&c.Space, "space", "simple", "sampling space for the mixing chain: simple, loopy-stub, loopy-vertex, multigraph-stub or multigraph-vertex")
+	flag.BoolVar(&c.Connected, "connected", false, "sample connected simple graphs only (Viger–Latapy connectivity-preserving chain; requires a simple -space)")
 	flag.StringVar(&c.DistFile, "dist", "", "read the degree distribution from this file (\"degree count\" lines)")
 	flag.StringVar(&c.Joint, "joint", "", "generate a DIGRAPH from this joint distribution file (\"out in count\" lines)")
 	flag.Int64Var(&c.PowerLaw, "powerlaw", 0, "sample a power-law distribution over this many vertices")
@@ -215,6 +225,7 @@ func run(ctx context.Context, c config) error {
 	}
 	res, err := nullgraph.GenerateContext(ctx, dist, nullgraph.Options{
 		Space:           c.space(),
+		Connected:       c.Connected,
 		Workers:         c.Workers,
 		Seed:            c.Seed,
 		SwapIterations:  c.Swaps,

@@ -1,0 +1,415 @@
+// Package connected provides connected-graph sampling support for the
+// simple cells: a seed constructor that realizes a degree sequence as a
+// *connected* simple graph (seed.go), and a Checker that decides
+// whether a proposed double-edge swap keeps the graph connected using
+// Viger–Latapy-style heuristics (arXiv:cs/0502085).
+//
+// # Check hierarchy
+//
+// The Checker maintains a cached BFS spanning-tree witness of the
+// current graph, stored as a parent array. A swap removes two edges and
+// adds two (degree-preserving), so connectivity can only break when a
+// removed edge is a witness tree edge:
+//
+//  1. Fast path: neither removed edge is a tree edge — the witness
+//     still spans the new graph, accept with two array comparisons and
+//     no traversal.
+//  2. Bounded path: for each removed tree edge, run a bounded
+//     bidirectional BFS between its endpoints in the post-swap graph.
+//     The tree minus its removed edges splits the vertices into at
+//     most three fragments, each internally connected by surviving
+//     tree edges; reconnecting every removed tree edge's endpoint pair
+//     re-links the fragments along the old tree topology, so "every
+//     pair reconnects" implies the whole graph is connected. A search
+//     that exhausts one side without meeting the other has fully
+//     explored that side's component and proves disconnection.
+//  3. Full fallback: a bounded search that hits its visit budget while
+//     both frontiers are alive is inconclusive; fall back to one full
+//     BFS from vertex 0.
+//
+// Accepting a swap that touched the tree rebuilds the witness (one
+// BFS); a belt-and-braces full recheck runs every recheckEvery accepted
+// swaps and panics on an invariant breach. DESIGN.md §16 tabulates the
+// cost model.
+//
+// The Checker is not safe for concurrent use; the serial connected
+// chain in internal/swap owns one per engine.
+package connected
+
+import (
+	"fmt"
+
+	"nullgraph/internal/graph"
+)
+
+const (
+	// defaultBound is the total-visit budget of one bounded
+	// bidirectional search before it falls back to a full BFS. Most
+	// swap-local disconnections are small cycles split off the giant
+	// component, so a small budget resolves the overwhelming majority
+	// of tree-touching proposals without an O(n+m) traversal.
+	defaultBound = 256
+	// defaultRecheckEvery is the accepted-swap period of the
+	// belt-and-braces full connectivity recheck.
+	defaultRecheckEvery = 1 << 14
+)
+
+// Stats counts connectivity-check outcomes; they feed the RunReport's
+// connectivity section (obs.ConnectivityReport).
+type Stats struct {
+	// Proposals is the number of swaps submitted to the checker.
+	Proposals int64
+	// FastPathHits counts proposals accepted with no traversal at all
+	// (neither removed edge was a witness tree edge).
+	FastPathHits int64
+	// BoundedChecks counts bounded bidirectional searches run;
+	// BoundedConclusive counts those that resolved within budget.
+	BoundedChecks     int64
+	BoundedConclusive int64
+	// FullChecks counts full-BFS fallbacks (inconclusive bounded
+	// searches and explicit Connected() calls).
+	FullChecks int64
+	// WitnessRebuilds counts spanning-tree reconstructions after
+	// accepted tree-touching swaps.
+	WitnessRebuilds int64
+	// RejectedDisconnecting counts proposals rejected because they
+	// would have disconnected the graph.
+	RejectedDisconnecting int64
+	// FullRechecks counts periodic belt-and-braces full verifications.
+	FullRechecks int64
+}
+
+// Checker answers "does this swap keep the graph connected?" against a
+// live adjacency view it maintains itself. Bind it to a connected edge
+// list, then feed every committed swap through SwapKeepsConnected; the
+// checker applies accepted swaps to its adjacency and rolls rejected
+// ones back, so it always mirrors the caller's edge list.
+type Checker struct {
+	n int
+
+	// CSR-style adjacency with in-place deletion: vertex v's current
+	// neighbors are nbr[off[v] : off[v]+int64(deg[v])], with capacity
+	// off[v+1]-off[v] equal to v's (invariant) degree. Swaps preserve
+	// every degree, so removals-before-insertions keep each slot range
+	// in bounds and the structure allocation-free after Bind.
+	off []int64
+	nbr []int32
+	deg []int32
+
+	// parent is the BFS witness tree (parent[root] == -1). An edge
+	// (u,v) is a tree edge iff parent[u] == v or parent[v] == u.
+	parent []int32
+
+	// BFS scratch: stamp holds per-vertex visit epochs (two fresh
+	// epochs per bidirectional search, one per side), queues are
+	// reused frontier storage.
+	stamp  []uint64
+	epoch  uint64
+	queueA []int32
+	queueB []int32
+
+	// bound and recheckEvery are defaultBound/defaultRecheckEvery;
+	// tests shrink them to force the slow paths.
+	bound        int
+	recheckEvery int64
+	accepted     int64
+
+	stats Stats
+}
+
+// NewChecker returns an unbound checker with default heuristics.
+func NewChecker() *Checker {
+	return &Checker{bound: defaultBound, recheckEvery: defaultRecheckEvery}
+}
+
+// Bind (re)builds the checker's adjacency and witness tree for el,
+// reusing buffers when capacities allow, and resets the outcome
+// counters. It errors when el is not a connected simple graph — the
+// connected chain's hard precondition (see Connect for the repair).
+func (c *Checker) Bind(el *graph.EdgeList) error {
+	n := el.NumVertices
+	c.n = n
+	m := len(el.Edges)
+	if cap(c.off) < n+1 {
+		c.off = make([]int64, n+1)
+	}
+	c.off = c.off[:n+1]
+	if cap(c.deg) < n {
+		c.deg = make([]int32, n)
+		c.parent = make([]int32, n)
+		c.stamp = make([]uint64, n)
+		c.epoch = 0
+	}
+	c.deg = c.deg[:n]
+	c.parent = c.parent[:n]
+	c.stamp = c.stamp[:n]
+	clear(c.deg)
+	for _, e := range el.Edges {
+		if e.IsLoop() {
+			return fmt.Errorf("connected: input has self-loop %v; the connected chain runs on simple graphs only", e)
+		}
+		c.deg[e.U]++
+		c.deg[e.V]++
+	}
+	c.off[0] = 0
+	for v := 0; v < n; v++ {
+		c.off[v+1] = c.off[v] + int64(c.deg[v])
+	}
+	if cap(c.nbr) < 2*m {
+		c.nbr = make([]int32, 2*m)
+	}
+	c.nbr = c.nbr[:2*m]
+	clear(c.deg)
+	for _, e := range el.Edges {
+		c.addArc(e.U, e.V)
+		c.addArc(e.V, e.U)
+	}
+	c.accepted = 0
+	c.stats = Stats{}
+	if reached := c.rebuildWitness(); reached < n {
+		return fmt.Errorf("connected: input graph is disconnected (%d of %d vertices reachable from 0); repair it with connected.Connect first", reached, n)
+	}
+	return nil
+}
+
+// StatsSnapshot returns the outcome counters accumulated since Bind.
+func (c *Checker) StatsSnapshot() Stats { return c.stats }
+
+// SetBound overrides the bounded-search visit budget (tests use tiny
+// budgets to force the full-BFS fallback). Values < 2 behave as 2.
+func (c *Checker) SetBound(b int) {
+	if b < 2 {
+		b = 2
+	}
+	c.bound = b
+}
+
+// SetRecheckEvery overrides the periodic full-recheck interval; <= 0
+// disables the recheck.
+func (c *Checker) SetRecheckEvery(k int64) { c.recheckEvery = k }
+
+// Connected runs one full BFS and reports global connectivity (empty
+// graphs and n <= 1 are trivially connected).
+func (c *Checker) Connected() bool {
+	c.stats.FullChecks++
+	return c.fullReach() == c.n
+}
+
+// witnessIntact reports the fast-path condition: neither removed edge
+// is a witness tree edge, so the cached spanning tree survives the swap
+// untouched and the graph stays connected with no traversal.
+//
+//nullgraph:hotpath
+func (c *Checker) witnessIntact(e, f graph.Edge) bool {
+	p := c.parent
+	if p[e.U] == e.V || p[e.V] == e.U {
+		return false
+	}
+	if p[f.U] == f.V || p[f.V] == f.U {
+		return false
+	}
+	return true
+}
+
+// SwapKeepsConnected decides the proposed swap (remove e and f, add g
+// and h) and, when it keeps the graph connected, applies it to the
+// checker's adjacency. Preconditions (the swap engine's proposal
+// filter guarantees them): e and f are current edges at distinct
+// positions, {g, h} is an endpoint rewiring of {e, f}, and neither g
+// nor h is a self-loop or a duplicate of an existing edge.
+func (c *Checker) SwapKeepsConnected(e, f, g, h graph.Edge) bool {
+	c.stats.Proposals++
+	if c.witnessIntact(e, f) {
+		c.stats.FastPathHits++
+		c.apply(e, f, g, h)
+		c.maybeRecheck()
+		return true
+	}
+	// A removed edge is a tree edge: apply tentatively and verify.
+	c.apply(e, f, g, h)
+	if c.stillConnected(e, f) {
+		c.stats.WitnessRebuilds++
+		c.rebuildWitness()
+		c.maybeRecheck()
+		return true
+	}
+	c.apply(g, h, e, f) // roll back
+	c.stats.RejectedDisconnecting++
+	return false
+}
+
+// stillConnected verifies post-swap connectivity given that at least
+// one removed edge was a witness tree edge. The surviving tree edges
+// keep each tree fragment internally connected, so reconnecting every
+// removed tree edge's endpoint pair re-links the fragments along the
+// old tree topology (see the package doc); any pair that fails to
+// reconnect is a proven disconnection.
+func (c *Checker) stillConnected(e, f graph.Edge) bool {
+	for _, t := range [2]graph.Edge{e, f} {
+		if c.parent[t.U] != t.V && c.parent[t.V] != t.U {
+			continue // not a tree edge: no fragment boundary here
+		}
+		switch c.boundedReconnect(t.U, t.V) {
+		case -1:
+			return false
+		case 0:
+			// Inconclusive: one full BFS settles everything at once.
+			c.stats.FullChecks++
+			return c.fullReach() == c.n
+		}
+	}
+	return true
+}
+
+// boundedReconnect runs a bounded bidirectional BFS between u and v in
+// the current adjacency: +1 means connected (frontiers met), -1 means
+// disconnected (one side's component was exhausted without meeting),
+// 0 means the visit budget ran out while both frontiers were alive.
+func (c *Checker) boundedReconnect(u, v int32) int {
+	c.stats.BoundedChecks++
+	c.epoch += 2
+	ea, eb := c.epoch-1, c.epoch // side stamps; meeting = seeing the other's
+	c.queueA = append(c.queueA[:0], u)
+	c.queueB = append(c.queueB[:0], v)
+	c.stamp[u] = ea
+	c.stamp[v] = eb
+	headA, headB := 0, 0
+	visited := 2
+	for headA < len(c.queueA) && headB < len(c.queueB) {
+		if visited > c.bound {
+			return 0
+		}
+		// Expand one vertex from the smaller live frontier; connectivity
+		// needs no level discipline, only exhaustive exploration.
+		if len(c.queueA)-headA <= len(c.queueB)-headB {
+			x := c.queueA[headA]
+			headA++
+			for _, y := range c.nbr[c.off[x] : c.off[x]+int64(c.deg[x])] {
+				if c.stamp[y] == eb {
+					c.stats.BoundedConclusive++
+					return 1
+				}
+				if c.stamp[y] != ea {
+					c.stamp[y] = ea
+					c.queueA = append(c.queueA, y)
+					visited++
+				}
+			}
+		} else {
+			x := c.queueB[headB]
+			headB++
+			for _, y := range c.nbr[c.off[x] : c.off[x]+int64(c.deg[x])] {
+				if c.stamp[y] == ea {
+					c.stats.BoundedConclusive++
+					return 1
+				}
+				if c.stamp[y] != eb {
+					c.stamp[y] = eb
+					c.queueB = append(c.queueB, y)
+					visited++
+				}
+			}
+		}
+	}
+	// One frontier drained: that side's entire component is explored
+	// and never met the other endpoint.
+	c.stats.BoundedConclusive++
+	return -1
+}
+
+// fullReach BFS-explores from vertex 0 and returns the number of
+// vertices reached (n means connected; 0 for the empty graph).
+func (c *Checker) fullReach() int {
+	if c.n == 0 {
+		return 0
+	}
+	c.epoch++
+	e := c.epoch
+	c.queueA = append(c.queueA[:0], 0)
+	c.stamp[0] = e
+	reached := 1
+	for head := 0; head < len(c.queueA); head++ {
+		x := c.queueA[head]
+		for _, y := range c.nbr[c.off[x] : c.off[x]+int64(c.deg[x])] {
+			if c.stamp[y] != e {
+				c.stamp[y] = e
+				c.queueA = append(c.queueA, y)
+				reached++
+			}
+		}
+	}
+	return reached
+}
+
+// rebuildWitness recomputes the BFS spanning tree from vertex 0 and
+// returns the number of vertices reached.
+func (c *Checker) rebuildWitness() int {
+	if c.n == 0 {
+		return 0
+	}
+	for v := range c.parent {
+		c.parent[v] = -1
+	}
+	c.epoch++
+	e := c.epoch
+	c.queueA = append(c.queueA[:0], 0)
+	c.stamp[0] = e
+	reached := 1
+	for head := 0; head < len(c.queueA); head++ {
+		x := c.queueA[head]
+		for _, y := range c.nbr[c.off[x] : c.off[x]+int64(c.deg[x])] {
+			if c.stamp[y] != e {
+				c.stamp[y] = e
+				c.parent[y] = x
+				c.queueA = append(c.queueA, y)
+				reached++
+			}
+		}
+	}
+	return reached
+}
+
+// maybeRecheck runs the periodic belt-and-braces full connectivity
+// verification after an accepted swap.
+func (c *Checker) maybeRecheck() {
+	c.accepted++
+	if c.recheckEvery <= 0 || c.accepted%c.recheckEvery != 0 {
+		return
+	}
+	c.stats.FullRechecks++
+	if c.fullReach() != c.n {
+		panic("connected: periodic full recheck found a disconnected graph (checker invariant breached)")
+	}
+}
+
+// apply replaces edges e and f with g and h in the adjacency.
+// Removals run before insertions so no vertex's neighbor count ever
+// exceeds its (invariant) degree capacity.
+func (c *Checker) apply(e, f, g, h graph.Edge) {
+	c.removeArc(e.U, e.V)
+	c.removeArc(e.V, e.U)
+	c.removeArc(f.U, f.V)
+	c.removeArc(f.V, f.U)
+	c.addArc(g.U, g.V)
+	c.addArc(g.V, g.U)
+	c.addArc(h.U, h.V)
+	c.addArc(h.V, h.U)
+}
+
+func (c *Checker) addArc(u, v int32) {
+	c.nbr[c.off[u]+int64(c.deg[u])] = v
+	c.deg[u]++
+}
+
+func (c *Checker) removeArc(u, v int32) {
+	base := c.off[u]
+	last := int64(c.deg[u]) - 1
+	for i := int64(0); i <= last; i++ {
+		if c.nbr[base+i] == v {
+			c.nbr[base+i] = c.nbr[base+last]
+			c.deg[u]--
+			return
+		}
+	}
+	panic("connected: removeArc on absent edge (checker out of sync with the edge list)")
+}

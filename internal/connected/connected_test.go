@@ -1,0 +1,367 @@
+package connected
+
+import (
+	"strings"
+	"testing"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/rng"
+)
+
+func mustDist(t *testing.T, degrees []int64) *degseq.Distribution {
+	t.Helper()
+	d := degseq.FromDegrees(degrees)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("FromDegrees(%v): %v", degrees, err)
+	}
+	return d
+}
+
+func assertConnectedSimple(t *testing.T, el *graph.EdgeList, degrees []int64) {
+	t.Helper()
+	if s := el.CheckSimplicity(); !s.IsSimple() {
+		t.Fatalf("graph not simple: %+v", s)
+	}
+	if _, count := graph.ConnectedComponents(el, 1); count != 1 {
+		t.Fatalf("graph has %d components, want 1", count)
+	}
+	got := el.Degrees(1)
+	if len(got) != len(degrees) {
+		t.Fatalf("degree count %d, want %d", len(got), len(degrees))
+	}
+	want := append([]int64(nil), degrees...)
+	sortInt64(want)
+	gotSorted := append([]int64(nil), got...)
+	sortInt64(gotSorted)
+	for i := range want {
+		if gotSorted[i] != want[i] {
+			t.Fatalf("sorted degrees %v, want %v", gotSorted, want)
+		}
+	}
+}
+
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestRealizableRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		degrees []int64
+		errSub  string
+	}{
+		{"isolated-vertices", []int64{0, 0, 0}, "isolated"},
+		{"isolated-with-edges", []int64{0, 1, 1}, "isolated"},
+		{"sum-odd", []int64{1, 1, 1}, "odd"},
+		{"non-graphical", []int64{3, 1}, "graphical"},
+		{"forest-split", []int64{1, 1, 1, 1}, "cannot span"},
+		{"two-triangles-worth", []int64{1, 1, 1, 1, 1, 1}, "cannot span"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Realizable(mustDist(t, tc.degrees))
+			if err == nil {
+				t.Fatalf("Realizable(%v) = nil, want error containing %q", tc.degrees, tc.errSub)
+			}
+			if !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("Realizable(%v) error %q does not contain %q", tc.degrees, err, tc.errSub)
+			}
+			if _, err := Realize(mustDist(t, tc.degrees)); err == nil {
+				t.Fatalf("Realize(%v) succeeded on an unrealizable sequence", tc.degrees)
+			}
+		})
+	}
+}
+
+func TestRealizableTrivial(t *testing.T) {
+	if err := Realizable(mustDist(t, []int64{0})); err != nil {
+		t.Fatalf("single isolated vertex should be trivially connected: %v", err)
+	}
+}
+
+func TestRealizeConnected(t *testing.T) {
+	cases := [][]int64{
+		{2, 2, 2, 2, 2, 2},    // Havel–Hakimi yields two triangles; Connect must repair
+		{3, 2, 2, 2, 1},       // ISSUE.md's unicyclic example
+		{1, 2, 2, 2, 1},       // path P5
+		{4, 1, 1, 1, 1},       // star
+		{3, 3, 3, 3, 3, 3, 3, 3}, // cubic on 8 vertices
+		{2, 2, 2, 2, 2, 2, 2, 2}, // all-2s n=8: HH splits into two C4s
+	}
+	for _, degrees := range cases {
+		el, err := Realize(mustDist(t, degrees))
+		if err != nil {
+			t.Fatalf("Realize(%v): %v", degrees, err)
+		}
+		assertConnectedSimple(t, el, degrees)
+	}
+}
+
+func TestConnectRepairsTwoTriangles(t *testing.T) {
+	el := graph.NewEdgeList([]graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+	}, 6)
+	merges, err := Connect(el)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if merges != 1 {
+		t.Fatalf("merges = %d, want 1", merges)
+	}
+	assertConnectedSimple(t, el, []int64{2, 2, 2, 2, 2, 2})
+}
+
+func TestConnectNoCycleEdgeErrors(t *testing.T) {
+	// Two disjoint edges: a forest with two components has no spare
+	// cycle edge, so no connected realization exists.
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, 4)
+	if _, err := Connect(el); err == nil {
+		t.Fatal("Connect on a 2-component forest should error")
+	}
+}
+
+func TestConnectIsolatedVertexErrors(t *testing.T) {
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, 4)
+	if _, err := Connect(el); err == nil {
+		t.Fatal("Connect with an isolated vertex should error")
+	}
+}
+
+func TestBindRejectsDisconnected(t *testing.T) {
+	el := graph.NewEdgeList([]graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+	}, 6)
+	c := NewChecker()
+	if err := c.Bind(el); err == nil {
+		t.Fatal("Bind on a disconnected graph should error")
+	}
+}
+
+func TestBindRejectsLoops(t *testing.T) {
+	el := graph.NewEdgeList([]graph.Edge{{U: 0, V: 0}, {U: 0, V: 1}}, 2)
+	c := NewChecker()
+	if err := c.Bind(el); err == nil {
+		t.Fatal("Bind on a loopy graph should error")
+	}
+}
+
+func TestCheckerRejectsDisconnectingSwap(t *testing.T) {
+	// C6; swapping edges (0,1) and (3,4) into (0,4),(1,3) splits it
+	// into two triangles.
+	el := cycle(6)
+	c := NewChecker()
+	if err := c.Bind(el); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	e, f := graph.Edge{U: 0, V: 1}, graph.Edge{U: 3, V: 4}
+	g, h := graph.Edge{U: 0, V: 4}, graph.Edge{U: 1, V: 3}
+	if c.SwapKeepsConnected(e, f, g, h) {
+		t.Fatal("disconnecting swap accepted")
+	}
+	st := c.StatsSnapshot()
+	if st.RejectedDisconnecting != 1 {
+		t.Fatalf("RejectedDisconnecting = %d, want 1", st.RejectedDisconnecting)
+	}
+	// The rollback must leave the checker's adjacency intact: the same
+	// rejected swap proposed again must produce the same verdict, and
+	// the graph must still verify as connected.
+	if c.SwapKeepsConnected(e, f, g, h) {
+		t.Fatal("disconnecting swap accepted on retry")
+	}
+	if !c.Connected() {
+		t.Fatal("checker adjacency corrupted by rollback")
+	}
+}
+
+func cycle(n int) *graph.EdgeList {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{U: int32(i), V: int32((i + 1) % n)}
+	}
+	return graph.NewEdgeList(edges, n)
+}
+
+// validProposal reports whether removing edges at positions i, j and
+// adding g, h is a legal simple-cell swap (the engine-side filter).
+func validProposal(el *graph.EdgeList, i, j int, g, h graph.Edge) bool {
+	if i == j || g.IsLoop() || h.IsLoop() {
+		return false
+	}
+	gk, hk := g.Key(), h.Key()
+	if gk == hk {
+		return false
+	}
+	ek, fk := el.Edges[i].Key(), el.Edges[j].Key()
+	if (gk == ek && hk == fk) || (gk == fk && hk == ek) {
+		return false
+	}
+	for p, e := range el.Edges {
+		if p == i || p == j {
+			continue
+		}
+		k := e.Key()
+		if k == gk || k == hk {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCheckerMatchesGroundTruth exhaustively proposes every legal swap
+// on several small connected graphs and checks the verdict against a
+// from-scratch component count of the post-swap graph, at the default
+// budget and at a tiny budget that forces the full-BFS fallback.
+func TestCheckerMatchesGroundTruth(t *testing.T) {
+	starts := []*graph.EdgeList{cycle(6), cycle(8)}
+	if el, err := Realize(mustDist(t, []int64{3, 3, 3, 3, 3, 3, 3, 3})); err != nil {
+		t.Fatal(err)
+	} else {
+		starts = append(starts, el)
+	}
+	if el, err := Realize(mustDist(t, []int64{3, 2, 2, 2, 1})); err != nil {
+		t.Fatal(err)
+	} else {
+		starts = append(starts, el)
+	}
+	for _, bound := range []int{0, defaultBound} { // 0 clamps to 2: forces slow paths
+		for _, start := range starts {
+			c := NewChecker()
+			c.SetBound(bound)
+			m := len(start.Edges)
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					for coin := 0; coin < 2; coin++ {
+						el := start.Clone()
+						e, f := el.Edges[i], el.Edges[j]
+						var g, h graph.Edge
+						if coin == 0 {
+							g, h = graph.Edge{U: e.U, V: f.U}, graph.Edge{U: e.V, V: f.V}
+						} else {
+							g, h = graph.Edge{U: e.U, V: f.V}, graph.Edge{U: e.V, V: f.U}
+						}
+						if !validProposal(el, i, j, g, h) {
+							continue
+						}
+						if err := c.Bind(el); err != nil {
+							t.Fatalf("Bind: %v", err)
+						}
+						got := c.SwapKeepsConnected(e, f, g, h)
+						el.Edges[i], el.Edges[j] = g, h
+						_, count := graph.ConnectedComponents(el, 1)
+						if want := count == 1; got != want {
+							t.Fatalf("swap (%v,%v)->(%v,%v) at bound %d: checker says %v, ground truth %v",
+								e, f, g, h, bound, got, want)
+						}
+						if got && !c.Connected() {
+							t.Fatal("checker adjacency inconsistent after accepted swap")
+						}
+					}
+				}
+			}
+			st := c.StatsSnapshot()
+			if st.Proposals == 0 {
+				t.Fatal("no proposals exercised")
+			}
+		}
+	}
+}
+
+// TestCheckerRandomChain runs a long random swap chain on a cubic
+// graph with the recheck forced every accepted swap, so the internal
+// invariant panic would fire on any bookkeeping bug.
+func TestCheckerRandomChain(t *testing.T) {
+	degrees := []int64{3, 3, 3, 3, 3, 3, 3, 3, 3, 3}
+	el, err := Realize(mustDist(t, degrees))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker()
+	c.SetRecheckEvery(1)
+	if err := c.Bind(el); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	src := rng.New(42)
+	m := uint64(len(el.Edges))
+	accepted := 0
+	for step := 0; step < 4000; step++ {
+		i, j := int(src.Uint64n(m)), int(src.Uint64n(m))
+		e, f := el.Edges[i], el.Edges[j]
+		var g, h graph.Edge
+		if src.Bool() {
+			g, h = graph.Edge{U: e.U, V: f.U}, graph.Edge{U: e.V, V: f.V}
+		} else {
+			g, h = graph.Edge{U: e.U, V: f.V}, graph.Edge{U: e.V, V: f.U}
+		}
+		if !validProposal(el, i, j, g, h) {
+			continue
+		}
+		if c.SwapKeepsConnected(e, f, g, h) {
+			el.Edges[i], el.Edges[j] = g, h
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("chain never accepted a swap")
+	}
+	assertConnectedSimple(t, el, degrees)
+	st := c.StatsSnapshot()
+	if st.FullRechecks != int64(accepted) {
+		t.Fatalf("FullRechecks = %d, want %d (one per accepted swap)", st.FullRechecks, accepted)
+	}
+	if st.FastPathHits == 0 || st.BoundedChecks == 0 {
+		t.Fatalf("expected both fast-path and bounded-path traffic, got %+v", st)
+	}
+}
+
+// TestCheckerStatsPaths pins which counters each check tier bumps.
+func TestCheckerStatsPaths(t *testing.T) {
+	// Theta graph: C6 plus chord (0,3). The chord is a non-tree edge.
+	el := cycle(6)
+	el.Edges = append(el.Edges, graph.Edge{U: 0, V: 3})
+	el = graph.NewEdgeList(el.Edges, 6)
+	c := NewChecker()
+	if err := c.Bind(el); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	// Swapping two tree edges of C6 stays connected thanks to the
+	// chord: remove (1,2),(4,5), add (1,4),(2,5).
+	e, f := graph.Edge{U: 1, V: 2}, graph.Edge{U: 4, V: 5}
+	g, h := graph.Edge{U: 1, V: 4}, graph.Edge{U: 2, V: 5}
+	if !c.SwapKeepsConnected(e, f, g, h) {
+		t.Fatal("connectivity-preserving swap rejected")
+	}
+	st := c.StatsSnapshot()
+	if st.FastPathHits != 0 || st.BoundedChecks == 0 || st.WitnessRebuilds != 1 {
+		t.Fatalf("tree-touching accept took wrong path: %+v", st)
+	}
+}
+
+func TestBindReuse(t *testing.T) {
+	c := NewChecker()
+	for rebind := 0; rebind < 3; rebind++ {
+		el := cycle(6)
+		if err := c.Bind(el); err != nil {
+			t.Fatalf("Bind #%d: %v", rebind, err)
+		}
+		if !c.Connected() {
+			t.Fatalf("Bind #%d: not connected", rebind)
+		}
+		if st := c.StatsSnapshot(); st.Proposals != 0 {
+			t.Fatalf("Bind #%d did not reset stats: %+v", rebind, st)
+		}
+	}
+	// Rebind to a larger graph must regrow buffers correctly.
+	if err := c.Bind(cycle(40)); err != nil {
+		t.Fatalf("Bind larger: %v", err)
+	}
+	if !c.Connected() {
+		t.Fatal("larger rebind: not connected")
+	}
+}

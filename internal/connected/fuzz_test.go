@@ -1,0 +1,78 @@
+package connected
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+)
+
+// FuzzConnectedSeed feeds arbitrary degree sequences to the connected
+// constructor: every input must either error (non-graphical, or no
+// connected realization) or produce a connected simple graph with
+// exactly the requested degrees. Degrees are parsed as 4-byte
+// little-endian words so the fuzzer can reach large and hostile values
+// (near-MaxInt32, sum-odd) without astronomically long inputs.
+func FuzzConnectedSeed(f *testing.F) {
+	f.Add([]byte{})                                     // empty
+	f.Add(seedBytes(0, 0, 0))                           // all zeros
+	f.Add(seedBytes(4, 1, 1, 1, 1))                     // star
+	f.Add(seedBytes(2, 2, 2, 2, 2, 2))                  // two-triangles repair case
+	f.Add(seedBytes(3, 2, 2, 2, 1))                     // unicyclic
+	f.Add(seedBytes(1, 1, 1))                           // sum-odd
+	f.Add(seedBytes(1, 1, 1, 1))                        // forest split
+	f.Add(seedBytes(math.MaxInt32, 1))                  // near-MaxInt32 degree
+	f.Add(seedBytes(math.MaxInt32, math.MaxInt32-1, 2)) // huge non-graphical
+	f.Add(seedBytes(7, 7, 7, 7, 7, 7, 7, 7))            // dense regular
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxDegrees = 64
+		nd := len(data) / 4
+		if nd > maxDegrees {
+			nd = maxDegrees
+		}
+		degrees := make([]int64, 0, nd)
+		for i := 0; i < nd; i++ {
+			degrees = append(degrees, int64(binary.LittleEndian.Uint32(data[4*i:])))
+		}
+		if len(degrees) == 0 {
+			return // empty sequences fail Distribution.Validate
+		}
+		// Degrees >= n are non-graphical, so with n <= maxDegrees every
+		// realizable input is small; hostile huge values exercise only
+		// the rejection path.
+		dist := degseq.FromDegrees(degrees)
+		el, err := Realize(dist)
+		if err != nil {
+			return // rejection is a valid outcome; it must not panic
+		}
+		if s := el.CheckSimplicity(); !s.IsSimple() {
+			t.Fatalf("Realize(%v) returned a non-simple graph: %+v", degrees, s)
+		}
+		if _, count := graph.ConnectedComponents(el, 1); count != 1 && len(degrees) > 1 {
+			t.Fatalf("Realize(%v) returned %d components", degrees, count)
+		}
+		got := el.Degrees(1)
+		counts := map[int64]int{}
+		for _, d := range degrees {
+			counts[d]++
+		}
+		for _, d := range got {
+			counts[d]--
+		}
+		for d, c := range counts {
+			if c != 0 {
+				t.Fatalf("Realize(%v): degree %d off by %d", degrees, d, c)
+			}
+		}
+	})
+}
+
+func seedBytes(degrees ...uint32) []byte {
+	b := make([]byte, 4*len(degrees))
+	for i, d := range degrees {
+		binary.LittleEndian.PutUint32(b[4*i:], d)
+	}
+	return b
+}

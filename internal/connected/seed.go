@@ -1,0 +1,164 @@
+package connected
+
+import (
+	"fmt"
+
+	"nullgraph/internal/degseq"
+	"nullgraph/internal/graph"
+	"nullgraph/internal/havelhakimi"
+)
+
+// Realizable reports whether dist has a connected simple realization.
+// The classical characterization: the sequence must be graphical
+// (sum-even + Erdős–Gallai), every vertex must have degree >= 1 when
+// n > 1 (an isolated vertex can never join), and there must be at
+// least n-1 edges to span n vertices. Those three conditions are also
+// sufficient — any simple realization with c >= 2 components and
+// m >= n-1 has a component containing a cycle edge, and swapping a
+// cycle edge against another component's edge merges the two without
+// disconnecting anything (the repair loop in Connect).
+func Realizable(dist *degseq.Distribution) error {
+	if err := dist.Validate(); err != nil {
+		return err
+	}
+	n := dist.NumVertices()
+	if n <= 1 {
+		return nil
+	}
+	if dist.Classes[0].Degree == 0 {
+		return fmt.Errorf("connected: degree sequence has %d isolated vertices with n = %d > 1: no connected realization", dist.Classes[0].Count, n)
+	}
+	if dist.NumStubs()%2 != 0 {
+		return fmt.Errorf("connected: degree sum %d is odd: not graphical", dist.NumStubs())
+	}
+	if !dist.IsGraphical() {
+		return fmt.Errorf("connected: degree sequence fails the Erdős–Gallai condition: not graphical")
+	}
+	if m := dist.NumEdges(); m < n-1 {
+		return fmt.Errorf("connected: %d edges cannot span %d vertices (need at least %d): no connected realization", m, n, n-1)
+	}
+	return nil
+}
+
+// Realize constructs a connected simple graph with degree sequence
+// dist: a greedy Havel–Hakimi realization followed by the deterministic
+// component-joining repair of Connect. It errors exactly when
+// Realizable does.
+func Realize(dist *degseq.Distribution) (*graph.EdgeList, error) {
+	if err := Realizable(dist); err != nil {
+		return nil, err
+	}
+	el, err := havelhakimi.Generate(dist)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Connect(el); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// Connect repairs a simple graph into a connected one with the same
+// degree sequence by deterministic defect-repair swaps, and returns the
+// number of component merges performed. Each round finds a cycle edge
+// (an edge whose removal keeps its component connected — with c >= 2
+// components and m >= n-1 some component must contain one, since
+// sum over components of (m_i - n_i + 1) = m - n + c >= 1) and swaps it
+// against an edge of a different component: (u,v),(x,y) -> (u,x),(v,y)
+// merges the two components, and cross-component endpoints guarantee
+// the new edges are neither loops nor duplicates. It errors when no
+// connected realization exists (isolated vertices, or too few edges —
+// equivalently, it runs out of cycle edges while still disconnected).
+func Connect(el *graph.EdgeList) (int, error) {
+	n := el.NumVertices
+	if n <= 1 {
+		return 0, nil
+	}
+	parent := make([]int32, n)
+	rank := make([]int8, n)
+	cycleEdge := make([]int32, n) // root -> index of a cycle edge in that component, -1 if none
+	merges := 0
+	for {
+		// Union-find pass over the current edges: an edge whose
+		// endpoints are already joined closes a cycle in its component.
+		for v := range parent {
+			parent[v] = int32(v)
+			rank[v] = 0
+			cycleEdge[v] = -1
+		}
+		components := n
+		for i, e := range el.Edges {
+			ru, rv := ufFind(parent, e.U), ufFind(parent, e.V)
+			if ru == rv {
+				if cycleEdge[ru] < 0 {
+					cycleEdge[ru] = int32(i)
+				}
+				continue
+			}
+			components--
+			root := ufUnion(parent, rank, ru, rv)
+			// Keep one cycle-edge witness for the merged component.
+			if cycleEdge[root] < 0 {
+				other := ru
+				if root == ru {
+					other = rv
+				}
+				cycleEdge[root] = cycleEdge[other]
+			}
+		}
+		if components <= 1 {
+			return merges, nil
+		}
+		// Pick the cycle edge in the lowest-rooted component that has
+		// one, and the first edge belonging to any other component.
+		ci := int32(-1)
+		for v := 0; v < n; v++ {
+			if parent[v] == int32(v) && cycleEdge[v] >= 0 {
+				ci = cycleEdge[v]
+				break
+			}
+		}
+		if ci < 0 {
+			return merges, fmt.Errorf("connected: graph has %d components and no spare cycle edge: no connected realization with this degree sequence", components)
+		}
+		cRoot := ufFind(parent, el.Edges[ci].U)
+		oi := -1
+		for i, e := range el.Edges {
+			if ufFind(parent, e.U) != cRoot {
+				oi = i
+				break
+			}
+		}
+		if oi < 0 {
+			// components > 1 but every edge is in one component: the
+			// other components are isolated vertices.
+			return merges, fmt.Errorf("connected: graph has isolated vertices: no connected realization with this degree sequence")
+		}
+		u, v := el.Edges[ci].U, el.Edges[ci].V
+		x, y := el.Edges[oi].U, el.Edges[oi].V
+		el.Edges[ci] = graph.Edge{U: u, V: x}
+		el.Edges[oi] = graph.Edge{U: v, V: y}
+		merges++
+	}
+}
+
+// ufFind resolves v's root with path halving.
+func ufFind(parent []int32, v int32) int32 {
+	for parent[v] != v {
+		parent[v] = parent[parent[v]]
+		v = parent[v]
+	}
+	return v
+}
+
+// ufUnion links two distinct roots by rank and returns the new root.
+func ufUnion(parent []int32, rank []int8, a, b int32) int32 {
+	if rank[a] < rank[b] {
+		a, b = b, a
+	}
+	parent[b] = a
+	if rank[a] == rank[b] {
+		rank[a]++
+	}
+	return a
+}

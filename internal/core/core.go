@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"nullgraph/internal/connected"
 	"nullgraph/internal/converge"
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/graph"
@@ -40,6 +41,17 @@ type Options struct {
 	// swapping, replacing the historical "swaps eventually simplify"
 	// behavior with a bounded deterministic one.
 	Space graph.Space
+	// Connected restricts sampling to *connected* simple graphs
+	// (Viger–Latapy, arXiv:cs/0502085). Requires a simple-cell Space.
+	// GenerateSample seeds from a deterministic connected realization
+	// (connected.Realize — exact degrees, probabilistic model skipped);
+	// ShuffleSample repairs its input with connected.Connect (after
+	// simplification, if any ran), mutating it in place. Both fail when
+	// the degree sequence admits no connected
+	// realization. The swap phase then runs the serial connectivity-
+	// preserving chain (swap.Options.Connected) and the Result carries
+	// its check-outcome counters.
+	Connected bool
 	// Workers is the parallel width for every phase; <= 0 means
 	// GOMAXPROCS.
 	Workers int
@@ -123,6 +135,9 @@ type Result struct {
 	// Simplify reports the targeted simplification pass, present only
 	// when ShuffleSample ran one (simple space, non-simple input).
 	Simplify *simplify.Result
+	// Connectivity reports the connected chain's check outcomes,
+	// present only for Options.Connected runs.
+	Connectivity *connected.Stats
 	// Mixed reports whether every edge swapped at least once (only
 	// meaningful with MixUntilSwapped).
 	Mixed bool
@@ -185,6 +200,37 @@ func recordSimplify(opt Options, s *simplify.Result) {
 	}
 }
 
+// recordConnectivity folds the connected chain's check outcomes (nil
+// when the run was unconstrained — clearing any section a previous
+// sample on the same recorder left) into the run report.
+func recordConnectivity(opt Options, s *connected.Stats) {
+	if obs.Enabled && opt.Recorder != nil {
+		if s == nil {
+			opt.Recorder.SetConnectivity(nil)
+			return
+		}
+		opt.Recorder.SetConnectivity(&obs.ConnectivityReport{
+			Proposals:             s.Proposals,
+			FastPathHits:          s.FastPathHits,
+			BoundedChecks:         s.BoundedChecks,
+			BoundedConclusive:     s.BoundedConclusive,
+			FullChecks:            s.FullChecks,
+			WitnessRebuilds:       s.WitnessRebuilds,
+			RejectedDisconnecting: s.RejectedDisconnecting,
+			FullRechecks:          s.FullRechecks,
+		})
+	}
+}
+
+// validateConnected gates the Connected option: the connected subspace
+// is defined for the simple cell only.
+func validateConnected(opt Options) error {
+	if opt.Connected && (opt.Space.AllowsLoops() || opt.Space.AllowsMulti()) {
+		return fmt.Errorf("core: Connected sampling is defined for the simple cell only, not %v", opt.Space)
+	}
+	return nil
+}
+
 // validateEdgeList is the shared input gate for the edge-list entry
 // points: the list must be non-nil and every endpoint must name a
 // vertex in [0, NumVertices). Empty and single-edge lists are valid
@@ -221,6 +267,7 @@ func FromEdgeList(el *graph.EdgeList, opt Options) (*Result, error) {
 func (o Options) swapOptions() swap.Options {
 	return swap.Options{
 		Space:        o.Space,
+		Connected:    o.Connected,
 		Iterations:   o.SwapIterations,
 		Workers:      o.Workers,
 		Seed:         o.Seed + 0x5eed,

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nullgraph/internal/connected"
 	"nullgraph/internal/converge"
 	"nullgraph/internal/degseq"
 	"nullgraph/internal/edgeskip"
@@ -248,32 +249,56 @@ func (e *Engine) GenerateSample(dist *degseq.Distribution, sample uint64, stop *
 	if err := dist.Validate(); err != nil {
 		return nil, err
 	}
+	if err := validateConnected(e.opt); err != nil {
+		return nil, err
+	}
 	if stop.Stopped() {
 		return nil, par.ErrStopped
 	}
 	seed := SampleSeed(e.opt.Seed, sample)
 	res := &Result{}
 
-	start := time.Now()
-	prob, stopped := e.probabilities(dist, stop)
-	if stopped {
-		return nil, par.ErrStopped
-	}
-	res.Probabilities = prob
-	res.Phases.Probabilities = time.Since(start)
-
-	start = time.Now()
-	el, err := e.gen.Generate(dist, prob, seed, stop)
-	if err != nil {
-		if errors.Is(err, par.ErrStopped) {
+	var el *graph.EdgeList
+	if e.opt.Connected {
+		// The probabilistic model realizes a *random* degree sequence,
+		// which on skewed inputs almost always strands isolated vertices
+		// — unrepairable without changing degrees. Connected generation
+		// therefore constructs an exact connected realization of dist
+		// instead (Havel-Hakimi + deterministic cycle-edge repair): every
+		// sample starts from this deterministic seed graph and
+		// decorrelates through its own chain seed, the same fixed-start
+		// regime the connected-uniformity gates certify. No probability
+		// matrix is involved, so Result.Probabilities stays nil.
+		start := time.Now()
+		var err error
+		el, err = connected.Realize(dist)
+		if err != nil {
+			return nil, fmt.Errorf("core: connected realization: %w", err)
+		}
+		res.Phases.EdgeGeneration = time.Since(start)
+	} else {
+		start := time.Now()
+		prob, stopped := e.probabilities(dist, stop)
+		if stopped {
 			return nil, par.ErrStopped
 		}
-		return nil, fmt.Errorf("core: edge generation: %w", err)
+		res.Probabilities = prob
+		res.Phases.Probabilities = time.Since(start)
+
+		start = time.Now()
+		var err error
+		el, err = e.gen.Generate(dist, prob, seed, stop)
+		if err != nil {
+			if errors.Is(err, par.ErrStopped) {
+				return nil, par.ErrStopped
+			}
+			return nil, fmt.Errorf("core: edge generation: %w", err)
+		}
+		res.Phases.EdgeGeneration = time.Since(start)
 	}
-	res.Phases.EdgeGeneration = time.Since(start)
 	res.Graph = el
 
-	start = time.Now()
+	start := time.Now()
 	res.Swaps, res.Mixed, res.Stop = e.runSwaps(el, seed, stop)
 	res.Phases.Swapping = time.Since(start)
 	if res.Swaps.Stopped {
@@ -281,10 +306,12 @@ func (e *Engine) GenerateSample(dist *degseq.Distribution, sample uint64, stop *
 		// is abandoned rather than returned partially uniform.
 		return nil, par.ErrStopped
 	}
+	res.Connectivity = e.mix.ConnectivityStats()
 	recordStop(e.opt, res.Stop)
 	recordPhases(e.opt, res.Phases)
 	recordSpace(e.opt)
 	recordSimplify(e.opt, nil)
+	recordConnectivity(e.opt, res.Connectivity)
 	return res, nil
 }
 
@@ -304,6 +331,9 @@ func (e *Engine) ShuffleSample(el *graph.EdgeList, sample uint64, stop *par.Stop
 	}
 	defer e.release()
 	if err := validateEdgeList(el); err != nil {
+		return nil, err
+	}
+	if err := validateConnected(e.opt); err != nil {
 		return nil, err
 	}
 	if stop.Stopped() {
@@ -328,14 +358,24 @@ func (e *Engine) ShuffleSample(el *graph.EdgeList, sample uint64, stop *par.Stop
 		// contract: the chain's acceptance rule assumes a legal state.
 		return nil, err
 	}
+	if e.opt.Connected {
+		// Repair runs after simplification so the component-joining
+		// swaps see a simple graph; an already-connected input passes
+		// through untouched (zero merges).
+		if _, err := connected.Connect(el); err != nil {
+			return nil, fmt.Errorf("core: connected repair: %w", err)
+		}
+	}
 	res.Swaps, res.Mixed, res.Stop = e.runSwaps(el, seed, stop)
 	res.Phases.Swapping = time.Since(start)
 	if res.Swaps.Stopped {
 		return nil, par.ErrStopped
 	}
+	res.Connectivity = e.mix.ConnectivityStats()
 	recordStop(e.opt, res.Stop)
 	recordPhases(e.opt, res.Phases)
 	recordSpace(e.opt)
 	recordSimplify(e.opt, res.Simplify)
+	recordConnectivity(e.opt, res.Connectivity)
 	return res, nil
 }

@@ -202,6 +202,13 @@ func (r *Recorder) SetSimplify(s *SimplifyReport) {
 	r.report.Simplify = s
 }
 
+// SetConnectivity installs the connected-sampling section (schema v4).
+// The pointer is stored as-is; callers hand over ownership, and pass
+// nil to clear a previous sample's section.
+func (r *Recorder) SetConnectivity(c *ConnectivityReport) {
+	r.report.Connectivity = c
+}
+
 // Report returns the aggregated run report. The pointer aliases the
 // recorder's state: read it only after the run is finished (or between
 // Steps), and treat it as invalidated by the next StartRun.

@@ -14,7 +14,8 @@ import (
 // version. The schema is documented in DESIGN.md §8.
 // v2 added the stop section (adaptive stopping decisions).
 // v3 added the sampling-space field and the simplification section.
-const SchemaVersion = "nullgraph/run-report/v3"
+// v4 added the connectivity section (connected-sampling check outcomes).
+const SchemaVersion = "nullgraph/run-report/v4"
 
 // IterationReport is one swap iteration's acceptance accounting.
 // Attempts = Successes + the three rejection counters + proposals
@@ -145,6 +146,33 @@ type SimplifyReport struct {
 	Simple bool `json:"simple"`
 }
 
+// ConnectivityReport records the connectivity-check outcome counters of
+// a connected-sampling run (schema v4; internal/connected): how many
+// proposals each tier of the Viger–Latapy check hierarchy resolved, and
+// how many proposals were rejected for disconnecting the graph.
+// FastPathHits / Proposals is the witness cache's hit rate.
+type ConnectivityReport struct {
+	// Proposals is the number of swaps submitted to the checker.
+	Proposals int64 `json:"proposals"`
+	// FastPathHits counts proposals accepted with no traversal (the
+	// cached spanning-tree witness was untouched).
+	FastPathHits int64 `json:"fast_path_hits"`
+	// BoundedChecks counts bounded bidirectional searches;
+	// BoundedConclusive those that resolved within budget.
+	BoundedChecks     int64 `json:"bounded_checks"`
+	BoundedConclusive int64 `json:"bounded_conclusive"`
+	// FullChecks counts full-BFS fallbacks.
+	FullChecks int64 `json:"full_checks"`
+	// WitnessRebuilds counts spanning-tree reconstructions after
+	// accepted tree-touching swaps.
+	WitnessRebuilds int64 `json:"witness_rebuilds"`
+	// RejectedDisconnecting counts proposals rejected because they
+	// would have disconnected the graph.
+	RejectedDisconnecting int64 `json:"rejected_disconnecting"`
+	// FullRechecks counts periodic belt-and-braces verifications.
+	FullRechecks int64 `json:"full_rechecks"`
+}
+
 // RunReport is the serializable aggregate of one run's chain-health
 // observability: per-iteration acceptance splits, the run-wide
 // hash-table probe-length histogram, the edge-skip space accounting,
@@ -187,6 +215,9 @@ type RunReport struct {
 	// Simplify records the targeted-simplification pass (schema v3);
 	// present only when the pipeline ran one.
 	Simplify *SimplifyReport `json:"simplify,omitempty"`
+	// Connectivity records the connected-sampling check outcomes
+	// (schema v4); present only for Connected runs.
+	Connectivity *ConnectivityReport `json:"connectivity,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON with a trailing newline.

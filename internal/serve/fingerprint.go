@@ -36,8 +36,10 @@ func hash64(h, v uint64) uint64 {
 // space; version 3 completed the StopPolicy coverage (Growth, Z,
 // Hysteresis, SuccessRateTol, MinEverSwapped were previously unhashed,
 // so two requests with different convergence tuning could share a
-// pooled chain).
-const fingerprintVersion = 3
+// pooled chain). Version 4 added the Connected flag (connected and
+// unconstrained chains hold different state and must never pool
+// together).
+const fingerprintVersion = 4
 
 // Fingerprint identifies an engine-compatible (distribution, options)
 // pair. Two requests share a pooled session — and therefore draw
@@ -61,6 +63,11 @@ func Fingerprint(dist *nullgraph.DegreeDistribution, opt nullgraph.Options) uint
 	h := fnv64Offset
 	h = hash64(h, fingerprintVersion)
 	h = hash64(h, uint64(opt.Space))
+	var conn uint64
+	if opt.Connected {
+		conn = 1
+	}
+	h = hash64(h, conn)
 	h = hash64(h, uint64(opt.Workers))
 	h = hash64(h, opt.Seed)
 	h = hash64(h, uint64(opt.SwapIterations))

@@ -338,6 +338,42 @@ func EnumerateSpaceGraphs(dist *degseq.Distribution, sp graph.Space, name string
 	return enum, nil
 }
 
+// edgesFromSignature decodes a canonical signature (sorted 8-byte
+// little-endian edge keys) back into its edge list. It inverts
+// SignatureOfEdges exactly, so decoding a space's states recovers the
+// graphs the enumerator produced.
+func edgesFromSignature(sig string) []graph.Edge {
+	edges := make([]graph.Edge, len(sig)/8)
+	for i := range edges {
+		var k uint64
+		for b := 0; b < 8; b++ {
+			k |= uint64(sig[i*8+b]) << (8 * b)
+		}
+		edges[i] = graph.EdgeFromKey(k)
+	}
+	return edges
+}
+
+// ConnectedSubspace filters a simple-graph space down to its connected
+// states: each signature is decoded and kept iff the graph has a single
+// connected component on n vertices. The result inherits the parent
+// enumerator's exactly-once guarantee (filtering cannot introduce
+// duplicates, and newSpace re-checks), so it is a valid target for the
+// connected-chain uniformity gates.
+func ConnectedSubspace(space *Space, n int, name string) (*Space, error) {
+	var sigs []string
+	for _, sig := range space.States {
+		el := graph.NewEdgeList(edgesFromSignature(sig), n)
+		if _, count := graph.ConnectedComponents(el, 1); count == 1 {
+			sigs = append(sigs, sig)
+		}
+	}
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("statcheck: space %q has no connected states", space.Name)
+	}
+	return newSpace(name, sigs)
+}
+
 // EnumerateSimpleDigraphs enumerates every labeled simple digraph (no
 // self-arcs, no duplicate arcs) realizing the joint (out, in) degree
 // distribution in class order. Same exactly-once argument as the

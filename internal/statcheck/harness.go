@@ -48,9 +48,26 @@ func (c Config) samples(def int) int {
 	return c.Samples
 }
 
-// AttemptSeed derives attempt a's base seed from the configured seed;
-// SampleSeed derives draw i's seed within an attempt. Exported so
-// external drivers can reproduce any single draw of a reported run.
+// DomainSeed folds a check's name into the top-level seed so distinct
+// registry checks draw disjoint sample-seed streams. Without it every
+// check run under one Config.Seed derives the same attempt seeds, so
+// two chains with the same per-draw structure replay correlated
+// randomness — a latent cross-check coupling the stream-separation
+// regression test pins down. Byte-wise Mix64 folding keeps names with
+// shared prefixes ("connected-uniformity-p5" vs "-c6") far apart.
+func DomainSeed(seed uint64, name string) uint64 {
+	h := rng.Mix64(seed)
+	for i := 0; i < len(name); i++ {
+		h = rng.Mix64(h ^ uint64(name[i]))
+	}
+	return h
+}
+
+// AttemptSeed derives attempt a's base seed; SampleSeed derives draw
+// i's seed within an attempt. Exported so external drivers can
+// reproduce any single draw of a reported run: the harness runs
+// attempt a of check name under
+// AttemptSeed(DomainSeed(cfg.Seed, name), a).
 func AttemptSeed(seed uint64, attempt int) uint64 {
 	return rng.Mix64(seed) + 0x9e3779b97f4a7c15*uint64(attempt+1)
 }
@@ -109,11 +126,14 @@ func (r *CheckResult) P() float64 {
 
 // runAttempts drives the retry policy: attempts run under derived
 // seeds until one accepts (P >= alpha) or the budget is exhausted.
+// Seeds are domain-separated by the check's name, so two registry
+// checks sharing one Config.Seed never replay each other's streams.
 func runAttempts(res *CheckResult, cfg Config, attempt func(seed uint64) (Attempt, error)) (*CheckResult, error) {
 	alpha := cfg.alpha()
 	res.Alpha = alpha
+	base := DomainSeed(cfg.Seed, res.Name)
 	for a := 0; a < cfg.maxAttempts(); a++ {
-		att, err := attempt(AttemptSeed(cfg.Seed, a))
+		att, err := attempt(AttemptSeed(base, a))
 		if err != nil {
 			return nil, fmt.Errorf("statcheck: %s attempt %d: %w", res.Name, a, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nullgraph/internal/connected"
 	"nullgraph/internal/converge"
 	"nullgraph/internal/core"
 	"nullgraph/internal/degseq"
@@ -37,6 +38,14 @@ const (
 	// chains far past mixing on the ≤ 6-state spaces below while staying
 	// cheap enough for the tier-2 budget.
 	spaceChainIterations = 60
+	// connectedChainIterations is the connected-chain gate budget. The
+	// connectivity-preserving chain is a serial rejection sweep (m/2
+	// proposals per iteration) whose acceptance rate is lower than the
+	// unconstrained chain's — disconnecting proposals are rejected on
+	// top of the simple-cell filters — so it gets the same 60-iteration
+	// budget as the other serial sweeps, far past mixing on the 60-state
+	// spaces below.
+	connectedChainIterations = 60
 )
 
 // Check is one named statistical verification, runnable from tests,
@@ -115,6 +124,22 @@ func Checks() []Check {
 			DefaultSamples: 3000,
 			Run: func(cfg Config) (*CheckResult, error) {
 				return runSpaceChainUniformity(cfg, "space-multigraph-vertex", map[int64]int64{2: 3}, graph.MultigraphVertex, 3000)
+			},
+		},
+		{
+			Name:           "connected-uniformity-p5",
+			Description:    "connected-chain uniformity over the 6 connected graphs with degrees {1,1,2,2,2}",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runConnectedSwapUniformity(cfg, "connected-uniformity-p5", map[int64]int64{1: 2, 2: 3}, 3000)
+			},
+		},
+		{
+			Name:           "connected-uniformity-c6",
+			Description:    "connected-chain uniformity over the 60 connected graphs with degrees {2,2,2,2,2,2} (10 of 70 states are two disjoint triangles)",
+			DefaultSamples: 3000,
+			Run: func(cfg Config) (*CheckResult, error) {
+				return runConnectedSwapUniformity(cfg, "connected-uniformity-c6", map[int64]int64{2: 6}, 3000)
 			},
 		},
 		{
@@ -270,6 +295,50 @@ func runSpaceChainUniformity(cfg Config, name string, counts map[int64]int64, sp
 		return CheckWeightedUniformity(name, enum.Space, enum.StubProbs, defaultSamples, cfg, draw)
 	}
 	return CheckUniformity(name, enum.Space, defaultSamples, cfg, draw)
+}
+
+// runConnectedSwapUniformity is the connected sampler's uniformity
+// gate: the connectivity-preserving chain (Options.Connected), started
+// from a connected.Realize seed graph and run for
+// connectedChainIterations from an independent seed per draw, must
+// sample the *connected subspace* of the enumerated cell uniformly.
+// The target space deliberately excludes the disconnected states, so
+// the gate rejects in both failure directions: a chain that leaks a
+// disconnected graph leaves the enumerated space (a hard error from
+// CheckUniformity, not a p-value), while a chain that over-rejects —
+// freezing on part of the connected subspace — fails the chi-square.
+func runConnectedSwapUniformity(cfg Config, name string, counts map[int64]int64, defaultSamples int) (*CheckResult, error) {
+	dist, err := mustDist(counts)
+	if err != nil {
+		return nil, err
+	}
+	full, err := EnumerateSimpleGraphs(dist, name+"-full")
+	if err != nil {
+		return nil, err
+	}
+	space, err := ConnectedSubspace(full, int(dist.NumVertices()), name)
+	if err != nil {
+		return nil, err
+	}
+	start, err := connected.Realize(dist)
+	if err != nil {
+		return nil, err
+	}
+	el := graph.NewEdgeList(append([]graph.Edge(nil), start.Edges...), start.NumVertices)
+	eng := swap.NewEngine(el, swap.Options{
+		Connected:  true,
+		Iterations: connectedChainIterations,
+		Workers:    cfg.Workers,
+		Seed:       0, // per-draw via SetSeed
+	})
+	defer eng.Close()
+	return CheckUniformity(name, space, defaultSamples, cfg, func(attemptSeed uint64, i int) (string, error) {
+		copy(el.Edges, start.Edges)
+		eng.SetSeed(SampleSeed(attemptSeed, i))
+		eng.Reset(el)
+		swap.RunEngine(eng)
+		return SignatureOfEdges(el.Edges), nil
+	})
 }
 
 // runShuffleSessionUniformity checks the public pipeline surface: a

@@ -44,7 +44,7 @@ func TestStatcheckSuiteParallelWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tier-2 statistical suite")
 	}
-	for _, name := range []string{"swap-matchings-k6", "directed-derangements-n4"} {
+	for _, name := range []string{"swap-matchings-k6", "directed-derangements-n4", "connected-uniformity-c6"} {
 		c, ok := CheckByName(name)
 		if !ok {
 			t.Fatalf("unknown check %s", name)

@@ -41,6 +41,7 @@ package swap
 import (
 	"fmt"
 
+	"nullgraph/internal/connected"
 	"nullgraph/internal/graph"
 	"nullgraph/internal/hashtable"
 	"nullgraph/internal/obs"
@@ -63,6 +64,15 @@ type Options struct {
 	// the chain progressively simplifies (the historical behavior —
 	// internal/simplify does it deterministically instead).
 	Space graph.Space
+	// Connected restricts the simple cell to *connected* simple graphs
+	// (Viger–Latapy, arXiv:cs/0502085): proposals that would disconnect
+	// the graph are rejected by a connectivity checker with a cached
+	// spanning-tree witness (internal/connected). The chain is serial —
+	// parallel commits that are individually connectivity-safe can
+	// jointly disconnect the graph, so Workers is ignored, like the
+	// vertex-labeled MH cells — and requires a connected simple input
+	// (see connected.Connect for the repair) and a simple-cell Space.
+	Connected bool
 	// Iterations is the number of full permute-and-sweep passes.
 	Iterations int
 	// Workers is the parallel width; <= 0 means GOMAXPROCS.
@@ -120,6 +130,9 @@ func (o Options) Validate() error {
 	}
 	if !o.Space.Valid() {
 		return fmt.Errorf("swap: invalid sampling space %v", o.Space)
+	}
+	if o.Connected && (o.Space.AllowsLoops() || o.Space.AllowsMulti()) {
+		return fmt.Errorf("swap: Connected sampling is defined for the simple cell only, not %v", o.Space)
 	}
 	return nil
 }
@@ -197,6 +210,12 @@ type Engine struct {
 	accept   func(wtr *hashtable.Writer, g, h graph.Edge) bool
 	ms       *graph.Multiset
 
+	// connMode selects the serial connectivity-preserving step
+	// (connected.go); conn is its swap-acceptance checker. Both are nil
+	// state for unconstrained runs, whose code paths stay bit-identical.
+	connMode bool
+	conn     *connected.Checker
+
 	// stop is the attached cooperative cancellation flag (nil when the
 	// run is uncancelable, which keeps the hot path to nil checks).
 	stop *par.Stop
@@ -272,6 +291,17 @@ func NewEngine(el *graph.EdgeList, opt Options) *Engine {
 	default: // SimpleStub, SimpleVertex: one regime, see graph.Space.
 		eng.useTable = true
 		eng.accept = acceptSimple
+	}
+	if opt.Connected {
+		if opt.Space.AllowsLoops() || opt.Space.AllowsMulti() {
+			panic("swap: Connected sampling is defined for the simple cell only (Options.Validate catches this)")
+		}
+		// The connected chain is a serial sweep over live multiplicity
+		// and adjacency state (like the vertex-MH cells), so the frozen
+		// table and the permutation machinery are dead weight.
+		eng.connMode = true
+		eng.useTable = false
+		eng.conn = connected.NewChecker()
 	}
 	if opt.Pool != nil {
 		eng.pool = opt.Pool
@@ -538,10 +568,10 @@ func (eng *Engine) bindInstrumentedBodies() {
 func (eng *Engine) bind(el *graph.EdgeList) {
 	eng.el = el
 	m := len(el.Edges)
-	if eng.vertexMH {
-		// The serial MH step reads multiplicities instead of a frozen
-		// table and proposes positions directly, so the multiset is the
-		// only per-edge-list state it needs.
+	if eng.vertexMH || eng.connMode {
+		// The serial steps read multiplicities instead of a frozen
+		// table and propose positions directly, so the multiset is the
+		// per-edge-list state they need.
 		if eng.ms == nil {
 			eng.ms = graph.MultisetOf(el)
 		} else {
@@ -549,6 +579,13 @@ func (eng *Engine) bind(el *graph.EdgeList) {
 			for _, e := range el.Edges {
 				eng.ms.AddEdge(e)
 			}
+		}
+	}
+	if eng.connMode {
+		// The connected chain's hard precondition is a connected simple
+		// input; callers repair with connected.Connect before binding.
+		if err := eng.conn.Bind(el); err != nil {
+			panic("swap: " + err.Error())
 		}
 	}
 	if m >= 2 && eng.useTable {
@@ -575,10 +612,10 @@ func (eng *Engine) bind(el *graph.EdgeList) {
 			w.Reset()
 		}
 	}
-	if m >= 2 && !eng.vertexMH {
+	if m >= 2 && !eng.vertexMH && !eng.connMode {
 		// Permutation target buffer — every parallel cell permutes, with
-		// or without a table; the serial MH step proposes positions
-		// directly and needs none.
+		// or without a table; the serial steps propose positions
+		// directly and need none.
 		if cap(eng.h) < m {
 			grown := m
 			if eng.h != nil {
@@ -679,6 +716,9 @@ func (eng *Engine) clearTable() {
 func (eng *Engine) step() (IterStats, bool) {
 	if eng.vertexMH {
 		return eng.stepVertex()
+	}
+	if eng.connMode {
+		return eng.stepConnected()
 	}
 	m := len(eng.el.Edges)
 	it := eng.iteration

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"nullgraph/internal/chunglu"
+	"nullgraph/internal/connected"
 	"nullgraph/internal/converge"
 	"nullgraph/internal/core"
 	"nullgraph/internal/degseq"
@@ -120,6 +121,13 @@ func ParseSpace(s string) (Space, error) { return graph.ParseSpace(s) }
 // order.
 func SpaceNames() []string { return graph.SpaceNames() }
 
+// ConnectivityStats reports the connected chain's check outcomes when
+// Options.Connected is set (internal/connected): how many proposals
+// each tier of the Viger–Latapy check hierarchy resolved — witness
+// fast path, bounded bidirectional BFS, full BFS — and how many were
+// rejected for disconnecting the graph.
+type ConnectivityStats = connected.Stats
+
 // SimplifyStats reports the targeted simplification pass Shuffle runs
 // on non-simple input in a simple space (internal/simplify, after
 // Sjöstrand arXiv:1904.06999): defect counts before and after, and the
@@ -184,6 +192,20 @@ type Options struct {
 	// cell; Generate's output is simple by construction, so non-simple
 	// cells only relabel its mixing chain's target.
 	Space Space
+	// Connected restricts sampling to *connected* simple graphs
+	// (Viger–Latapy, arXiv:cs/0502085); it requires a simple-cell Space.
+	// Generate starts from a deterministic connected realization of the
+	// distribution (exact degrees; the probabilistic model is skipped
+	// and Result.Probabilities stays nil); Shuffle repairs its input in
+	// place with degree-preserving component-joining swaps (after
+	// simplification, if any ran). Both fail when the degree sequence
+	// admits no connected realization (isolated vertices, fewer than n-1
+	// edges, or non-graphical). Mixing then runs the serial
+	// connectivity-preserving chain — Workers still parallelizes the
+	// generation phases, but the swap phase is single-threaded and
+	// bit-reproducible at any width — and Result.Connectivity reports
+	// its check-outcome counters.
+	Connected bool
 	// Workers is the number of parallel workers; <= 0 means GOMAXPROCS.
 	Workers int
 	// Seed fixes all randomness for a given worker count.
@@ -221,6 +243,7 @@ type Options struct {
 func (o Options) core() core.Options {
 	return core.Options{
 		Space:           o.Space,
+		Connected:       o.Connected,
 		Workers:         o.Workers,
 		Seed:            o.Seed,
 		SwapIterations:  o.SwapIterations,
@@ -271,6 +294,9 @@ type Result struct {
 	// Simplify reports the targeted simplification pass, present only
 	// when Shuffle ran one (simple space, non-simple input).
 	Simplify *SimplifyStats
+	// Connectivity reports the connected chain's check outcomes,
+	// present only when Options.Connected was set.
+	Connectivity *ConnectivityStats
 	// Report holds the chain-health report when Options.CollectReport
 	// was set, nil otherwise.
 	Report *RunReport
@@ -290,9 +316,10 @@ func wrapResult(out *core.Result, rec *obs.Recorder) *Result {
 			EdgeGeneration: out.Phases.EdgeGeneration,
 			Swapping:       out.Phases.Swapping,
 		},
-		Simplify: out.Simplify,
-		Mixed:    out.Mixed,
-		Stop:     out.Stop,
+		Simplify:     out.Simplify,
+		Connectivity: out.Connectivity,
+		Mixed:        out.Mixed,
+		Stop:         out.Stop,
 	}
 	if rec != nil {
 		res.Report = rec.Report()
@@ -402,6 +429,17 @@ func PowerLawDistribution(n, minDegree, maxDegree int64, gamma float64, seed uin
 // Shuffle it is the paper's uniform reference sampler.
 func HavelHakimi(dist *DegreeDistribution) (*Graph, error) {
 	return havelhakimi.Generate(dist)
+}
+
+// ConnectedRealization deterministically realizes a graphical
+// distribution as a *connected* simple graph: a Havel–Hakimi greedy
+// realization followed by degree-preserving component-joining swaps.
+// It errors when no connected realization exists (non-graphical,
+// isolated vertices with n > 1, or fewer than n-1 edges). Combined
+// with Shuffle under Options.Connected it is the uniform
+// connected-graph sampler.
+func ConnectedRealization(dist *DegreeDistribution) (*Graph, error) {
+	return connected.Realize(dist)
 }
 
 // ChungLuMultigraph draws the O(m) Chung-Lu model: fast, embarrassingly
